@@ -1,0 +1,67 @@
+//! Criterion companion to the ablation studies in DESIGN.md §5: doorbell
+//! limit, cache fraction, and fan-out, each at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw_bench::{DatasetKind, Workload};
+use rdma_sim::NetworkModel;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    let w = Workload::sized(DatasetKind::SiftLike, 3_000, 64).expect("workload");
+    let base = DHnswConfig::paper().with_representatives(64);
+
+    for limit in [1usize, 16, 64] {
+        let cfg = base.clone().with_network(
+            NetworkModel::connectx6()
+                .with_doorbell_limit(limit)
+                .expect("limit"),
+        );
+        let store = VectorStore::build(w.data.clone(), &cfg).expect("store");
+        let node = store.connect(SearchMode::Full).expect("connect");
+        node.query_batch(&w.queries, 10, 32).expect("warm");
+        group.bench_with_input(
+            BenchmarkId::new("doorbell_limit", limit),
+            &node,
+            |b, node| {
+                b.iter(|| {
+                    std::hint::black_box(node.query_batch(&w.queries, 10, 32).expect("q"))
+                })
+            },
+        );
+    }
+
+    for frac in [0.0f64, 0.1, 1.0] {
+        let cfg = base.clone().with_cache_fraction(frac);
+        let store = VectorStore::build(w.data.clone(), &cfg).expect("store");
+        let node = store.connect(SearchMode::Full).expect("connect");
+        node.query_batch(&w.queries, 10, 32).expect("warm");
+        group.bench_with_input(
+            BenchmarkId::new("cache_fraction_pct", (frac * 100.0) as u64),
+            &node,
+            |b, node| {
+                b.iter(|| {
+                    std::hint::black_box(node.query_batch(&w.queries, 10, 32).expect("q"))
+                })
+            },
+        );
+    }
+
+    for fanout in [1usize, 4, 8] {
+        let cfg = base.clone().with_fanout(fanout);
+        let store = VectorStore::build(w.data.clone(), &cfg).expect("store");
+        let node = store.connect(SearchMode::Full).expect("connect");
+        node.query_batch(&w.queries, 10, 32).expect("warm");
+        group.bench_with_input(BenchmarkId::new("fanout_b", fanout), &node, |b, node| {
+            b.iter(|| std::hint::black_box(node.query_batch(&w.queries, 10, 32).expect("q")))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion companion to Fig. 6: wall-time of the full query-batch path
+//! per scheme on both dataset shapes (micro scale; the `repro` binary
+//! produces the actual figure at full scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw_bench::{DatasetKind, Workload};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_latency_recall");
+    group.sample_size(10);
+
+    for (kind, n, q) in [
+        (DatasetKind::SiftLike, 4_000usize, 64usize),
+        (DatasetKind::GistLike, 1_200, 32),
+    ] {
+        let w = Workload::sized(kind, n, q).expect("workload");
+        let cfg = DHnswConfig::paper().with_representatives(64);
+        let store = VectorStore::build(w.data.clone(), &cfg).expect("store");
+        for mode in [SearchMode::Naive, SearchMode::NoDoorbell, SearchMode::Full] {
+            let node = store.connect(mode).expect("connect");
+            // Warm once, as the sweeps do.
+            node.query_batch(&w.queries, 10, 48).expect("warm");
+            let label = format!("{:?}/{mode}", kind);
+            group.bench_with_input(
+                BenchmarkId::new("query_batch_top10_ef48", label),
+                &node,
+                |b, node| {
+                    b.iter(|| {
+                        let (results, _) =
+                            node.query_batch(&w.queries, 10, 48).expect("query");
+                        std::hint::black_box(results)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the building blocks: distance kernels, top-k
+//! collection, HNSW search, meta routing, cluster (de)serialization, and
+//! the simulated RDMA verbs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dhnsw::cluster::SubCluster;
+use dhnsw::{DHnswConfig, MetaIndex};
+use hnsw::{HnswIndex, HnswParams};
+use rdma_sim::{MemoryNode, NetworkModel, QueuePair, ReadReq};
+use vecsim::{gen, l2_sq, TopK};
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [128usize, 960] {
+        let a: Vec<f32> = (0..dim).map(|i| i as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..dim).map(|i| 255.0 - i as f32 * 0.5).collect();
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
+            bench.iter(|| std::hint::black_box(l2_sq(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
+            bench.iter(|| std::hint::black_box(vecsim::cosine_distance(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let cands: Vec<(u32, f32)> = (0..10_000u32).map(|i| (i, (i as f32).sin())).collect();
+    c.bench_function("topk_10_of_10000", |b| {
+        b.iter(|| {
+            let mut top = TopK::new(10);
+            for &(id, d) in &cands {
+                top.push(id, d);
+            }
+            std::hint::black_box(top.into_sorted_vec())
+        })
+    });
+}
+
+fn bench_hnsw(c: &mut Criterion) {
+    let data = gen::sift_like(10_000, 3).unwrap();
+    let queries = gen::perturbed_queries(&data, 64, 0.03, 4).unwrap();
+    let index = HnswIndex::build(data, &HnswParams::new(16, 100).seed(5)).unwrap();
+    let mut group = c.benchmark_group("hnsw");
+    for ef in [16usize, 48, 128] {
+        group.bench_with_input(BenchmarkId::new("search_top10", ef), &ef, |b, &ef| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries.get(i % queries.len());
+                i += 1;
+                std::hint::black_box(index.search(q, 10, ef))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_meta(c: &mut Criterion) {
+    let data = gen::sift_like(10_000, 7).unwrap();
+    let cfg = DHnswConfig::paper().with_representatives(500);
+    let meta = MetaIndex::build(&data, &cfg).unwrap();
+    let queries = gen::perturbed_queries(&data, 64, 0.03, 8).unwrap();
+    c.bench_function("meta_route_b4_500reps", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries.get(i % queries.len());
+            i += 1;
+            std::hint::black_box(meta.route(q, 4))
+        })
+    });
+}
+
+fn bench_cluster_codec(c: &mut Criterion) {
+    let data = gen::sift_like(200, 9).unwrap();
+    let ids: Vec<u32> = (0..200).collect();
+    let cluster = SubCluster::build(0, data, ids, &HnswParams::new(16, 100).seed(1)).unwrap();
+    let blob = cluster.to_bytes();
+    let mut group = c.benchmark_group("cluster_codec");
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("serialize_200x128d", |b| {
+        b.iter(|| std::hint::black_box(cluster.to_bytes()))
+    });
+    group.bench_function("deserialize_200x128d", |b| {
+        b.iter(|| std::hint::black_box(SubCluster::from_bytes(&blob).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_rdma_verbs(c: &mut Criterion) {
+    let node = MemoryNode::new("bench");
+    let region = node.register(16 << 20).unwrap();
+    let qp = QueuePair::connect(&node, NetworkModel::connectx6());
+    let mut group = c.benchmark_group("rdma_sim");
+    for kb in [4usize, 128, 1024] {
+        let len = kb * 1024;
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("read", kb), &len, |b, &len| {
+            b.iter(|| std::hint::black_box(qp.read(region.rkey(), 0, len as u64).unwrap()))
+        });
+    }
+    let reqs: Vec<ReadReq> = (0..16u64)
+        .map(|i| ReadReq::new(region.rkey(), i * 65_536, 65_536))
+        .collect();
+    group.bench_function("read_doorbell_16x64k", |b| {
+        b.iter(|| std::hint::black_box(qp.read_doorbell(&reqs).unwrap()))
+    });
+    group.bench_function("faa", |b| {
+        b.iter(|| std::hint::black_box(qp.faa(region.rkey(), 0, 1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_topk,
+    bench_hnsw,
+    bench_meta,
+    bench_cluster_codec,
+    bench_rdma_verbs
+);
+criterion_main!(benches);

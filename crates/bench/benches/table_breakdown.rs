@@ -1,0 +1,48 @@
+//! Criterion companion to Tables 1 and 2: the top-1 / efSearch-48
+//! operating point per scheme, plus the insert path (whose 3-verb cost
+//! the layout section motivates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw_bench::{DatasetKind, Workload};
+
+fn bench_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_breakdown");
+    group.sample_size(10);
+
+    let w = Workload::sized(DatasetKind::SiftLike, 4_000, 64).expect("workload");
+    let cfg = DHnswConfig::paper().with_representatives(64);
+    let store = VectorStore::build(w.data.clone(), &cfg).expect("store");
+
+    for mode in [SearchMode::Naive, SearchMode::NoDoorbell, SearchMode::Full] {
+        let node = store.connect(mode).expect("connect");
+        node.query_batch(&w.queries, 1, 48).expect("warm");
+        group.bench_with_input(
+            BenchmarkId::new("query_batch_top1_ef48", mode.name()),
+            &node,
+            |b, node| {
+                b.iter(|| {
+                    let (results, report) =
+                        node.query_batch(&w.queries, 1, 48).expect("query");
+                    std::hint::black_box((results, report))
+                })
+            },
+        );
+    }
+
+    // The compute side of the insert path (classification via the cached
+    // meta-HNSW). The network side is three one-sided verbs whose cost is
+    // asserted by unit tests and reported by `repro`; wall-timing remote
+    // inserts under Criterion would just exhaust overflow capacity.
+    let node = store.connect(SearchMode::Full).expect("connect");
+    let v = w.queries.get(0).to_vec();
+    group.bench_function("insert_classify", |b| {
+        b.iter(|| std::hint::black_box(node.meta().classify(&v).expect("classify")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

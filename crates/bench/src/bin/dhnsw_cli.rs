@@ -1,0 +1,255 @@
+//! `dhnsw-cli`: build, persist, and query d-HNSW stores from the command
+//! line, against real `.fvecs` files or the synthetic generators.
+//!
+//! ```text
+//! # Build a store from vectors and persist it:
+//! dhnsw_cli build --input base.fvecs --out store.dhnsw --reps 500
+//! dhnsw_cli build --synthetic sift:20000 --out store.dhnsw
+//!
+//! # Inspect it:
+//! dhnsw_cli info --store store.dhnsw
+//!
+//! # Query it (prints ids + distances per query):
+//! dhnsw_cli query --store store.dhnsw --queries q.fvecs --k 10 --ef 48
+//!
+//! # Insert more vectors and persist the mutated store:
+//! dhnsw_cli insert --store store.dhnsw --input new.fvecs --out store2.dhnsw
+//! ```
+//!
+//! Every subcommand runs on the simulated RDMA fabric and reports what
+//! moved (round trips, bytes, virtual network time).
+
+use std::collections::HashMap;
+
+use dhnsw::{snapshot, DHnswConfig, SearchMode, VectorStore};
+use vecsim::Dataset;
+
+type AnyResult<T> = Result<T, Box<dyn std::error::Error>>;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> AnyResult<()> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "build" => cmd_build(&flags),
+        "info" => cmd_info(&flags),
+        "query" => cmd_query(&flags),
+        "insert" => cmd_insert(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand {other}").into())
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: dhnsw_cli <build|info|query|insert> [flags]\n\
+         build:  --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
+         info:   --store <snapshot>\n\
+         query:  --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N]\n\
+         insert: --store <snapshot> --input <fvecs> --out <snapshot> [--limit N]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> AnyResult<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> AnyResult<usize> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => Ok(v.parse()?),
+    }
+}
+
+fn load_vectors(flags: &HashMap<String, String>) -> AnyResult<Dataset> {
+    if let Some(path) = flags.get("input") {
+        let file = std::fs::File::open(path)?;
+        let ds = vecsim::io::read_fvecs(std::io::BufReader::new(file))?;
+        eprintln!("loaded {} vectors x {}d from {path}", ds.len(), ds.dim());
+        return Ok(ds);
+    }
+    if let Some(spec) = flags.get("synthetic") {
+        let (kind, n) = spec
+            .split_once(':')
+            .ok_or("--synthetic wants <sift|gist>:<count>")?;
+        let n: usize = n.parse()?;
+        let seed = flag_usize(flags, "seed", 42)? as u64;
+        let ds = match kind {
+            "sift" => vecsim::gen::sift_like(n, seed)?,
+            "gist" => vecsim::gen::gist_like(n, seed)?,
+            other => return Err(format!("unknown synthetic kind {other}").into()),
+        };
+        eprintln!("generated {} synthetic {kind}-like vectors", ds.len());
+        return Ok(ds);
+    }
+    Err("need --input <fvecs> or --synthetic <kind>:<n>".into())
+}
+
+fn config_from(flags: &HashMap<String, String>, n: usize) -> AnyResult<DHnswConfig> {
+    let reps = flag_usize(flags, "reps", (n / 2_000).clamp(32, 500))?;
+    let fanout = flag_usize(flags, "fanout", 4)?;
+    let slots = (n / reps / 8).max(16);
+    Ok(DHnswConfig::paper()
+        .with_representatives(reps)
+        .with_fanout(fanout)
+        .with_overflow_slots(slots)
+        .with_seed(flag_usize(flags, "seed", 0x5EED)? as u64))
+}
+
+fn open_store(flags: &HashMap<String, String>) -> AnyResult<VectorStore> {
+    let path = flags.get("store").ok_or("--store <snapshot> required")?;
+    let file = std::fs::File::open(path)?;
+    // The snapshot carries the data; runtime knobs come from flags.
+    let config = DHnswConfig::paper()
+        .with_fanout(flag_usize(flags, "fanout", 4)?)
+        .with_representatives(500); // not used by restore
+    let store = snapshot::read_snapshot(std::io::BufReader::new(file), &config)?;
+    eprintln!(
+        "restored store: {} base vectors, {} partitions, {:.1} MB remote",
+        store.base_len(),
+        store.partitions(),
+        store.remote_bytes() as f64 / 1e6
+    );
+    Ok(store)
+}
+
+fn save_store(store: &VectorStore, flags: &HashMap<String, String>) -> AnyResult<()> {
+    let path = flags.get("out").ok_or("--out <snapshot> required")?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    snapshot::write_snapshot(store, &mut file)?;
+    use std::io::Write;
+    file.flush()?;
+    eprintln!("wrote snapshot to {path}");
+    Ok(())
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let data = load_vectors(flags)?;
+    let config = config_from(flags, data.len())?;
+    let t = std::time::Instant::now();
+    let store = VectorStore::build(data, &config)?;
+    eprintln!(
+        "built {} partitions over {} vectors in {:.1}s ({:.1} MB remote, meta {:.3} MB)",
+        store.partitions(),
+        store.base_len(),
+        t.elapsed().as_secs_f64(),
+        store.remote_bytes() as f64 / 1e6,
+        store.meta().footprint_bytes() as f64 / 1e6
+    );
+    save_store(&store, flags)
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let store = open_store(flags)?;
+    println!("partitions:   {}", store.partitions());
+    println!("base vectors: {}", store.base_len());
+    println!("dimension:    {}", store.dim());
+    println!("remote bytes: {}", store.remote_bytes());
+    println!("dir epoch:    {}", store.directory().epoch());
+    println!(
+        "meta-HNSW:    {} reps, {} layers, {:.3} MB",
+        store.meta().partitions(),
+        store.meta().max_level() + 1,
+        store.meta().footprint_bytes() as f64 / 1e6
+    );
+    let mut sizes: Vec<usize> = (0..store.partitions() as u32)
+        .map(|p| store.partition_size(p).unwrap_or(0))
+        .collect();
+    sizes.sort_unstable();
+    println!(
+        "cluster size: min {} / median {} / max {}",
+        sizes.first().unwrap_or(&0),
+        sizes.get(sizes.len() / 2).unwrap_or(&0),
+        sizes.last().unwrap_or(&0)
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let store = open_store(flags)?;
+    let qpath = flags.get("queries").ok_or("--queries <fvecs> required")?;
+    let file = std::fs::File::open(qpath)?;
+    let mut queries = vecsim::io::read_fvecs(std::io::BufReader::new(file))?;
+    let limit = flag_usize(flags, "limit", queries.len())?;
+    if queries.len() > limit {
+        let ids: Vec<u32> = (0..limit as u32).collect();
+        queries = queries.select(&ids);
+    }
+    let k = flag_usize(flags, "k", 10)?;
+    let ef = flag_usize(flags, "ef", 48)?;
+
+    let node = store.connect(SearchMode::Full)?;
+    let (results, report) = node.query_batch(&queries, k, ef)?;
+    for (i, hits) in results.iter().enumerate() {
+        let row: Vec<String> = hits
+            .iter()
+            .map(|n| format!("{}:{:.4}", n.id, n.dist))
+            .collect();
+        println!("q{i}\t{}", row.join(" "));
+    }
+    eprintln!(
+        "{} queries | {:.2} us/query ({:.1} us network total) | {} round trips | {:.2} MB read",
+        report.queries,
+        report.per_query_latency_us(),
+        report.breakdown.network_us,
+        report.round_trips,
+        report.bytes_read as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_insert(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let store = open_store(flags)?;
+    let data = load_vectors(flags)?;
+    let limit = flag_usize(flags, "limit", data.len())?;
+    let take: Vec<u32> = (0..data.len().min(limit) as u32).collect();
+    let batch = data.select(&take);
+
+    let node = store.connect(SearchMode::Full)?;
+    let results = node.insert_batch(&batch)?;
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let rejected = results.len() - ok;
+    let stats = node.queue_pair().stats().snapshot();
+    eprintln!(
+        "inserted {ok}/{} vectors ({rejected} rejected: overflow full) | {} round trips, {} atomics",
+        results.len(),
+        stats.round_trips,
+        stats.atomics
+    );
+    if rejected > 0 {
+        eprintln!("hint: rebuild the store to fold overflow in and free space");
+    }
+    save_store(&store, flags)
+}

@@ -1,0 +1,306 @@
+//! Regenerates every table and figure of the d-HNSW paper.
+//!
+//! ```text
+//! cargo run -p dhnsw-bench --bin repro --release -- all
+//! cargo run -p dhnsw-bench --bin repro --release -- fig6a
+//! ```
+//!
+//! Subcommands: `fig6a` `fig6b` `fig6c` `fig6d` `table1` `table2`
+//! `metasize` `ablations` `all`. Scale via `DHNSW_SIFT_N`, `DHNSW_GIST_N`,
+//! `DHNSW_QUERIES`, `DHNSW_REPS` (see crate docs).
+
+use dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw_bench::{
+    breakdown_rows, print_breakdown_table, print_sweep_table, sweep, DatasetKind, Workload,
+};
+use rdma_sim::NetworkModel;
+
+type AnyResult = Result<(), Box<dyn std::error::Error>>;
+
+fn main() -> AnyResult {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match cmd.as_str() {
+        "fig6a" => fig6(DatasetKind::SiftLike, 10, "Fig 6(a): SIFT, top-10"),
+        "fig6b" => fig6(DatasetKind::SiftLike, 1, "Fig 6(b): SIFT, top-1"),
+        "fig6c" => fig6(DatasetKind::GistLike, 10, "Fig 6(c): GIST, top-10"),
+        "fig6d" => fig6(DatasetKind::GistLike, 1, "Fig 6(d): GIST, top-1"),
+        "table1" => table(DatasetKind::SiftLike, "Table 1: SIFT1M@1, efSearch 48"),
+        "table2" => table(DatasetKind::GistLike, "Table 2: GIST1M@1, efSearch 48"),
+        "metasize" => metasize(),
+        "ablations" => ablations(),
+        "tail" => tail_latency(),
+        "all" => {
+            // Each dataset's workload + store are reused across its
+            // figure and table so `all` builds each store once.
+            let sift = Workload::standard(DatasetKind::SiftLike)?;
+            let sift_store = sift.build_store()?;
+            run_fig6(&sift, &sift_store, 10, "Fig 6(a): SIFT, top-10")?;
+            run_fig6(&sift, &sift_store, 1, "Fig 6(b): SIFT, top-1")?;
+            run_table(&sift, &sift_store, "Table 1: SIFT1M@1, efSearch 48")?;
+            let gist = Workload::standard(DatasetKind::GistLike)?;
+            let gist_store = gist.build_store()?;
+            run_fig6(&gist, &gist_store, 10, "Fig 6(c): GIST, top-10")?;
+            run_fig6(&gist, &gist_store, 1, "Fig 6(d): GIST, top-1")?;
+            run_table(&gist, &gist_store, "Table 2: GIST1M@1, efSearch 48")?;
+            metasize()?;
+            ablations()?;
+            tail_latency()
+        }
+        other => {
+            eprintln!(
+                "unknown subcommand {other}; use fig6a|fig6b|fig6c|fig6d|table1|table2|metasize|ablations|tail|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fig6(kind: DatasetKind, k: usize, title: &str) -> AnyResult {
+    let w = Workload::standard(kind)?;
+    let store = w.build_store()?;
+    run_fig6(&w, &store, k, title)
+}
+
+fn run_fig6(w: &Workload, store: &VectorStore, k: usize, title: &str) -> AnyResult {
+    let mut schemes = Vec::new();
+    for mode in [SearchMode::Naive, SearchMode::NoDoorbell, SearchMode::Full] {
+        eprintln!("[sweep] {title}: {mode}");
+        schemes.push((mode, sweep(store, mode, w, k)?));
+    }
+    print_sweep_table(
+        &format!("{title} | {} queries, fanout {}", w.queries.len(), store.config().fanout()),
+        &schemes,
+    );
+    let slug = title
+        .split(':')
+        .next()
+        .unwrap_or(title)
+        .to_lowercase()
+        .replace([' ', '(', ')'], "");
+    let path = dhnsw_bench::csv::write_sweep_csv("results", &slug, &schemes)?;
+    eprintln!("[csv] {}", path.display());
+    Ok(())
+}
+
+fn table(kind: DatasetKind, title: &str) -> AnyResult {
+    let w = Workload::standard(kind)?;
+    let store = w.build_store()?;
+    run_table(&w, &store, title)
+}
+
+fn run_table(w: &Workload, store: &VectorStore, title: &str) -> AnyResult {
+    let rows = breakdown_rows(store, w)?;
+    print_breakdown_table(
+        &format!(
+            "{title} | batch {} (latencies are per batch, as in the paper)",
+            w.queries.len()
+        ),
+        &rows,
+    );
+    let slug = title
+        .split(':')
+        .next()
+        .unwrap_or(title)
+        .to_lowercase()
+        .replace(' ', "");
+    let path = dhnsw_bench::csv::write_breakdown_csv("results", &slug, &rows)?;
+    eprintln!("[csv] {}", path.display());
+    Ok(())
+}
+
+/// Tail-latency characterization under a mixed query/insert trace —
+/// beyond the paper's mean-latency reporting, but what a serving system
+/// would evaluate next.
+fn tail_latency() -> AnyResult {
+    use dhnsw_bench::trace::{replay, TraceSpec};
+    let w = Workload::sized(
+        DatasetKind::SiftLike,
+        dhnsw_bench::env_usize("DHNSW_ABLATION_N", 10_000),
+        8, // queries come from the trace, not the workload
+    )?;
+    let store = VectorStore::build(w.data.clone(), &DHnswConfig::paper().with_representatives(200))?;
+    println!("\n=== Tail latency under mixed query/insert traces (20 batches x 200 queries) ===");
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "scheme", "skew", "mean us", "p50 us", "p95 us", "p99 us", "inserts"
+    );
+    for mode in [SearchMode::Naive, SearchMode::NoDoorbell, SearchMode::Full] {
+        for skew in [0.0f64, 1.0] {
+            let node = store.connect(mode)?;
+            let ops = TraceSpec {
+                batches: 20,
+                batch_size: 200,
+                bursts: 4,
+                burst_size: 16,
+                skew,
+                noise: 0.03,
+                seed: 0x7A11,
+            }
+            .synthesize(&w.data)?;
+            let report = replay(&node, &ops, 10, 48)?;
+            println!(
+                "{:<22} {:>6.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>9}",
+                mode.name(),
+                skew,
+                report.mean_us(),
+                report.percentile_us(0.50),
+                report.percentile_us(0.95),
+                report.percentile_us(0.99),
+                report.inserts,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// §3.1's meta-HNSW footprint claim: 0.373 MB for SIFT1M, 1.960 MB for
+/// GIST1M with 500 representatives.
+fn metasize() -> AnyResult {
+    println!("\n=== Meta-HNSW footprint (paper: 0.373 MB SIFT1M, 1.960 MB GIST1M) ===");
+    for (kind, n) in [
+        (DatasetKind::SiftLike, 4_000usize),
+        (DatasetKind::GistLike, 4_000),
+    ] {
+        let data = kind.generate(n, 1)?;
+        let cfg = DHnswConfig::paper().with_representatives(500);
+        let meta = dhnsw::MetaIndex::build(&data, &cfg)?;
+        println!(
+            "{:<32} {} reps, {} layers, {:.3} MB",
+            kind.name(),
+            meta.partitions(),
+            meta.max_level() + 1,
+            meta.footprint_bytes() as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+/// Ablations over the design choices §3 calls out: doorbell batch size,
+/// cache fraction, per-query fan-out, and representative count.
+fn ablations() -> AnyResult {
+    let w = Workload::sized(
+        DatasetKind::SiftLike,
+        dhnsw_bench::env_usize("DHNSW_ABLATION_N", 10_000),
+        dhnsw_bench::env_usize("DHNSW_ABLATION_Q", 500),
+    )?;
+    let base = DHnswConfig::paper().with_representatives(200);
+
+    println!("\n=== Ablation: doorbell batch limit (§3.2 NIC-scalability tradeoff) ===");
+    println!(
+        "{:>8} {:>14} {:>12} {:>14}",
+        "limit", "network us", "trips", "trips/query"
+    );
+    let store = VectorStore::build(w.data.clone(), &base)?;
+    for limit in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let cfg = base
+            .clone()
+            .with_network(NetworkModel::connectx6().with_doorbell_limit(limit)?);
+        let store_l = VectorStore::build(w.data.clone(), &cfg)?;
+        let node = store_l.connect(SearchMode::Full)?;
+        node.query_batch(&w.queries, 10, 48)?;
+        let (_, r) = node.query_batch(&w.queries, 10, 48)?;
+        println!(
+            "{:>8} {:>14.1} {:>12} {:>14.4}",
+            limit,
+            r.breakdown.network_us,
+            r.round_trips,
+            r.round_trips_per_query()
+        );
+    }
+
+    println!("\n=== Ablation: compute-side cache fraction (§3.3, paper uses 10%) ===");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14} {:>12}",
+        "cache", "loads", "hits", "network us", "MB read"
+    );
+    for frac in [0.0, 0.05, 0.10, 0.25, 0.50, 1.0] {
+        let cfg = base.clone().with_cache_fraction(frac);
+        let store_c = VectorStore::build(w.data.clone(), &cfg)?;
+        let node = store_c.connect(SearchMode::Full)?;
+        node.query_batch(&w.queries, 10, 48)?;
+        let (_, r) = node.query_batch(&w.queries, 10, 48)?;
+        println!(
+            "{:>7.0}% {:>10} {:>10} {:>14.1} {:>12.2}",
+            frac * 100.0,
+            r.clusters_loaded,
+            r.cache_hits,
+            r.breakdown.network_us,
+            r.bytes_read as f64 / 1e6
+        );
+    }
+
+    println!("\n=== Ablation: cache under Zipf query skew (hot partitions stay resident) ===");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>14}",
+        "skew", "loads", "hits", "hit rate", "network us"
+    );
+    for skew in [0.0f64, 0.5, 1.0, 1.5] {
+        let store_z = VectorStore::build(w.data.clone(), &base)?;
+        let node = store_z.connect(SearchMode::Full)?;
+        let zq = vecsim::gen::zipf_queries(&w.data, w.queries.len(), 0.03, skew, 0xBEEF)?;
+        node.query_batch(&zq, 10, 48)?;
+        let (_, r) = node.query_batch(&zq, 10, 48)?;
+        println!(
+            "{:>6.1} {:>10} {:>10} {:>11.0}% {:>14.1}",
+            skew,
+            r.clusters_loaded,
+            r.cache_hits,
+            r.cache_hit_rate() * 100.0,
+            r.breakdown.network_us
+        );
+    }
+
+    println!("\n=== Ablation: partitions probed per query (fan-out b) ===");
+    println!(
+        "{:>4} {:>10} {:>14} {:>12}",
+        "b", "recall@10", "network us", "MB read"
+    );
+    // Fan-out is a per-call override: one store serves the whole sweep.
+    let store_b = VectorStore::build(w.data.clone(), &base)?;
+    for b in [1usize, 2, 4, 8, 16] {
+        let node = store_b.connect(SearchMode::Full)?;
+        let opts = dhnsw::QueryOptions::new(10, 48).with_fanout(b);
+        node.query_batch_opts(&w.queries, &opts)?;
+        let (results, r) = node.query_batch_opts(&w.queries, &opts)?;
+        let ids: Vec<Vec<u32>> = results
+            .iter()
+            .map(|x| x.iter().map(|n| n.id).collect())
+            .collect();
+        let rec = vecsim::recall::mean_recall(&ids, w.truth(10));
+        println!(
+            "{:>4} {:>10.3} {:>14.1} {:>12.2}",
+            b,
+            rec,
+            r.breakdown.network_us,
+            r.bytes_read as f64 / 1e6
+        );
+    }
+
+    println!("\n=== Ablation: representative count (paper fixes 500) ===");
+    println!(
+        "{:>6} {:>12} {:>10} {:>14} {:>12}",
+        "reps", "meta MB", "recall@10", "network us", "MB read"
+    );
+    for reps in [50usize, 100, 200, 400, 800] {
+        let cfg = base.clone().with_representatives(reps);
+        let store_r = VectorStore::build(w.data.clone(), &cfg)?;
+        let node = store_r.connect(SearchMode::Full)?;
+        node.query_batch(&w.queries, 10, 48)?;
+        let (results, r) = node.query_batch(&w.queries, 10, 48)?;
+        let ids: Vec<Vec<u32>> = results
+            .iter()
+            .map(|x| x.iter().map(|n| n.id).collect())
+            .collect();
+        let rec = vecsim::recall::mean_recall(&ids, w.truth(10));
+        println!(
+            "{:>6} {:>12.3} {:>10.3} {:>14.1} {:>12.2}",
+            reps,
+            store_r.meta().footprint_bytes() as f64 / 1e6,
+            rec,
+            r.breakdown.network_us,
+            r.bytes_read as f64 / 1e6
+        );
+    }
+    let _ = store;
+    Ok(())
+}

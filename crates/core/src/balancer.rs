@@ -1,0 +1,324 @@
+//! The client load balancer of Fig. 2.
+//!
+//! The paper's architecture puts a load balancer in front of the compute
+//! pool: clients submit query batches, the balancer spreads them across
+//! compute instances, each instance runs the d-HNSW pipeline against the
+//! shared memory pool. [`LoadBalancer`] implements that tier: it owns a
+//! set of [`ComputeNode`]s and dispatches incoming batches either
+//! round-robin or to the least-loaded instance (by modeled time spent),
+//! optionally splitting one large batch across all instances.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use vecsim::{Dataset, Neighbor};
+
+use crate::breakdown::BatchReport;
+use crate::engine::{ComputeNode, SearchMode};
+use crate::store::VectorStore;
+use crate::{Error, Result};
+
+/// Dispatch policy for incoming batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Rotate through instances in order.
+    #[default]
+    RoundRobin,
+    /// Send each batch to the instance with the least accumulated modeled
+    /// time (virtual network + measured compute).
+    LeastLoaded,
+}
+
+/// A client-facing load balancer over a pool of compute instances.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::{DHnswConfig, LoadBalancer, SearchMode, VectorStore};
+/// use vecsim::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = gen::sift_like(1_500, 3)?;
+/// let store = VectorStore::build(data.clone(), &DHnswConfig::small())?;
+/// let lb = LoadBalancer::new(&store, 3, SearchMode::Full)?;
+///
+/// let queries = gen::perturbed_queries(&data, 30, 0.02, 4)?;
+/// let (results, report) = lb.query_batch(&queries, 5, 32)?;
+/// assert_eq!(results.len(), 30);
+/// assert_eq!(report.queries, 30);
+/// assert_eq!(lb.instances(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LoadBalancer {
+    nodes: Vec<Arc<ComputeNode>>,
+    policy: DispatchPolicy,
+    next: AtomicUsize,
+    // Accumulated modeled busy-time per instance, in integer µs, for the
+    // least-loaded policy.
+    busy_us: Vec<AtomicUsize>,
+}
+
+impl LoadBalancer {
+    /// Connects `instances` compute nodes to `store`, all in `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for zero instances, plus any
+    /// connect error.
+    pub fn new(store: &VectorStore, instances: usize, mode: SearchMode) -> Result<Self> {
+        if instances == 0 {
+            return Err(Error::InvalidParameter(
+                "load balancer needs at least one compute instance".into(),
+            ));
+        }
+        let nodes = (0..instances)
+            .map(|_| store.connect(mode).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        let busy_us = (0..instances).map(|_| AtomicUsize::new(0)).collect();
+        Ok(LoadBalancer {
+            nodes,
+            policy: DispatchPolicy::default(),
+            next: AtomicUsize::new(0),
+            busy_us,
+        })
+    }
+
+    /// Sets the dispatch policy (default round-robin).
+    pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of compute instances in the pool.
+    pub fn instances(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The dispatch policy in force.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Direct access to an instance (for inspection in tests/benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.instances()`.
+    pub fn node(&self, i: usize) -> &ComputeNode {
+        &self.nodes[i]
+    }
+
+    fn pick(&self) -> usize {
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                self.next.fetch_add(1, Ordering::Relaxed) % self.nodes.len()
+            }
+            DispatchPolicy::LeastLoaded => self
+                .busy_us
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    }
+
+    fn charge(&self, i: usize, report: &BatchReport) {
+        self.busy_us[i].fetch_add(
+            report.breakdown.total_us().max(0.0) as usize,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Dispatches one batch to a single instance chosen by the policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ComputeNode::query_batch`].
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        ef: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
+        let i = self.pick();
+        let out = self.nodes[i].query_batch(queries, k, ef)?;
+        self.charge(i, &out.1);
+        Ok(out)
+    }
+
+    /// Splits one large batch into `instances` shards and answers them on
+    /// all instances concurrently, preserving query order in the merged
+    /// result. Returns the per-instance reports (some may be empty when
+    /// there are fewer queries than instances).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first instance error.
+    pub fn query_batch_sharded(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        ef: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, Vec<BatchReport>)> {
+        let n = queries.len();
+        if n == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let shards = self.nodes.len().min(n);
+        let chunk = n.div_ceil(shards);
+        let mut shard_inputs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let start = s * chunk;
+            let end = ((s + 1) * chunk).min(n);
+            let ids: Vec<u32> = (start..end).map(|i| i as u32).collect();
+            shard_inputs.push(queries.select(&ids));
+        }
+
+        let outputs: Vec<Result<(Vec<Vec<Neighbor>>, BatchReport)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(s, shard)| {
+                        let node = Arc::clone(&self.nodes[s]);
+                        scope.spawn(move || node.query_batch(shard, k, ef))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker does not panic"))
+                    .collect()
+            });
+
+        let mut results = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(shards);
+        for (s, out) in outputs.into_iter().enumerate() {
+            let (shard_results, report) = out?;
+            self.charge(s, &report);
+            results.extend(shard_results);
+            reports.push(report);
+        }
+        Ok((results, reports))
+    }
+
+    /// Inserts a vector via a policy-chosen instance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ComputeNode::insert`].
+    pub fn insert(&self, v: &[f32]) -> Result<u32> {
+        self.nodes[self.pick()].insert(v)
+    }
+
+    /// Aggregated modeled busy time per instance, in µs.
+    pub fn busy_times_us(&self) -> Vec<u64> {
+        self.busy_us
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed) as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DHnswConfig;
+    use vecsim::gen;
+
+    fn setup() -> (Dataset, VectorStore) {
+        let data = gen::sift_like(800, 3).unwrap();
+        let store = VectorStore::build(data.clone(), &DHnswConfig::small()).unwrap();
+        (data, store)
+    }
+
+    #[test]
+    fn zero_instances_is_rejected() {
+        let (_, store) = setup();
+        assert!(LoadBalancer::new(&store, 0, SearchMode::Full).is_err());
+    }
+
+    #[test]
+    fn round_robin_rotates_instances() {
+        let (data, store) = setup();
+        let lb = LoadBalancer::new(&store, 3, SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 5).unwrap();
+        for _ in 0..3 {
+            lb.query_batch(&queries, 5, 16).unwrap();
+        }
+        // Every instance must have seen traffic.
+        for i in 0..3 {
+            assert!(
+                lb.node(i).queue_pair().stats().round_trips() > 0,
+                "instance {i} idle"
+            );
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_instances() {
+        let (data, store) = setup();
+        let lb = LoadBalancer::new(&store, 2, SearchMode::Full)
+            .unwrap()
+            .with_policy(DispatchPolicy::LeastLoaded);
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 6).unwrap();
+        for _ in 0..4 {
+            lb.query_batch(&queries, 5, 16).unwrap();
+        }
+        let busy = lb.busy_times_us();
+        assert!(busy[0] > 0 && busy[1] > 0, "one instance starved: {busy:?}");
+    }
+
+    #[test]
+    fn sharded_batch_preserves_query_order() {
+        let (data, store) = setup();
+        let lb = LoadBalancer::new(&store, 3, SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 20, 0.02, 7).unwrap();
+        let (sharded, reports) = lb.query_batch_sharded(&queries, 5, 32).unwrap();
+        assert_eq!(sharded.len(), 20);
+        assert_eq!(reports.len(), 3);
+        // Same answers as a single instance.
+        let solo = store.connect(SearchMode::Full).unwrap();
+        let (single, _) = solo.query_batch(&queries, 5, 32).unwrap();
+        assert_eq!(sharded, single);
+    }
+
+    #[test]
+    fn sharded_with_fewer_queries_than_instances() {
+        let (data, store) = setup();
+        let lb = LoadBalancer::new(&store, 4, SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 2, 0.02, 8).unwrap();
+        let (results, reports) = lb.query_batch_sharded(&queries, 3, 16).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn sharded_empty_batch_is_noop() {
+        let (_, store) = setup();
+        let lb = LoadBalancer::new(&store, 2, SearchMode::Full).unwrap();
+        let (results, reports) = lb
+            .query_batch_sharded(&Dataset::new(128), 3, 16)
+            .unwrap();
+        assert!(results.is_empty());
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn inserts_go_through_the_pool_and_stay_visible() {
+        let (data, store) = setup();
+        let lb = LoadBalancer::new(&store, 2, SearchMode::Full).unwrap();
+        let mut v = data.get(3).to_vec();
+        v[0] += 1.0;
+        let gid = lb.insert(&v).unwrap();
+        // Whichever instance answers, the insert is in remote memory.
+        for _ in 0..2 {
+            let (results, _) = lb
+                .query_batch(&Dataset::from_rows(&[&v[..]]).unwrap(), 1, 32)
+                .unwrap();
+            assert_eq!(results[0][0].id, gid);
+        }
+    }
+}

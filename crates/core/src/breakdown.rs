@@ -1,0 +1,180 @@
+//! Latency breakdown and per-batch reports — the measurement plane behind
+//! the paper's Tables 1 and 2 and the Fig. 6 latency axes.
+
+/// Latency of one batch split into the paper's three components.
+///
+/// *Network* time is virtual (from the RDMA cost model); the two compute
+/// components are measured wall-clock on the host. Tables 1 and 2 of the
+/// paper report exactly these three columns.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Data transfer over the (simulated) network, µs.
+    pub network_us: f64,
+    /// Sub-HNSW search over loaded cluster data, µs.
+    pub sub_hnsw_us: f64,
+    /// Meta-HNSW (cached representative index) routing, µs.
+    pub meta_hnsw_us: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency across the three components.
+    pub fn total_us(&self) -> f64 {
+        self.network_us + self.sub_hnsw_us + self.meta_hnsw_us
+    }
+}
+
+impl std::ops::Add for LatencyBreakdown {
+    type Output = LatencyBreakdown;
+
+    fn add(self, rhs: LatencyBreakdown) -> LatencyBreakdown {
+        LatencyBreakdown {
+            network_us: self.network_us + rhs.network_us,
+            sub_hnsw_us: self.sub_hnsw_us + rhs.sub_hnsw_us,
+            meta_hnsw_us: self.meta_hnsw_us + rhs.meta_hnsw_us,
+        }
+    }
+}
+
+impl std::ops::AddAssign for LatencyBreakdown {
+    fn add_assign(&mut self, rhs: LatencyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Everything one [`crate::ComputeNode::query_batch`] call did.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// Queries answered in the batch.
+    pub queries: usize,
+    /// Latency breakdown for the whole batch.
+    pub breakdown: LatencyBreakdown,
+    /// Network round trips issued.
+    pub round_trips: u64,
+    /// Bytes read from the memory pool.
+    pub bytes_read: u64,
+    /// Distinct clusters the batch required (after query-aware dedup).
+    pub unique_clusters: usize,
+    /// Clusters served from the local LRU cache.
+    pub cache_hits: usize,
+    /// Clusters actually loaded over the network.
+    pub clusters_loaded: usize,
+    /// Total cluster demand before dedup (`b × s`).
+    pub raw_cluster_demand: usize,
+}
+
+impl BatchReport {
+    /// Mean per-query latency in microseconds.
+    pub fn per_query_latency_us(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.breakdown.total_us() / self.queries as f64
+        }
+    }
+
+    /// Network round trips per query — the quantity the paper quotes as
+    /// 3.547 (naive), 0.896 (no doorbell), and 4.75 × 10⁻³ (d-HNSW).
+    pub fn round_trips_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.round_trips as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of cluster demand absorbed by the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.unique_clusters == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.unique_clusters as f64
+        }
+    }
+
+    /// Merges another batch's counters into this one (for aggregating a
+    /// run of batches).
+    pub fn merge(&mut self, other: &BatchReport) {
+        self.queries += other.queries;
+        self.breakdown += other.breakdown;
+        self.round_trips += other.round_trips;
+        self.bytes_read += other.bytes_read;
+        self.unique_clusters += other.unique_clusters;
+        self.cache_hits += other.cache_hits;
+        self.clusters_loaded += other.clusters_loaded;
+        self.raw_cluster_demand += other.raw_cluster_demand;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let b = LatencyBreakdown {
+            network_us: 1.0,
+            sub_hnsw_us: 2.0,
+            meta_hnsw_us: 3.0,
+        };
+        assert_eq!(b.total_us(), 6.0);
+    }
+
+    #[test]
+    fn add_accumulates_componentwise() {
+        let a = LatencyBreakdown {
+            network_us: 1.0,
+            sub_hnsw_us: 2.0,
+            meta_hnsw_us: 3.0,
+        };
+        let mut c = a;
+        c += a;
+        assert_eq!(c.network_us, 2.0);
+        assert_eq!(c.total_us(), 12.0);
+    }
+
+    #[test]
+    fn per_query_metrics_divide_by_batch_size() {
+        let r = BatchReport {
+            queries: 10,
+            breakdown: LatencyBreakdown {
+                network_us: 100.0,
+                sub_hnsw_us: 20.0,
+                meta_hnsw_us: 5.0,
+            },
+            round_trips: 5,
+            ..Default::default()
+        };
+        assert!((r.per_query_latency_us() - 12.5).abs() < 1e-12);
+        assert!((r.round_trips_per_query() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_yields_zero_rates() {
+        let r = BatchReport::default();
+        assert_eq!(r.per_query_latency_us(), 0.0);
+        assert_eq!(r.round_trips_per_query(), 0.0);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let mut a = BatchReport {
+            queries: 5,
+            round_trips: 2,
+            cache_hits: 1,
+            unique_clusters: 4,
+            ..Default::default()
+        };
+        let b = BatchReport {
+            queries: 5,
+            round_trips: 3,
+            cache_hits: 3,
+            unique_clusters: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.queries, 10);
+        assert_eq!(a.round_trips, 5);
+        assert_eq!(a.cache_hit_rate(), 0.5);
+    }
+}

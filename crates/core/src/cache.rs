@@ -1,0 +1,230 @@
+//! The compute-side cluster cache of §3.3.
+//!
+//! Each compute instance has limited DRAM, modeled as an LRU over
+//! materialized clusters with a fixed capacity of `c` clusters (the paper
+//! configures `c` to 10% of all clusters). The engine retains "the most
+//! recently loaded `c` sub-HNSWs for the next batch" — which is exactly
+//! LRU behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::cluster::LoadedCluster;
+
+/// An LRU cache of [`LoadedCluster`]s keyed by partition id.
+///
+/// Entries are handed out as `Arc`s so a batch can keep using a cluster
+/// it already resolved even if a later load in the same batch evicts it.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::cache::ClusterCache;
+///
+/// let mut cache = ClusterCache::new(2);
+/// assert_eq!(cache.capacity(), 2);
+/// assert!(cache.get(0).is_none());
+/// ```
+#[derive(Debug)]
+pub struct ClusterCache {
+    capacity: usize,
+    entries: HashMap<u32, (u64, Arc<LoadedCluster>)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ClusterCache {
+    /// Creates a cache holding at most `capacity` clusters (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ClusterCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum clusters held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clusters currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a partition, refreshing its recency. Counts a hit or
+    /// miss.
+    pub fn get(&mut self, partition: u32) -> Option<Arc<LoadedCluster>> {
+        self.tick += 1;
+        match self.entries.get_mut(&partition) {
+            Some((stamp, cluster)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(cluster))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks residency without touching recency or hit statistics (used
+    /// by the load planner).
+    pub fn contains(&self, partition: u32) -> bool {
+        self.entries.contains_key(&partition)
+    }
+
+    /// Inserts a cluster, evicting the least recently used entry if the
+    /// cache is full.
+    pub fn put(&mut self, partition: u32, cluster: Arc<LoadedCluster>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&partition) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(partition, (self.tick, cluster));
+    }
+
+    /// Drops a partition (after an insert invalidates its materialized
+    /// form). Returns whether it was present.
+    pub fn invalidate(&mut self, partition: u32) -> bool {
+        self.entries.remove(&partition).is_some()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Approximate resident bytes across all cached clusters.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|(_, c)| c.resident_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SubCluster;
+    use hnsw::HnswParams;
+    use vecsim::gen;
+
+    fn cluster(partition: u32) -> Arc<LoadedCluster> {
+        let data = gen::uniform(4, 10, 0.0, 1.0, u64::from(partition)).unwrap();
+        let ids: Vec<u32> = (0..10).collect();
+        Arc::new(LoadedCluster::from_sub(
+            SubCluster::build(partition, data, ids, &HnswParams::new(4, 16)).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn get_after_put_hits() {
+        let mut c = ClusterCache::new(4);
+        c.put(7, cluster(7));
+        assert!(c.get(7).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let mut c = ClusterCache::new(4);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0));
+        c.put(1, cluster(1));
+        c.get(0); // 0 is now more recent than 1
+        c.put(2, cluster(2)); // evicts 1
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_resident_key_does_not_evict() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0));
+        c.put(1, cluster(1));
+        c.put(1, cluster(1)); // refresh, not grow
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut c = ClusterCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.put(0, cluster(0));
+        c.put(1, cluster(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut c = ClusterCache::new(2);
+        c.put(3, cluster(3));
+        assert!(c.invalidate(3));
+        assert!(!c.invalidate(3));
+        assert!(c.get(3).is_none());
+    }
+
+    #[test]
+    fn contains_does_not_perturb_lru_or_stats() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0));
+        c.put(1, cluster(1));
+        assert!(c.contains(0)); // must NOT refresh 0
+        c.put(2, cluster(2)); // evicts 0, the true LRU
+        assert!(!c.contains(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_contents() {
+        let mut c = ClusterCache::new(2);
+        assert_eq!(c.resident_bytes(), 0);
+        c.put(0, cluster(0));
+        assert!(c.resident_bytes() > 0);
+    }
+}

@@ -1,0 +1,601 @@
+//! Per-partition sub-HNSW clusters and their wire format.
+//!
+//! A [`SubCluster`] is the unit d-HNSW moves over the network: a complete
+//! HNSW index over one partition's vectors, together with the mapping from
+//! partition-local ids back to global dataset ids. Serialized clusters are
+//! fully self-contained byte blobs (§3.2), so a compute node can fetch one
+//! with a single contiguous `RDMA_READ` and search it immediately.
+//!
+//! Newly inserted vectors do not rewrite the serialized cluster; they are
+//! appended to the group's shared *overflow area* as fixed-size
+//! [`OverflowRecord`]s. A [`LoadedCluster`] combines both: sub-HNSW search
+//! over the base vectors plus an exact scan over the (small) overflow
+//! tail, merged into one result.
+
+use hnsw::{HnswIndex, HnswParams, SearchStats};
+use vecsim::{Dataset, Neighbor, TopK};
+
+use crate::{Error, Result};
+
+/// Magic tag of a serialized cluster.
+pub const CLUSTER_MAGIC: u32 = 0x3143_4844; // "DHC1"
+
+/// A sub-HNSW over one partition.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::cluster::SubCluster;
+/// use hnsw::HnswParams;
+/// use vecsim::Dataset;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let vectors = Dataset::from_rows(&[[0.0f32, 0.0], [1.0, 1.0]])?;
+/// let cluster = SubCluster::build(7, vectors, vec![100, 200], &HnswParams::new(4, 16))?;
+/// let hits = cluster.search(&[0.1, 0.1], 1, 8);
+/// assert_eq!(hits[0].id, 100); // global id, not local
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SubCluster {
+    partition: u32,
+    hnsw: HnswIndex,
+    global_ids: Vec<u32>,
+}
+
+impl SubCluster {
+    /// Builds the sub-HNSW for `partition` over `vectors`, which map
+    /// position-wise onto `global_ids`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `vectors` and
+    /// `global_ids` disagree in length or the partition is empty.
+    pub fn build(
+        partition: u32,
+        vectors: Dataset,
+        global_ids: Vec<u32>,
+        params: &HnswParams,
+    ) -> Result<Self> {
+        if vectors.len() != global_ids.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} vectors but {} global ids",
+                vectors.len(),
+                global_ids.len()
+            )));
+        }
+        if vectors.is_empty() {
+            return Err(Error::InvalidParameter(format!(
+                "partition {partition} is empty"
+            )));
+        }
+        let hnsw = HnswIndex::build(vectors, params)?;
+        Ok(SubCluster {
+            partition,
+            hnsw,
+            global_ids,
+        })
+    }
+
+    /// The partition this cluster serves.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// Number of base vectors (excluding overflow inserts).
+    pub fn len(&self) -> usize {
+        self.hnsw.len()
+    }
+
+    /// Whether the cluster holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.hnsw.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.hnsw.dim()
+    }
+
+    /// Searches the sub-HNSW; results carry **global** ids.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        let mut stats = SearchStats::default();
+        self.search_with_stats(query, k, ef, &mut stats)
+    }
+
+    /// Like [`SubCluster::search`], accumulating work counters.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.hnsw
+            .search_with_stats(query, k, ef, stats)
+            .into_iter()
+            .map(|n| Neighbor::new(self.global_ids[n.id as usize], n.dist))
+            .collect()
+    }
+
+    /// The global ids of the base vectors, indexed by local id.
+    pub fn global_ids(&self) -> &[u32] {
+        &self.global_ids
+    }
+
+    /// The underlying HNSW.
+    pub fn hnsw(&self) -> &HnswIndex {
+        &self.hnsw
+    }
+
+    /// Serializes into the wire format: magic, partition, id map, then
+    /// the HNSW blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let hnsw_blob = hnsw::serialize::to_bytes(&self.hnsw);
+        let mut out = Vec::with_capacity(self.serialized_size());
+        out.extend_from_slice(&CLUSTER_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.partition.to_le_bytes());
+        out.extend_from_slice(&(self.global_ids.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(hnsw_blob.len() as u64).to_le_bytes());
+        for &id in &self.global_ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(&hnsw_blob);
+        out
+    }
+
+    /// Exact size [`SubCluster::to_bytes`] produces.
+    pub fn serialized_size(&self) -> usize {
+        4 + 4 + 4 + 8 + 4 * self.global_ids.len() + hnsw::serialize::serialized_size(&self.hnsw)
+    }
+
+    /// Deserializes a blob produced by [`SubCluster::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on bad magic, truncation, or an invalid
+    /// embedded HNSW blob.
+    pub fn from_bytes(blob: &[u8]) -> Result<Self> {
+        let take = |off: usize, n: usize| -> Result<&[u8]> {
+            blob.get(off..off + n)
+                .ok_or_else(|| Error::Corrupt("truncated cluster blob".into()))
+        };
+        let magic = u32::from_le_bytes(take(0, 4)?.try_into().expect("4 bytes"));
+        if magic != CLUSTER_MAGIC {
+            return Err(Error::Corrupt(format!("bad cluster magic {magic:#x}")));
+        }
+        let partition = u32::from_le_bytes(take(4, 4)?.try_into().expect("4 bytes"));
+        let n = u32::from_le_bytes(take(8, 4)?.try_into().expect("4 bytes")) as usize;
+        let hnsw_len = u64::from_le_bytes(take(12, 8)?.try_into().expect("8 bytes")) as usize;
+        let ids_off = 20;
+        let mut global_ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = take(ids_off + 4 * i, 4)?;
+            global_ids.push(u32::from_le_bytes(b.try_into().expect("4 bytes")));
+        }
+        let hnsw_off = ids_off + 4 * n;
+        let hnsw_blob = take(hnsw_off, hnsw_len)?;
+        let hnsw = hnsw::serialize::from_bytes(hnsw_blob)
+            .map_err(|e| Error::Corrupt(format!("embedded hnsw: {e}")))?;
+        if hnsw.len() != n {
+            return Err(Error::Corrupt(format!(
+                "id map has {n} entries but hnsw holds {}",
+                hnsw.len()
+            )));
+        }
+        Ok(SubCluster {
+            partition,
+            hnsw,
+            global_ids,
+        })
+    }
+}
+
+/// High bit of the on-wire partition field: set for tombstones (deletes),
+/// clear for inserted vectors. Partition ids therefore must stay below
+/// `2^31`, which the representative counts in play never approach.
+pub const TOMBSTONE_BIT: u32 = 1 << 31;
+
+/// A record appended after the cluster was serialized, living in the
+/// group's shared overflow area. Two kinds share one fixed-size slot
+/// format:
+///
+/// - an **insert** carries a new vector under a fresh global id;
+/// - a **tombstone** marks an existing global id (base or inserted) as
+///   deleted; its vector payload is ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverflowRecord {
+    /// Partition the record belongs to (either cluster of the group).
+    pub partition: u32,
+    /// Global id: the inserted vector's id, or the deleted target's id.
+    pub global_id: u32,
+    /// The vector itself (zeroed and ignored for tombstones).
+    pub vector: Vec<f32>,
+    /// Whether this record deletes `global_id` instead of inserting it.
+    pub tombstone: bool,
+}
+
+impl OverflowRecord {
+    /// An insert record.
+    pub fn insert(partition: u32, global_id: u32, vector: Vec<f32>) -> Self {
+        OverflowRecord {
+            partition,
+            global_id,
+            vector,
+            tombstone: false,
+        }
+    }
+
+    /// A tombstone deleting `global_id` from `partition`.
+    pub fn tombstone(partition: u32, global_id: u32, dim: usize) -> Self {
+        OverflowRecord {
+            partition,
+            global_id,
+            vector: vec![0.0; dim],
+            tombstone: true,
+        }
+    }
+
+    /// On-wire size of one record for dimensionality `dim`, padded to an
+    /// 8-byte multiple so records never straddle the alignment the FAA
+    /// bump allocator guarantees.
+    pub fn wire_size(dim: usize) -> usize {
+        (8 + 4 * dim + 7) & !7
+    }
+
+    /// Encodes the record into exactly [`OverflowRecord::wire_size`]
+    /// bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::wire_size(self.vector.len()));
+        let tag = self.partition | if self.tombstone { TOMBSTONE_BIT } else { 0 };
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&self.global_id.to_le_bytes());
+        for &x in &self.vector {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.resize(Self::wire_size(self.vector.len()), 0);
+        out
+    }
+
+    /// Decodes one record of dimensionality `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when `bytes` is shorter than the wire
+    /// size.
+    pub fn from_bytes(bytes: &[u8], dim: usize) -> Result<Self> {
+        if bytes.len() < Self::wire_size(dim) {
+            return Err(Error::Corrupt("truncated overflow record".into()));
+        }
+        let tag = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let global_id = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let mut vector = Vec::with_capacity(dim);
+        for i in 0..dim {
+            let off = 8 + 4 * i;
+            vector.push(f32::from_le_bytes(
+                bytes[off..off + 4].try_into().expect("4 bytes"),
+            ));
+        }
+        Ok(OverflowRecord {
+            partition: tag & !TOMBSTONE_BIT,
+            global_id,
+            vector,
+            tombstone: tag & TOMBSTONE_BIT != 0,
+        })
+    }
+}
+
+/// Parses a raw overflow area: an 8-byte little-endian `used` counter
+/// followed by `used` bytes of records.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] when the area is shorter than its counter
+/// claims or a record is malformed.
+pub fn parse_overflow(area: &[u8], dim: usize) -> Result<Vec<OverflowRecord>> {
+    if area.len() < 8 {
+        return Err(Error::Corrupt("overflow area shorter than header".into()));
+    }
+    let used = u64::from_le_bytes(area[0..8].try_into().expect("8 bytes")) as usize;
+    let rec = OverflowRecord::wire_size(dim);
+    // A concurrent reservation may have bumped `used` past capacity (the
+    // failed insert writes nothing); only whole records within the area
+    // are live.
+    let usable = used.min(area.len() - 8);
+    let count = usable / rec;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = 8 + i * rec;
+        out.push(OverflowRecord::from_bytes(&area[off..off + rec], dim)?);
+    }
+    Ok(out)
+}
+
+/// A cluster as materialized on a compute node: the deserialized base
+/// sub-HNSW plus the overflow inserts belonging to its partition, minus
+/// anything its tombstones deleted.
+#[derive(Debug)]
+pub struct LoadedCluster {
+    sub: SubCluster,
+    extra: Vec<(u32, Vec<f32>)>,
+    deleted: std::collections::HashSet<u32>,
+}
+
+impl LoadedCluster {
+    /// Materializes a cluster from the two slices a contiguous group read
+    /// yields: the serialized cluster and its group's raw overflow area.
+    /// Overflow records belonging to the *other* cluster of the group are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Corrupt`] from either parse.
+    pub fn from_remote(cluster_bytes: &[u8], overflow_area: &[u8]) -> Result<Self> {
+        let sub = SubCluster::from_bytes(cluster_bytes)?;
+        let records = parse_overflow(overflow_area, sub.dim())?;
+        let mut extra: Vec<(u32, Vec<f32>)> = Vec::new();
+        let mut deleted = std::collections::HashSet::new();
+        for r in records {
+            if r.partition != sub.partition() {
+                continue;
+            }
+            if r.tombstone {
+                deleted.insert(r.global_id);
+            } else {
+                extra.push((r.global_id, r.vector));
+            }
+        }
+        // A tombstone also kills an earlier overflow insert of that id.
+        extra.retain(|(gid, _)| !deleted.contains(gid));
+        Ok(LoadedCluster { sub, extra, deleted })
+    }
+
+    /// Wraps a freshly built cluster with no overflow (used at store-build
+    /// time and in tests).
+    pub fn from_sub(sub: SubCluster) -> Self {
+        LoadedCluster {
+            sub,
+            extra: Vec::new(),
+            deleted: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Global ids tombstoned in this cluster's overflow.
+    pub fn deleted(&self) -> &std::collections::HashSet<u32> {
+        &self.deleted
+    }
+
+    /// The base sub-cluster.
+    pub fn sub(&self) -> &SubCluster {
+        &self.sub
+    }
+
+    /// The partition this cluster serves.
+    pub fn partition(&self) -> u32 {
+        self.sub.partition()
+    }
+
+    /// Base vectors plus overflow inserts.
+    pub fn total_vectors(&self) -> usize {
+        self.sub.len() + self.extra.len()
+    }
+
+    /// Number of overflow inserts materialized.
+    pub fn overflow_len(&self) -> usize {
+        self.extra.len()
+    }
+
+    /// Top-`k` search over base + overflow vectors, global ids, ascending
+    /// distance. Overflow vectors are scanned exactly — the tail is small
+    /// by construction (bounded by the group's overflow capacity).
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        let mut stats = SearchStats::default();
+        self.search_with_stats(query, k, ef, &mut stats)
+    }
+
+    /// Like [`LoadedCluster::search`], accumulating work counters.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let metric = self.sub.hnsw().params().metric_kind();
+        let mut top = TopK::new(k);
+        // When tombstones exist, ask the base graph for that many extra
+        // candidates (and widen the beam accordingly) so filtering the
+        // deleted ids still leaves k survivors.
+        let extra_needed = self.deleted.len().min(k);
+        let want = k + extra_needed;
+        let ef_eff = if extra_needed == 0 { ef } else { ef + extra_needed };
+        for n in self.sub.search_with_stats(query, want, ef_eff, stats) {
+            if !self.deleted.contains(&n.id) {
+                top.push(n.id, n.dist);
+            }
+        }
+        for (gid, v) in &self.extra {
+            stats.dist_evals += 1;
+            top.push(*gid, metric.distance(query, v));
+        }
+        top.into_sorted_vec()
+    }
+
+    /// Approximate resident size in bytes (for cache accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.sub.serialized_size()
+            + self
+                .extra
+                .iter()
+                .map(|(_, v)| 8 + 4 * v.len())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsim::gen;
+
+    fn params() -> HnswParams {
+        HnswParams::new(6, 32).seed(3)
+    }
+
+    fn build_cluster(n: usize) -> SubCluster {
+        let data = gen::uniform(8, n, 0.0, 1.0, 9).unwrap();
+        let ids: Vec<u32> = (0..n as u32).map(|i| i * 10 + 1).collect();
+        SubCluster::build(3, data, ids, &params()).unwrap()
+    }
+
+    #[test]
+    fn search_returns_global_ids() {
+        let c = build_cluster(50);
+        let out = c.search(c.hnsw().vector(7), 1, 16);
+        assert_eq!(out[0].id, 71); // local 7 -> global 7*10+1
+        assert_eq!(out[0].dist, 0.0);
+    }
+
+    #[test]
+    fn build_rejects_mismatched_ids() {
+        let data = gen::uniform(4, 10, 0.0, 1.0, 1).unwrap();
+        assert!(SubCluster::build(0, data, vec![1, 2], &params()).is_err());
+    }
+
+    #[test]
+    fn build_rejects_empty_partition() {
+        let data = Dataset::new(4);
+        assert!(SubCluster::build(0, data, vec![], &params()).is_err());
+    }
+
+    #[test]
+    fn cluster_round_trips_through_bytes() {
+        let c = build_cluster(40);
+        let blob = c.to_bytes();
+        assert_eq!(blob.len(), c.serialized_size());
+        let back = SubCluster::from_bytes(&blob).unwrap();
+        assert_eq!(back.partition(), c.partition());
+        assert_eq!(back.global_ids(), c.global_ids());
+        let q = [0.5f32; 8];
+        assert_eq!(back.search(&q, 5, 16), c.search(&q, 5, 16));
+    }
+
+    #[test]
+    fn corrupt_cluster_blobs_are_rejected() {
+        let c = build_cluster(10);
+        let blob = c.to_bytes();
+        assert!(SubCluster::from_bytes(&blob[..10]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(SubCluster::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn overflow_record_round_trips_with_padding() {
+        for dim in [1usize, 2, 3, 8, 128] {
+            let r = OverflowRecord {
+                partition: 5,
+                global_id: 999,
+                vector: (0..dim).map(|i| i as f32 * 0.5).collect(),
+                tombstone: false,
+            };
+            let bytes = r.to_bytes();
+            assert_eq!(bytes.len(), OverflowRecord::wire_size(dim));
+            assert_eq!(bytes.len() % 8, 0, "records must stay 8-aligned");
+            let back = OverflowRecord::from_bytes(&bytes, dim).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn parse_overflow_reads_only_used_records() {
+        let dim = 4;
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + 3 * rec];
+        let r0 = OverflowRecord {
+            partition: 1,
+            global_id: 10,
+            vector: vec![1.0; dim],
+            tombstone: false,
+        };
+        let r1 = OverflowRecord {
+            partition: 2,
+            global_id: 20,
+            vector: vec![2.0; dim],
+            tombstone: false,
+        };
+        area[8..8 + rec].copy_from_slice(&r0.to_bytes());
+        area[8 + rec..8 + 2 * rec].copy_from_slice(&r1.to_bytes());
+        area[0..8].copy_from_slice(&(2 * rec as u64).to_le_bytes());
+        let got = parse_overflow(&area, dim).unwrap();
+        assert_eq!(got, vec![r0, r1]);
+    }
+
+    #[test]
+    fn parse_overflow_tolerates_overcommitted_counter() {
+        // A failed insert can leave `used` past capacity; parsing must
+        // clamp, not error.
+        let dim = 2;
+        let area_len = 8 + OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; area_len];
+        area[0..8].copy_from_slice(&(10_000u64).to_le_bytes());
+        let got = parse_overflow(&area, dim).unwrap();
+        assert_eq!(got.len(), 1); // only the one whole record that fits
+    }
+
+    #[test]
+    fn parse_overflow_rejects_headerless_area() {
+        assert!(parse_overflow(&[0u8; 4], 2).is_err());
+    }
+
+    #[test]
+    fn loaded_cluster_filters_overflow_by_partition() {
+        let c = build_cluster(20);
+        let dim = c.dim();
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + 2 * rec];
+        let mine = OverflowRecord {
+            partition: 3,
+            global_id: 7_000,
+            vector: vec![0.5; dim],
+            tombstone: false,
+        };
+        let other = OverflowRecord {
+            partition: 4,
+            global_id: 8_000,
+            vector: vec![0.5; dim],
+            tombstone: false,
+        };
+        area[8..8 + rec].copy_from_slice(&mine.to_bytes());
+        area[8 + rec..8 + 2 * rec].copy_from_slice(&other.to_bytes());
+        area[0..8].copy_from_slice(&((2 * rec) as u64).to_le_bytes());
+
+        let loaded = LoadedCluster::from_remote(&c.to_bytes(), &area).unwrap();
+        assert_eq!(loaded.overflow_len(), 1);
+        assert_eq!(loaded.total_vectors(), 21);
+        // The inserted vector is findable.
+        let out = loaded.search(&vec![0.5; dim], 1, 16);
+        assert_eq!(out[0].id, 7_000);
+    }
+
+    #[test]
+    fn loaded_cluster_merges_base_and_overflow_by_distance() {
+        let data = Dataset::from_rows(&[[0.0f32, 0.0], [10.0, 10.0]]).unwrap();
+        let sub = SubCluster::build(0, data, vec![1, 2], &params()).unwrap();
+        let dim = 2;
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + rec];
+        let inserted = OverflowRecord {
+            partition: 0,
+            global_id: 99,
+            vector: vec![0.2, 0.2],
+            tombstone: false,
+        };
+        area[8..8 + rec].copy_from_slice(&inserted.to_bytes());
+        area[0..8].copy_from_slice(&(rec as u64).to_le_bytes());
+        let loaded = LoadedCluster::from_remote(&sub.to_bytes(), &area).unwrap();
+        let out = loaded.search(&[0.1, 0.1], 3, 8);
+        let ids: Vec<u32> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 99, 2]);
+    }
+}

@@ -1,0 +1,325 @@
+//! System configuration.
+
+use hnsw::HnswParams;
+use rdma_sim::NetworkModel;
+use vecsim::Metric;
+
+use crate::{Error, Result};
+
+/// Configuration for building and querying a d-HNSW store.
+///
+/// The defaults mirror the paper's setup ([`DHnswConfig::paper`]): 500
+/// representatives, a three-layer meta-HNSW, a compute-side cache sized to
+/// 10% of the clusters, and a ConnectX-6-like fabric.
+/// [`DHnswConfig::small`] shrinks everything for tests and doc examples.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::DHnswConfig;
+///
+/// let cfg = DHnswConfig::paper().with_fanout(6).with_cache_fraction(0.2);
+/// assert_eq!(cfg.representatives(), 500);
+/// assert_eq!(cfg.fanout(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DHnswConfig {
+    representatives: usize,
+    fanout: usize,
+    cache_fraction: f64,
+    overflow_slots: usize,
+    metric: Metric,
+    meta_params: HnswParams,
+    sub_params: HnswParams,
+    network: NetworkModel,
+    seed: u64,
+    search_threads: usize,
+}
+
+impl DHnswConfig {
+    /// The paper's configuration: 500 representatives, fan-out 4, 10%
+    /// cluster cache, ConnectX-6 network model.
+    pub fn paper() -> Self {
+        DHnswConfig {
+            representatives: 500,
+            fanout: 4,
+            cache_fraction: 0.10,
+            overflow_slots: 256,
+            metric: Metric::L2,
+            meta_params: HnswParams::new(8, 100).max_level(2),
+            sub_params: HnswParams::new(16, 100),
+            network: NetworkModel::connectx6(),
+            seed: 0x5EED,
+            search_threads: 0,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and doc examples: 32
+    /// representatives and lighter graph parameters.
+    pub fn small() -> Self {
+        DHnswConfig {
+            representatives: 32,
+            fanout: 4,
+            cache_fraction: 0.10,
+            overflow_slots: 32,
+            metric: Metric::L2,
+            meta_params: HnswParams::new(6, 40).max_level(2),
+            sub_params: HnswParams::new(8, 50),
+            network: NetworkModel::connectx6(),
+            seed: 0x5EED,
+            search_threads: 1,
+        }
+    }
+
+    /// Number of uniformly sampled representative vectors (= partitions).
+    pub fn representatives(&self) -> usize {
+        self.representatives
+    }
+
+    /// Sets the representative count.
+    pub fn with_representatives(mut self, n: usize) -> Self {
+        self.representatives = n;
+        self
+    }
+
+    /// Partitions probed per query (`b` in §3.3).
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Sets the per-query partition fan-out.
+    pub fn with_fanout(mut self, b: usize) -> Self {
+        self.fanout = b;
+        self
+    }
+
+    /// Fraction of all clusters the compute-side LRU cache holds (`c`
+    /// expressed relative to the cluster count; the paper uses 10%).
+    pub fn cache_fraction(&self) -> f64 {
+        self.cache_fraction
+    }
+
+    /// Sets the cache fraction.
+    pub fn with_cache_fraction(mut self, f: f64) -> Self {
+        self.cache_fraction = f;
+        self
+    }
+
+    /// Cache capacity in clusters for a store with `partitions` clusters:
+    /// at least one, at most all of them.
+    pub fn cache_capacity(&self, partitions: usize) -> usize {
+        ((partitions as f64 * self.cache_fraction).ceil() as usize)
+            .clamp(1, partitions.max(1))
+    }
+
+    /// Overflow capacity per group, in inserted-vector records.
+    pub fn overflow_slots(&self) -> usize {
+        self.overflow_slots
+    }
+
+    /// Sets the per-group overflow capacity in records.
+    pub fn with_overflow_slots(mut self, slots: usize) -> Self {
+        self.overflow_slots = slots;
+        self
+    }
+
+    /// Distance metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Sets the distance metric (propagated to both HNSW layers).
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// HNSW parameters for the meta index (level-capped).
+    pub fn meta_params(&self) -> HnswParams {
+        self.meta_params
+            .clone()
+            .metric(self.metric)
+            .seed(self.seed ^ 0x11)
+    }
+
+    /// Sets the meta-HNSW parameters. A level cap of 2 is enforced at
+    /// validation to preserve the three-layer shape the paper requires.
+    pub fn with_meta_params(mut self, p: HnswParams) -> Self {
+        self.meta_params = p;
+        self
+    }
+
+    /// HNSW parameters for the per-partition sub-indexes.
+    pub fn sub_params(&self) -> HnswParams {
+        self.sub_params
+            .clone()
+            .metric(self.metric)
+            .seed(self.seed ^ 0x22)
+    }
+
+    /// Sets the sub-HNSW parameters.
+    pub fn with_sub_params(mut self, p: HnswParams) -> Self {
+        self.sub_params = p;
+        self
+    }
+
+    /// The network cost model.
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Sets the network cost model.
+    pub fn with_network(mut self, model: NetworkModel) -> Self {
+        self.network = model;
+        self
+    }
+
+    /// Worker threads per compute instance for cluster materialization
+    /// and sub-HNSW search (`0` = all available cores). The paper runs 18
+    /// OpenMP threads per instance.
+    pub fn search_threads(&self) -> usize {
+        self.search_threads
+    }
+
+    /// Sets the per-instance search thread count (`0` = auto).
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads;
+        self
+    }
+
+    /// The effective thread count after resolving `0` to the host
+    /// parallelism.
+    pub fn effective_search_threads(&self) -> usize {
+        if self.search_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.search_threads
+        }
+    }
+
+    /// RNG seed for sampling and graph builds.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when any knob is out of range
+    /// or the meta parameters are not level-capped.
+    pub fn validate(&self) -> Result<()> {
+        if self.representatives == 0 {
+            return Err(Error::InvalidParameter(
+                "representatives must be >= 1".into(),
+            ));
+        }
+        if self.fanout == 0 {
+            return Err(Error::InvalidParameter("fanout must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cache_fraction) {
+            return Err(Error::InvalidParameter(format!(
+                "cache_fraction must be in [0, 1], got {}",
+                self.cache_fraction
+            )));
+        }
+        self.meta_params
+            .validate()
+            .map_err(|e| Error::InvalidParameter(format!("meta params: {e}")))?;
+        self.sub_params
+            .validate()
+            .map_err(|e| Error::InvalidParameter(format!("sub params: {e}")))?;
+        if self.meta_params.max_level_cap().is_none() {
+            return Err(Error::InvalidParameter(
+                "meta params must be level-capped (the meta-HNSW is a fixed-height pyramid)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DHnswConfig {
+    fn default() -> Self {
+        DHnswConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DHnswConfig::paper().validate().unwrap();
+        DHnswConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_preset_matches_the_paper() {
+        let c = DHnswConfig::paper();
+        assert_eq!(c.representatives(), 500);
+        assert!((c.cache_fraction() - 0.10).abs() < 1e-12);
+        assert_eq!(c.meta_params().max_level_cap(), Some(2));
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(DHnswConfig::paper()
+            .with_representatives(0)
+            .validate()
+            .is_err());
+        assert!(DHnswConfig::paper().with_fanout(0).validate().is_err());
+        assert!(DHnswConfig::paper()
+            .with_cache_fraction(1.5)
+            .validate()
+            .is_err());
+        assert!(DHnswConfig::paper()
+            .with_meta_params(HnswParams::new(8, 100)) // no level cap
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn cache_capacity_is_clamped() {
+        let c = DHnswConfig::paper().with_cache_fraction(0.10);
+        assert_eq!(c.cache_capacity(500), 50);
+        assert_eq!(c.cache_capacity(5), 1);
+        let full = DHnswConfig::paper().with_cache_fraction(1.0);
+        assert_eq!(full.cache_capacity(500), 500);
+        let none = DHnswConfig::paper().with_cache_fraction(0.0);
+        assert_eq!(none.cache_capacity(500), 1, "at least one slot");
+    }
+
+    #[test]
+    fn metric_propagates_to_both_hnsw_layers() {
+        let c = DHnswConfig::small().with_metric(Metric::Cosine);
+        assert_eq!(c.meta_params().metric_kind(), Metric::Cosine);
+        assert_eq!(c.sub_params().metric_kind(), Metric::Cosine);
+    }
+
+    #[test]
+    fn search_threads_resolve() {
+        assert!(DHnswConfig::paper().effective_search_threads() >= 1);
+        assert_eq!(
+            DHnswConfig::small()
+                .with_search_threads(7)
+                .effective_search_threads(),
+            7
+        );
+    }
+
+    #[test]
+    fn seeds_differ_between_layers() {
+        let c = DHnswConfig::small();
+        assert_ne!(c.meta_params().rng_seed(), c.sub_params().rng_seed());
+    }
+}

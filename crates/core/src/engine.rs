@@ -1,0 +1,1104 @@
+//! The compute-instance query engine.
+//!
+//! A [`ComputeNode`] is one compute-pool instance: it caches the
+//! meta-HNSW and the layout directory, owns a queue pair to the memory
+//! pool and an LRU cluster cache, and answers batched top-k queries. The
+//! [`SearchMode`] selects between full d-HNSW and the paper's two
+//! baselines, which differ **only** in how cluster bytes cross the
+//! network:
+//!
+//! | mode | meta cache | query-aware dedup | LRU cache | doorbell |
+//! |------|-----------|-------------------|-----------|----------|
+//! | [`SearchMode::Full`]       | ✓ | ✓ | ✓ | ✓ |
+//! | [`SearchMode::NoDoorbell`] | ✓ | ✓ | ✓ | ✗ (one round trip per cluster) |
+//! | [`SearchMode::Naive`]      | ✓ | ✗ | ✗ | ✗ (per-query cluster fetches) |
+//!
+//! Mutations go through the shared overflow areas: [`ComputeNode::insert`]
+//! (three one-sided verbs), [`ComputeNode::insert_batch`] (doorbell-
+//! batched), and [`ComputeNode::delete`] (tombstone records).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rdma_sim::QueuePair;
+use vecsim::{Dataset, Neighbor, TopK};
+
+use crate::breakdown::BatchReport;
+use crate::cache::ClusterCache;
+use crate::cluster::{LoadedCluster, OverflowRecord};
+use crate::layout::{Directory, ID_COUNTER_OFFSET};
+use crate::loader::{plan_batch, read_requests};
+use crate::meta::MetaIndex;
+use crate::store::VectorStore;
+use crate::{DHnswConfig, Error, Result};
+
+/// Which of the paper's three evaluated schemes this compute node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchMode {
+    /// Full d-HNSW: query-aware batched loading + LRU cache + doorbell
+    /// batching.
+    #[default]
+    Full,
+    /// "d-HNSW (w./o. doorbell)": batched loading and caching, but each
+    /// discontiguous cluster costs its own network round trip.
+    NoDoorbell,
+    /// "Naive d-HNSW": every query fetches each of its clusters with an
+    /// individual `RDMA_READ`; no reuse within or across batches.
+    Naive,
+}
+
+impl SearchMode {
+    /// A short stable name, used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchMode::Full => "d-HNSW",
+            SearchMode::NoDoorbell => "d-HNSW (w/o doorbell)",
+            SearchMode::Naive => "Naive d-HNSW",
+        }
+    }
+}
+
+impl std::fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-call query parameters.
+///
+/// `k` and `ef` mirror [`ComputeNode::query_batch`]'s positional
+/// arguments; `fanout` overrides the configured partitions-per-query
+/// (`b`) for this call only — useful for recall/bandwidth sweeps without
+/// rebuilding the store.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::QueryOptions;
+///
+/// let opts = QueryOptions::new(10, 48).with_fanout(8);
+/// assert_eq!(opts.fanout, Some(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Results per query.
+    pub k: usize,
+    /// Sub-HNSW beam width (`efSearch`).
+    pub ef: usize,
+    /// Partitions probed per query; `None` uses the store configuration.
+    pub fanout: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Options with the store-configured fan-out.
+    pub fn new(k: usize, ef: usize) -> Self {
+        QueryOptions {
+            k,
+            ef,
+            fanout: None,
+        }
+    }
+
+    /// Overrides the per-query partition fan-out.
+    pub fn with_fanout(mut self, b: usize) -> Self {
+        self.fanout = Some(b);
+        self
+    }
+}
+
+/// One compute-pool instance.
+///
+/// See the crate docs for an end-to-end example. Thread-safety: a
+/// `ComputeNode` may be shared across threads; the cluster cache is
+/// internally locked and the queue pair is thread-safe.
+#[derive(Debug)]
+pub struct ComputeNode {
+    qp: QueuePair,
+    rkey: u32,
+    meta: Arc<MetaIndex>,
+    directory: Directory,
+    cache: Mutex<ClusterCache>,
+    config: DHnswConfig,
+    mode: SearchMode,
+}
+
+impl ComputeNode {
+    /// Connects to the store: opens a queue pair and fetches the layout
+    /// directory from the head of the remote region (one `RDMA_READ`),
+    /// exactly as §3.2 describes compute instances caching the offsets.
+    pub(crate) fn connect(store: &VectorStore, mode: SearchMode) -> Result<Self> {
+        let config = store.config().clone();
+        let qp = QueuePair::connect(store.memory_node(), config.network());
+        let rkey = store.region().rkey();
+        let dir_len = Directory::byte_size(store.partitions()) as u64;
+        let dir_bytes = qp.read(rkey, 0, dir_len)?;
+        let directory = Directory::from_bytes(&dir_bytes)?;
+        let capacity = config.cache_capacity(directory.partitions());
+        Ok(ComputeNode {
+            qp,
+            rkey,
+            meta: Arc::clone(store.meta()),
+            directory,
+            cache: Mutex::new(ClusterCache::new(capacity)),
+            config,
+            mode,
+        })
+    }
+
+    /// The search mode this node runs.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DHnswConfig {
+        &self.config
+    }
+
+    /// The cached meta index.
+    pub fn meta(&self) -> &MetaIndex {
+        &self.meta
+    }
+
+    /// The cached layout directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The queue pair (for inspecting transfer statistics and virtual
+    /// time).
+    pub fn queue_pair(&self) -> &QueuePair {
+        &self.qp
+    }
+
+    /// `(hits, misses)` of the cluster cache since connect.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock();
+        (c.hits(), c.misses())
+    }
+
+    /// Clears the cluster cache and zeroes the clock and transfer
+    /// counters — used between benchmark phases.
+    pub fn reset_measurements(&self) {
+        self.qp.clock().reset();
+        self.qp.stats().reset();
+    }
+
+    /// Empties the LRU cluster cache (cold-start benchmarks).
+    pub fn drop_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Answers a single query; convenience wrapper over
+    /// [`ComputeNode::query_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ComputeNode::query_batch`].
+    pub fn query(&self, query: &[f32], k: usize, ef: usize) -> Result<Vec<Neighbor>> {
+        let batch = Dataset::from_rows(&[query])?;
+        let (mut results, _) = self.query_batch(&batch, k, ef)?;
+        Ok(results.pop().unwrap_or_default())
+    }
+
+    /// Answers a batch of queries: top-`k` per query with sub-HNSW beam
+    /// width `ef`, plus the batch's [`BatchReport`].
+    ///
+    /// Results carry global vector ids (base ids `0..base_len`, then
+    /// insert-allocated ids) sorted by ascending distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the query batch has the
+    /// wrong dimensionality, plus any substrate or corruption error.
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        ef: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
+        self.query_batch_opts(queries, &QueryOptions::new(k, ef))
+    }
+
+    /// Like [`ComputeNode::query_batch`], with per-call [`QueryOptions`]
+    /// (notably a fan-out override).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ComputeNode::query_batch`].
+    pub fn query_batch_opts(
+        &self,
+        queries: &Dataset,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
+        if queries.is_empty() {
+            return Ok((Vec::new(), BatchReport::default()));
+        }
+        if queries.dim() != self.directory.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.directory.dim(),
+                got: queries.dim(),
+            });
+        }
+        if opts.fanout == Some(0) {
+            return Err(Error::InvalidParameter("fanout must be >= 1".into()));
+        }
+        let b = opts.fanout.unwrap_or_else(|| self.config.fanout());
+        match self.mode {
+            SearchMode::Full => self.query_batch_planned(queries, opts.k, opts.ef, b, true),
+            SearchMode::NoDoorbell => {
+                self.query_batch_planned(queries, opts.k, opts.ef, b, false)
+            }
+            SearchMode::Naive => self.query_batch_naive(queries, opts.k, opts.ef, b),
+        }
+    }
+
+    /// The Full / NoDoorbell path: route → plan → load once per cluster →
+    /// search.
+    #[allow(clippy::too_many_arguments)]
+    fn query_batch_planned(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        ef: usize,
+        b: usize,
+        doorbell: bool,
+    ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
+        let mut report = BatchReport {
+            queries: queries.len(),
+            ..Default::default()
+        };
+
+        // 1. Meta-HNSW routing (cached index, pure compute).
+        let t_meta = Instant::now();
+        let routes: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| self.meta.route(q, b).iter().map(|n| n.id).collect())
+            .collect();
+        report.breakdown.meta_hnsw_us = t_meta.elapsed().as_secs_f64() * 1e6;
+
+        // 2. Query-aware load planning against current cache residency.
+        let plan = {
+            let cache = self.cache.lock();
+            plan_batch(&routes, |p| cache.contains(p))
+        };
+        report.raw_cluster_demand = plan.raw_demand;
+        report.unique_clusters = plan.unique.len();
+        report.cache_hits = plan.cached.len();
+        report.clusters_loaded = plan.to_load.len();
+
+        // Pin cached clusters before loading so same-batch evictions
+        // cannot take them away mid-batch.
+        let mut resolved: HashMap<u32, Arc<LoadedCluster>> = HashMap::new();
+        {
+            let mut cache = self.cache.lock();
+            for &p in &plan.cached {
+                if let Some(c) = cache.get(p) {
+                    resolved.insert(p, c);
+                }
+            }
+        }
+
+        // 3. Network: fetch every missing cluster exactly once.
+        let clock0 = self.qp.clock().now_us();
+        let stats0 = self.qp.stats().snapshot();
+        let reqs = read_requests(&self.directory, self.rkey, &plan.to_load)?;
+        let buffers: Vec<Vec<u8>> = if doorbell {
+            self.qp.read_doorbell(&reqs)?
+        } else {
+            reqs.iter()
+                .map(|r| self.qp.read(r.rkey, r.offset, r.len))
+                .collect::<std::result::Result<_, _>>()?
+        };
+        report.breakdown.network_us = self.qp.clock().now_us() - clock0;
+        let stats_delta = self.qp.stats().snapshot() - stats0;
+        report.round_trips = stats_delta.round_trips;
+        report.bytes_read = stats_delta.bytes_read;
+
+        // 4. Materialize loads (compute on loaded data) and cache them.
+        // Deserialization fans out over the instance's worker threads,
+        // like the paper's per-instance OpenMP pool.
+        let threads = self.config.effective_search_threads();
+        let t_sub = Instant::now();
+        let loaded = materialize_parallel(&self.directory, &plan.to_load, &buffers, threads)?;
+        {
+            let mut cache = self.cache.lock();
+            for (&p, cluster) in plan.to_load.iter().zip(&loaded) {
+                cache.put(p, Arc::clone(cluster));
+                resolved.insert(p, Arc::clone(cluster));
+            }
+        }
+
+        // 5. Sub-HNSW search per query over its b clusters.
+        let results = search_over(&routes, queries, &resolved, k, ef, threads)?;
+        report.breakdown.sub_hnsw_us = t_sub.elapsed().as_secs_f64() * 1e6;
+        Ok((results, report))
+    }
+
+    /// The Naive path: each query fetches each of its clusters with an
+    /// individual read; nothing is reused within or across batches.
+    fn query_batch_naive(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        ef: usize,
+        b: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
+        let mut report = BatchReport {
+            queries: queries.len(),
+            ..Default::default()
+        };
+
+        // Meta routing (still cached locally — the naive baseline differs
+        // only in how cluster bytes cross the network).
+        let t_meta = Instant::now();
+        let routes: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| self.meta.route(q, b).iter().map(|n| n.id).collect())
+            .collect();
+        report.breakdown.meta_hnsw_us = t_meta.elapsed().as_secs_f64() * 1e6;
+
+        // Per query: fetch its clusters with individual reads, then
+        // deserialize and search them immediately. Buffers are dropped
+        // after each query — the naive scheme has no reuse to exploit, so
+        // memory stays O(b × cluster) regardless of batch size. Network
+        // time and compute time are split via clock deltas per query;
+        // compute fans out over the instance's worker threads in stripes
+        // to keep that split exact.
+        let threads = self.config.effective_search_threads();
+        let stats0 = self.qp.stats().snapshot();
+        let mut results = Vec::with_capacity(queries.len());
+        let mut sub_us = 0.0f64;
+        let mut net_us = 0.0f64;
+        let stripe = threads.max(1) * 4;
+        for (chunk_idx, route_chunk) in routes.chunks(stripe).enumerate() {
+            let base = chunk_idx * stripe;
+            // Network phase for this stripe.
+            let clock0 = self.qp.clock().now_us();
+            let mut buffers: Vec<Vec<Vec<u8>>> = Vec::with_capacity(route_chunk.len());
+            for route in route_chunk {
+                report.raw_cluster_demand += route.len();
+                report.unique_clusters += route.len();
+                report.clusters_loaded += route.len();
+                let reqs = read_requests(&self.directory, self.rkey, route)?;
+                let mut per_query = Vec::with_capacity(reqs.len());
+                for r in &reqs {
+                    per_query.push(self.qp.read(r.rkey, r.offset, r.len)?);
+                }
+                buffers.push(per_query);
+            }
+            net_us += self.qp.clock().now_us() - clock0;
+
+            // Compute phase for this stripe.
+            let t_sub = Instant::now();
+            let directory = &self.directory;
+            let stripe_results = run_indexed(route_chunk.len(), threads, |j| {
+                let q = queries.get(base + j);
+                let mut top = TopK::new(k);
+                let mut seen = std::collections::HashSet::new();
+                for (&p, buf) in route_chunk[j].iter().zip(&buffers[j]) {
+                    let loc = directory.location(p)?;
+                    let (cluster_bytes, overflow) = loc.split(buf)?;
+                    let loaded = LoadedCluster::from_remote(cluster_bytes, overflow)?;
+                    for n in loaded.search(q, k, ef) {
+                        if seen.insert(n.id) {
+                            top.push(n.id, n.dist);
+                        }
+                    }
+                }
+                Ok(top.into_sorted_vec())
+            })?;
+            results.extend(stripe_results);
+            sub_us += t_sub.elapsed().as_secs_f64() * 1e6;
+        }
+        report.breakdown.network_us = net_us;
+        report.breakdown.sub_hnsw_us = sub_us;
+        let delta = self.qp.stats().snapshot() - stats0;
+        report.round_trips = delta.round_trips;
+        report.bytes_read = delta.bytes_read;
+        Ok((results, report))
+    }
+
+    /// Inserts a vector: classify via the cached meta-HNSW, allocate a
+    /// global id (`FAA` on the directory's id counter), reserve a slot in
+    /// the target group's shared overflow area (`FAA` on its `used`
+    /// counter), and `RDMA_WRITE` the record — three one-sided verbs, no
+    /// memory-node CPU involvement. The local cached copy of the affected
+    /// cluster is invalidated so the next load observes the insert.
+    ///
+    /// Returns the assigned global id.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::DimensionMismatch`] for a wrong-length vector.
+    /// - [`Error::OverflowFull`] when the group's overflow area is
+    ///   exhausted (the reserved id is burned; re-laying-out the group is
+    ///   a rebuild-time operation, as in the paper).
+    pub fn insert(&self, v: &[f32]) -> Result<u32> {
+        if v.len() != self.directory.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.directory.dim(),
+                got: v.len(),
+            });
+        }
+        let partition = self.meta.classify(v)?;
+        let loc = *self.directory.location(partition)?;
+        let record_size = self.directory.record_size() as u64;
+
+        let global_id = self.qp.faa(self.rkey, ID_COUNTER_OFFSET, 1)? as u32;
+        let used = self
+            .qp
+            .faa(self.rkey, loc.overflow_counter_off(), record_size)?;
+        if used + record_size > loc.overflow_capacity() {
+            return Err(Error::OverflowFull {
+                partition,
+                capacity: loc.overflow_capacity(),
+            });
+        }
+        let record = OverflowRecord::insert(partition, global_id, v.to_vec());
+        self.qp
+            .write(self.rkey, loc.overflow_off + 8 + used, &record.to_bytes())?;
+        self.cache.lock().invalidate(partition);
+        Ok(global_id)
+    }
+
+    /// Batched insertion: the write-path analogue of query-aware batched
+    /// loading. For `n` vectors the single-insert path costs `3n` round
+    /// trips; this path costs `1 + G + ceil(n / doorbell_limit)` where `G`
+    /// is the number of distinct overflow areas touched — one `FAA`
+    /// allocates the whole id range, one `FAA` per group reserves all of
+    /// that group's slots at once, and every record travels in one
+    /// doorbell-batched `RDMA_WRITE`.
+    ///
+    /// Returns one entry per input vector, aligned by position:
+    /// `Ok(global_id)` or [`Error::OverflowFull`] for vectors whose group
+    /// ran out of overflow space (their reserved ids are burned, exactly
+    /// as on the single-insert path).
+    ///
+    /// # Errors
+    ///
+    /// Whole-batch failures — [`Error::DimensionMismatch`] or a substrate
+    /// error — abort the call; per-vector overflow exhaustion is reported
+    /// in the returned vector instead.
+    pub fn insert_batch(&self, vectors: &Dataset) -> Result<Vec<Result<u32>>> {
+        if vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        if vectors.dim() != self.directory.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.directory.dim(),
+                got: vectors.dim(),
+            });
+        }
+        let n = vectors.len();
+        let record_size = self.directory.record_size() as u64;
+
+        // Classify everything (local meta-HNSW compute) and group the
+        // inserts by the overflow area they land in.
+        let mut partitions = Vec::with_capacity(n);
+        let mut by_area: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, v) in vectors.iter().enumerate() {
+            let p = self.meta.classify(v)?;
+            let loc = self.directory.location(p)?;
+            partitions.push(p);
+            by_area.entry(loc.overflow_counter_off()).or_default().push(i);
+        }
+
+        // One FAA allocates the whole id range.
+        let id_base = self.qp.faa(self.rkey, ID_COUNTER_OFFSET, n as u64)?;
+
+        // One FAA per touched overflow area reserves all its slots.
+        let mut results: Vec<Option<Result<u32>>> = (0..n).map(|_| None).collect();
+        let mut writes = Vec::with_capacity(n);
+        let mut touched_partitions = Vec::new();
+        let mut areas: Vec<(&u64, &Vec<usize>)> = by_area.iter().collect();
+        areas.sort_by_key(|(off, _)| **off); // deterministic order
+        for (&area_off, indices) in areas {
+            let want = record_size * indices.len() as u64;
+            let start = self.qp.faa(self.rkey, area_off, want)?;
+            // Representative location for capacity checks (all partners
+            // of a group share the same overflow geometry).
+            let loc = *self.directory.location(partitions[indices[0]])?;
+            for (slot, &i) in indices.iter().enumerate() {
+                let off = start + record_size * slot as u64;
+                let global_id = (id_base + i as u64) as u32;
+                if off + record_size > loc.overflow_capacity() {
+                    results[i] = Some(Err(Error::OverflowFull {
+                        partition: partitions[i],
+                        capacity: loc.overflow_capacity(),
+                    }));
+                    continue;
+                }
+                let record =
+                    OverflowRecord::insert(partitions[i], global_id, vectors.get(i).to_vec());
+                writes.push(rdma_sim::WriteReq::new(
+                    self.rkey,
+                    area_off + 8 + off,
+                    record.to_bytes(),
+                ));
+                touched_partitions.push(partitions[i]);
+                results[i] = Some(Ok(global_id));
+            }
+        }
+
+        // All accepted records in one doorbell.
+        self.qp.write_doorbell(&writes)?;
+        {
+            let mut cache = self.cache.lock();
+            for p in touched_partitions {
+                cache.invalidate(p);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every input index is resolved"))
+            .collect())
+    }
+
+    /// Deletes a vector by writing a tombstone record into its group's
+    /// shared overflow area — the same two-verb path as an insert (slot
+    /// `FAA` + record `WRITE`), no re-layout required. `v` must be the
+    /// deleted vector's value: the meta-HNSW classifies it to the
+    /// partition that holds it, exactly as the insert path placed it.
+    /// The deletion becomes durable immediately and permanent at the next
+    /// [`crate::VectorStore::rebuild`].
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::DimensionMismatch`] for a wrong-length vector.
+    /// - [`Error::OverflowFull`] when the group's overflow area has no
+    ///   slot left for the tombstone.
+    pub fn delete(&self, v: &[f32], global_id: u32) -> Result<()> {
+        if v.len() != self.directory.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.directory.dim(),
+                got: v.len(),
+            });
+        }
+        let partition = self.meta.classify(v)?;
+        let loc = *self.directory.location(partition)?;
+        let record_size = self.directory.record_size() as u64;
+        let used = self
+            .qp
+            .faa(self.rkey, loc.overflow_counter_off(), record_size)?;
+        if used + record_size > loc.overflow_capacity() {
+            return Err(Error::OverflowFull {
+                partition,
+                capacity: loc.overflow_capacity(),
+            });
+        }
+        let record = OverflowRecord::tombstone(partition, global_id, self.directory.dim());
+        self.qp
+            .write(self.rkey, loc.overflow_off + 8 + used, &record.to_bytes())?;
+        self.cache.lock().invalidate(partition);
+        Ok(())
+    }
+}
+
+/// Runs `f(i)` for `i in 0..n` across `threads` workers, preserving
+/// output order and propagating the first error.
+fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(&f).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, slot) in slots.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            let f = &f;
+            s.spawn(move || {
+                for (off, dst) in slot.iter_mut().enumerate() {
+                    *dst = Some(f(start + off));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is produced by its worker"))
+        .collect()
+}
+
+/// Deserializes freshly fetched cluster buffers in parallel.
+fn materialize_parallel(
+    directory: &Directory,
+    partitions: &[u32],
+    buffers: &[Vec<u8>],
+    threads: usize,
+) -> Result<Vec<Arc<LoadedCluster>>> {
+    run_indexed(partitions.len(), threads, |i| {
+        let loc = directory.location(partitions[i])?;
+        let (cluster_bytes, overflow) = loc.split(&buffers[i])?;
+        Ok(Arc::new(LoadedCluster::from_remote(cluster_bytes, overflow)?))
+    })
+}
+
+/// Searches each query over its routed clusters (in parallel) and merges
+/// per-query top-k, deduplicating global ids — a forced representative
+/// can appear in two clusters.
+fn search_over(
+    routes: &[Vec<u32>],
+    queries: &Dataset,
+    resolved: &HashMap<u32, Arc<LoadedCluster>>,
+    k: usize,
+    ef: usize,
+    threads: usize,
+) -> Result<Vec<Vec<Neighbor>>> {
+    run_indexed(routes.len(), threads, |i| {
+        let q = queries.get(i);
+        let mut top = TopK::new(k);
+        let mut seen = std::collections::HashSet::new();
+        for p in &routes[i] {
+            let cluster = resolved
+                .get(p)
+                .ok_or_else(|| Error::Corrupt(format!("cluster {p} missing after load")))?;
+            for n in cluster.search(q, k, ef) {
+                if seen.insert(n.id) {
+                    top.push(n.id, n.dist);
+                }
+            }
+        }
+        Ok(top.into_sorted_vec())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsim::{gen, ground_truth, recall, Metric};
+
+    fn setup(n: usize) -> (Dataset, VectorStore) {
+        let data = gen::sift_like(n, 77).unwrap();
+        let store = VectorStore::build(data.clone(), &DHnswConfig::small()).unwrap();
+        (data, store)
+    }
+
+    #[test]
+    fn all_modes_answer_k_results() {
+        let (data, store) = setup(600);
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 78).unwrap();
+        for mode in [SearchMode::Full, SearchMode::NoDoorbell, SearchMode::Naive] {
+            let node = store.connect(mode).unwrap();
+            let (results, report) = node.query_batch(&queries, 10, 32).unwrap();
+            assert_eq!(results.len(), 16, "{mode}");
+            for r in &results {
+                assert_eq!(r.len(), 10, "{mode}");
+                for w in r.windows(2) {
+                    assert!(w[0].dist <= w[1].dist);
+                }
+            }
+            assert!(report.round_trips > 0);
+            assert!(report.bytes_read > 0);
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_results_for_cold_identical_state() {
+        // Network strategy must not change *what* is found, only cost.
+        let (data, store) = setup(500);
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 79).unwrap();
+        let full = store.connect(SearchMode::Full).unwrap();
+        let nodb = store.connect(SearchMode::NoDoorbell).unwrap();
+        let naive = store.connect(SearchMode::Naive).unwrap();
+        let (a, _) = full.query_batch(&queries, 5, 32).unwrap();
+        let (b, _) = nodb.query_batch(&queries, 5, 32).unwrap();
+        let (c, _) = naive.query_batch(&queries, 5, 32).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn recall_is_reasonable_and_improves_with_fanout() {
+        let data = gen::sift_like(2_000, 80).unwrap();
+        let queries = gen::perturbed_queries(&data, 50, 0.02, 81).unwrap();
+        let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+        let recall_with_b = |b: usize| {
+            let store =
+                VectorStore::build(data.clone(), &DHnswConfig::small().with_fanout(b)).unwrap();
+            let node = store.connect(SearchMode::Full).unwrap();
+            let (results, _) = node.query_batch(&queries, 10, 48).unwrap();
+            let ids: Vec<Vec<u32>> = results
+                .iter()
+                .map(|r| r.iter().map(|n| n.id).collect())
+                .collect();
+            recall::mean_recall(&ids, &truth)
+        };
+        let r1 = recall_with_b(1);
+        let r8 = recall_with_b(8);
+        assert!(r8 >= r1, "fanout 8 recall {r8} < fanout 1 recall {r1}");
+        assert!(r8 > 0.8, "fanout-8 recall too low: {r8}");
+    }
+
+    #[test]
+    fn full_mode_loads_each_cluster_once_per_batch() {
+        let (data, store) = setup(600);
+        let queries = gen::perturbed_queries(&data, 64, 0.02, 82).unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        let (_, report) = node.query_batch(&queries, 5, 16).unwrap();
+        assert!(report.raw_cluster_demand >= report.unique_clusters);
+        assert_eq!(
+            report.clusters_loaded + report.cache_hits,
+            report.unique_clusters
+        );
+        // Loading each unique cluster once means loads <= unique.
+        assert!(report.clusters_loaded <= report.unique_clusters);
+    }
+
+    #[test]
+    fn cache_serves_repeat_batches() {
+        let (data, store) = setup(400);
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 83).unwrap();
+        // Cache big enough to hold everything.
+        let store2 = VectorStore::build(data, &DHnswConfig::small().with_cache_fraction(1.0))
+            .unwrap();
+        let node = store2.connect(SearchMode::Full).unwrap();
+        let (_, first) = node.query_batch(&queries, 5, 16).unwrap();
+        assert!(first.clusters_loaded > 0);
+        let (_, second) = node.query_batch(&queries, 5, 16).unwrap();
+        assert_eq!(second.clusters_loaded, 0, "warm batch must be all hits");
+        assert_eq!(second.round_trips, 0);
+        assert_eq!(second.breakdown.network_us, 0.0);
+        let _ = store;
+    }
+
+    #[test]
+    fn naive_mode_never_reuses() {
+        let (data, store) = setup(400);
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 84).unwrap();
+        let node = store.connect(SearchMode::Naive).unwrap();
+        let (_, first) = node.query_batch(&queries, 5, 16).unwrap();
+        let (_, second) = node.query_batch(&queries, 5, 16).unwrap();
+        assert_eq!(first.round_trips, second.round_trips);
+        assert_eq!(
+            first.round_trips,
+            (queries.len() * store.config().fanout()) as u64
+        );
+        assert_eq!(first.cache_hits, 0);
+    }
+
+    #[test]
+    fn doorbell_reduces_round_trips_not_bytes() {
+        let (data, store) = setup(600);
+        let queries = gen::perturbed_queries(&data, 32, 0.05, 85).unwrap();
+        let full = store.connect(SearchMode::Full).unwrap();
+        let nodb = store.connect(SearchMode::NoDoorbell).unwrap();
+        let (_, rf) = full.query_batch(&queries, 5, 16).unwrap();
+        let (_, rn) = nodb.query_batch(&queries, 5, 16).unwrap();
+        assert_eq!(rf.bytes_read, rn.bytes_read);
+        assert!(rf.round_trips < rn.round_trips);
+        assert!(rf.breakdown.network_us < rn.breakdown.network_us);
+    }
+
+    #[test]
+    fn latency_ordering_matches_the_paper() {
+        let (data, store) = setup(800);
+        let queries = gen::perturbed_queries(&data, 64, 0.05, 86).unwrap();
+        let full = store.connect(SearchMode::Full).unwrap();
+        let nodb = store.connect(SearchMode::NoDoorbell).unwrap();
+        let naive = store.connect(SearchMode::Naive).unwrap();
+        let (_, rf) = full.query_batch(&queries, 10, 32).unwrap();
+        let (_, rn) = nodb.query_batch(&queries, 10, 32).unwrap();
+        let (_, rv) = naive.query_batch(&queries, 10, 32).unwrap();
+        assert!(
+            rf.breakdown.network_us <= rn.breakdown.network_us,
+            "doorbell must not be slower"
+        );
+        assert!(
+            rn.breakdown.network_us < rv.breakdown.network_us,
+            "query-aware loading must beat naive"
+        );
+    }
+
+    #[test]
+    fn fanout_override_changes_demand_without_rebuilding() {
+        let (data, store) = setup(600);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 16, 0.03, 96).unwrap();
+        let (_, narrow) = node
+            .query_batch_opts(&queries, &QueryOptions::new(5, 32).with_fanout(1))
+            .unwrap();
+        node.drop_cache();
+        let (_, wide) = node
+            .query_batch_opts(&queries, &QueryOptions::new(5, 32).with_fanout(8))
+            .unwrap();
+        assert_eq!(narrow.raw_cluster_demand, 16);
+        assert_eq!(wide.raw_cluster_demand, 16 * 8);
+        assert!(wide.bytes_read > narrow.bytes_read);
+    }
+
+    #[test]
+    fn zero_fanout_override_is_rejected() {
+        let (data, store) = setup(200);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 2, 0.03, 97).unwrap();
+        assert!(node
+            .query_batch_opts(&queries, &QueryOptions::new(5, 16).with_fanout(0))
+            .is_err());
+    }
+
+    #[test]
+    fn default_options_match_positional_call() {
+        let (data, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 6, 0.03, 98).unwrap();
+        let (a, _) = node.query_batch(&queries, 5, 32).unwrap();
+        let (b, _) = node
+            .query_batch_opts(&queries, &QueryOptions::new(5, 32))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_rejects_wrong_dimension() {
+        let (_, store) = setup(200);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::uniform(64, 2, 0.0, 1.0, 1).unwrap();
+        assert!(matches!(
+            node.query_batch(&queries, 5, 16).unwrap_err(),
+            Error::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_noop() {
+        let (_, store) = setup(200);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let (results, report) = node.query_batch(&Dataset::new(128), 5, 16).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(report, BatchReport::default());
+    }
+
+    #[test]
+    fn insert_then_query_finds_the_new_vector() {
+        let (data, store) = setup(400);
+        let node = store.connect(SearchMode::Full).unwrap();
+        // Insert a distinctive vector near an existing one.
+        let mut v = data.get(5).to_vec();
+        v[0] += 0.5;
+        let gid = node.insert(&v).unwrap();
+        assert_eq!(gid as usize, store.base_len());
+        let hits = node.query(&v, 3, 32).unwrap();
+        assert_eq!(hits[0].id, gid, "inserted vector must be its own nearest");
+        assert!(hits[0].dist < 1e-6);
+    }
+
+    #[test]
+    fn inserts_allocate_monotonic_global_ids() {
+        let (data, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let a = node.insert(data.get(0)).unwrap();
+        let b = node.insert(data.get(1)).unwrap();
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn insert_uses_three_one_sided_verbs() {
+        let (data, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        node.reset_measurements();
+        node.insert(data.get(0)).unwrap();
+        let s = node.queue_pair().stats().snapshot();
+        assert_eq!(s.round_trips, 3); // id FAA + slot FAA + record write
+        assert_eq!(s.atomics, 2);
+    }
+
+    #[test]
+    fn insert_batch_matches_single_inserts_in_effect() {
+        let (data, store) = setup(400);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let inserts = gen::perturbed_queries(&data, 10, 0.01, 92).unwrap();
+        let results = node.insert_batch(&inserts).unwrap();
+        assert_eq!(results.len(), 10);
+        let ids: Vec<u32> = results.into_iter().map(|r| r.unwrap()).collect();
+        // Dense sequential ids from the base length.
+        assert_eq!(ids[0] as usize, store.base_len());
+        for w in ids.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        // All visible to queries.
+        let mut found = 0;
+        for (i, v) in inserts.iter().enumerate() {
+            let hit = node.query(v, 1, 32).unwrap();
+            if hit[0].id == ids[i] {
+                found += 1;
+            }
+        }
+        assert!(found >= 8, "only {found}/10 batch inserts retrievable");
+    }
+
+    #[test]
+    fn insert_batch_uses_far_fewer_round_trips() {
+        let (data, store) = setup(400);
+        let inserts = gen::perturbed_queries(&data, 32, 0.01, 93).unwrap();
+
+        let single = store.connect(SearchMode::Full).unwrap();
+        single.reset_measurements();
+        for v in inserts.iter() {
+            single.insert(v).unwrap();
+        }
+        let single_trips = single.queue_pair().stats().round_trips();
+        assert_eq!(single_trips, 3 * 32);
+
+        let batched = store.connect(SearchMode::Full).unwrap();
+        batched.reset_measurements();
+        let results = batched.insert_batch(&inserts).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        let batch_trips = batched.queue_pair().stats().round_trips();
+        assert!(
+            batch_trips * 3 < single_trips,
+            "batched {batch_trips} vs single {single_trips}"
+        );
+    }
+
+    #[test]
+    fn insert_batch_reports_overflow_per_vector() {
+        let data = gen::sift_like(300, 94).unwrap();
+        let cfg = DHnswConfig::small().with_overflow_slots(2);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        // Ten copies of the same vector all route to one group with two
+        // slots: exactly two succeed.
+        let same = Dataset::from_rows(&[data.get(0); 10]).unwrap();
+        let results = node.insert_batch(&same).unwrap();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, 2, "{results:?}");
+        assert!(results
+            .iter()
+            .filter(|r| r.is_err())
+            .all(|r| matches!(r.as_ref().unwrap_err(), Error::OverflowFull { .. })));
+    }
+
+    #[test]
+    fn insert_batch_rejects_wrong_dim_and_handles_empty() {
+        let (_, store) = setup(200);
+        let node = store.connect(SearchMode::Full).unwrap();
+        assert!(node
+            .insert_batch(&gen::uniform(64, 3, 0.0, 1.0, 1).unwrap())
+            .is_err());
+        assert!(node.insert_batch(&Dataset::new(128)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_overflow_full_is_reported() {
+        let data = gen::sift_like(300, 90).unwrap();
+        let cfg = DHnswConfig::small().with_overflow_slots(1);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        // Fill the single slot of some group, then the next insert into
+        // the same group must fail.
+        let v = data.get(0);
+        node.insert(v).unwrap();
+        let second = node.insert(v);
+        assert!(matches!(second.unwrap_err(), Error::OverflowFull { .. }));
+    }
+
+    #[test]
+    fn delete_removes_a_base_vector_from_results() {
+        let (data, store) = setup(400);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let target = data.get(5).to_vec();
+        let before = node.query(&target, 1, 48).unwrap();
+        assert_eq!(before[0].dist, 0.0);
+        let victim = before[0].id;
+        node.delete(&target, victim).unwrap();
+        let after = node.query(&target, 5, 48).unwrap();
+        assert!(
+            after.iter().all(|n| n.id != victim),
+            "deleted id still returned: {after:?}"
+        );
+        assert_eq!(after.len(), 5, "deletion must not shrink the result list");
+    }
+
+    #[test]
+    fn delete_removes_an_overflow_insert() {
+        let (data, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let mut v = data.get(9).to_vec();
+        v[0] += 0.5;
+        let gid = node.insert(&v).unwrap();
+        assert_eq!(node.query(&v, 1, 32).unwrap()[0].id, gid);
+        node.delete(&v, gid).unwrap();
+        let after = node.query(&v, 3, 32).unwrap();
+        assert!(after.iter().all(|n| n.id != gid));
+    }
+
+    #[test]
+    fn delete_uses_two_one_sided_verbs() {
+        let (data, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        node.reset_measurements();
+        node.delete(data.get(0), 0).unwrap();
+        let s = node.queue_pair().stats().snapshot();
+        assert_eq!(s.round_trips, 2); // slot FAA + tombstone write
+        assert_eq!(s.atomics, 1);
+    }
+
+    #[test]
+    fn delete_visibility_across_nodes_follows_cache_lifetime() {
+        let (data, store) = setup(300);
+        let writer = store.connect(SearchMode::Full).unwrap();
+        let reader = store.connect(SearchMode::Full).unwrap();
+        let target = data.get(11).to_vec();
+        let victim = reader.query(&target, 1, 48).unwrap()[0].id;
+        writer.delete(&target, victim).unwrap();
+        // The reader cached the cluster before the delete: it may serve
+        // the stale copy (cross-node caches are not coherent — a
+        // documented non-goal shared with the paper)...
+        let stale = reader.query(&target, 3, 48).unwrap();
+        assert!(stale.iter().any(|n| n.id == victim), "unexpectedly fresh");
+        // ...but once its cached copy is dropped (eviction, expiry), the
+        // next load observes the tombstone.
+        reader.drop_cache();
+        let fresh = reader.query(&target, 3, 48).unwrap();
+        assert!(fresh.iter().all(|n| n.id != victim));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_dimension() {
+        let (_, store) = setup(200);
+        let node = store.connect(SearchMode::Full).unwrap();
+        assert!(node.insert(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inserts_are_visible_across_compute_nodes() {
+        let (data, store) = setup(400);
+        let writer = store.connect(SearchMode::Full).unwrap();
+        let reader = store.connect(SearchMode::Full).unwrap();
+        let mut v = data.get(10).to_vec();
+        v[1] += 0.25;
+        let gid = writer.insert(&v).unwrap();
+        // The reader never cached the cluster, so its next load sees the
+        // overflow record.
+        let hits = reader.query(&v, 1, 32).unwrap();
+        assert_eq!(hits[0].id, gid);
+    }
+
+    #[test]
+    fn reset_measurements_zeroes_counters() {
+        let (data, store) = setup(200);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 91).unwrap();
+        node.query_batch(&queries, 5, 16).unwrap();
+        node.reset_measurements();
+        assert_eq!(node.queue_pair().stats().round_trips(), 0);
+        assert_eq!(node.queue_pair().clock().now_us(), 0.0);
+    }
+
+    #[test]
+    fn compute_node_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ComputeNode>();
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was out of range.
+    InvalidParameter(String),
+    /// A query or inserted vector did not match the store dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Supplied dimensionality.
+        got: usize,
+    },
+    /// A partition id outside the partition table.
+    UnknownPartition(u32),
+    /// The shared overflow area of a group is full; the inserted vector
+    /// cannot be placed without re-laying-out the group.
+    OverflowFull {
+        /// Partition the insert was routed to.
+        partition: u32,
+        /// Bytes available in the group's overflow area.
+        capacity: u64,
+    },
+    /// A serialized cluster or directory blob failed validation.
+    Corrupt(String),
+    /// An error from the RDMA substrate.
+    Rdma(rdma_sim::Error),
+    /// An error from the HNSW layer.
+    Hnsw(hnsw::Error),
+    /// An error from the vector layer.
+    Vecsim(vecsim::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            Error::OverflowFull {
+                partition,
+                capacity,
+            } => write!(
+                f,
+                "overflow area serving partition {partition} is full ({capacity} bytes)"
+            ),
+            Error::Corrupt(what) => write!(f, "corrupt remote data: {what}"),
+            Error::Rdma(e) => write!(f, "rdma error: {e}"),
+            Error::Hnsw(e) => write!(f, "hnsw error: {e}"),
+            Error::Vecsim(e) => write!(f, "vector error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Rdma(e) => Some(e),
+            Error::Hnsw(e) => Some(e),
+            Error::Vecsim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rdma_sim::Error> for Error {
+    fn from(e: rdma_sim::Error) -> Self {
+        Error::Rdma(e)
+    }
+}
+
+impl From<hnsw::Error> for Error {
+    fn from(e: hnsw::Error) -> Self {
+        Error::Hnsw(e)
+    }
+}
+
+impl From<vecsim::Error> for Error {
+    fn from(e: vecsim::Error) -> Self {
+        Error::Vecsim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_concise() {
+        assert_eq!(
+            Error::UnknownPartition(7).to_string(),
+            "unknown partition 7"
+        );
+        let e = Error::OverflowFull {
+            partition: 3,
+            capacity: 1024,
+        };
+        assert!(e.to_string().contains("partition 3"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error as _;
+        let e = Error::from(rdma_sim::Error::UnknownRegion(1));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

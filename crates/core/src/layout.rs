@@ -1,0 +1,529 @@
+//! The RDMA-friendly remote memory layout of §3.2.
+//!
+//! One contiguous registered region holds everything:
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────── group 0 ───────────────────────────┬── group 1 ──┬─ ...
+//! │ directory  │ cluster A │ shared overflow (used u64, records…) │ cluster B   │             │
+//! └────────────┴───────────┴──────────────────────────────────────┴─────────────┴─────────────┴─ ...
+//! ```
+//!
+//! The *directory* (global metadata block) records the offset and length
+//! of every serialized sub-HNSW cluster. Each *group* packs two clusters
+//! at its two ends with a shared overflow area between them, so that
+//!
+//! - cluster A plus the overflow is one contiguous span, and
+//! - the overflow plus cluster B is one contiguous span,
+//!
+//! meaning any cluster together with every vector later inserted into it
+//! is fetched by a **single** `RDMA_READ` ([`ClusterLocation::read_span`]).
+//! The overflow area starts with an 8-byte `used` counter that compute
+//! nodes bump with remote atomics when reserving insert slots.
+//!
+//! All offsets and lengths are kept 8-byte aligned so the counter (and
+//! every overflow record) is a legal target for `CAS`/`FAA`.
+
+use crate::cluster::OverflowRecord;
+use crate::{Error, Result};
+
+/// Magic tag of a serialized directory.
+pub const DIRECTORY_MAGIC: u32 = 0x3144_4844; // "DHD1"
+/// Directory format version.
+pub const DIRECTORY_VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
+
+/// Absolute region offset of the live global-id counter: an aligned `u64`
+/// inside the directory that compute nodes `FAA` to allocate ids for
+/// inserted vectors.
+pub const ID_COUNTER_OFFSET: u64 = 40;
+const ENTRY_BYTES: usize = 4 + 1 + 3 + 8 + 8 + 8 + 8;
+
+fn pad8(n: u64) -> u64 {
+    (n + 7) & !7
+}
+
+/// Which end of its group a cluster occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupSlot {
+    /// The front of the group (cluster, then overflow).
+    Front,
+    /// The back of the group (overflow, then cluster).
+    Back,
+}
+
+/// Where one partition's cluster lives in remote memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterLocation {
+    /// Partition id.
+    pub partition: u32,
+    /// Group index.
+    pub group: u32,
+    /// Position within the group.
+    pub slot: GroupSlot,
+    /// Absolute byte offset of the serialized cluster.
+    pub cluster_off: u64,
+    /// Length of the serialized cluster in bytes.
+    pub cluster_len: u64,
+    /// Absolute byte offset of the group's shared overflow area
+    /// (including its 8-byte `used` header).
+    pub overflow_off: u64,
+    /// Total length of the overflow area, header included.
+    pub overflow_len: u64,
+}
+
+impl ClusterLocation {
+    /// The single contiguous `(offset, len)` span covering this cluster
+    /// *and* its overflow area — what one `RDMA_READ` fetches.
+    pub fn read_span(&self) -> (u64, u64) {
+        match self.slot {
+            GroupSlot::Front => (
+                self.cluster_off,
+                self.overflow_off + self.overflow_len - self.cluster_off,
+            ),
+            GroupSlot::Back => (
+                self.overflow_off,
+                self.cluster_off + self.cluster_len - self.overflow_off,
+            ),
+        }
+    }
+
+    /// Splits a buffer fetched via [`ClusterLocation::read_span`] into
+    /// `(cluster_bytes, overflow_area)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when the buffer does not match the
+    /// span's length.
+    pub fn split<'a>(&self, buf: &'a [u8]) -> Result<(&'a [u8], &'a [u8])> {
+        let (_, span_len) = self.read_span();
+        if buf.len() as u64 != span_len {
+            return Err(Error::Corrupt(format!(
+                "span buffer is {} bytes, expected {span_len}",
+                buf.len()
+            )));
+        }
+        match self.slot {
+            GroupSlot::Front => {
+                let cluster = &buf[..self.cluster_len as usize];
+                let ovf_start = (self.overflow_off - self.cluster_off) as usize;
+                Ok((cluster, &buf[ovf_start..]))
+            }
+            GroupSlot::Back => {
+                let overflow = &buf[..self.overflow_len as usize];
+                let c_start = (self.cluster_off - self.overflow_off) as usize;
+                Ok((
+                    &buf[c_start..c_start + self.cluster_len as usize],
+                    overflow,
+                ))
+            }
+        }
+    }
+
+    /// Absolute offset of the overflow `used` counter (an aligned `u64`).
+    pub fn overflow_counter_off(&self) -> u64 {
+        self.overflow_off
+    }
+
+    /// Bytes of record payload the overflow area can hold.
+    pub fn overflow_capacity(&self) -> u64 {
+        self.overflow_len - 8
+    }
+}
+
+/// The global metadata block: every cluster's location, plus enough
+/// geometry for a compute node to plan reads and inserts.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::layout::Directory;
+///
+/// # fn main() -> Result<(), dhnsw::Error> {
+/// // Three clusters of 100/220/60 bytes, dim-4 vectors, 8 overflow slots.
+/// let dir = Directory::plan(&[100, 220, 60], 4, 8)?;
+/// assert_eq!(dir.partitions(), 3);
+/// let back = Directory::from_bytes(&dir.to_bytes())?;
+/// assert_eq!(back, dir);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directory {
+    dim: u32,
+    epoch: u64,
+    total_len: u64,
+    record_size: u32,
+    next_id: u64,
+    locations: Vec<ClusterLocation>,
+}
+
+impl Directory {
+    /// Plans the layout for clusters of the given serialized sizes
+    /// (indexed by partition id), with `overflow_slots` insert records of
+    /// dimensionality `dim` per group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `cluster_sizes` is empty
+    /// or `dim` is zero.
+    pub fn plan(cluster_sizes: &[u64], dim: usize, overflow_slots: usize) -> Result<Self> {
+        if cluster_sizes.is_empty() {
+            return Err(Error::InvalidParameter(
+                "layout needs at least one cluster".into(),
+            ));
+        }
+        if dim == 0 {
+            return Err(Error::InvalidParameter("dim must be non-zero".into()));
+        }
+        let record_size = OverflowRecord::wire_size(dim) as u64;
+        let overflow_len = 8 + record_size * overflow_slots as u64;
+
+        let n = cluster_sizes.len();
+        let dir_len = pad8(Self::byte_size(n) as u64);
+        let mut cursor = dir_len;
+        let mut locations = Vec::with_capacity(n);
+
+        let mut p = 0usize;
+        let mut group = 0u32;
+        while p < n {
+            let a_len = cluster_sizes[p];
+            let a_off = cursor;
+            let ovf_off = a_off + pad8(a_len);
+            let after_ovf = ovf_off + overflow_len;
+            locations.push(ClusterLocation {
+                partition: p as u32,
+                group,
+                slot: GroupSlot::Front,
+                cluster_off: a_off,
+                cluster_len: a_len,
+                overflow_off: ovf_off,
+                overflow_len,
+            });
+            cursor = after_ovf;
+            if p + 1 < n {
+                let b_len = cluster_sizes[p + 1];
+                locations.push(ClusterLocation {
+                    partition: (p + 1) as u32,
+                    group,
+                    slot: GroupSlot::Back,
+                    cluster_off: after_ovf,
+                    cluster_len: b_len,
+                    overflow_off: ovf_off,
+                    overflow_len,
+                });
+                cursor = after_ovf + pad8(b_len);
+            }
+            p += 2;
+            group += 1;
+        }
+
+        Ok(Directory {
+            dim: dim as u32,
+            epoch: 0,
+            total_len: cursor,
+            record_size: record_size as u32,
+            next_id: 0,
+            locations,
+        })
+    }
+
+    /// Number of partitions described.
+    pub fn partitions(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Vector dimensionality of the store.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// Bytes one overflow record occupies.
+    pub fn record_size(&self) -> usize {
+        self.record_size as usize
+    }
+
+    /// Total region bytes the layout requires (directory + all groups).
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Directory epoch (bumped when the layout is rebuilt).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The global-id counter value as of serialization/fetch time. The
+    /// *live* counter is the `u64` at [`ID_COUNTER_OFFSET`] in remote
+    /// memory, advanced with `FAA` on every insert.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Sets the initial global-id counter (store build time: the number
+    /// of base vectors).
+    pub fn set_next_id(&mut self, id: u64) {
+        self.next_id = id;
+    }
+
+    /// Sets the directory epoch (bumped by every rebuild so compute
+    /// nodes can detect a re-layout).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The location of partition `p`'s cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for an out-of-range id.
+    pub fn location(&self, p: u32) -> Result<&ClusterLocation> {
+        self.locations
+            .get(p as usize)
+            .ok_or(Error::UnknownPartition(p))
+    }
+
+    /// All locations, indexed by partition id.
+    pub fn locations(&self) -> &[ClusterLocation] {
+        &self.locations
+    }
+
+    /// Serialized size of a directory over `n` partitions.
+    pub fn byte_size(n: usize) -> usize {
+        HEADER_BYTES + n * ENTRY_BYTES
+    }
+
+    /// Serializes the directory (what gets written at region offset 0).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::byte_size(self.locations.len()));
+        out.extend_from_slice(&DIRECTORY_MAGIC.to_le_bytes());
+        out.extend_from_slice(&DIRECTORY_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.extend_from_slice(&(self.locations.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.record_size.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&self.next_id.to_le_bytes());
+        for loc in &self.locations {
+            out.extend_from_slice(&loc.group.to_le_bytes());
+            out.push(match loc.slot {
+                GroupSlot::Front => 0,
+                GroupSlot::Back => 1,
+            });
+            out.extend_from_slice(&[0, 0, 0]);
+            out.extend_from_slice(&loc.cluster_off.to_le_bytes());
+            out.extend_from_slice(&loc.cluster_len.to_le_bytes());
+            out.extend_from_slice(&loc.overflow_off.to_le_bytes());
+            out.extend_from_slice(&loc.overflow_len.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a directory blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on a bad magic/version or truncation.
+    pub fn from_bytes(blob: &[u8]) -> Result<Self> {
+        let take = |off: usize, n: usize| -> Result<&[u8]> {
+            blob.get(off..off + n)
+                .ok_or_else(|| Error::Corrupt("truncated directory".into()))
+        };
+        let u32_at = |off: usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(take(off, 4)?.try_into().expect("4")))
+        };
+        let u64_at = |off: usize| -> Result<u64> {
+            Ok(u64::from_le_bytes(take(off, 8)?.try_into().expect("8")))
+        };
+        if u32_at(0)? != DIRECTORY_MAGIC {
+            return Err(Error::Corrupt("bad directory magic".into()));
+        }
+        if u32_at(4)? != DIRECTORY_VERSION {
+            return Err(Error::Corrupt("unsupported directory version".into()));
+        }
+        let dim = u32_at(8)?;
+        let n = u32_at(12)? as usize;
+        let record_size = u32_at(16)?;
+        let epoch = u64_at(24)?;
+        let total_len = u64_at(32)?;
+        let next_id = u64_at(ID_COUNTER_OFFSET as usize)?;
+        let mut locations = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = HEADER_BYTES + i * ENTRY_BYTES;
+            let group = u32_at(base)?;
+            let slot = match take(base + 4, 1)?[0] {
+                0 => GroupSlot::Front,
+                1 => GroupSlot::Back,
+                other => {
+                    return Err(Error::Corrupt(format!("bad slot tag {other}")));
+                }
+            };
+            locations.push(ClusterLocation {
+                partition: i as u32,
+                group,
+                slot,
+                cluster_off: u64_at(base + 8)?,
+                cluster_len: u64_at(base + 16)?,
+                overflow_off: u64_at(base + 24)?,
+                overflow_len: u64_at(base + 32)?,
+            });
+        }
+        Ok(Directory {
+            dim,
+            epoch,
+            total_len,
+            record_size,
+            next_id,
+            locations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_lays_out_pairs_with_shared_overflow() {
+        let dir = Directory::plan(&[100, 200, 300, 400], 4, 8).unwrap();
+        assert_eq!(dir.partitions(), 4);
+        let a = *dir.location(0).unwrap();
+        let b = *dir.location(1).unwrap();
+        assert_eq!(a.group, 0);
+        assert_eq!(b.group, 0);
+        assert_eq!(a.slot, GroupSlot::Front);
+        assert_eq!(b.slot, GroupSlot::Back);
+        // Shared overflow: identical area for both partners.
+        assert_eq!(a.overflow_off, b.overflow_off);
+        assert_eq!(a.overflow_len, b.overflow_len);
+        // Geometry: A | overflow | B, contiguous.
+        assert_eq!(a.overflow_off, a.cluster_off + 104); // 100 padded to 8
+        assert_eq!(b.cluster_off, a.overflow_off + a.overflow_len);
+    }
+
+    #[test]
+    fn odd_cluster_count_leaves_last_group_half_full() {
+        let dir = Directory::plan(&[100, 200, 300], 4, 8).unwrap();
+        let last = *dir.location(2).unwrap();
+        assert_eq!(last.group, 1);
+        assert_eq!(last.slot, GroupSlot::Front);
+        assert!(last.overflow_off > last.cluster_off);
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_cover_cluster_plus_overflow() {
+        let dir = Directory::plan(&[64, 128], 2, 4).unwrap();
+        for p in 0..2u32 {
+            let loc = *dir.location(p).unwrap();
+            let (off, len) = loc.read_span();
+            // Span contains the cluster...
+            assert!(off <= loc.cluster_off);
+            assert!(off + len >= loc.cluster_off + loc.cluster_len);
+            // ...and the whole overflow area.
+            assert!(off <= loc.overflow_off);
+            assert!(off + len >= loc.overflow_off + loc.overflow_len);
+        }
+    }
+
+    #[test]
+    fn split_recovers_cluster_and_overflow_slices() {
+        let dir = Directory::plan(&[16, 24], 2, 2).unwrap();
+        for p in 0..2u32 {
+            let loc = *dir.location(p).unwrap();
+            let (off, len) = loc.read_span();
+            // Build a fake region where every byte is its absolute offset
+            // modulo 251, so slices betray any misalignment.
+            let buf: Vec<u8> = (off..off + len).map(|i| (i % 251) as u8).collect();
+            let (cluster, overflow) = loc.split(&buf).unwrap();
+            assert_eq!(cluster.len() as u64, loc.cluster_len);
+            assert_eq!(overflow.len() as u64, loc.overflow_len);
+            assert_eq!(cluster[0], (loc.cluster_off % 251) as u8);
+            assert_eq!(overflow[0], (loc.overflow_off % 251) as u8);
+        }
+    }
+
+    #[test]
+    fn split_rejects_wrong_length_buffers() {
+        let dir = Directory::plan(&[16], 2, 2).unwrap();
+        let loc = *dir.location(0).unwrap();
+        assert!(loc.split(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn offsets_are_8_aligned_for_atomics() {
+        let dir = Directory::plan(&[13, 27, 55, 101, 7], 3, 5).unwrap();
+        for loc in dir.locations() {
+            assert_eq!(loc.cluster_off % 8, 0, "{loc:?}");
+            assert_eq!(loc.overflow_off % 8, 0, "{loc:?}");
+        }
+    }
+
+    #[test]
+    fn total_len_bounds_every_location() {
+        let sizes = [100u64, 1, 999, 64, 31];
+        let dir = Directory::plan(&sizes, 6, 3).unwrap();
+        for loc in dir.locations() {
+            let (off, len) = loc.read_span();
+            assert!(off + len <= dir.total_len());
+        }
+    }
+
+    #[test]
+    fn id_counter_slot_is_aligned_and_inside_header() {
+        assert_eq!(ID_COUNTER_OFFSET % 8, 0);
+        assert!((ID_COUNTER_OFFSET as usize) + 8 <= HEADER_BYTES);
+    }
+
+    #[test]
+    fn epoch_round_trips() {
+        let mut dir = Directory::plan(&[50], 4, 2).unwrap();
+        dir.set_epoch(9);
+        let back = Directory::from_bytes(&dir.to_bytes()).unwrap();
+        assert_eq!(back.epoch(), 9);
+    }
+
+    #[test]
+    fn next_id_round_trips() {
+        let mut dir = Directory::plan(&[100], 4, 4).unwrap();
+        dir.set_next_id(12_345);
+        let back = Directory::from_bytes(&dir.to_bytes()).unwrap();
+        assert_eq!(back.next_id(), 12_345);
+    }
+
+    #[test]
+    fn directory_round_trips_through_bytes() {
+        let dir = Directory::plan(&[100, 200, 300], 8, 16).unwrap();
+        let blob = dir.to_bytes();
+        assert_eq!(blob.len(), Directory::byte_size(3));
+        let back = Directory::from_bytes(&blob).unwrap();
+        assert_eq!(back, dir);
+    }
+
+    #[test]
+    fn corrupt_directories_are_rejected() {
+        let dir = Directory::plan(&[100], 4, 4).unwrap();
+        let blob = dir.to_bytes();
+        assert!(Directory::from_bytes(&blob[..10]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(Directory::from_bytes(&bad).is_err());
+        let mut bad_slot = blob.clone();
+        bad_slot[HEADER_BYTES + 4] = 9;
+        assert!(Directory::from_bytes(&bad_slot).is_err());
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_input() {
+        assert!(Directory::plan(&[], 4, 4).is_err());
+        assert!(Directory::plan(&[10], 0, 4).is_err());
+    }
+
+    #[test]
+    fn overflow_capacity_counts_only_payload() {
+        let dir = Directory::plan(&[10, 20], 4, 3).unwrap();
+        let loc = dir.location(0).unwrap();
+        let rec = OverflowRecord::wire_size(4) as u64;
+        assert_eq!(loc.overflow_capacity(), 3 * rec);
+    }
+}

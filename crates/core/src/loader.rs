@@ -1,0 +1,157 @@
+//! Query-aware batched data loading (§3.3).
+//!
+//! Given a batch of queries, each needing its `b` closest sub-HNSW
+//! clusters, the planner computes the batch's *unique* cluster demand so
+//! every cluster crosses the network **at most once per batch**, splits it
+//! into cache hits and required loads, and emits the doorbell read
+//! requests covering each required cluster's contiguous span (cluster +
+//! overflow).
+//!
+//! The planner is pure — it performs no I/O — which keeps the dedup and
+//! cache-interaction logic independently testable.
+
+use rdma_sim::ReadReq;
+
+use crate::layout::Directory;
+use crate::Result;
+
+/// The outcome of planning one batch's cluster loads.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadPlan {
+    /// Deduplicated partitions the batch needs, in first-demand order.
+    pub unique: Vec<u32>,
+    /// Subset of `unique` already resident in the compute-side cache.
+    pub cached: Vec<u32>,
+    /// Subset of `unique` that must be fetched from the memory pool.
+    pub to_load: Vec<u32>,
+    /// Total demand before dedup (`Σ per-query fan-out`).
+    pub raw_demand: usize,
+}
+
+impl LoadPlan {
+    /// How many loads the query-aware dedup avoided versus naive
+    /// per-query fetching (cache hits included).
+    pub fn transfers_saved(&self) -> usize {
+        self.raw_demand - self.to_load.len()
+    }
+}
+
+/// Plans the loads for a batch.
+///
+/// `routes[i]` lists the partitions query `i` needs (its top-`b` from the
+/// meta-HNSW). `is_cached` reports compute-side residency.
+pub fn plan_batch(routes: &[Vec<u32>], is_cached: impl Fn(u32) -> bool) -> LoadPlan {
+    let mut plan = LoadPlan::default();
+    let mut seen = std::collections::HashSet::new();
+    for route in routes {
+        plan.raw_demand += route.len();
+        for &p in route {
+            if seen.insert(p) {
+                plan.unique.push(p);
+            }
+        }
+    }
+    for &p in &plan.unique {
+        if is_cached(p) {
+            plan.cached.push(p);
+        } else {
+            plan.to_load.push(p);
+        }
+    }
+    plan
+}
+
+/// Builds the read requests covering each partition's contiguous
+/// cluster-plus-overflow span, in `partitions` order. Feeding the whole
+/// list to [`rdma_sim::QueuePair::read_doorbell`] yields the §3.2
+/// doorbell-batched load; issuing them one by one is the "without
+/// doorbell" baseline.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::UnknownPartition`] for an out-of-range id.
+pub fn read_requests(
+    directory: &Directory,
+    rkey: u32,
+    partitions: &[u32],
+) -> Result<Vec<ReadReq>> {
+    partitions
+        .iter()
+        .map(|&p| {
+            let loc = directory.location(p)?;
+            let (off, len) = loc.read_span();
+            Ok(ReadReq::new(rkey, off, len))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routes(rs: &[&[u32]]) -> Vec<Vec<u32>> {
+        rs.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn dedup_keeps_first_demand_order() {
+        // The paper's Fig. 5 example: q1 -> {S1, S4}, q2 -> {S3, ...},
+        // q3 -> {S4, S5}, q4 -> {S3, ...}.
+        let plan = plan_batch(
+            &routes(&[&[1, 4], &[3, 2], &[4, 5], &[3, 1]]),
+            |_| false,
+        );
+        assert_eq!(plan.unique, vec![1, 4, 3, 2, 5]);
+        assert_eq!(plan.raw_demand, 8);
+        assert_eq!(plan.to_load.len(), 5);
+        assert_eq!(plan.transfers_saved(), 3);
+    }
+
+    #[test]
+    fn cached_partitions_are_not_loaded() {
+        let plan = plan_batch(&routes(&[&[1, 2], &[2, 3]]), |p| p == 2);
+        assert_eq!(plan.unique, vec![1, 2, 3]);
+        assert_eq!(plan.cached, vec![2]);
+        assert_eq!(plan.to_load, vec![1, 3]);
+        assert_eq!(plan.transfers_saved(), 2);
+    }
+
+    #[test]
+    fn empty_batch_plans_nothing() {
+        let plan = plan_batch(&[], |_| true);
+        assert_eq!(plan, LoadPlan::default());
+    }
+
+    #[test]
+    fn fully_cached_batch_loads_nothing() {
+        let plan = plan_batch(&routes(&[&[0, 1], &[1, 2]]), |_| true);
+        assert!(plan.to_load.is_empty());
+        assert_eq!(plan.cached, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_within_one_query_counts_once() {
+        let plan = plan_batch(&routes(&[&[5, 5, 5]]), |_| false);
+        assert_eq!(plan.unique, vec![5]);
+        assert_eq!(plan.raw_demand, 3);
+    }
+
+    #[test]
+    fn read_requests_cover_full_spans() {
+        let dir = Directory::plan(&[64, 128, 32], 4, 4).unwrap();
+        let reqs = read_requests(&dir, 9, &[2, 0]).unwrap();
+        assert_eq!(reqs.len(), 2);
+        let loc2 = dir.location(2).unwrap();
+        let (off, len) = loc2.read_span();
+        assert_eq!(reqs[0], ReadReq::new(9, off, len));
+        // Order follows the input partitions.
+        let loc0 = dir.location(0).unwrap();
+        assert_eq!(reqs[1].offset, loc0.read_span().0);
+    }
+
+    #[test]
+    fn read_requests_reject_unknown_partition() {
+        let dir = Directory::plan(&[64], 4, 4).unwrap();
+        assert!(read_requests(&dir, 1, &[5]).is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! Building the remote store: partitioning, cluster construction, and
+//! placement into registered memory.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rdma_sim::{MemoryNode, QueuePair, RegionHandle, WriteReq};
+use vecsim::Dataset;
+
+use crate::cluster::SubCluster;
+use crate::engine::{ComputeNode, SearchMode};
+use crate::layout::Directory;
+use crate::meta::MetaIndex;
+use crate::{DHnswConfig, Error, Result};
+
+/// A fully built d-HNSW store: the memory-pool side plus the shared
+/// artifacts every compute node caches (meta-HNSW, directory).
+///
+/// Build once with [`VectorStore::build`], then open any number of
+/// compute-side sessions with [`VectorStore::connect`] — each gets its
+/// own queue pair, virtual clock, and LRU cluster cache, like the
+/// independent compute instances of the paper's testbed.
+///
+/// # Example
+///
+/// ```rust
+/// use dhnsw::{DHnswConfig, SearchMode, VectorStore};
+/// use vecsim::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = gen::sift_like(1_000, 11)?;
+/// let store = VectorStore::build(data, &DHnswConfig::small())?;
+/// assert_eq!(store.partitions(), 32);
+/// let node = store.connect(SearchMode::Full)?;
+/// let q = vec![100.0; 128];
+/// let hits = node.query(&q, 5, 32)?;
+/// assert_eq!(hits.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VectorStore {
+    config: DHnswConfig,
+    node: Arc<MemoryNode>,
+    region: RegionHandle,
+    meta: Arc<MetaIndex>,
+    directory: Arc<Directory>,
+    base_len: usize,
+    partition_sizes: Vec<usize>,
+}
+
+impl VectorStore {
+    /// Builds the store: samples representatives, partitions `data` via
+    /// the meta-HNSW classifier, constructs one sub-HNSW per partition
+    /// (in parallel), plans the grouped layout, and writes everything
+    /// into a freshly registered remote region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on an invalid configuration or
+    /// an empty dataset, plus any substrate error.
+    pub fn build(data: Dataset, config: &DHnswConfig) -> Result<Self> {
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        Self::build_inner(data, ids, config, 0)
+    }
+
+    /// Shared implementation behind [`VectorStore::build`] and
+    /// [`VectorStore::rebuild`]: `global_ids[row]` is the id of `data`'s
+    /// `row`-th vector (fresh builds use the identity; rebuilds preserve
+    /// the ids of compacted overflow inserts).
+    fn build_inner(
+        data: Dataset,
+        global_ids: Vec<u32>,
+        config: &DHnswConfig,
+        epoch: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if data.is_empty() {
+            return Err(Error::InvalidParameter(
+                "cannot build a store over an empty dataset".into(),
+            ));
+        }
+        debug_assert_eq!(data.len(), global_ids.len());
+        let meta = Arc::new(MetaIndex::build(&data, config)?);
+        let parts = meta.partitions();
+
+        // Classify every vector (parallel over row ranges).
+        let assignments = classify_all(&data, &meta);
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (i, &p) in assignments.iter().enumerate() {
+            members[p as usize].push(i as u32);
+        }
+        // Greedy routing can in principle leave a partition empty; its
+        // representative is guaranteed to belong there, so force it in.
+        for (p, m) in members.iter_mut().enumerate() {
+            if m.is_empty() {
+                m.push(meta.sample_ids()[p]);
+            }
+        }
+
+        // Build and serialize every sub-HNSW in parallel.
+        let blobs = build_clusters(&data, &global_ids, &members, config)?;
+        let partition_sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+        let sizes: Vec<u64> = blobs.iter().map(|b| b.len() as u64).collect();
+
+        let mut directory = Directory::plan(&sizes, data.dim(), config.overflow_slots())?;
+        directory.set_next_id(
+            global_ids.iter().map(|&g| u64::from(g) + 1).max().unwrap_or(0),
+        );
+        directory.set_epoch(epoch);
+
+        // Register the region and place everything. Setup traffic flows
+        // through a throwaway queue pair; its virtual time is not part of
+        // any query measurement.
+        let node = MemoryNode::new("memory-pool");
+        let region = node.register(directory.total_len() as usize)?;
+        let setup_qp = QueuePair::connect(&node, config.network());
+        let mut writes = Vec::with_capacity(1 + blobs.len());
+        writes.push(WriteReq::new(region.rkey(), 0, directory.to_bytes()));
+        for (p, blob) in blobs.into_iter().enumerate() {
+            let loc = directory.location(p as u32)?;
+            writes.push(WriteReq::new(region.rkey(), loc.cluster_off, blob));
+        }
+        setup_qp.write_doorbell(&writes)?;
+
+        Ok(VectorStore {
+            config: config.clone(),
+            node,
+            region,
+            meta,
+            directory: Arc::new(directory),
+            base_len: data.len(),
+            partition_sizes,
+        })
+    }
+
+    /// Reassembles a store from snapshot parts (see [`crate::snapshot`]).
+    pub(crate) fn from_parts(
+        config: DHnswConfig,
+        node: Arc<MemoryNode>,
+        region: RegionHandle,
+        meta: Arc<MetaIndex>,
+        directory: Arc<Directory>,
+        base_len: usize,
+        partition_sizes: Vec<usize>,
+    ) -> Self {
+        VectorStore {
+            config,
+            node,
+            region,
+            meta,
+            directory,
+            base_len,
+            partition_sizes,
+        }
+    }
+
+    /// Opens a compute-instance session in the given [`SearchMode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors from fetching the remote directory.
+    pub fn connect(&self, mode: SearchMode) -> Result<ComputeNode> {
+        ComputeNode::connect(self, mode)
+    }
+
+    /// Rebuilds the store from its current remote state, folding every
+    /// overflow insert into the base clusters and re-planning the layout
+    /// with empty overflow areas.
+    ///
+    /// This is the re-layout step §3.2 defers to rebuild time: saturated
+    /// groups ([`Error::OverflowFull`]) become writable again, oversized
+    /// clusters get right-sized slots, and the directory epoch is bumped
+    /// so compute nodes can detect the new layout. Global ids are
+    /// preserved — results on the new store name the same vectors.
+    ///
+    /// Returns a fresh store on a fresh memory node; the old store stays
+    /// queryable until dropped (a real deployment would swap them behind
+    /// the load balancer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate and corruption errors from reading the old
+    /// remote state.
+    pub fn rebuild(&self) -> Result<VectorStore> {
+        let qp = QueuePair::connect(&self.node, self.config.network());
+        let rkey = self.region.rkey();
+        let mut pairs: Vec<(u32, Vec<f32>)> = Vec::with_capacity(self.base_len);
+        let mut seen = std::collections::HashSet::new();
+        for loc in self.directory.locations() {
+            let (off, len) = loc.read_span();
+            let buf = qp.read(rkey, off, len)?;
+            let (cluster_bytes, overflow) = loc.split(&buf)?;
+            let loaded = crate::cluster::LoadedCluster::from_remote(cluster_bytes, overflow)?;
+            for (local, &gid) in loaded.sub().global_ids().iter().enumerate() {
+                // Forced representatives live in two clusters; keep one.
+                // Tombstoned ids are dropped for good — this is where a
+                // delete becomes permanent.
+                if !loaded.deleted().contains(&gid) && seen.insert(gid) {
+                    pairs.push((gid, loaded.sub().hnsw().vector(local as u32).to_vec()));
+                }
+            }
+            for rec in crate::cluster::parse_overflow(overflow, self.dim())? {
+                if rec.partition == loc.partition
+                    && !rec.tombstone
+                    && !loaded.deleted().contains(&rec.global_id)
+                    && seen.insert(rec.global_id)
+                {
+                    pairs.push((rec.global_id, rec.vector));
+                }
+            }
+        }
+        pairs.sort_by_key(|(gid, _)| *gid);
+        let mut data = Dataset::with_capacity(self.dim(), pairs.len());
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (gid, v) in pairs {
+            data.push(&v)?;
+            ids.push(gid);
+        }
+        Self::build_inner(data, ids, &self.config, self.directory.epoch() + 1)
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &DHnswConfig {
+        &self.config
+    }
+
+    /// The memory-pool node.
+    pub fn memory_node(&self) -> &Arc<MemoryNode> {
+        &self.node
+    }
+
+    /// The registered region holding directory, clusters, and overflow.
+    pub fn region(&self) -> RegionHandle {
+        self.region
+    }
+
+    /// The shared meta-HNSW (cached by every compute node).
+    pub fn meta(&self) -> &Arc<MetaIndex> {
+        &self.meta
+    }
+
+    /// The layout directory as planned at build time.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.directory
+    }
+
+    /// Number of partitions / sub-HNSW clusters.
+    pub fn partitions(&self) -> usize {
+        self.directory.partitions()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.directory.dim()
+    }
+
+    /// Vectors in the base build (excluding later inserts).
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Base vectors assigned to partition `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for an out-of-range id.
+    pub fn partition_size(&self, p: u32) -> Result<usize> {
+        self.partition_sizes
+            .get(p as usize)
+            .copied()
+            .ok_or(Error::UnknownPartition(p))
+    }
+
+    /// Total remote bytes the store occupies (directory + clusters +
+    /// overflow areas).
+    pub fn remote_bytes(&self) -> u64 {
+        self.directory.total_len()
+    }
+}
+
+/// Classifies every row of `data` with the meta index, fanned out over
+/// available cores.
+fn classify_all(data: &Dataset, meta: &MetaIndex) -> Vec<u32> {
+    let n = data.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    let mut out = vec![0u32; n];
+    std::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move || {
+                for (off, dst) in slot.iter_mut().enumerate() {
+                    let route = meta.route(data.get(start + off), 1);
+                    *dst = route.first().map(|n| n.id).unwrap_or(0);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Builds and serializes one sub-HNSW per partition, in parallel over a
+/// shared work queue (partition sizes are skewed, so static chunking
+/// would straggle).
+fn build_clusters(
+    data: &Dataset,
+    global_ids: &[u32],
+    members: &[Vec<u32>],
+    config: &DHnswConfig,
+) -> Result<Vec<Vec<u8>>> {
+    let parts = members.len();
+    let slots: Vec<Mutex<Option<Result<Vec<u8>>>>> =
+        (0..parts).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(parts);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let p = next.fetch_add(1, Ordering::Relaxed);
+                if p >= parts {
+                    break;
+                }
+                let rows = &members[p];
+                let vectors = data.select(rows);
+                let gids: Vec<u32> = rows.iter().map(|&r| global_ids[r as usize]).collect();
+                let built = SubCluster::build(p as u32, vectors, gids, &config.sub_params())
+                    .map(|c| c.to_bytes());
+                *slots[p].lock() = Some(built);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every partition slot is filled by the work queue")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LoadedCluster;
+    use vecsim::gen;
+
+    fn small_store(n: usize) -> (Dataset, VectorStore) {
+        let data = gen::sift_like(n, 21).unwrap();
+        let store = VectorStore::build(data.clone(), &DHnswConfig::small()).unwrap();
+        (data, store)
+    }
+
+    #[test]
+    fn build_covers_every_vector_exactly_once_or_more() {
+        let (data, store) = small_store(800);
+        let total: usize = (0..store.partitions() as u32)
+            .map(|p| store.partition_size(p).unwrap())
+            .sum();
+        // Forced representatives can duplicate a vector, never drop one.
+        assert!(total >= data.len());
+        assert_eq!(store.base_len(), data.len());
+    }
+
+    #[test]
+    fn no_partition_is_empty() {
+        let (_, store) = small_store(500);
+        for p in 0..store.partitions() as u32 {
+            assert!(store.partition_size(p).unwrap() > 0, "partition {p} empty");
+        }
+    }
+
+    #[test]
+    fn remote_region_matches_directory_plan() {
+        let (_, store) = small_store(400);
+        assert_eq!(
+            store.memory_node().region_len(store.region().rkey()).unwrap(),
+            store.directory().total_len()
+        );
+        assert_eq!(store.remote_bytes(), store.directory().total_len());
+    }
+
+    #[test]
+    fn remote_clusters_deserialize_and_search() {
+        let (data, store) = small_store(400);
+        let qp = QueuePair::connect(store.memory_node(), store.config().network());
+        let dir = store.directory();
+        for p in (0..store.partitions() as u32).step_by(5) {
+            let loc = dir.location(p).unwrap();
+            let (off, len) = loc.read_span();
+            let buf = qp.read(store.region().rkey(), off, len).unwrap();
+            let (cluster_bytes, overflow) = loc.split(&buf).unwrap();
+            let loaded = LoadedCluster::from_remote(cluster_bytes, overflow).unwrap();
+            assert_eq!(loaded.partition(), p);
+            assert_eq!(loaded.overflow_len(), 0);
+            assert_eq!(loaded.sub().len(), store.partition_size(p).unwrap());
+            // Every member vector finds itself.
+            let gid = loaded.sub().global_ids()[0];
+            let hit = loaded.search(data.get(gid as usize), 1, 8);
+            assert_eq!(hit[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn remote_directory_matches_planned_directory() {
+        let (_, store) = small_store(300);
+        let qp = QueuePair::connect(store.memory_node(), store.config().network());
+        let bytes = qp
+            .read(
+                store.region().rkey(),
+                0,
+                Directory::byte_size(store.partitions()) as u64,
+            )
+            .unwrap();
+        let fetched = Directory::from_bytes(&bytes).unwrap();
+        assert_eq!(&fetched, store.directory().as_ref());
+        assert_eq!(fetched.next_id(), store.base_len() as u64);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let data = Dataset::new(8);
+        assert!(VectorStore::build(data, &DHnswConfig::small()).is_err());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let data = gen::sift_like(300, 33).unwrap();
+        let a = VectorStore::build(data.clone(), &DHnswConfig::small()).unwrap();
+        let b = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+        assert_eq!(a.directory().as_ref(), b.directory().as_ref());
+        assert_eq!(a.partition_sizes, b.partition_sizes);
+    }
+
+    #[test]
+    fn rebuild_without_inserts_preserves_content() {
+        let (data, store) = small_store(400);
+        let rebuilt = store.rebuild().unwrap();
+        assert_eq!(rebuilt.base_len(), data.len());
+        assert_eq!(rebuilt.directory().epoch(), 1);
+        // Same answers through a fresh compute node.
+        let q = data.get(7);
+        let a = store
+            .connect(crate::SearchMode::Full)
+            .unwrap()
+            .query(q, 5, 32)
+            .unwrap();
+        let b = rebuilt
+            .connect(crate::SearchMode::Full)
+            .unwrap()
+            .query(q, 5, 32)
+            .unwrap();
+        assert_eq!(a[0].id, b[0].id);
+        assert_eq!(a[0].dist, b[0].dist);
+    }
+
+    #[test]
+    fn rebuild_folds_overflow_into_base_clusters() {
+        use vecsim::gen as vgen;
+        let (data, store) = small_store(300);
+        let node = store.connect(crate::SearchMode::Full).unwrap();
+        let inserts = vgen::perturbed_queries(&data, 12, 0.01, 99).unwrap();
+        let mut gids = Vec::new();
+        for v in inserts.iter() {
+            gids.push(node.insert(v).unwrap());
+        }
+        let rebuilt = store.rebuild().unwrap();
+        assert_eq!(rebuilt.base_len(), data.len() + 12);
+        // Inserted ids survive the rebuild as base vectors.
+        let fresh = rebuilt.connect(crate::SearchMode::Full).unwrap();
+        for (i, v) in inserts.iter().enumerate() {
+            let hit = fresh.query(v, 1, 32).unwrap();
+            assert_eq!(hit[0].id, gids[i], "insert {i} lost by rebuild");
+            assert_eq!(hit[0].dist, 0.0);
+        }
+        // Overflow areas are empty again: inserts into a previously
+        // saturated group succeed on the rebuilt store.
+        let again = fresh.insert(inserts.get(0)).unwrap();
+        assert!(u64::from(again) >= rebuilt.base_len() as u64);
+    }
+
+    #[test]
+    fn rebuild_makes_deletions_permanent() {
+        let (data, store) = small_store(300);
+        let node = store.connect(crate::SearchMode::Full).unwrap();
+        let target = data.get(4).to_vec();
+        let victim = node.query(&target, 1, 48).unwrap()[0].id;
+        node.delete(&target, victim).unwrap();
+        let rebuilt = store.rebuild().unwrap();
+        assert_eq!(rebuilt.base_len(), data.len() - 1);
+        let fresh = rebuilt.connect(crate::SearchMode::Full).unwrap();
+        let after = fresh.query(&target, 5, 48).unwrap();
+        assert!(after.iter().all(|n| n.id != victim));
+    }
+
+    #[test]
+    fn rebuild_unclogs_a_saturated_group() {
+        let data = vecsim::gen::sift_like(200, 55).unwrap();
+        let cfg = DHnswConfig::small().with_overflow_slots(1);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let node = store.connect(crate::SearchMode::Full).unwrap();
+        let v = data.get(0);
+        node.insert(v).unwrap();
+        assert!(matches!(
+            node.insert(v).unwrap_err(),
+            crate::Error::OverflowFull { .. }
+        ));
+        let rebuilt = store.rebuild().unwrap();
+        let fresh = rebuilt.connect(crate::SearchMode::Full).unwrap();
+        fresh.insert(v).unwrap();
+    }
+
+    #[test]
+    fn unknown_partition_size_is_an_error() {
+        let (_, store) = small_store(200);
+        assert!(store.partition_size(10_000).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Exact linear-scan index with the same call shape as [`crate::HnswIndex`].
+//!
+//! Used as the correctness oracle in tests and as the "exact" end of the
+//! latency-recall benches.
+
+use vecsim::{Dataset, Metric, Neighbor, TopK};
+
+use crate::{Error, Result};
+
+/// A brute-force exact index.
+///
+/// # Example
+///
+/// ```rust
+/// use hnsw::BruteForceIndex;
+/// use vecsim::{Dataset, Metric};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = Dataset::from_rows(&[[0.0f32, 0.0], [1.0, 1.0]])?;
+/// let idx = BruteForceIndex::new(data, Metric::L2);
+/// assert_eq!(idx.search(&[0.1, 0.1], 1)[0].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    data: Dataset,
+    metric: Metric,
+}
+
+impl BruteForceIndex {
+    /// Wraps a dataset for exact search under `metric`.
+    pub fn new(data: Dataset, metric: Metric) -> Self {
+        BruteForceIndex { data, metric }
+    }
+
+    /// Inserts a vector, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on a wrong-length vector.
+    pub fn insert(&mut self, v: &[f32]) -> Result<u32> {
+        let id = self.data.len() as u32;
+        self.data.push(v).map_err(Error::from)?;
+        Ok(id)
+    }
+
+    /// Exact top-`k`, sorted ascending by distance.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut top = TopK::new(k);
+        for (i, v) in self.data.iter().enumerate() {
+            top.push(i as u32, self.metric.distance(query, v));
+        }
+        top.into_sorted_vec()
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The backing dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HnswIndex, HnswParams};
+    use vecsim::gen;
+
+    #[test]
+    fn matches_ground_truth_exactly() {
+        let data = gen::uniform(8, 500, 0.0, 1.0, 3).unwrap();
+        let queries = gen::uniform(8, 10, 0.0, 1.0, 4).unwrap();
+        let idx = BruteForceIndex::new(data.clone(), Metric::L2);
+        for q in queries.iter() {
+            let got = idx.search(q, 7);
+            let truth = vecsim::ground_truth::exact(&data, q, 7, Metric::L2);
+            assert_eq!(got, truth);
+        }
+    }
+
+    #[test]
+    fn insert_appends_sequentially() {
+        let mut idx = BruteForceIndex::new(Dataset::new(2), Metric::L2);
+        assert_eq!(idx.insert(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(idx.insert(&[1.0, 1.0]).unwrap(), 1);
+        assert!(idx.insert(&[1.0]).is_err());
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn hnsw_recall_measured_against_bruteforce() {
+        let data = gen::uniform(8, 1_000, 0.0, 1.0, 13).unwrap();
+        let exact = BruteForceIndex::new(data.clone(), Metric::L2);
+        let approx = HnswIndex::build(data, &HnswParams::new(12, 100).seed(14)).unwrap();
+        let q = [0.5f32; 8];
+        let truth = exact.search(&q, 10);
+        let got = approx.search(&q, 10, 100);
+        let hits = got
+            .iter()
+            .filter(|g| truth.iter().any(|t| t.id == g.id))
+            .count();
+        assert!(hits >= 8, "only {hits}/10 found");
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A query or inserted vector did not match the index dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the index was created with.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        got: usize,
+    },
+    /// A construction parameter was out of range.
+    InvalidParameter(String),
+    /// A serialized index blob failed validation.
+    CorruptBlob(String),
+    /// An error bubbled up from the vector layer.
+    Vecsim(vecsim::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            Error::CorruptBlob(what) => write!(f, "corrupt index blob: {what}"),
+            Error::Vecsim(e) => write!(f, "vector error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Vecsim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vecsim::Error> for Error {
+    fn from(e: vecsim::Error) -> Self {
+        Error::Vecsim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_concise() {
+        let e = Error::InvalidParameter("m must be >= 2".into());
+        assert_eq!(e.to_string(), "invalid parameter: m must be >= 2");
+    }
+
+    #[test]
+    fn vecsim_source_is_preserved() {
+        use std::error::Error as _;
+        let e = Error::from(vecsim::Error::InvalidParameter("x".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Internal adjacency storage for the multi-layer graph.
+
+/// Per-node adjacency: one neighbour list per layer the node exists on.
+/// A node of level `l` has `l + 1` lists (layers `0..=l`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Node {
+    links: Vec<Vec<u32>>,
+}
+
+impl Node {
+    pub(crate) fn with_level(level: usize) -> Self {
+        Node {
+            links: vec![Vec::new(); level + 1],
+        }
+    }
+
+    /// Reconstructs a node from per-layer adjacency (deserialization path).
+    pub(crate) fn from_links(links: Vec<Vec<u32>>) -> Self {
+        Node { links }
+    }
+
+    /// Highest layer this node exists on.
+    pub(crate) fn level(&self) -> usize {
+        self.links.len().saturating_sub(1)
+    }
+
+    pub(crate) fn neighbors(&self, layer: usize) -> &[u32] {
+        self.links.get(layer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub(crate) fn neighbors_mut(&mut self, layer: usize) -> &mut Vec<u32> {
+        &mut self.links[layer]
+    }
+
+    pub(crate) fn layers(&self) -> &[Vec<u32>] {
+        &self.links
+    }
+}
+
+/// The whole multi-layer graph: node adjacency plus the entry point.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) entry: Option<u32>,
+    pub(crate) max_level: usize,
+}
+
+impl Graph {
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: u32) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Appends a node of the given level and returns its id; promotes it to
+    /// entry point if it is the first node or reaches a new highest level.
+    pub(crate) fn push_node(&mut self, level: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::with_level(level));
+        match self.entry {
+            None => {
+                self.entry = Some(id);
+                self.max_level = level;
+            }
+            Some(_) if level > self.max_level => {
+                self.entry = Some(id);
+                self.max_level = level;
+            }
+            _ => {}
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_level_matches_layer_count() {
+        let n = Node::with_level(2);
+        assert_eq!(n.level(), 2);
+        assert_eq!(n.layers().len(), 3);
+        assert!(n.neighbors(0).is_empty());
+        assert!(n.neighbors(5).is_empty(), "missing layers read as empty");
+    }
+
+    #[test]
+    fn first_node_becomes_entry() {
+        let mut g = Graph::default();
+        let id = g.push_node(0);
+        assert_eq!(g.entry, Some(id));
+        assert_eq!(g.max_level, 0);
+    }
+
+    #[test]
+    fn higher_level_node_takes_over_entry() {
+        let mut g = Graph::default();
+        g.push_node(0);
+        let high = g.push_node(3);
+        assert_eq!(g.entry, Some(high));
+        assert_eq!(g.max_level, 3);
+        // An equal-level later node must NOT steal the entry point.
+        g.push_node(3);
+        assert_eq!(g.entry, Some(high));
+    }
+
+    #[test]
+    fn links_are_mutable_per_layer() {
+        let mut g = Graph::default();
+        let a = g.push_node(1);
+        let b = g.push_node(0);
+        g.node_mut(a).neighbors_mut(0).push(b);
+        g.node_mut(b).neighbors_mut(0).push(a);
+        assert_eq!(g.node(a).neighbors(0), &[b]);
+        assert_eq!(g.node(a).neighbors(1), &[] as &[u32]);
+    }
+}

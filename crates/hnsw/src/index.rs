@@ -1,0 +1,734 @@
+//! The public HNSW index type.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vecsim::{Dataset, Neighbor};
+
+use crate::build::{sample_level, select_neighbors_heuristic};
+use crate::graph::Graph;
+use crate::search::{greedy_descend_layer, search_layer, LayerStats, VisitedSet};
+use crate::{Error, HnswParams, Result};
+
+/// Work counters for a single search, split the way the paper's latency
+/// breakdown wants them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distance evaluations performed.
+    pub dist_evals: u64,
+    /// Graph hops (neighbour expansions) performed.
+    pub hops: u64,
+}
+
+impl SearchStats {
+    fn absorb(&mut self, l: LayerStats) {
+        self.dist_evals += l.dist_evals;
+        self.hops += l.hops;
+    }
+}
+
+/// A Hierarchical Navigable Small World index over an owned [`Dataset`].
+///
+/// Thread-safe for concurrent searches (`&self`); insertion requires
+/// `&mut self`.
+///
+/// # Example
+///
+/// ```rust
+/// use hnsw::{HnswIndex, HnswParams};
+/// use vecsim::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = gen::uniform(8, 300, 0.0, 1.0, 5)?;
+/// let index = HnswIndex::build(data, &HnswParams::new(8, 64))?;
+/// let out = index.search(&[0.5; 8], 3, 32);
+/// assert_eq!(out.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HnswIndex {
+    params: HnswParams,
+    data: Dataset,
+    graph: Graph,
+    rng: StdRng,
+    // Pool of reusable visited sets so concurrent searches don't allocate
+    // an O(n) scratch buffer each call.
+    visited_pool: Mutex<Vec<VisitedSet>>,
+}
+
+impl HnswIndex {
+    /// Creates an empty index for vectors of dimensionality `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the parameters fail
+    /// [`HnswParams::validate`] or `dim == 0`.
+    pub fn new(dim: usize, params: &HnswParams) -> Result<Self> {
+        params.validate()?;
+        if dim == 0 {
+            return Err(Error::InvalidParameter("dim must be non-zero".into()));
+        }
+        Ok(HnswIndex {
+            params: params.clone(),
+            data: Dataset::new(dim),
+            graph: Graph::default(),
+            rng: StdRng::seed_from_u64(params.rng_seed()),
+            visited_pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Builds an index by inserting every vector of `data` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on invalid parameters or an
+    /// empty/zero-dimension dataset.
+    pub fn build(data: Dataset, params: &HnswParams) -> Result<Self> {
+        let mut index = HnswIndex::new(data.dim().max(1), params)?;
+        if data.dim() == 0 {
+            return Err(Error::InvalidParameter(
+                "dataset must have non-zero dimension".into(),
+            ));
+        }
+        for row in data.iter() {
+            index.insert(row)?;
+        }
+        Ok(index)
+    }
+
+    /// Rebuilds an index from previously extracted parts (deserialization).
+    pub(crate) fn from_parts(
+        params: HnswParams,
+        data: Dataset,
+        links: Vec<Vec<Vec<u32>>>,
+        entry: Option<u32>,
+        max_level: usize,
+    ) -> Self {
+        let nodes = links
+            .into_iter()
+            .map(crate::graph::Node::from_links)
+            .collect();
+        HnswIndex {
+            rng: StdRng::seed_from_u64(params.rng_seed()),
+            params,
+            data,
+            graph: Graph {
+                nodes,
+                entry,
+                max_level,
+            },
+            visited_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Inserts a vector and returns its id (sequential from zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `v` has the wrong length.
+    pub fn insert(&mut self, v: &[f32]) -> Result<u32> {
+        if v.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                got: v.len(),
+            });
+        }
+        let level = sample_level(
+            &mut self.rng,
+            self.params.level_lambda(),
+            self.params.max_level_cap(),
+        );
+
+        // Capture the pre-insert entry point: the new node must be linked
+        // by searching from the OLD graph top.
+        let prev_entry = self.graph.entry;
+        let prev_max = self.graph.max_level;
+
+        self.data.push(v).map_err(Error::from)?;
+        let id = self.graph.push_node(level);
+
+        let Some(entry) = prev_entry else {
+            return Ok(id); // first node: nothing to link
+        };
+
+        let metric = self.params.metric_kind();
+        let mut stats = LayerStats::default();
+        let mut cur = entry;
+        let mut cur_dist = metric.distance(v, self.data.get(cur as usize));
+
+        // Greedy descent through layers above the new node's level.
+        for layer in ((level + 1)..=prev_max).rev() {
+            (cur, cur_dist) = greedy_descend_layer(
+                &self.graph,
+                &self.data,
+                metric,
+                v,
+                cur,
+                cur_dist,
+                layer,
+                &mut stats,
+            );
+        }
+
+        // Beam search + linking on each layer the new node exists on.
+        let mut visited = self.take_visited();
+        let mut eps = vec![Neighbor::new(cur, cur_dist)];
+        for layer in (0..=level.min(prev_max)).rev() {
+            let w = search_layer(
+                &self.graph,
+                &self.data,
+                metric,
+                v,
+                &eps,
+                self.params.ef_construction(),
+                layer,
+                &mut visited,
+                &mut stats,
+            );
+            let m_cap = self.layer_cap(layer);
+            let selected = select_neighbors_heuristic(
+                &self.graph,
+                &self.data,
+                metric,
+                v,
+                &w,
+                self.params.m(),
+                layer,
+                self.params.extends_candidates(),
+                self.params.keeps_pruned(),
+            );
+            for &nb in &selected {
+                self.graph.node_mut(id).neighbors_mut(layer).push(nb);
+                self.graph.node_mut(nb).neighbors_mut(layer).push(id);
+                self.shrink_if_needed(nb, layer, m_cap);
+            }
+            eps = w;
+        }
+        self.put_visited(visited);
+        Ok(id)
+    }
+
+    /// Per-layer degree cap: `2M` on the ground layer, `M` above.
+    fn layer_cap(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m0()
+        } else {
+            self.params.m()
+        }
+    }
+
+    /// Re-selects `node`'s neighbour list on `layer` when it exceeds `cap`.
+    fn shrink_if_needed(&mut self, node: u32, layer: usize, cap: usize) {
+        if self.graph.node(node).neighbors(layer).len() <= cap {
+            return;
+        }
+        let metric = self.params.metric_kind();
+        let node_vec = self.data.get(node as usize).to_vec();
+        let mut cands: Vec<Neighbor> = self
+            .graph
+            .node(node)
+            .neighbors(layer)
+            .iter()
+            .map(|&nb| Neighbor::new(nb, metric.distance(&node_vec, self.data.get(nb as usize))))
+            .collect();
+        cands.sort();
+        let selected = select_neighbors_heuristic(
+            &self.graph,
+            &self.data,
+            metric,
+            &node_vec,
+            &cands,
+            cap,
+            layer,
+            false,
+            self.params.keeps_pruned(),
+        );
+        *self.graph.node_mut(node).neighbors_mut(layer) = selected;
+    }
+
+    fn take_visited(&self) -> VisitedSet {
+        self.visited_pool.lock().pop().unwrap_or_default()
+    }
+
+    fn put_visited(&self, v: VisitedSet) {
+        let mut pool = self.visited_pool.lock();
+        if pool.len() < 64 {
+            pool.push(v);
+        }
+    }
+
+    /// Searches for the `k` nearest neighbours of `query` with beam width
+    /// `ef`. Returns up to `min(k, ef)` results sorted by ascending
+    /// distance — an `ef` below `k` deliberately narrows the candidate
+    /// list, trading recall for speed, which is how the d-HNSW paper
+    /// sweeps `efSearch` from 1 even for top-10 queries.
+    ///
+    /// An empty index or a dimension-mismatched query yields an empty
+    /// result (searches are infallible by design; validation belongs on
+    /// the insert path).
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        let mut stats = SearchStats::default();
+        self.search_with_stats(query, k, ef, &mut stats)
+    }
+
+    /// Like [`HnswIndex::search`] but accumulates work counters into
+    /// `stats`.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let Some(entry) = self.graph.entry else {
+            return Vec::new();
+        };
+        if query.len() != self.dim() || k == 0 {
+            return Vec::new();
+        }
+        let metric = self.params.metric_kind();
+
+        let mut layer_stats = LayerStats::default();
+        let mut cur = entry;
+        let mut cur_dist = metric.distance(query, self.data.get(cur as usize));
+        layer_stats.dist_evals += 1;
+
+        for layer in (1..=self.graph.max_level).rev() {
+            (cur, cur_dist) = greedy_descend_layer(
+                &self.graph,
+                &self.data,
+                metric,
+                query,
+                cur,
+                cur_dist,
+                layer,
+                &mut layer_stats,
+            );
+        }
+
+        let mut visited = self.take_visited();
+        let eps = [Neighbor::new(cur, cur_dist)];
+        let mut out = search_layer(
+            &self.graph,
+            &self.data,
+            metric,
+            query,
+            &eps,
+            ef,
+            0,
+            &mut visited,
+            &mut layer_stats,
+        );
+        self.put_visited(visited);
+        out.truncate(k);
+        stats.absorb(layer_stats);
+        out
+    }
+
+    /// Like [`HnswIndex::search`], but only returns results satisfying
+    /// `keep` (e.g. visibility filters or tombstones maintained outside
+    /// the index). The beam itself is unfiltered — filtering happens on
+    /// result collection, so recall on the kept subset degrades gracefully
+    /// rather than stranding the search; pass a generous `ef` when the
+    /// filter is highly selective.
+    pub fn search_filtered<F>(&self, query: &[f32], k: usize, ef: usize, keep: F) -> Vec<Neighbor>
+    where
+        F: Fn(u32) -> bool,
+    {
+        let wide = self.search(query, ef.max(k), ef);
+        wide.into_iter().filter(|n| keep(n.id)).take(k).collect()
+    }
+
+    /// Greedy multi-layer descent only — returns the single closest node
+    /// found by walking from the top layer down to `stop_layer` without a
+    /// beam search. This is the primitive the meta-HNSW uses to classify a
+    /// vector into a partition, and with `beam > 1` it returns the `beam`
+    /// closest bottom-layer candidates encountered.
+    pub fn descend(&self, query: &[f32], beam: usize) -> Vec<Neighbor> {
+        let Some(entry) = self.graph.entry else {
+            return Vec::new();
+        };
+        if query.len() != self.dim() || beam == 0 {
+            return Vec::new();
+        }
+        let metric = self.params.metric_kind();
+        let mut layer_stats = LayerStats::default();
+        let mut cur = entry;
+        let mut cur_dist = metric.distance(query, self.data.get(cur as usize));
+        for layer in (1..=self.graph.max_level).rev() {
+            (cur, cur_dist) = greedy_descend_layer(
+                &self.graph,
+                &self.data,
+                metric,
+                query,
+                cur,
+                cur_dist,
+                layer,
+                &mut layer_stats,
+            );
+        }
+        let mut visited = self.take_visited();
+        let eps = [Neighbor::new(cur, cur_dist)];
+        let out = search_layer(
+            &self.graph,
+            &self.data,
+            metric,
+            query,
+            &eps,
+            beam,
+            0,
+            &mut visited,
+            &mut layer_stats,
+        );
+        self.put_visited(visited);
+        out
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.len() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// Highest layer currently present.
+    pub fn max_level(&self) -> usize {
+        self.graph.max_level
+    }
+
+    /// Current entry point id, if any.
+    pub fn entry_point(&self) -> Option<u32> {
+        self.graph.entry
+    }
+
+    /// The level (highest layer) of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn level_of(&self, id: u32) -> usize {
+        self.graph.node(id).level()
+    }
+
+    /// Neighbour list of `id` on `layer` (empty when the node does not
+    /// exist on that layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn neighbors(&self, id: u32, layer: usize) -> &[u32] {
+        self.graph.node(id).neighbors(layer)
+    }
+
+    /// The stored vector for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn vector(&self, id: u32) -> &[f32] {
+        self.data.get(id as usize)
+    }
+
+    /// The backing dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// All per-layer adjacency of node `id` (layer 0 first).
+    pub(crate) fn node_links(&self, id: u32) -> &[Vec<u32>] {
+        self.graph.node(id).layers()
+    }
+
+    /// Approximate in-memory footprint in bytes: vectors plus adjacency.
+    /// This is the number the paper quotes when it says the meta-HNSW
+    /// costs 0.373 MB for SIFT1M.
+    pub fn memory_footprint(&self) -> usize {
+        let vectors = self.data.byte_len();
+        let links: usize = self
+            .graph
+            .nodes
+            .iter()
+            .map(|n| {
+                n.layers()
+                    .iter()
+                    .map(|l| l.len() * std::mem::size_of::<u32>() + std::mem::size_of::<u32>())
+                    .sum::<usize>()
+            })
+            .sum();
+        vectors + links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsim::{gen, ground_truth, recall, Metric};
+
+    fn small_params() -> HnswParams {
+        HnswParams::new(8, 64).seed(11)
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::new(4, &small_params()).unwrap();
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 4], 5, 10).is_empty());
+        assert!(idx.descend(&[0.0; 4], 1).is_empty());
+    }
+
+    #[test]
+    fn build_rejects_zero_dim() {
+        assert!(HnswIndex::new(0, &small_params()).is_err());
+    }
+
+    #[test]
+    fn insert_rejects_wrong_dimension() {
+        let mut idx = HnswIndex::new(4, &small_params()).unwrap();
+        assert!(matches!(
+            idx.insert(&[0.0; 3]).unwrap_err(),
+            Error::DimensionMismatch { expected: 4, got: 3 }
+        ));
+    }
+
+    #[test]
+    fn single_vector_is_its_own_answer() {
+        let mut idx = HnswIndex::new(2, &small_params()).unwrap();
+        idx.insert(&[1.0, 2.0]).unwrap();
+        let out = idx.search(&[1.0, 2.0], 1, 8);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[0].dist, 0.0);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut idx = HnswIndex::new(1, &small_params()).unwrap();
+        for i in 0..5 {
+            assert_eq!(idx.insert(&[i as f32]).unwrap(), i);
+        }
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn search_returns_sorted_unique_results() {
+        let data = gen::uniform(8, 500, 0.0, 1.0, 3).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        let out = idx.search(&[0.5; 8], 10, 50);
+        assert_eq!(out.len(), 10);
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        let mut ids: Vec<u32> = out.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "duplicate ids in result");
+    }
+
+    #[test]
+    fn recall_is_high_on_uniform_data() {
+        let data = gen::uniform(16, 2_000, 0.0, 1.0, 7).unwrap();
+        let queries = gen::perturbed_queries(&data, 50, 0.02, 8).unwrap();
+        let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+        let idx = HnswIndex::build(data, &HnswParams::new(16, 200).seed(9)).unwrap();
+        let got: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, 128).iter().map(|n| n.id).collect())
+            .collect();
+        let r = recall::mean_recall(&got, &truth);
+        assert!(r > 0.95, "recall {r} too low");
+    }
+
+    #[test]
+    fn recall_improves_with_ef() {
+        let data = gen::sift_like(2_000, 21).unwrap();
+        let queries = gen::perturbed_queries(&data, 40, 0.02, 22).unwrap();
+        let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+        let idx = HnswIndex::build(data, &HnswParams::new(8, 100).seed(23)).unwrap();
+        let recall_at = |ef: usize| {
+            let got: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|q| idx.search(q, 10, ef).iter().map(|n| n.id).collect())
+                .collect();
+            recall::mean_recall(&got, &truth)
+        };
+        let low = recall_at(10);
+        let high = recall_at(200);
+        assert!(high >= low, "ef=200 recall {high} < ef=10 recall {low}");
+        assert!(high > 0.9, "high-ef recall {high} too low");
+    }
+
+    #[test]
+    fn degree_caps_are_respected() {
+        let data = gen::uniform(4, 1_000, 0.0, 1.0, 31).unwrap();
+        let params = HnswParams::new(6, 50).seed(32);
+        let idx = HnswIndex::build(data, &params).unwrap();
+        for id in 0..idx.len() as u32 {
+            for layer in 0..=idx.level_of(id) {
+                let cap = if layer == 0 { params.m0() } else { params.m() };
+                let deg = idx.neighbors(id, layer).len();
+                assert!(deg <= cap, "node {id} layer {layer} degree {deg} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_level_build_never_exceeds_cap() {
+        let data = gen::uniform(4, 2_000, 0.0, 1.0, 41).unwrap();
+        let params = HnswParams::new(8, 50).seed(42).max_level(2);
+        let idx = HnswIndex::build(data, &params).unwrap();
+        assert!(idx.max_level() <= 2);
+        for id in 0..idx.len() as u32 {
+            assert!(idx.level_of(id) <= 2);
+        }
+    }
+
+    #[test]
+    fn links_are_bidirectional_on_layer0() {
+        let data = gen::uniform(4, 300, 0.0, 1.0, 51).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        // Pruning can make a few edges one-directional; the overwhelming
+        // majority must be symmetric.
+        let mut total = 0usize;
+        let mut symmetric = 0usize;
+        for id in 0..idx.len() as u32 {
+            for &nb in idx.neighbors(id, 0) {
+                total += 1;
+                if idx.neighbors(nb, 0).contains(&id) {
+                    symmetric += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            symmetric as f64 / total as f64 > 0.6,
+            "only {symmetric}/{total} edges symmetric"
+        );
+    }
+
+    #[test]
+    fn graph_is_fully_reachable_from_entry() {
+        let data = gen::uniform(4, 500, 0.0, 1.0, 61).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        // BFS over layer 0.
+        let mut seen = vec![false; idx.len()];
+        let mut queue = vec![idx.entry_point().unwrap()];
+        seen[idx.entry_point().unwrap() as usize] = true;
+        while let Some(v) = queue.pop() {
+            for &nb in idx.neighbors(v, 0) {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    queue.push(nb);
+                }
+            }
+        }
+        let reached = seen.iter().filter(|&&s| s).count();
+        assert_eq!(reached, idx.len(), "layer-0 graph is disconnected");
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let data = gen::uniform(4, 200, 0.0, 1.0, 71).unwrap();
+        let a = HnswIndex::build(data.clone(), &small_params()).unwrap();
+        let b = HnswIndex::build(data, &small_params()).unwrap();
+        assert_eq!(a.entry_point(), b.entry_point());
+        for id in 0..a.len() as u32 {
+            assert_eq!(a.node_links(id), b.node_links(id));
+        }
+    }
+
+    #[test]
+    fn descend_returns_bottom_layer_candidates() {
+        let data = gen::uniform(4, 400, 0.0, 1.0, 81).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        let out = idx.descend(&[0.5; 4], 3);
+        assert_eq!(out.len(), 3);
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn search_with_stats_counts_work() {
+        let data = gen::uniform(8, 500, 0.0, 1.0, 91).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        let mut stats = SearchStats::default();
+        idx.search_with_stats(&[0.5; 8], 5, 50, &mut stats);
+        assert!(stats.dist_evals > 5);
+        assert!(stats.hops > 0);
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_data() {
+        let small = HnswIndex::build(
+            gen::uniform(8, 50, 0.0, 1.0, 1).unwrap(),
+            &small_params(),
+        )
+        .unwrap();
+        let large = HnswIndex::build(
+            gen::uniform(8, 500, 0.0, 1.0, 1).unwrap(),
+            &small_params(),
+        )
+        .unwrap();
+        assert!(large.memory_footprint() > small.memory_footprint());
+    }
+
+    #[test]
+    fn ef_below_k_narrows_the_result_list() {
+        let data = gen::uniform(8, 500, 0.0, 1.0, 95).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        let narrow = idx.search(&[0.5; 8], 10, 3);
+        assert_eq!(narrow.len(), 3, "ef=3 caps the candidate list");
+        let wide = idx.search(&[0.5; 8], 10, 50);
+        assert_eq!(wide.len(), 10);
+    }
+
+    #[test]
+    fn wrong_dim_query_returns_empty_not_panic() {
+        let data = gen::uniform(8, 100, 0.0, 1.0, 1).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        assert!(idx.search(&[0.0; 4], 5, 10).is_empty());
+    }
+
+    #[test]
+    fn filtered_search_excludes_rejected_ids() {
+        let data = gen::uniform(8, 400, 0.0, 1.0, 97).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        let unfiltered = idx.search(&[0.5; 8], 5, 64);
+        let banned = unfiltered[0].id;
+        let filtered = idx.search_filtered(&[0.5; 8], 5, 64, |id| id != banned);
+        assert!(filtered.iter().all(|n| n.id != banned));
+        assert_eq!(filtered.len(), 5);
+        // The remaining ranking is preserved.
+        assert_eq!(filtered[0].id, unfiltered[1].id);
+    }
+
+    #[test]
+    fn filter_keeping_everything_matches_plain_search() {
+        let data = gen::uniform(8, 300, 0.0, 1.0, 98).unwrap();
+        let idx = HnswIndex::build(data, &small_params()).unwrap();
+        let a = idx.search(&[0.25; 8], 7, 50);
+        let b = idx.search_filtered(&[0.25; 8], 7, 50, |_| true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HnswIndex>();
+    }
+}

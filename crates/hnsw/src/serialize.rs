@@ -1,0 +1,418 @@
+//! Flat binary serialization of an HNSW index.
+//!
+//! The encoding is a single contiguous little-endian blob containing the
+//! header, the adjacency lists, and the raw vectors. d-HNSW places these
+//! blobs verbatim into registered remote memory, which is why the format
+//! is deliberately position-independent (no pointers, only ids) and
+//! readable with one sequential scan: a compute node can fetch a whole
+//! cluster with one `RDMA_READ` and deserialize in place.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   u32   "HSW1" (0x31575348)
+//! version u32   1
+//! dim     u32
+//! n       u32
+//! entry   u32   u32::MAX when the index is empty
+//! max_lvl u32
+//! m       u32
+//! ef_c    u32
+//! metric  u8    0 = L2, 1 = IP, 2 = cosine
+//! extend  u8    bool
+//! keep    u8    bool
+//! pad     u8
+//! cap     u32   level cap + 1, 0 = uncapped
+//! seed    u64
+//! nodes   n × { levels u32, levels × { cnt u32, cnt × u32 } }
+//! vecs    n × dim × f32
+//! ```
+
+use vecsim::{Dataset, Metric};
+
+use crate::{Error, HnswIndex, HnswParams, Result};
+
+/// Magic tag identifying a serialized HNSW blob.
+pub const MAGIC: u32 = 0x3157_5348; // "HSW1"
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+fn metric_code(m: Metric) -> u8 {
+    match m {
+        Metric::L2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    }
+}
+
+fn metric_from_code(c: u8) -> Result<Metric> {
+    match c {
+        0 => Ok(Metric::L2),
+        1 => Ok(Metric::InnerProduct),
+        2 => Ok(Metric::Cosine),
+        other => Err(Error::CorruptBlob(format!("unknown metric code {other}"))),
+    }
+}
+
+/// Little-endian byte writer.
+#[derive(Debug, Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian byte reader with bounds checking.
+#[derive(Debug)]
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::CorruptBlob(format!(
+                "truncated blob: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Serializes an index into one contiguous blob.
+///
+/// # Example
+///
+/// ```rust
+/// use hnsw::{serialize, HnswIndex, HnswParams};
+/// use vecsim::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let idx = HnswIndex::build(gen::uniform(4, 50, 0.0, 1.0, 1)?, &HnswParams::new(4, 16))?;
+/// let blob = serialize::to_bytes(&idx);
+/// let back = serialize::from_bytes(&blob)?;
+/// assert_eq!(back.len(), idx.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bytes(index: &HnswIndex) -> Vec<u8> {
+    let p = index.params();
+    let mut e = Enc::default();
+    e.u32(MAGIC);
+    e.u32(VERSION);
+    e.u32(index.dim() as u32);
+    e.u32(index.len() as u32);
+    e.u32(index.entry_point().unwrap_or(u32::MAX));
+    e.u32(index.max_level() as u32);
+    e.u32(p.m() as u32);
+    e.u32(p.ef_construction() as u32);
+    e.u8(metric_code(p.metric_kind()));
+    e.u8(p.extends_candidates() as u8);
+    e.u8(p.keeps_pruned() as u8);
+    e.u8(0);
+    e.u32(p.max_level_cap().map(|c| c as u32 + 1).unwrap_or(0));
+    e.u64(p.rng_seed());
+
+    for id in 0..index.len() as u32 {
+        let layers = index.node_links(id);
+        e.u32(layers.len() as u32);
+        for layer in layers {
+            e.u32(layer.len() as u32);
+            for &nb in layer {
+                e.u32(nb);
+            }
+        }
+    }
+    for row in index.data().iter() {
+        for &x in row {
+            e.f32(x);
+        }
+    }
+    e.buf
+}
+
+/// Size in bytes [`to_bytes`] would produce, without allocating the blob.
+pub fn serialized_size(index: &HnswIndex) -> usize {
+    let header = 4 * 8 + 4 + 4 + 8; // fixed fields above
+    let nodes: usize = (0..index.len() as u32)
+        .map(|id| {
+            4 + index
+                .node_links(id)
+                .iter()
+                .map(|l| 4 + 4 * l.len())
+                .sum::<usize>()
+        })
+        .sum();
+    let vectors = index.len() * index.dim() * 4;
+    header + nodes + vectors
+}
+
+/// Deserializes a blob produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`Error::CorruptBlob`] on a bad magic/version, truncated data,
+/// out-of-range ids, or trailing garbage.
+pub fn from_bytes(blob: &[u8]) -> Result<HnswIndex> {
+    let mut d = Dec::new(blob);
+    if d.u32()? != MAGIC {
+        return Err(Error::CorruptBlob("bad magic".into()));
+    }
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(Error::CorruptBlob(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let dim = d.u32()? as usize;
+    let n = d.u32()? as usize;
+    let entry_raw = d.u32()?;
+    let max_level = d.u32()? as usize;
+    let m = d.u32()? as usize;
+    let ef_c = d.u32()? as usize;
+    let metric = metric_from_code(d.u8()?)?;
+    let extend = d.u8()? != 0;
+    let keep = d.u8()? != 0;
+    let _pad = d.u8()?;
+    let cap_raw = d.u32()?;
+    let seed = d.u64()?;
+
+    if dim == 0 && n > 0 {
+        return Err(Error::CorruptBlob("zero dim with non-zero count".into()));
+    }
+    let entry = if entry_raw == u32::MAX {
+        None
+    } else if (entry_raw as usize) < n {
+        Some(entry_raw)
+    } else {
+        return Err(Error::CorruptBlob(format!(
+            "entry point {entry_raw} out of range (n = {n})"
+        )));
+    };
+
+    let mut links = Vec::with_capacity(n);
+    for node in 0..n {
+        let levels = d.u32()? as usize;
+        if levels == 0 || levels > max_level + 1 {
+            return Err(Error::CorruptBlob(format!(
+                "node {node} has {levels} layers but max level is {max_level}"
+            )));
+        }
+        let mut layers = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let cnt = d.u32()? as usize;
+            if cnt > n {
+                return Err(Error::CorruptBlob(format!(
+                    "node {node} neighbour count {cnt} exceeds n = {n}"
+                )));
+            }
+            let mut ids = Vec::with_capacity(cnt);
+            for _ in 0..cnt {
+                let id = d.u32()?;
+                if id as usize >= n {
+                    return Err(Error::CorruptBlob(format!(
+                        "neighbour id {id} out of range (n = {n})"
+                    )));
+                }
+                ids.push(id);
+            }
+            layers.push(ids);
+        }
+        links.push(layers);
+    }
+
+    let mut flat = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        flat.push(d.f32()?);
+    }
+    if d.remaining() != 0 {
+        return Err(Error::CorruptBlob(format!(
+            "{} trailing bytes after payload",
+            d.remaining()
+        )));
+    }
+
+    let data = if n == 0 {
+        Dataset::new(dim.max(1))
+    } else {
+        Dataset::from_flat(dim, flat)?
+    };
+    let mut params = HnswParams::new(m, ef_c)
+        .metric(metric)
+        .seed(seed)
+        .extend_candidates(extend)
+        .keep_pruned(keep);
+    if cap_raw > 0 {
+        params = params.max_level((cap_raw - 1) as usize);
+    }
+    params.validate()?;
+    Ok(HnswIndex::from_parts(params, data, links, entry, max_level))
+}
+
+/// Writes an index blob to any writer (pass `&mut w` to keep the writer).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_to<W: std::io::Write>(mut w: W, index: &HnswIndex) -> Result<()> {
+    w.write_all(&to_bytes(index))
+        .map_err(|e| Error::CorruptBlob(format!("write failed: {e}")))
+}
+
+/// Reads an index blob from any reader (the reader is drained to EOF).
+///
+/// # Errors
+///
+/// Returns [`Error::CorruptBlob`] on malformed content or read failure.
+pub fn read_from<R: std::io::Read>(mut r: R) -> Result<HnswIndex> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)
+        .map_err(|e| Error::CorruptBlob(format!("read failed: {e}")))?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsim::gen;
+
+    fn build_small() -> HnswIndex {
+        let data = gen::uniform(8, 200, 0.0, 1.0, 5).unwrap();
+        HnswIndex::build(data, &HnswParams::new(6, 40).seed(6)).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let idx = build_small();
+        let blob = to_bytes(&idx);
+        let back = from_bytes(&blob).unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.dim(), idx.dim());
+        assert_eq!(back.entry_point(), idx.entry_point());
+        assert_eq!(back.max_level(), idx.max_level());
+        assert_eq!(back.params(), idx.params());
+        for id in 0..idx.len() as u32 {
+            assert_eq!(back.node_links(id), idx.node_links(id));
+            assert_eq!(back.vector(id), idx.vector(id));
+        }
+    }
+
+    #[test]
+    fn round_tripped_index_searches_identically() {
+        let idx = build_small();
+        let back = from_bytes(&to_bytes(&idx)).unwrap();
+        let q = [0.5f32; 8];
+        assert_eq!(idx.search(&q, 10, 50), back.search(&q, 10, 50));
+    }
+
+    #[test]
+    fn serialized_size_matches_actual() {
+        let idx = build_small();
+        assert_eq!(serialized_size(&idx), to_bytes(&idx).len());
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = HnswIndex::new(4, &HnswParams::new(4, 16)).unwrap();
+        let back = from_bytes(&to_bytes(&idx)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.entry_point(), None);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut blob = to_bytes(&build_small());
+        blob[0] ^= 0xff;
+        assert!(matches!(
+            from_bytes(&blob).unwrap_err(),
+            Error::CorruptBlob(_)
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut blob = to_bytes(&build_small());
+        blob[4] = 99;
+        assert!(from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let blob = to_bytes(&build_small());
+        for cut in [10, blob.len() / 2, blob.len() - 1] {
+            assert!(from_bytes(&blob[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut blob = to_bytes(&build_small());
+        blob.push(0);
+        assert!(from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn out_of_range_entry_is_rejected() {
+        let mut blob = to_bytes(&build_small());
+        // Entry point is at offset 16.
+        blob[16..20].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn reader_writer_round_trip() {
+        let idx = build_small();
+        let mut buf = Vec::new();
+        write_to(&mut buf, &idx).unwrap();
+        let back = read_from(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), idx.len());
+    }
+
+    #[test]
+    fn capped_params_round_trip() {
+        let data = gen::uniform(4, 100, 0.0, 1.0, 5).unwrap();
+        let idx =
+            HnswIndex::build(data, &HnswParams::new(4, 20).max_level(2).seed(1)).unwrap();
+        let back = from_bytes(&to_bytes(&idx)).unwrap();
+        assert_eq!(back.params().max_level_cap(), Some(2));
+    }
+}

@@ -1,0 +1,270 @@
+//! Asynchronous verb posting with completion queues.
+//!
+//! Real RDMA applications rarely call blocking verbs: they *post* work
+//! requests to a queue pair's send queue, *ring the doorbell* once for
+//! the whole batch, and later *poll the completion queue*. This module
+//! gives [`QueuePair`] that surface. It is sugar over the same execution
+//! and cost model as the synchronous verbs — a rung doorbell costs
+//! exactly what [`QueuePair::read_doorbell`] charges for the same batch —
+//! but it lets callers interleave posting with other work and consume
+//! completions incrementally, the way a real event loop does.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rdma_sim::{MemoryNode, NetworkModel, QueuePair, ReadReq};
+//!
+//! # fn main() -> Result<(), rdma_sim::Error> {
+//! let node = MemoryNode::new("mem0");
+//! let region = node.register(64)?;
+//! let qp = QueuePair::connect(&node, NetworkModel::connectx6());
+//! qp.write(region.rkey(), 0, &[7; 8])?;
+//!
+//! qp.post_read(1, ReadReq::new(region.rkey(), 0, 4));
+//! qp.post_read(2, ReadReq::new(region.rkey(), 4, 4));
+//! qp.ring_doorbell()?; // one round trip for both
+//!
+//! let done = qp.poll_cq(16);
+//! assert_eq!(done.len(), 2);
+//! assert_eq!(done[0].wr_id, 1);
+//! assert_eq!(done[0].payload.as_deref(), Some(&[7u8, 7, 7, 7][..]));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::{QueuePair, ReadReq, Result, WriteReq};
+
+/// The verb a completion corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbKind {
+    /// `RDMA_READ`.
+    Read,
+    /// `RDMA_WRITE`.
+    Write,
+}
+
+/// One entry popped from the completion queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-chosen work-request id, echoed back.
+    pub wr_id: u64,
+    /// Which verb completed.
+    pub op: VerbKind,
+    /// For reads, the fetched bytes; `None` for writes.
+    pub payload: Option<Vec<u8>>,
+}
+
+#[derive(Debug)]
+enum Pending {
+    Read(u64, ReadReq),
+    Write(u64, WriteReq),
+}
+
+/// Send-queue and completion-queue state attached to a [`QueuePair`].
+#[derive(Debug, Default)]
+pub(crate) struct SendState {
+    pending: Mutex<Vec<Pending>>,
+    completions: Mutex<VecDeque<Completion>>,
+}
+
+impl QueuePair {
+    /// Posts a read work request to the send queue. Nothing executes (or
+    /// costs anything) until [`QueuePair::ring_doorbell`].
+    pub fn post_read(&self, wr_id: u64, req: ReadReq) {
+        self.send_state().pending.lock().push(Pending::Read(wr_id, req));
+    }
+
+    /// Posts a write work request to the send queue.
+    pub fn post_write(&self, wr_id: u64, req: WriteReq) {
+        self.send_state()
+            .pending
+            .lock()
+            .push(Pending::Write(wr_id, req));
+    }
+
+    /// Work requests currently posted but not yet rung.
+    pub fn posted(&self) -> usize {
+        self.send_state().pending.lock().len()
+    }
+
+    /// Rings the doorbell: executes every posted work request as doorbell
+    /// batches (reads and writes batch separately, preserving post
+    /// order within each kind) and pushes one [`Completion`] per request
+    /// onto the completion queue. Returns how many requests executed.
+    ///
+    /// # Errors
+    ///
+    /// Validates all requests before executing any; on failure the send
+    /// queue is left intact, nothing executes, and nothing is charged —
+    /// the caller can inspect, fix, or drop the batch.
+    pub fn ring_doorbell(&self) -> Result<usize> {
+        let state = self.send_state();
+        let mut pending = state.pending.lock();
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for p in pending.iter() {
+            match p {
+                Pending::Read(id, r) => reads.push((*id, *r)),
+                Pending::Write(id, w) => writes.push((*id, w.clone())),
+            }
+        }
+        let read_reqs: Vec<ReadReq> = reads.iter().map(|(_, r)| *r).collect();
+        let write_reqs: Vec<WriteReq> = writes.iter().map(|(_, w)| w.clone()).collect();
+
+        // All-or-nothing: validate every request up front so a bad write
+        // cannot leave the batch half-executed after the reads ran.
+        for r in &read_reqs {
+            self.check_bounds(r.rkey, r.offset, r.len)?;
+        }
+        for w in &write_reqs {
+            self.check_bounds(w.rkey, w.offset, w.data.len() as u64)?;
+        }
+        let buffers = self.read_doorbell(&read_reqs)?;
+        self.write_doorbell(&write_reqs)?;
+
+        let count = pending.len();
+        pending.clear();
+        drop(pending);
+
+        let mut cq = state.completions.lock();
+        for ((wr_id, _), payload) in reads.into_iter().zip(buffers) {
+            cq.push_back(Completion {
+                wr_id,
+                op: VerbKind::Read,
+                payload: Some(payload),
+            });
+        }
+        for (wr_id, _) in writes {
+            cq.push_back(Completion {
+                wr_id,
+                op: VerbKind::Write,
+                payload: None,
+            });
+        }
+        Ok(count)
+    }
+
+    /// Polls up to `max` completions, in completion order.
+    pub fn poll_cq(&self, max: usize) -> Vec<Completion> {
+        let mut cq = self.send_state().completions.lock();
+        let take = max.min(cq.len());
+        cq.drain(..take).collect()
+    }
+
+    /// Completions currently waiting to be polled.
+    pub fn cq_depth(&self) -> usize {
+        self.send_state().completions.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryNode, NetworkModel};
+
+    fn setup() -> (std::sync::Arc<MemoryNode>, crate::RegionHandle, QueuePair) {
+        let node = MemoryNode::new("m");
+        let region = node.register(256).unwrap();
+        let qp = QueuePair::connect(&node, NetworkModel::connectx6());
+        (node, region, qp)
+    }
+
+    #[test]
+    fn post_then_ring_executes_and_completes() {
+        let (_n, r, qp) = setup();
+        qp.write(r.rkey(), 0, &[1, 2, 3, 4]).unwrap();
+        qp.post_read(7, ReadReq::new(r.rkey(), 0, 2));
+        qp.post_read(8, ReadReq::new(r.rkey(), 2, 2));
+        assert_eq!(qp.posted(), 2);
+        assert_eq!(qp.ring_doorbell().unwrap(), 2);
+        assert_eq!(qp.posted(), 0);
+        let done = qp.poll_cq(10);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].payload.as_deref(), Some(&[1u8, 2][..]));
+        assert_eq!(done[1].wr_id, 8);
+    }
+
+    #[test]
+    fn posting_costs_nothing_until_rung() {
+        let (_n, r, qp) = setup();
+        qp.post_read(1, ReadReq::new(r.rkey(), 0, 8));
+        assert_eq!(qp.clock().now_us(), 0.0);
+        assert_eq!(qp.stats().round_trips(), 0);
+        qp.ring_doorbell().unwrap();
+        assert!(qp.clock().now_us() > 0.0);
+        assert_eq!(qp.stats().round_trips(), 1);
+    }
+
+    #[test]
+    fn rung_batch_costs_same_as_read_doorbell() {
+        let node = MemoryNode::new("m");
+        let r = node.register(1024).unwrap();
+        let sync_qp = QueuePair::connect(&node, NetworkModel::connectx6());
+        let async_qp = QueuePair::connect(&node, NetworkModel::connectx6());
+        let reqs: Vec<ReadReq> = (0..8).map(|i| ReadReq::new(r.rkey(), i * 64, 64)).collect();
+        sync_qp.read_doorbell(&reqs).unwrap();
+        for (i, req) in reqs.iter().enumerate() {
+            async_qp.post_read(i as u64, *req);
+        }
+        async_qp.ring_doorbell().unwrap();
+        assert_eq!(sync_qp.clock().now_us(), async_qp.clock().now_us());
+        assert_eq!(
+            sync_qp.stats().round_trips(),
+            async_qp.stats().round_trips()
+        );
+    }
+
+    #[test]
+    fn mixed_reads_and_writes_complete_with_kinds() {
+        let (_n, r, qp) = setup();
+        qp.post_write(1, WriteReq::new(r.rkey(), 0, vec![9, 9]));
+        qp.post_read(2, ReadReq::new(r.rkey(), 16, 2));
+        qp.ring_doorbell().unwrap();
+        let done = qp.poll_cq(10);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|c| c.op == VerbKind::Write && c.wr_id == 1));
+        assert!(done.iter().any(|c| c.op == VerbKind::Read && c.wr_id == 2));
+        // The write actually landed.
+        assert_eq!(qp.read(r.rkey(), 0, 2).unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn invalid_batch_leaves_send_queue_intact() {
+        let (_n, r, qp) = setup();
+        qp.post_read(1, ReadReq::new(r.rkey(), 0, 8));
+        qp.post_read(2, ReadReq::new(r.rkey(), 10_000, 8)); // out of bounds
+        assert!(qp.ring_doorbell().is_err());
+        assert_eq!(qp.posted(), 2, "failed ring must not consume the queue");
+        assert_eq!(qp.cq_depth(), 0);
+        assert_eq!(qp.stats().round_trips(), 0);
+    }
+
+    #[test]
+    fn poll_cq_respects_max_and_order() {
+        let (_n, r, qp) = setup();
+        for i in 0..5u64 {
+            qp.post_read(i, ReadReq::new(r.rkey(), i * 8, 8));
+        }
+        qp.ring_doorbell().unwrap();
+        assert_eq!(qp.cq_depth(), 5);
+        let first = qp.poll_cq(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].wr_id, 0);
+        assert_eq!(qp.cq_depth(), 3);
+        let rest = qp.poll_cq(100);
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest[2].wr_id, 4);
+    }
+
+    #[test]
+    fn empty_ring_is_a_noop() {
+        let (_n, _r, qp) = setup();
+        assert_eq!(qp.ring_doorbell().unwrap(), 0);
+        assert_eq!(qp.clock().now_us(), 0.0);
+        assert!(qp.poll_cq(1).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The `rkey` does not name a registered region (never registered, or
+    /// already deregistered).
+    UnknownRegion(u32),
+    /// An access touched bytes outside the registered region.
+    OutOfBounds {
+        /// The offending region.
+        rkey: u32,
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+        /// Registered region size in bytes.
+        region_len: u64,
+    },
+    /// An atomic verb used a non-8-byte-aligned offset.
+    Misaligned {
+        /// The offending region.
+        rkey: u32,
+        /// The unaligned offset.
+        offset: u64,
+    },
+    /// A configuration value was out of range.
+    InvalidParameter(String),
+    /// A verb kept faulting past the queue pair's retransmission budget
+    /// (see [`crate::QueuePair::set_retry_limit`]).
+    RetriesExhausted {
+        /// The verb that gave up.
+        verb: &'static str,
+        /// Attempts made (all faulted).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRegion(rkey) => write!(f, "unknown region rkey {rkey}"),
+            Error::OutOfBounds {
+                rkey,
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "out-of-bounds access on rkey {rkey}: [{offset}, {offset}+{len}) exceeds region of {region_len} bytes"
+            ),
+            Error::Misaligned { rkey, offset } => {
+                write!(f, "atomic on rkey {rkey} at unaligned offset {offset}")
+            }
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            Error::RetriesExhausted { verb, attempts } => {
+                write!(f, "{verb} gave up after {attempts} faulted attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bounds() {
+        let e = Error::OutOfBounds {
+            rkey: 3,
+            offset: 10,
+            len: 20,
+            region_len: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rkey 3"));
+        assert!(s.contains("16 bytes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,513 @@
+//! The compute-side queue pair: one-sided verbs and doorbell batching.
+
+use std::sync::Arc;
+
+use crate::{Error, MemoryNode, NetworkModel, Result, TransferStats, VirtualClock};
+
+/// A read work request: fetch `len` bytes at `offset` within region
+/// `rkey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadReq {
+    /// Target region.
+    pub rkey: u32,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Bytes to fetch.
+    pub len: u64,
+}
+
+impl ReadReq {
+    /// Creates a read request.
+    pub fn new(rkey: u32, offset: u64, len: u64) -> Self {
+        ReadReq { rkey, offset, len }
+    }
+}
+
+/// A write work request: place `data` at `offset` within region `rkey`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReq {
+    /// Target region.
+    pub rkey: u32,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Payload to write.
+    pub data: Vec<u8>,
+}
+
+impl WriteReq {
+    /// Creates a write request.
+    pub fn new(rkey: u32, offset: u64, data: Vec<u8>) -> Self {
+        WriteReq { rkey, offset, data }
+    }
+}
+
+/// A reliable-connection queue pair from a compute instance to one
+/// [`MemoryNode`].
+///
+/// Every verb executes against the node's real buffers and charges
+/// virtual time to this queue pair's [`VirtualClock`] according to the
+/// [`NetworkModel`]; [`TransferStats`] counts what moved. Verbs take
+/// `&self` — a queue pair may be shared across threads of one compute
+/// instance, exactly like a real thread-safe QP wrapper would be.
+///
+/// # Example
+///
+/// ```rust
+/// use rdma_sim::{MemoryNode, NetworkModel, QueuePair};
+///
+/// # fn main() -> Result<(), rdma_sim::Error> {
+/// let node = MemoryNode::new("mem0");
+/// let region = node.register(64)?;
+/// let qp = QueuePair::connect(&node, NetworkModel::connectx6());
+///
+/// qp.write(region.rkey(), 8, &[1, 2, 3])?;
+/// assert_eq!(qp.read(region.rkey(), 8, 3)?, vec![1, 2, 3]);
+/// assert_eq!(qp.stats().round_trips(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct QueuePair {
+    node: Arc<MemoryNode>,
+    model: NetworkModel,
+    clock: VirtualClock,
+    stats: TransferStats,
+    send: crate::cq::SendState,
+    fault: crate::fault::FaultState,
+}
+
+impl QueuePair {
+    /// Connects a new queue pair to `node` under cost model `model`.
+    pub fn connect(node: &Arc<MemoryNode>, model: NetworkModel) -> Self {
+        QueuePair {
+            node: Arc::clone(node),
+            model,
+            clock: VirtualClock::new(),
+            stats: TransferStats::new(),
+            send: crate::cq::SendState::default(),
+            fault: crate::fault::FaultState::default(),
+        }
+    }
+
+    pub(crate) fn fault_state(&self) -> &crate::fault::FaultState {
+        &self.fault
+    }
+
+    /// Charges one base round trip of virtual time (a retransmission
+    /// timeout).
+    pub(crate) fn charge_timeout(&self) {
+        self.clock.advance_us(self.model.base_rtt_us());
+    }
+
+    pub(crate) fn send_state(&self) -> &crate::cq::SendState {
+        &self.send
+    }
+
+    pub(crate) fn check_bounds(&self, rkey: u32, offset: u64, len: u64) -> Result<()> {
+        let region_len = self.node.region_len(rkey)?;
+        if offset.checked_add(len).map(|end| end > region_len).unwrap_or(true) {
+            return Err(Error::OutOfBounds {
+                rkey,
+                offset,
+                len,
+                region_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// One-sided `RDMA_READ`: one network round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRegion`] or [`Error::OutOfBounds`].
+    pub fn read(&self, rkey: u32, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.check_bounds(rkey, offset, len)?;
+        self.admit("read")?;
+        let region = self.node.region(rkey)?;
+        let guard = region.read();
+        let out = guard[offset as usize..(offset + len) as usize].to_vec();
+        drop(guard);
+        self.clock
+            .advance_us(self.model.round_trip_cost_us(1, len as usize));
+        self.stats.record_round_trips(1);
+        self.stats.record_read(1, len);
+        self.node.service_stats().record_round_trips(1);
+        self.node.service_stats().record_read(1, len);
+        Ok(out)
+    }
+
+    /// One-sided `RDMA_WRITE`: one network round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRegion`] or [`Error::OutOfBounds`].
+    pub fn write(&self, rkey: u32, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_bounds(rkey, offset, data.len() as u64)?;
+        self.admit("write")?;
+        let region = self.node.region(rkey)?;
+        region.write()[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        self.clock
+            .advance_us(self.model.round_trip_cost_us(1, data.len()));
+        self.stats.record_round_trips(1);
+        self.stats.record_write(1, data.len() as u64);
+        self.node.service_stats().record_round_trips(1);
+        self.node.service_stats().record_write(1, data.len() as u64);
+        Ok(())
+    }
+
+    /// Doorbell-batched reads: all requests are posted with a single
+    /// doorbell and execute in `ceil(n / doorbell_limit)` network round
+    /// trips (the NIC issues one PCIe transaction per work request). The
+    /// §3.2 primitive for fetching discontiguous sub-HNSW clusters.
+    ///
+    /// Results are returned in request order. An empty batch is a no-op
+    /// costing nothing.
+    ///
+    /// # Errors
+    ///
+    /// Validates every request before executing any; on failure nothing
+    /// is charged or transferred.
+    pub fn read_doorbell(&self, reqs: &[ReadReq]) -> Result<Vec<Vec<u8>>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for r in reqs {
+            self.check_bounds(r.rkey, r.offset, r.len)?;
+        }
+        self.admit("read_doorbell")?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            let region = self.node.region(r.rkey)?;
+            let guard = region.read();
+            out.push(guard[r.offset as usize..(r.offset + r.len) as usize].to_vec());
+        }
+        self.stats.record_doorbell();
+        // Charge per doorbell-limit chunk: each chunk is one round trip.
+        for chunk in reqs.chunks(self.model.doorbell_limit()) {
+            let bytes: usize = chunk.iter().map(|r| r.len as usize).sum();
+            self.clock
+                .advance_us(self.model.round_trip_cost_us(chunk.len(), bytes));
+            self.stats.record_round_trips(1);
+            self.stats
+                .record_read(chunk.len() as u64, bytes as u64);
+            self.node.service_stats().record_round_trips(1);
+            self.node
+                .service_stats()
+                .record_read(chunk.len() as u64, bytes as u64);
+        }
+        Ok(out)
+    }
+
+    /// Doorbell-batched writes; same cost semantics as
+    /// [`QueuePair::read_doorbell`].
+    ///
+    /// # Errors
+    ///
+    /// Validates every request before executing any.
+    pub fn write_doorbell(&self, reqs: &[WriteReq]) -> Result<()> {
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        for r in reqs {
+            self.check_bounds(r.rkey, r.offset, r.data.len() as u64)?;
+        }
+        self.admit("write_doorbell")?;
+        for r in reqs {
+            let region = self.node.region(r.rkey)?;
+            region.write()[r.offset as usize..r.offset as usize + r.data.len()]
+                .copy_from_slice(&r.data);
+        }
+        self.stats.record_doorbell();
+        for chunk in reqs.chunks(self.model.doorbell_limit()) {
+            let bytes: usize = chunk.iter().map(|r| r.data.len()).sum();
+            self.clock
+                .advance_us(self.model.round_trip_cost_us(chunk.len(), bytes));
+            self.stats.record_round_trips(1);
+            self.stats.record_write(chunk.len() as u64, bytes as u64);
+            self.node.service_stats().record_round_trips(1);
+            self.node
+                .service_stats()
+                .record_write(chunk.len() as u64, bytes as u64);
+        }
+        Ok(())
+    }
+
+    /// Atomic compare-and-swap on an aligned `u64` (little-endian).
+    /// Returns the previous value; the swap happened iff the return equals
+    /// `expected`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Misaligned`] when `offset % 8 != 0`, plus the usual bounds
+    /// errors.
+    pub fn cas(&self, rkey: u32, offset: u64, expected: u64, new: u64) -> Result<u64> {
+        if !offset.is_multiple_of(8) {
+            return Err(Error::Misaligned { rkey, offset });
+        }
+        self.check_bounds(rkey, offset, 8)?;
+        self.admit("cas")?;
+        let region = self.node.region(rkey)?;
+        let mut guard = region.write();
+        let slot = &mut guard[offset as usize..offset as usize + 8];
+        let current = u64::from_le_bytes(slot.try_into().expect("8 bytes"));
+        if current == expected {
+            slot.copy_from_slice(&new.to_le_bytes());
+        }
+        drop(guard);
+        self.clock.advance_us(self.model.round_trip_cost_us(1, 8));
+        self.stats.record_round_trips(1);
+        self.stats.record_atomic();
+        self.node.service_stats().record_round_trips(1);
+        self.node.service_stats().record_atomic();
+        Ok(current)
+    }
+
+    /// Atomic fetch-and-add on an aligned `u64` (little-endian,
+    /// wrapping). Returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QueuePair::cas`].
+    pub fn faa(&self, rkey: u32, offset: u64, add: u64) -> Result<u64> {
+        if !offset.is_multiple_of(8) {
+            return Err(Error::Misaligned { rkey, offset });
+        }
+        self.check_bounds(rkey, offset, 8)?;
+        self.admit("faa")?;
+        let region = self.node.region(rkey)?;
+        let mut guard = region.write();
+        let slot = &mut guard[offset as usize..offset as usize + 8];
+        let current = u64::from_le_bytes(slot.try_into().expect("8 bytes"));
+        slot.copy_from_slice(&current.wrapping_add(add).to_le_bytes());
+        drop(guard);
+        self.clock.advance_us(self.model.round_trip_cost_us(1, 8));
+        self.stats.record_round_trips(1);
+        self.stats.record_atomic();
+        self.node.service_stats().record_round_trips(1);
+        self.node.service_stats().record_atomic();
+        Ok(current)
+    }
+
+    /// This queue pair's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// This queue pair's transfer statistics.
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// The memory node this queue pair is connected to.
+    pub fn node(&self) -> &Arc<MemoryNode> {
+        &self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(len: usize) -> (Arc<MemoryNode>, crate::RegionHandle, QueuePair) {
+        let node = MemoryNode::new("m");
+        let region = node.register(len).unwrap();
+        let qp = QueuePair::connect(&node, NetworkModel::connectx6());
+        (node, region, qp)
+    }
+
+    #[test]
+    fn write_then_read_round_trips_data() {
+        let (_n, r, qp) = setup(64);
+        qp.write(r.rkey(), 10, &[9, 8, 7]).unwrap();
+        assert_eq!(qp.read(r.rkey(), 10, 3).unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn read_out_of_bounds_is_rejected() {
+        let (_n, r, qp) = setup(16);
+        assert!(matches!(
+            qp.read(r.rkey(), 10, 10).unwrap_err(),
+            Error::OutOfBounds { .. }
+        ));
+        // Offset overflow must not panic.
+        assert!(qp.read(r.rkey(), u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn unknown_rkey_is_rejected() {
+        let (_n, _r, qp) = setup(16);
+        assert!(matches!(
+            qp.read(777, 0, 1).unwrap_err(),
+            Error::UnknownRegion(777)
+        ));
+    }
+
+    #[test]
+    fn each_read_is_one_round_trip() {
+        let (_n, r, qp) = setup(64);
+        for _ in 0..5 {
+            qp.read(r.rkey(), 0, 8).unwrap();
+        }
+        assert_eq!(qp.stats().round_trips(), 5);
+        assert_eq!(qp.stats().work_requests(), 5);
+        assert_eq!(qp.stats().bytes_read(), 40);
+    }
+
+    #[test]
+    fn doorbell_batches_into_one_round_trip() {
+        let (_n, r, qp) = setup(64);
+        let reqs: Vec<ReadReq> = (0..8).map(|i| ReadReq::new(r.rkey(), i * 8, 8)).collect();
+        let out = qp.read_doorbell(&reqs).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(qp.stats().round_trips(), 1);
+        assert_eq!(qp.stats().work_requests(), 8);
+        assert_eq!(qp.stats().doorbell_batches(), 1);
+    }
+
+    #[test]
+    fn doorbell_splits_past_the_limit() {
+        let node = MemoryNode::new("m");
+        let r = node.register(1024).unwrap();
+        let model = NetworkModel::connectx6().with_doorbell_limit(4).unwrap();
+        let qp = QueuePair::connect(&node, model);
+        let reqs: Vec<ReadReq> = (0..10).map(|i| ReadReq::new(r.rkey(), i * 8, 8)).collect();
+        qp.read_doorbell(&reqs).unwrap();
+        assert_eq!(qp.stats().round_trips(), 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn doorbell_preserves_request_order() {
+        let (_n, r, qp) = setup(64);
+        qp.write(r.rkey(), 0, &[1]).unwrap();
+        qp.write(r.rkey(), 32, &[2]).unwrap();
+        let out = qp
+            .read_doorbell(&[ReadReq::new(r.rkey(), 32, 1), ReadReq::new(r.rkey(), 0, 1)])
+            .unwrap();
+        assert_eq!(out, vec![vec![2], vec![1]]);
+    }
+
+    #[test]
+    fn doorbell_validates_before_executing() {
+        let (_n, r, qp) = setup(16);
+        let reqs = vec![
+            WriteReq::new(r.rkey(), 0, vec![1, 2]),
+            WriteReq::new(r.rkey(), 100, vec![3]), // out of bounds
+        ];
+        assert!(qp.write_doorbell(&reqs).is_err());
+        // First request must not have been applied.
+        assert_eq!(qp.read(r.rkey(), 0, 2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_doorbell_costs_nothing() {
+        let (_n, _r, qp) = setup(16);
+        qp.read_doorbell(&[]).unwrap();
+        qp.write_doorbell(&[]).unwrap();
+        assert_eq!(qp.stats().round_trips(), 0);
+        assert_eq!(qp.clock().now_us(), 0.0);
+    }
+
+    #[test]
+    fn cas_swaps_only_on_match() {
+        let (_n, r, qp) = setup(16);
+        assert_eq!(qp.cas(r.rkey(), 0, 0, 42).unwrap(), 0);
+        assert_eq!(qp.cas(r.rkey(), 0, 0, 99).unwrap(), 42); // mismatch: no swap
+        assert_eq!(qp.read(r.rkey(), 0, 8).unwrap(), 42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn faa_adds_and_returns_previous() {
+        let (_n, r, qp) = setup(16);
+        assert_eq!(qp.faa(r.rkey(), 8, 5).unwrap(), 0);
+        assert_eq!(qp.faa(r.rkey(), 8, 3).unwrap(), 5);
+        assert_eq!(qp.read(r.rkey(), 8, 8).unwrap(), 8u64.to_le_bytes());
+    }
+
+    #[test]
+    fn atomics_require_alignment() {
+        let (_n, r, qp) = setup(16);
+        assert!(matches!(
+            qp.cas(r.rkey(), 3, 0, 1).unwrap_err(),
+            Error::Misaligned { .. }
+        ));
+        assert!(qp.faa(r.rkey(), 7, 1).is_err());
+    }
+
+    #[test]
+    fn virtual_time_advances_with_traffic() {
+        let (_n, r, qp) = setup(1024);
+        let t0 = qp.clock().now_us();
+        qp.read(r.rkey(), 0, 1024).unwrap();
+        let t1 = qp.clock().now_us();
+        assert!(t1 > t0 + 2.0, "read should cost at least the base RTT");
+    }
+
+    #[test]
+    fn doorbell_is_cheaper_than_individual_reads() {
+        let node = MemoryNode::new("m");
+        let r = node.register(4096).unwrap();
+        let model = NetworkModel::connectx6();
+        let single = QueuePair::connect(&node, model);
+        let batched = QueuePair::connect(&node, model);
+        for i in 0..8u64 {
+            single.read(r.rkey(), i * 512, 512).unwrap();
+        }
+        let reqs: Vec<ReadReq> = (0..8).map(|i| ReadReq::new(r.rkey(), i * 512, 512)).collect();
+        batched.read_doorbell(&reqs).unwrap();
+        assert!(
+            batched.clock().now_us() < single.clock().now_us() / 2.0,
+            "doorbell {} vs individual {}",
+            batched.clock().now_us(),
+            single.clock().now_us()
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_share_a_qp_safely() {
+        let node = MemoryNode::new("m");
+        let r = node.register(4096).unwrap();
+        let qp = std::sync::Arc::new(QueuePair::connect(&node, NetworkModel::connectx6()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let qp = qp.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        qp.read(r.rkey(), (t * 1000 + i * 8) % 4000, 8).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(qp.stats().round_trips(), 400);
+    }
+
+    #[test]
+    fn node_service_stats_aggregate_across_queue_pairs() {
+        let node = MemoryNode::new("m");
+        let r = node.register(128).unwrap();
+        let a = QueuePair::connect(&node, NetworkModel::connectx6());
+        let b = QueuePair::connect(&node, NetworkModel::connectx6());
+        a.read(r.rkey(), 0, 16).unwrap();
+        b.write(r.rkey(), 0, &[1; 8]).unwrap();
+        b.faa(r.rkey(), 0, 1).unwrap();
+        let svc = node.service_stats();
+        assert_eq!(svc.round_trips(), 3);
+        assert_eq!(svc.bytes_read(), 16);
+        assert_eq!(svc.bytes_written(), 8);
+        assert_eq!(svc.atomics(), 1);
+        // Per-QP views stay isolated.
+        assert_eq!(a.stats().round_trips(), 1);
+        assert_eq!(b.stats().round_trips(), 2);
+    }
+
+    #[test]
+    fn queue_pair_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueuePair>();
+    }
+}

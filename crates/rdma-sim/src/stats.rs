@@ -1,0 +1,222 @@
+//! Transfer statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters describing everything a queue pair moved.
+///
+/// These are the quantities the paper reports directly (round trips per
+/// query, bytes transferred) or that its latency numbers are a function
+/// of.
+///
+/// # Example
+///
+/// ```rust
+/// use rdma_sim::TransferStats;
+///
+/// let s = TransferStats::new();
+/// s.record_read(2, 1024);
+/// assert_eq!(s.round_trips(), 0); // reads record WRs/bytes; trips are separate
+/// s.record_round_trips(1);
+/// assert_eq!(s.work_requests(), 2);
+/// assert_eq!(s.bytes_read(), 1024);
+/// ```
+#[derive(Debug, Default)]
+pub struct TransferStats {
+    round_trips: AtomicU64,
+    work_requests: AtomicU64,
+    doorbell_batches: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    atomics: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl TransferStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        TransferStats::default()
+    }
+
+    /// Records `n` network round trips.
+    pub fn record_round_trips(&self, n: u64) {
+        self.round_trips.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records read work: `wrs` work requests totalling `bytes` inbound.
+    pub fn record_read(&self, wrs: u64, bytes: u64) {
+        self.work_requests.fetch_add(wrs, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records write work: `wrs` work requests totalling `bytes` outbound.
+    pub fn record_write(&self, wrs: u64, bytes: u64) {
+        self.work_requests.fetch_add(wrs, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one doorbell batch submission.
+    pub fn record_doorbell(&self) {
+        self.doorbell_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one faulted (dropped and retransmitted) verb attempt.
+    pub fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total faulted attempts observed.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Records one atomic verb (CAS or FAA).
+    pub fn record_atomic(&self) {
+        self.atomics.fetch_add(1, Ordering::Relaxed);
+        self.work_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total network round trips.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Total work requests posted.
+    pub fn work_requests(&self) -> u64 {
+        self.work_requests.load(Ordering::Relaxed)
+    }
+
+    /// Total doorbell batches posted.
+    pub fn doorbell_batches(&self) -> u64 {
+        self.doorbell_batches.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read from remote memory.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written to remote memory.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total atomic verbs executed.
+    pub fn atomics(&self) -> u64 {
+        self.atomics.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter (between benchmark phases).
+    pub fn reset(&self) {
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.work_requests.store(0, Ordering::Relaxed);
+        self.doorbell_batches.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.atomics.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            round_trips: self.round_trips(),
+            work_requests: self.work_requests(),
+            doorbell_batches: self.doorbell_batches(),
+            bytes_read: self.bytes_read(),
+            bytes_written: self.bytes_written(),
+            atomics: self.atomics(),
+        }
+    }
+}
+
+/// An immutable copy of [`TransferStats`] counters, with subtraction for
+/// computing per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total network round trips.
+    pub round_trips: u64,
+    /// Total work requests posted.
+    pub work_requests: u64,
+    /// Total doorbell batches posted.
+    pub doorbell_batches: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total atomic verbs.
+    pub atomics: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            round_trips: self.round_trips - rhs.round_trips,
+            work_requests: self.work_requests - rhs.work_requests,
+            doorbell_batches: self.doorbell_batches - rhs.doorbell_batches,
+            bytes_read: self.bytes_read - rhs.bytes_read,
+            bytes_written: self.bytes_written - rhs.bytes_written,
+            atomics: self.atomics - rhs.atomics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TransferStats::new();
+        s.record_round_trips(2);
+        s.record_read(3, 100);
+        s.record_write(1, 50);
+        s.record_doorbell();
+        s.record_atomic();
+        assert_eq!(s.round_trips(), 2);
+        assert_eq!(s.work_requests(), 5);
+        assert_eq!(s.bytes_read(), 100);
+        assert_eq!(s.bytes_written(), 50);
+        assert_eq!(s.doorbell_batches(), 1);
+        assert_eq!(s.atomics(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = TransferStats::new();
+        s.record_read(3, 100);
+        s.record_round_trips(1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_phase() {
+        let s = TransferStats::new();
+        s.record_round_trips(5);
+        let before = s.snapshot();
+        s.record_round_trips(3);
+        s.record_read(1, 10);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.round_trips, 3);
+        assert_eq!(delta.bytes_read, 10);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let s = std::sync::Arc::new(TransferStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        s.record_read(1, 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.work_requests(), 4_000);
+        assert_eq!(s.bytes_read(), 32_000);
+    }
+}

@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A vector had a different dimensionality than the container expects.
+    DimensionMismatch {
+        /// Dimensionality the container was created with.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        got: usize,
+    },
+    /// A parameter was outside its valid range (zero dimension, zero count,
+    /// negative spread, ...). The string names the offending parameter.
+    InvalidParameter(String),
+    /// A file being parsed did not conform to the expected binary format.
+    InvalidFormat(String),
+    /// An underlying I/O failure while reading or writing vector files.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            Error::InvalidFormat(what) => write!(f, "invalid file format: {what}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::DimensionMismatch {
+            expected: 128,
+            got: 64,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 128, got 64");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::other("boom");
+        let e = Error::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Exact brute-force nearest-neighbour computation.
+//!
+//! Used to produce the ground truth that recall is measured against. The
+//! batch variant fans out over `std::thread::scope` so building ground
+//! truth for bench-scale datasets stays fast without pulling in a thread
+//! pool dependency.
+
+use crate::{Dataset, Metric, Neighbor, TopK};
+
+/// Exact top-`k` neighbours of `query` in `data` under `metric`, sorted by
+/// ascending distance.
+///
+/// Returns fewer than `k` entries when the dataset is smaller than `k`.
+///
+/// # Example
+///
+/// ```rust
+/// use vecsim::{ground_truth, Dataset, Metric};
+///
+/// # fn main() -> Result<(), vecsim::Error> {
+/// let ds = Dataset::from_rows(&[[0.0f32, 0.0], [1.0, 0.0], [5.0, 5.0]])?;
+/// let top = ground_truth::exact(&ds, &[0.9, 0.1], 2, Metric::L2);
+/// assert_eq!(top[0].id, 1);
+/// assert_eq!(top[1].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact(data: &Dataset, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for (i, v) in data.iter().enumerate() {
+        top.push(i as u32, metric.distance(query, v));
+    }
+    top.into_sorted_vec()
+}
+
+/// Exact top-`k` for every query, parallelized across available cores.
+///
+/// The output preserves query order: `result[i]` answers `queries.get(i)`.
+pub fn exact_batch(
+    data: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    metric: Metric,
+) -> Vec<Vec<Neighbor>> {
+    let n = queries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+
+    std::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move || {
+                for (off, res) in slot.iter_mut().enumerate() {
+                    *res = exact(data, queries.get(start + off), k, metric);
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn exact_finds_true_nearest() {
+        let ds = Dataset::from_rows(&[[0.0f32, 0.0], [3.0, 0.0], [0.0, 1.0]]).unwrap();
+        let top = exact(&ds, &[0.0, 0.9], 1, Metric::L2);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].id, 2);
+    }
+
+    #[test]
+    fn exact_is_sorted_ascending() {
+        let ds = gen::uniform(8, 200, 0.0, 1.0, 3).unwrap();
+        let q = vec![0.5f32; 8];
+        let top = exact(&ds, &q, 10, Metric::L2);
+        assert_eq!(top.len(), 10);
+        for w in top.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn exact_with_small_dataset_returns_all() {
+        let ds = Dataset::from_rows(&[[1.0f32], [2.0]]).unwrap();
+        let top = exact(&ds, &[0.0], 10, Metric::L2);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn batch_matches_single_query_path() {
+        let ds = gen::uniform(4, 300, 0.0, 1.0, 9).unwrap();
+        let qs = gen::uniform(4, 17, 0.0, 1.0, 10).unwrap();
+        let batch = exact_batch(&ds, &qs, 5, Metric::L2);
+        assert_eq!(batch.len(), 17);
+        for (i, expected) in batch.iter().enumerate() {
+            let single = exact(&ds, qs.get(i), 5, Metric::L2);
+            assert_eq!(&single, expected, "query {i} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_of_zero_queries_is_empty() {
+        let ds = gen::uniform(4, 10, 0.0, 1.0, 9).unwrap();
+        let qs = Dataset::new(4);
+        assert!(exact_batch(&ds, &qs, 5, Metric::L2).is_empty());
+    }
+
+    #[test]
+    fn self_queries_return_themselves_first() {
+        let ds = gen::uniform(6, 50, 0.0, 1.0, 4).unwrap();
+        for i in (0..50).step_by(7) {
+            let top = exact(&ds, ds.get(i), 1, Metric::L2);
+            assert_eq!(top[0].id, i as u32);
+            assert_eq!(top[0].dist, 0.0);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Dataset statistics.
+//!
+//! Small descriptive-statistics helpers used to sanity-check generated
+//! workloads (are SIFT-like vectors actually in `[0, 255]`? how clustered
+//! is the data?) and to choose benchmark parameters like query noise from
+//! the data itself instead of magic constants.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, Metric};
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of vectors.
+    pub len: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Smallest component value.
+    pub min: f32,
+    /// Largest component value.
+    pub max: f32,
+    /// Mean of all components.
+    pub component_mean: f64,
+    /// Standard deviation of all components.
+    pub component_std: f64,
+    /// Mean Euclidean norm of the vectors.
+    pub mean_norm: f64,
+}
+
+/// Computes [`DatasetStats`] in one pass.
+///
+/// An empty dataset yields zeroed statistics with `min`/`max` of `0.0`.
+///
+/// # Example
+///
+/// ```rust
+/// use vecsim::{gen, stats};
+///
+/// # fn main() -> Result<(), vecsim::Error> {
+/// let ds = gen::sift_like(500, 1)?;
+/// let s = stats::describe(&ds);
+/// assert_eq!(s.dim, 128);
+/// assert!(s.min >= 0.0 && s.max <= 255.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn describe(data: &Dataset) -> DatasetStats {
+    if data.is_empty() {
+        return DatasetStats {
+            len: 0,
+            dim: data.dim(),
+            min: 0.0,
+            max: 0.0,
+            component_mean: 0.0,
+            component_std: 0.0,
+            mean_norm: 0.0,
+        };
+    }
+    let flat = data.as_flat();
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for &x in flat {
+        min = min.min(x);
+        max = max.max(x);
+        sum += f64::from(x);
+        sum_sq += f64::from(x) * f64::from(x);
+    }
+    let n = flat.len() as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+
+    let mut norm_sum = 0.0f64;
+    for row in data.iter() {
+        norm_sum += f64::from(crate::distance::norm(row));
+    }
+
+    DatasetStats {
+        len: data.len(),
+        dim: data.dim(),
+        min,
+        max,
+        component_mean: mean,
+        component_std: var.sqrt(),
+        mean_norm: norm_sum / data.len() as f64,
+    }
+}
+
+/// Estimates the mean distance from a vector to its nearest neighbour,
+/// over `samples` randomly chosen probes (exact scan per probe). This is
+/// the natural scale for query perturbation noise: noise well below it
+/// keeps the perturbed base the true nearest; noise above it makes
+/// queries genuinely hard.
+///
+/// Returns `0.0` for datasets with fewer than two vectors.
+pub fn mean_nn_distance(data: &Dataset, metric: Metric, samples: usize, seed: u64) -> f64 {
+    if data.len() < 2 || samples == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = samples.min(data.len());
+    let mut total = 0.0f64;
+    for _ in 0..samples {
+        let i = rng.gen_range(0..data.len());
+        let probe = data.get(i);
+        let mut best = f32::INFINITY;
+        for (j, v) in data.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            best = best.min(metric.distance(probe, v));
+        }
+        total += f64::from(best);
+    }
+    total / samples as f64
+}
+
+/// Hopkins-style clustering-tendency estimate in `[0, 1]`: values near
+/// `0.5` indicate uniform data; values near `1.0` indicate strong
+/// clustering. Uses `probes` random real points versus `probes` uniform
+/// synthetic points within the data's bounding box.
+pub fn clustering_tendency(data: &Dataset, probes: usize, seed: u64) -> f64 {
+    if data.len() < 4 || probes == 0 {
+        return 0.5;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = data.dim();
+    let mut lo = vec![f32::INFINITY; dim];
+    let mut hi = vec![f32::NEG_INFINITY; dim];
+    for row in data.iter() {
+        for (d, &x) in row.iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+
+    let nn_excluding = |probe: &[f32], exclude: Option<usize>| -> f64 {
+        let mut best = f32::INFINITY;
+        for (j, v) in data.iter().enumerate() {
+            if Some(j) == exclude {
+                continue;
+            }
+            best = best.min(crate::l2_sq(probe, v));
+        }
+        f64::from(best).sqrt()
+    };
+
+    let probes = probes.min(data.len() - 1);
+    let mut w = 0.0f64; // real-point NN distances
+    let mut u = 0.0f64; // uniform-point NN distances
+    let mut synth = vec![0.0f32; dim];
+    for _ in 0..probes {
+        let i = rng.gen_range(0..data.len());
+        w += nn_excluding(data.get(i), Some(i));
+        for d in 0..dim {
+            synth[d] = if hi[d] > lo[d] {
+                rng.gen_range(lo[d]..hi[d])
+            } else {
+                lo[d]
+            };
+        }
+        u += nn_excluding(&synth, None);
+    }
+    if u + w == 0.0 {
+        0.5
+    } else {
+        u / (u + w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn describe_matches_hand_computation() {
+        let ds = Dataset::from_rows(&[[0.0f32, 2.0], [4.0, 6.0]]).unwrap();
+        let s = describe(&ds);
+        assert_eq!(s.len, 2);
+        assert_eq!(s.dim, 2);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.component_mean - 3.0).abs() < 1e-9);
+        // std of {0,2,4,6} = sqrt(5)
+        assert!((s.component_std - 5f64.sqrt()).abs() < 1e-6);
+        // norms: 2 and sqrt(52)
+        assert!((s.mean_norm - (2.0 + 52f64.sqrt()) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn describe_empty_is_zeroed() {
+        let s = describe(&Dataset::new(4));
+        assert_eq!(s.len, 0);
+        assert_eq!(s.mean_norm, 0.0);
+    }
+
+    #[test]
+    fn sift_like_stats_are_in_range() {
+        let ds = gen::sift_like(300, 2).unwrap();
+        let s = describe(&ds);
+        assert!(s.min >= 0.0);
+        assert!(s.max <= 255.0);
+        assert!(s.component_std > 1.0, "SIFT-like data should have spread");
+    }
+
+    #[test]
+    fn mean_nn_distance_is_positive_and_scale_sensitive() {
+        let near = gen::uniform(4, 200, 0.0, 1.0, 3).unwrap();
+        let far = gen::uniform(4, 200, 0.0, 100.0, 3).unwrap();
+        let d_near = mean_nn_distance(&near, Metric::L2, 20, 4);
+        let d_far = mean_nn_distance(&far, Metric::L2, 20, 4);
+        assert!(d_near > 0.0);
+        assert!(d_far > d_near * 100.0, "{d_far} vs {d_near}");
+    }
+
+    #[test]
+    fn mean_nn_distance_degenerate_cases() {
+        assert_eq!(mean_nn_distance(&Dataset::new(4), Metric::L2, 5, 0), 0.0);
+        let one = Dataset::from_rows(&[[1.0f32]]).unwrap();
+        assert_eq!(mean_nn_distance(&one, Metric::L2, 5, 0), 0.0);
+    }
+
+    #[test]
+    fn clustered_data_scores_higher_than_uniform() {
+        let uniform = gen::uniform(8, 400, 0.0, 255.0, 5).unwrap();
+        let (clustered, _) = gen::GaussianMixture::new(8, 5)
+            .center_range(0.0, 255.0)
+            .cluster_std(2.0)
+            .generate(400, 6)
+            .unwrap();
+        let h_uniform = clustering_tendency(&uniform, 30, 7);
+        let h_clustered = clustering_tendency(&clustered, 30, 7);
+        assert!(
+            h_clustered > h_uniform + 0.1,
+            "clustered {h_clustered} vs uniform {h_uniform}"
+        );
+        assert!((0.3..0.75).contains(&h_uniform), "uniform H = {h_uniform}");
+    }
+
+    #[test]
+    fn tendency_degenerate_is_neutral() {
+        assert_eq!(clustering_tendency(&Dataset::new(4), 5, 0), 0.5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Multi-instance throughput: several compute instances (threads with
+//! their own queue pairs, clocks, and caches) hammer one memory pool, the
+//! §4 testbed shape (the paper runs 24 instances across three servers).
+//!
+//! ```text
+//! cargo run --release --example batch_throughput
+//! ```
+
+use std::time::Instant;
+
+use dhnsw_repro::dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw_repro::vecsim::gen;
+
+const INSTANCES: usize = 8;
+const BATCHES_PER_INSTANCE: usize = 4;
+const BATCH: usize = 250;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = gen::sift_like(16_000, 31)?;
+    let config = DHnswConfig::paper().with_representatives(200);
+    let store = VectorStore::build(data.clone(), &config)?;
+    println!(
+        "memory pool: {:.1} MB registered, {} partitions",
+        store.remote_bytes() as f64 / 1e6,
+        store.partitions()
+    );
+
+    for mode in [SearchMode::Full, SearchMode::NoDoorbell, SearchMode::Naive] {
+        // Each instance gets an independent query stream.
+        let nodes: Vec<_> = (0..INSTANCES)
+            .map(|_| store.connect(mode))
+            .collect::<Result<_, _>>()?;
+        let streams: Vec<_> = (0..INSTANCES)
+            .map(|i| {
+                gen::perturbed_queries(&data, BATCH * BATCHES_PER_INSTANCE, 0.03, 100 + i as u64)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let wall = Instant::now();
+        let reports: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = nodes
+                .iter()
+                .zip(&streams)
+                .map(|(node, stream)| {
+                    s.spawn(move || {
+                        let mut agg = dhnsw_repro::dhnsw::BatchReport::default();
+                        for b in 0..BATCHES_PER_INSTANCE {
+                            let batch = stream_slice(stream, b * BATCH, BATCH);
+                            let (_, r) = node.query_batch(&batch, 10, 48).unwrap();
+                            agg.merge(&r);
+                        }
+                        agg
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall_s = wall.elapsed().as_secs_f64();
+
+        let queries: usize = reports.iter().map(|r| r.queries).sum();
+        let net_us: f64 = reports.iter().map(|r| r.breakdown.network_us).sum();
+        let trips: u64 = reports.iter().map(|r| r.round_trips).sum();
+        let bytes: u64 = reports.iter().map(|r| r.bytes_read).sum();
+        // Per-instance latency = its own virtual network time + its share
+        // of measured compute; throughput = queries / max instance time.
+        let max_total_us = reports
+            .iter()
+            .map(|r| r.breakdown.total_us())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{mode:<22} | {queries} q | {:>9.0} q/s (model) | net {:>10.0} us | {:>7} trips | {:>7.1} MB | wall {:.2}s",
+            queries as f64 / (max_total_us / 1e6),
+            net_us,
+            trips,
+            bytes as f64 / 1e6,
+            wall_s,
+        );
+    }
+    println!(
+        "\nthroughput = queries / slowest-instance modeled time; wall time is host compute \
+         (graph search + deserialization) and is the same workload across modes"
+    );
+    Ok(())
+}
+
+fn stream_slice(
+    stream: &dhnsw_repro::vecsim::Dataset,
+    start: usize,
+    len: usize,
+) -> dhnsw_repro::vecsim::Dataset {
+    let ids: Vec<u32> = (start..start + len).map(|i| i as u32).collect();
+    stream.select(&ids)
+}

@@ -1,0 +1,68 @@
+//! Scale-out beyond one memory node: shard the corpus across several
+//! memory instances, fan queries out, merge top-k — the deployment shape
+//! for datasets that outgrow a single machine's DRAM (the problem the
+//! paper's introduction opens with).
+//!
+//! ```text
+//! cargo run --release --example sharded_scaleout
+//! ```
+
+use dhnsw_repro::dhnsw::{DHnswConfig, SearchMode, ShardedStore};
+use dhnsw_repro::vecsim::{gen, ground_truth, recall, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = gen::sift_like(24_000, 71)?;
+    let queries = gen::perturbed_queries(&data, 200, 0.03, 72)?;
+    let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+    let config = DHnswConfig::paper().with_representatives(64);
+
+    println!(
+        "{:>7} {:>12} {:>10} {:>14} {:>16} {:>12}",
+        "shards", "remote MB", "recall", "max net us", "sum trips", "MB read"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let store = ShardedStore::build(&data, &config, shards)?;
+        let session = store.connect(SearchMode::Full)?;
+        session.query_batch(&queries, 10, 48)?; // warm
+        let (results, reports) = session.query_batch(&queries, 10, 48)?;
+
+        let ids: Vec<Vec<u32>> = results
+            .iter()
+            .map(|r| r.iter().filter_map(|n| store.original_row(n.id)).collect())
+            .collect();
+        let rec = recall::mean_recall(&ids, &truth);
+        // Shards are independent machines: their network times overlap,
+        // so the batch's network latency is the slowest shard.
+        let max_net = reports
+            .iter()
+            .map(|r| r.breakdown.network_us)
+            .fold(0.0f64, f64::max);
+        let trips: u64 = reports.iter().map(|r| r.round_trips).sum();
+        let bytes: u64 = reports.iter().map(|r| r.bytes_read).sum();
+        println!(
+            "{shards:>7} {:>12.1} {:>10.3} {:>14.1} {:>16} {:>12.2}",
+            store.remote_bytes() as f64 / 1e6,
+            rec,
+            max_net,
+            trips,
+            bytes as f64 / 1e6
+        );
+    }
+    println!(
+        "\neach shard is a full d-HNSW store (own meta-HNSW + layout) over a slice of the \
+         corpus; queries fan out to every shard and per-shard top-k merge by distance"
+    );
+
+    // Inserts land on one shard and stay globally addressable.
+    let store = ShardedStore::build(&data, &config, 4)?;
+    let session = store.connect(SearchMode::Full)?;
+    let new_vec = queries.get(0).to_vec();
+    let gid = session.insert(&new_vec)?;
+    let (shard, local) = dhnsw_repro::dhnsw::sharded::split_id(gid);
+    let hit = session.query(&new_vec, 1, 32)?;
+    println!(
+        "insert -> shard {shard}, local id {local}; re-query found id {} at distance {:.3}",
+        hit[0].id, hit[0].dist
+    );
+    Ok(())
+}

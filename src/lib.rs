@@ -1,0 +1,36 @@
+//! Workspace umbrella for the d-HNSW reproduction.
+//!
+//! Re-exports the four member crates so the root-level integration tests
+//! and examples can exercise the whole stack through one dependency:
+//!
+//! - [`vecsim`] — vectors, datasets, ground truth, recall.
+//! - [`hnsw`] — the from-scratch HNSW index.
+//! - [`rdma_sim`] — the simulated RDMA disaggregated-memory fabric.
+//! - [`dhnsw`] — the paper's system: meta-HNSW caching, the grouped
+//!   RDMA-friendly layout, and query-aware batched loading.
+//!
+//! See `README.md` for the project overview and `DESIGN.md` for the
+//! paper-to-code map.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dhnsw_repro::dhnsw::{DHnswConfig, SearchMode, VectorStore};
+//! use dhnsw_repro::vecsim::gen;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = gen::sift_like(1_000, 1)?;
+//! let store = VectorStore::build(data, &DHnswConfig::small())?;
+//! let node = store.connect(SearchMode::Full)?;
+//! let hits = node.query(&vec![128.0; 128], 5, 32)?;
+//! assert_eq!(hits.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dhnsw;
+pub use hnsw;
+pub use rdma_sim;
+pub use vecsim;

@@ -1,0 +1,172 @@
+//! End-to-end integration tests: build a store on paper-shaped workloads
+//! and validate recall, mode equivalence, and insert visibility through
+//! the whole stack (vecsim → hnsw → rdma-sim → dhnsw).
+
+use dhnsw_repro::dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw_repro::vecsim::{gen, ground_truth, recall, Dataset, Metric};
+
+fn recall_of(
+    store: &VectorStore,
+    mode: SearchMode,
+    queries: &Dataset,
+    truth: &[Vec<dhnsw_repro::vecsim::Neighbor>],
+    k: usize,
+    ef: usize,
+) -> f64 {
+    let node = store.connect(mode).unwrap();
+    let (results, _) = node.query_batch(queries, k, ef).unwrap();
+    let ids: Vec<Vec<u32>> = results
+        .iter()
+        .map(|r| r.iter().map(|n| n.id).collect())
+        .collect();
+    recall::mean_recall(&ids, truth)
+}
+
+#[test]
+fn sift_like_recall_is_in_the_papers_band() {
+    let data = gen::sift_like(4_000, 1).unwrap();
+    let queries = gen::perturbed_queries(&data, 100, 0.02, 2).unwrap();
+    let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+    let store = VectorStore::build(data, &DHnswConfig::small().with_fanout(4)).unwrap();
+
+    let r = recall_of(&store, SearchMode::Full, &queries, &truth, 10, 48);
+    assert!(r > 0.75, "top-10 recall {r} below the paper's band");
+}
+
+#[test]
+fn gist_like_store_works_at_high_dimension() {
+    let data = gen::gist_like(800, 3).unwrap();
+    let queries = gen::perturbed_queries(&data, 20, 0.02, 4).unwrap();
+    let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+    let r = recall_of(&store, SearchMode::Full, &queries, &truth, 10, 48);
+    assert!(r > 0.7, "GIST-like recall {r}");
+}
+
+#[test]
+fn recall_rises_with_ef_search() {
+    // Hard queries (8% noise) so the beam width actually matters; ef is
+    // clamped up to k, so the sweep runs from ef = k upward.
+    let data = gen::sift_like(3_000, 5).unwrap();
+    let queries = gen::perturbed_queries(&data, 100, 0.08, 6).unwrap();
+    let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+
+    let r_lo = recall_of(&store, SearchMode::Full, &queries, &truth, 10, 10);
+    let r_hi = recall_of(&store, SearchMode::Full, &queries, &truth, 10, 128);
+    assert!(
+        r_hi + 0.01 >= r_lo,
+        "efSearch 128 recall {r_hi} < efSearch 10 recall {r_lo}"
+    );
+    assert!(r_hi > 0.55, "high-ef recall {r_hi} too low for 8% noise");
+}
+
+#[test]
+fn all_three_modes_return_identical_answers_cold() {
+    let data = gen::sift_like(1_500, 7).unwrap();
+    let queries = gen::perturbed_queries(&data, 24, 0.03, 8).unwrap();
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+    let truth = |mode| {
+        let node = store.connect(mode).unwrap();
+        node.query_batch(&queries, 10, 32).unwrap().0
+    };
+    let full = truth(SearchMode::Full);
+    assert_eq!(full, truth(SearchMode::NoDoorbell));
+    assert_eq!(full, truth(SearchMode::Naive));
+}
+
+#[test]
+fn top1_is_a_prefix_of_top10() {
+    let data = gen::sift_like(1_200, 9).unwrap();
+    let queries = gen::perturbed_queries(&data, 16, 0.02, 10).unwrap();
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+    let node = store.connect(SearchMode::Full).unwrap();
+    let (top10, _) = node.query_batch(&queries, 10, 48).unwrap();
+    node.drop_cache();
+    let (top1, _) = node.query_batch(&queries, 1, 48).unwrap();
+    for (a, b) in top1.iter().zip(&top10) {
+        assert_eq!(a[0], b[0]);
+    }
+}
+
+#[test]
+fn inserted_vectors_join_the_search_space_everywhere() {
+    let data = gen::sift_like(1_000, 11).unwrap();
+    let store = VectorStore::build(data.clone(), &DHnswConfig::small()).unwrap();
+    let writer = store.connect(SearchMode::Full).unwrap();
+
+    // Insert perturbed copies of existing vectors.
+    let inserts = gen::perturbed_queries(&data, 10, 0.01, 12).unwrap();
+    let mut gids = Vec::new();
+    for v in inserts.iter() {
+        gids.push(writer.insert(v).unwrap());
+    }
+
+    // Every mode on a fresh node sees them.
+    for mode in [SearchMode::Full, SearchMode::NoDoorbell, SearchMode::Naive] {
+        let node = store.connect(mode).unwrap();
+        for (i, v) in inserts.iter().enumerate() {
+            let hits = node.query(v, 1, 32).unwrap();
+            assert_eq!(hits[0].id, gids[i], "{mode}: insert {i} not found");
+        }
+    }
+}
+
+#[test]
+fn mixed_insert_and_query_workload_stays_consistent() {
+    let data = gen::sift_like(800, 13).unwrap();
+    let store = VectorStore::build(data.clone(), &DHnswConfig::small()).unwrap();
+    let node = store.connect(SearchMode::Full).unwrap();
+
+    let batch = gen::perturbed_queries(&data, 8, 0.02, 14).unwrap();
+    for round in 0..5u64 {
+        let v = gen::perturbed_queries(&data, 1, 0.01, 100 + round).unwrap();
+        let gid = node.insert(v.get(0)).unwrap();
+        let hits = node.query(v.get(0), 1, 32).unwrap();
+        assert_eq!(hits[0].id, gid, "round {round}");
+        let (results, _) = node.query_batch(&batch, 5, 16).unwrap();
+        assert!(results.iter().all(|r| r.len() == 5));
+    }
+}
+
+#[test]
+fn meta_footprint_is_orders_of_magnitude_below_store() {
+    let data = gen::sift_like(5_000, 15).unwrap();
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+    let meta_bytes = store.meta().footprint_bytes() as u64;
+    assert!(
+        meta_bytes * 10 < store.remote_bytes(),
+        "meta {meta_bytes} vs remote {}",
+        store.remote_bytes()
+    );
+}
+
+#[test]
+fn cosine_metric_works_end_to_end() {
+    let data = gen::gist_like(600, 17).unwrap();
+    let queries = gen::perturbed_queries(&data, 12, 0.02, 18).unwrap();
+    let truth = ground_truth::exact_batch(&data, &queries, 5, Metric::Cosine);
+    let store =
+        VectorStore::build(data, &DHnswConfig::small().with_metric(Metric::Cosine)).unwrap();
+    let r = recall_of(&store, SearchMode::Full, &queries, &truth, 5, 48);
+    assert!(r > 0.6, "cosine recall {r}");
+}
+
+#[test]
+fn multiple_compute_nodes_share_one_memory_pool() {
+    let data = gen::sift_like(1_000, 19).unwrap();
+    let queries = gen::perturbed_queries(&data, 16, 0.02, 20).unwrap();
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+    let nodes: Vec<_> = (0..3)
+        .map(|_| store.connect(SearchMode::Full).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for node in &nodes {
+            s.spawn(|| {
+                let (results, report) = node.query_batch(&queries, 5, 16).unwrap();
+                assert_eq!(results.len(), 16);
+                assert!(report.round_trips > 0);
+            });
+        }
+    });
+}
