@@ -14,14 +14,22 @@
 //!
 //! # Insert more vectors and persist the mutated store:
 //! dhnsw_cli insert --store store.dhnsw --input new.fvecs --out store2.dhnsw
+//!
+//! # Run a workload and dump the telemetry registry:
+//! dhnsw_cli metrics --store store.dhnsw --queries q.fvecs --format prom
+//! dhnsw_cli query --store store.dhnsw --queries q.fvecs --metrics-out run1
 //! ```
 //!
 //! Every subcommand runs on the simulated RDMA fabric and reports what
-//! moved (round trips, bytes, virtual network time).
+//! moved (round trips, bytes, virtual network time). `query` and `insert`
+//! accept `--metrics-out <base>` to write the process-wide telemetry
+//! registry to `<base>.prom` (Prometheus text format) and `<base>.json`;
+//! the `metrics` subcommand runs a query workload with per-query tracing
+//! on and prints the exposition to stdout.
 
 use std::collections::HashMap;
 
-use dhnsw::{snapshot, DHnswConfig, SearchMode, VectorStore};
+use dhnsw::{snapshot, DHnswConfig, SearchMode, Telemetry, VectorStore};
 use vecsim::Dataset;
 
 type AnyResult<T> = Result<T, Box<dyn std::error::Error>>;
@@ -49,6 +57,7 @@ fn run(args: &[String]) -> AnyResult<()> {
         "info" => cmd_info(&flags),
         "query" => cmd_query(&flags),
         "insert" => cmd_insert(&flags),
+        "metrics" => cmd_metrics(&flags),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -62,11 +71,12 @@ fn run(args: &[String]) -> AnyResult<()> {
 
 fn print_usage() {
     eprintln!(
-        "usage: dhnsw_cli <build|info|query|insert> [flags]\n\
-         build:  --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
-         info:   --store <snapshot>\n\
-         query:  --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N]\n\
-         insert: --store <snapshot> --input <fvecs> --out <snapshot> [--limit N]"
+        "usage: dhnsw_cli <build|info|query|insert|metrics> [flags]\n\
+         build:   --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
+         info:    --store <snapshot>\n\
+         query:   --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--metrics-out <base>]\n\
+         insert:  --store <snapshot> --input <fvecs> --out <snapshot> [--limit N] [--metrics-out <base>]\n\
+         metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]"
     );
 }
 
@@ -197,8 +207,7 @@ fn cmd_info(flags: &HashMap<String, String>) -> AnyResult<()> {
     Ok(())
 }
 
-fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
-    let store = open_store(flags)?;
+fn load_queries(flags: &HashMap<String, String>) -> AnyResult<Dataset> {
     let qpath = flags.get("queries").ok_or("--queries <fvecs> required")?;
     let file = std::fs::File::open(qpath)?;
     let mut queries = vecsim::io::read_fvecs(std::io::BufReader::new(file))?;
@@ -207,6 +216,24 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
         let ids: Vec<u32> = (0..limit as u32).collect();
         queries = queries.select(&ids);
     }
+    Ok(queries)
+}
+
+/// Dumps the process-wide telemetry registry to `<base>.prom` and
+/// `<base>.json`.
+fn write_metrics(base: &str) -> AnyResult<()> {
+    let telemetry = Telemetry::global();
+    let prom = format!("{base}.prom");
+    std::fs::write(&prom, telemetry.render_prometheus())?;
+    let json = format!("{base}.json");
+    std::fs::write(&json, telemetry.snapshot_json())?;
+    eprintln!("wrote metrics to {prom} and {json}");
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let store = open_store(flags)?;
+    let queries = load_queries(flags)?;
     let k = flag_usize(flags, "k", 10)?;
     let ef = flag_usize(flags, "ef", 48)?;
 
@@ -227,6 +254,55 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
         report.round_trips,
         report.bytes_read as f64 / 1e6
     );
+    if let Some(base) = flags.get("metrics-out") {
+        write_metrics(base)?;
+    }
+    Ok(())
+}
+
+/// Runs a query workload with per-query tracing on and emits the
+/// telemetry registry in Prometheus text format (default) or JSON.
+fn cmd_metrics(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let store = open_store(flags)?;
+    let queries = load_queries(flags)?;
+    let k = flag_usize(flags, "k", 10)?;
+    let ef = flag_usize(flags, "ef", 48)?;
+
+    let telemetry = Telemetry::global();
+    telemetry.traces().set_enabled(true);
+    let node = store.connect(SearchMode::Full)?;
+    let (_, report) = node.query_batch(&queries, k, ef)?;
+    if let Some(trace) = telemetry.traces().recent().last() {
+        eprintln!(
+            "trace: {} queries | {} clusters wanted, {} cache hits, {} loaded | {} doorbells | {:.1} us total",
+            trace.queries,
+            trace.unique_clusters,
+            trace.cache_hits,
+            trace.clusters_loaded,
+            trace.doorbell_batches,
+            trace.total_us
+        );
+    }
+    eprintln!(
+        "{} queries | {:.2} us/query | {} round trips",
+        report.queries,
+        report.per_query_latency_us(),
+        report.round_trips
+    );
+
+    let format = flags.get("format").map(String::as_str).unwrap_or("prom");
+    let text = match format {
+        "prom" => telemetry.render_prometheus(),
+        "json" => telemetry.snapshot_json(),
+        other => return Err(format!("unknown --format {other}; use prom|json").into()),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("wrote metrics to {path}");
+        }
+        None => print!("{text}"),
+    }
     Ok(())
 }
 
@@ -250,6 +326,9 @@ fn cmd_insert(flags: &HashMap<String, String>) -> AnyResult<()> {
     );
     if rejected > 0 {
         eprintln!("hint: rebuild the store to fold overflow in and free space");
+    }
+    if let Some(base) = flags.get("metrics-out") {
+        write_metrics(base)?;
     }
     save_store(&store, flags)
 }

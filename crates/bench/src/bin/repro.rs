@@ -8,8 +8,12 @@
 //! Subcommands: `fig6a` `fig6b` `fig6c` `fig6d` `table1` `table2`
 //! `metasize` `ablations` `all`. Scale via `DHNSW_SIFT_N`, `DHNSW_GIST_N`,
 //! `DHNSW_QUERIES`, `DHNSW_REPS` (see crate docs).
+//!
+//! Pass `--metrics-out <base>` to additionally dump the process-wide
+//! telemetry registry (every query the run issued) to `<base>.prom`
+//! (Prometheus text format 0.0.4) and `<base>.json` after the run.
 
-use dhnsw::{DHnswConfig, SearchMode, VectorStore};
+use dhnsw::{DHnswConfig, SearchMode, Telemetry, VectorStore};
 use dhnsw_bench::{
     breakdown_rows, print_breakdown_table, print_sweep_table, sweep, DatasetKind, Workload,
 };
@@ -18,8 +22,31 @@ use rdma_sim::NetworkModel;
 type AnyResult = Result<(), Box<dyn std::error::Error>>;
 
 fn main() -> AnyResult {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match cmd.as_str() {
+    let mut metrics_out = None;
+    let mut cmd = "all".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-out" {
+            metrics_out = Some(args.next().ok_or("--metrics-out needs a value")?);
+        } else {
+            cmd = arg;
+        }
+    }
+    Telemetry::global().traces().set_enabled(true);
+    run_cmd(&cmd)?;
+    if let Some(base) = metrics_out {
+        let telemetry = Telemetry::global();
+        let prom = format!("{base}.prom");
+        std::fs::write(&prom, telemetry.render_prometheus())?;
+        let json = format!("{base}.json");
+        std::fs::write(&json, telemetry.snapshot_json())?;
+        eprintln!("[metrics] {prom} {json}");
+    }
+    Ok(())
+}
+
+fn run_cmd(cmd: &str) -> AnyResult {
+    match cmd {
         "fig6a" => fig6(DatasetKind::SiftLike, 10, "Fig 6(a): SIFT, top-10"),
         "fig6b" => fig6(DatasetKind::SiftLike, 1, "Fig 6(b): SIFT, top-1"),
         "fig6c" => fig6(DatasetKind::GistLike, 10, "Fig 6(c): GIST, top-10"),

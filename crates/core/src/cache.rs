@@ -11,6 +11,31 @@ use std::sync::Arc;
 
 use crate::cluster::LoadedCluster;
 
+/// Lifetime counters of a [`ClusterCache`], as reported by
+/// [`crate::ComputeNode::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident cluster.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Clusters pushed out by LRU pressure (invalidations and explicit
+    /// clears are not evictions).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// An LRU cache of [`LoadedCluster`]s keyed by partition id.
 ///
 /// Entries are handed out as `Arc`s so a batch can keep using a cluster
@@ -30,8 +55,7 @@ pub struct ClusterCache {
     capacity: usize,
     entries: HashMap<u32, (u64, Arc<LoadedCluster>)>,
     tick: u64,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl ClusterCache {
@@ -41,8 +65,7 @@ impl ClusterCache {
             capacity: capacity.max(1),
             entries: HashMap::new(),
             tick: 0,
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
     }
 
@@ -68,11 +91,11 @@ impl ClusterCache {
         match self.entries.get_mut(&partition) {
             Some((stamp, cluster)) => {
                 *stamp = self.tick;
-                self.hits += 1;
+                self.stats.hits += 1;
                 Some(Arc::clone(cluster))
             }
             None => {
-                self.misses += 1;
+                self.stats.misses += 1;
                 None
             }
         }
@@ -92,6 +115,7 @@ impl ClusterCache {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp)
             {
                 self.entries.remove(&victim);
+                self.stats.evictions += 1;
             }
         }
         self.entries.insert(partition, (self.tick, cluster));
@@ -110,12 +134,22 @@ impl ClusterCache {
 
     /// Lifetime hit count.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.stats.hits
     }
 
     /// Lifetime miss count.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.stats.misses
+    }
+
+    /// Lifetime eviction count (LRU pressure only).
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions
+    }
+
+    /// All lifetime counters at once.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Approximate resident bytes across all cached clusters.
@@ -218,6 +252,35 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn evictions_count_lru_pressure_only() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0));
+        c.put(1, cluster(1));
+        assert_eq!(c.evictions(), 0);
+        c.put(2, cluster(2)); // LRU pressure
+        assert_eq!(c.evictions(), 1);
+        c.invalidate(2); // explicit drop: not an eviction
+        c.clear(); // neither is a clear
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0));
+        c.get(0);
+        c.get(0);
+        c.get(9);
+        c.get(8);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -22,16 +22,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use rdma_sim::QueuePair;
+use rdma_sim::{QueuePair, StatsSnapshot};
 use vecsim::{Dataset, Neighbor, TopK};
 
 use crate::breakdown::BatchReport;
-use crate::cache::ClusterCache;
+use crate::cache::{CacheStats, ClusterCache};
 use crate::cluster::{LoadedCluster, OverflowRecord};
 use crate::layout::{Directory, ID_COUNTER_OFFSET};
 use crate::loader::{plan_batch, read_requests};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
+use crate::telemetry::{Counter, Gauge, Histogram, QueryTrace, Telemetry};
 use crate::{DHnswConfig, Error, Result};
 
 /// Which of the paper's three evaluated schemes this compute node runs.
@@ -56,6 +57,15 @@ impl SearchMode {
             SearchMode::Full => "d-HNSW",
             SearchMode::NoDoorbell => "d-HNSW (w/o doorbell)",
             SearchMode::Naive => "Naive d-HNSW",
+        }
+    }
+
+    /// The value of the `mode` metric label: lowercase, no punctuation.
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchMode::Full => "full",
+            SearchMode::NoDoorbell => "no_doorbell",
+            SearchMode::Naive => "naive",
         }
     }
 }
@@ -108,6 +118,164 @@ impl QueryOptions {
     }
 }
 
+/// Pre-resolved metric handles for one compute node. Resolving happens
+/// once at connect; recording on the query path is pure atomics.
+#[derive(Debug)]
+struct EngineMetrics {
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    stage_meta_us: Arc<Counter>,
+    stage_network_us: Arc<Counter>,
+    stage_sub_us: Arc<Counter>,
+    clusters_loaded: Arc<Counter>,
+    cluster_cache_hits: Arc<Counter>,
+    raw_cluster_demand: Arc<Counter>,
+    transfers_saved: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_occupancy: Arc<Gauge>,
+    cache_resident_bytes: Arc<Gauge>,
+    rdma_round_trips: Arc<Counter>,
+    rdma_work_requests: Arc<Counter>,
+    rdma_doorbell_batches: Arc<Counter>,
+    rdma_bytes_read: Arc<Counter>,
+    rdma_bytes_written: Arc<Counter>,
+    rdma_atomics: Arc<Counter>,
+    rdma_faults: Arc<Counter>,
+    doorbell_batch_size: Arc<Histogram>,
+    inserts: Arc<Counter>,
+    insert_overflow: Arc<Counter>,
+    deletes: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(t: &Telemetry, mode: SearchMode) -> Self {
+        let m: &[(&str, &str)] = &[("mode", mode.label())];
+        EngineMetrics {
+            queries: t.counter("dhnsw_queries_total", "Queries answered", m),
+            batches: t.counter("dhnsw_query_batches_total", "Query batches answered", m),
+            latency_us: t.histogram(
+                "dhnsw_query_latency_us",
+                "Per-query wall latency in microseconds (batch time / batch size)",
+                m,
+            ),
+            stage_meta_us: t.counter(
+                "dhnsw_stage_us_total",
+                "Cumulative stage time in microseconds",
+                &[("mode", mode.label()), ("stage", "meta_hnsw")],
+            ),
+            stage_network_us: t.counter(
+                "dhnsw_stage_us_total",
+                "Cumulative stage time in microseconds",
+                &[("mode", mode.label()), ("stage", "network")],
+            ),
+            stage_sub_us: t.counter(
+                "dhnsw_stage_us_total",
+                "Cumulative stage time in microseconds",
+                &[("mode", mode.label()), ("stage", "sub_hnsw")],
+            ),
+            clusters_loaded: t.counter(
+                "dhnsw_clusters_loaded_total",
+                "Clusters fetched from remote memory",
+                m,
+            ),
+            cluster_cache_hits: t.counter(
+                "dhnsw_cluster_cache_hits_total",
+                "Cluster loads avoided by cache residency at plan time",
+                m,
+            ),
+            raw_cluster_demand: t.counter(
+                "dhnsw_raw_cluster_demand_total",
+                "Cluster demand before query-aware dedup (queries x fanout)",
+                m,
+            ),
+            transfers_saved: t.counter(
+                "dhnsw_loader_transfers_saved_total",
+                "Cluster transfers avoided by dedup and cache reuse",
+                m,
+            ),
+            cache_hits: t.counter("dhnsw_cache_hits_total", "Cluster cache lookup hits", &[]),
+            cache_misses: t.counter(
+                "dhnsw_cache_misses_total",
+                "Cluster cache lookup misses",
+                &[],
+            ),
+            cache_evictions: t.counter(
+                "dhnsw_cache_evictions_total",
+                "Clusters evicted by LRU pressure",
+                &[],
+            ),
+            cache_occupancy: t.gauge(
+                "dhnsw_cache_occupancy_clusters",
+                "Clusters resident in the most recently active node's cache",
+                &[],
+            ),
+            cache_resident_bytes: t.gauge(
+                "dhnsw_cache_resident_bytes",
+                "Approximate bytes resident in the most recently active node's cache",
+                &[],
+            ),
+            rdma_round_trips: t.counter(
+                "dhnsw_rdma_round_trips_total",
+                "Network round trips issued",
+                &[],
+            ),
+            rdma_work_requests: t.counter(
+                "dhnsw_rdma_work_requests_total",
+                "RDMA work requests posted",
+                &[],
+            ),
+            rdma_doorbell_batches: t.counter(
+                "dhnsw_rdma_doorbell_batches_total",
+                "Doorbell batches submitted",
+                &[],
+            ),
+            rdma_bytes_read: t.counter(
+                "dhnsw_rdma_bytes_read_total",
+                "Bytes read from remote memory",
+                &[],
+            ),
+            rdma_bytes_written: t.counter(
+                "dhnsw_rdma_bytes_written_total",
+                "Bytes written to remote memory",
+                &[],
+            ),
+            rdma_atomics: t.counter(
+                "dhnsw_rdma_atomics_total",
+                "Atomic verbs (CAS/FAA) executed",
+                &[],
+            ),
+            rdma_faults: t.counter(
+                "dhnsw_rdma_faults_total",
+                "Faulted (dropped and retransmitted) verb attempts",
+                &[],
+            ),
+            doorbell_batch_size: t.histogram(
+                "dhnsw_doorbell_batch_size",
+                "Work requests per doorbell batch",
+                &[],
+            ),
+            inserts: t.counter("dhnsw_inserts_total", "Insert attempts", &[]),
+            insert_overflow: t.counter(
+                "dhnsw_insert_overflow_total",
+                "Inserts rejected because the group overflow area was full",
+                &[],
+            ),
+            deletes: t.counter("dhnsw_deletes_total", "Delete attempts", &[]),
+        }
+    }
+}
+
+/// Last-flushed substrate counters, for converting cumulative snapshots
+/// into telemetry deltas without double counting.
+#[derive(Debug, Default)]
+struct FlushState {
+    rdma: StatsSnapshot,
+    cache: CacheStats,
+}
+
 /// One compute-pool instance.
 ///
 /// See the crate docs for an end-to-end example. Thread-safety: a
@@ -122,13 +290,20 @@ pub struct ComputeNode {
     cache: Mutex<ClusterCache>,
     config: DHnswConfig,
     mode: SearchMode,
+    telemetry: Arc<Telemetry>,
+    metrics: EngineMetrics,
+    flushed: Mutex<FlushState>,
 }
 
 impl ComputeNode {
     /// Connects to the store: opens a queue pair and fetches the layout
     /// directory from the head of the remote region (one `RDMA_READ`),
     /// exactly as §3.2 describes compute instances caching the offsets.
-    pub(crate) fn connect(store: &VectorStore, mode: SearchMode) -> Result<Self> {
+    pub(crate) fn connect(
+        store: &VectorStore,
+        mode: SearchMode,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self> {
         let config = store.config().clone();
         let qp = QueuePair::connect(store.memory_node(), config.network());
         let rkey = store.region().rkey();
@@ -136,6 +311,13 @@ impl ComputeNode {
         let dir_bytes = qp.read(rkey, 0, dir_len)?;
         let directory = Directory::from_bytes(&dir_bytes)?;
         let capacity = config.cache_capacity(directory.partitions());
+        let metrics = EngineMetrics::new(&telemetry, mode);
+        // The directory fetch above already moved bytes; start the flush
+        // baseline there so connect traffic is not charged to queries.
+        let flushed = Mutex::new(FlushState {
+            rdma: qp.stats().snapshot(),
+            cache: CacheStats::default(),
+        });
         Ok(ComputeNode {
             qp,
             rkey,
@@ -144,6 +326,9 @@ impl ComputeNode {
             cache: Mutex::new(ClusterCache::new(capacity)),
             config,
             mode,
+            telemetry,
+            metrics,
+            flushed,
         })
     }
 
@@ -173,17 +358,61 @@ impl ComputeNode {
         &self.qp
     }
 
-    /// `(hits, misses)` of the cluster cache since connect.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        let c = self.cache.lock();
-        (c.hits(), c.misses())
+    /// Lifetime cluster-cache counters since connect.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
     }
 
-    /// Clears the cluster cache and zeroes the clock and transfer
-    /// counters — used between benchmark phases.
+    /// The telemetry hub this node records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Clears the clock and transfer counters — used between benchmark
+    /// phases. The telemetry flush baseline is rewound with them so
+    /// global counters neither double-count nor go backwards.
     pub fn reset_measurements(&self) {
+        let mut flushed = self.flushed.lock();
         self.qp.clock().reset();
         self.qp.stats().reset();
+        flushed.rdma = StatsSnapshot::default();
+    }
+
+    /// Converts cumulative substrate/cache counters into deltas since
+    /// the last flush and adds them to the telemetry registry. Pure
+    /// atomic reads and adds — no verbs, no allocation.
+    fn flush_telemetry(&self) {
+        // The flushed lock is taken first and reads happen under it, so
+        // concurrent flushes see monotonic counters and deltas cannot
+        // underflow.
+        let mut flushed = self.flushed.lock();
+        let (cache_now, cache_len, cache_bytes) = {
+            let c = self.cache.lock();
+            (c.stats(), c.len(), c.resident_bytes())
+        };
+        let rdma_now = self.qp.stats().snapshot();
+        let rdma = rdma_now - flushed.rdma;
+        let m = &self.metrics;
+        m.rdma_round_trips.add(rdma.round_trips);
+        m.rdma_work_requests.add(rdma.work_requests);
+        m.rdma_doorbell_batches.add(rdma.doorbell_batches);
+        m.rdma_bytes_read.add(rdma.bytes_read);
+        m.rdma_bytes_written.add(rdma.bytes_written);
+        m.rdma_atomics.add(rdma.atomics);
+        m.rdma_faults.add(rdma.faults);
+        for (i, &count) in rdma.doorbell_size_buckets.iter().enumerate() {
+            // Merge pre-bucketed counts at each bucket's upper bound; the
+            // telemetry histogram's log-2 buckets line up with these.
+            m.doorbell_batch_size.observe_n(1u64 << i, count);
+        }
+        m.cache_hits.add(cache_now.hits - flushed.cache.hits);
+        m.cache_misses.add(cache_now.misses - flushed.cache.misses);
+        m.cache_evictions
+            .add(cache_now.evictions - flushed.cache.evictions);
+        m.cache_occupancy.set(cache_len as u64);
+        m.cache_resident_bytes.set(cache_bytes as u64);
+        flushed.rdma = rdma_now;
+        flushed.cache = cache_now;
     }
 
     /// Empties the LRU cluster cache (cold-start benchmarks).
@@ -246,13 +475,63 @@ impl ComputeNode {
             return Err(Error::InvalidParameter("fanout must be >= 1".into()));
         }
         let b = opts.fanout.unwrap_or_else(|| self.config.fanout());
-        match self.mode {
+        // With tracing off this costs one atomic load; the trace itself
+        // is a Copy value moved into a preallocated ring — recording a
+        // batch never allocates.
+        let tracing = self.telemetry.traces().is_enabled();
+        let stats0 = if tracing {
+            Some(self.qp.stats().snapshot())
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        let (results, report) = match self.mode {
             SearchMode::Full => self.query_batch_planned(queries, opts.k, opts.ef, b, true),
             SearchMode::NoDoorbell => {
                 self.query_batch_planned(queries, opts.k, opts.ef, b, false)
             }
             SearchMode::Naive => self.query_batch_naive(queries, opts.k, opts.ef, b),
+        }?;
+        let total_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let m = &self.metrics;
+        let n = report.queries.max(1) as u64;
+        m.queries.add(report.queries as u64);
+        m.batches.inc();
+        m.latency_us.observe_n((total_us / n as f64) as u64, n);
+        m.stage_meta_us.add(report.breakdown.meta_hnsw_us as u64);
+        m.stage_network_us.add(report.breakdown.network_us as u64);
+        m.stage_sub_us.add(report.breakdown.sub_hnsw_us as u64);
+        m.clusters_loaded.add(report.clusters_loaded as u64);
+        m.cluster_cache_hits.add(report.cache_hits as u64);
+        m.raw_cluster_demand.add(report.raw_cluster_demand as u64);
+        m.transfers_saved.add(
+            (report.raw_cluster_demand.saturating_sub(report.clusters_loaded)) as u64,
+        );
+        self.flush_telemetry();
+
+        if let Some(stats0) = stats0 {
+            let delta = self.qp.stats().snapshot() - stats0;
+            self.telemetry.traces().record(QueryTrace {
+                mode: self.mode.label(),
+                queries: report.queries as u32,
+                k: opts.k as u32,
+                ef: opts.ef as u32,
+                fanout: b as u32,
+                raw_cluster_demand: report.raw_cluster_demand as u32,
+                unique_clusters: report.unique_clusters as u32,
+                cache_hits: report.cache_hits as u32,
+                clusters_loaded: report.clusters_loaded as u32,
+                doorbell_batches: delta.doorbell_batches as u32,
+                round_trips: report.round_trips,
+                bytes_read: report.bytes_read,
+                meta_us: report.breakdown.meta_hnsw_us,
+                network_us: report.breakdown.network_us,
+                sub_us: report.breakdown.sub_hnsw_us,
+                total_us,
+            });
         }
+        Ok((results, report))
     }
 
     /// The Full / NoDoorbell path: route → plan → load once per cluster →
@@ -437,13 +716,23 @@ impl ComputeNode {
     ///   exhausted (the reserved id is burned; re-laying-out the group is
     ///   a rebuild-time operation, as in the paper).
     pub fn insert(&self, v: &[f32]) -> Result<u32> {
+        let result = self.insert_impl(v);
+        self.metrics.inserts.inc();
+        if matches!(result, Err(Error::OverflowFull { .. })) {
+            self.metrics.insert_overflow.inc();
+        }
+        self.flush_telemetry();
+        result
+    }
+
+    fn insert_impl(&self, v: &[f32]) -> Result<u32> {
         if v.len() != self.directory.dim() {
             return Err(Error::DimensionMismatch {
                 expected: self.directory.dim(),
                 got: v.len(),
             });
         }
-        let partition = self.meta.classify(v)?;
+        let partition = self.meta.classify_with_beam(v, self.config.fanout())?;
         let loc = *self.directory.location(partition)?;
         let record_size = self.directory.record_size() as u64;
 
@@ -483,6 +772,18 @@ impl ComputeNode {
     /// error — abort the call; per-vector overflow exhaustion is reported
     /// in the returned vector instead.
     pub fn insert_batch(&self, vectors: &Dataset) -> Result<Vec<Result<u32>>> {
+        let results = self.insert_batch_impl(vectors)?;
+        self.metrics.inserts.add(results.len() as u64);
+        let overflowed = results
+            .iter()
+            .filter(|r| matches!(r, Err(Error::OverflowFull { .. })))
+            .count() as u64;
+        self.metrics.insert_overflow.add(overflowed);
+        self.flush_telemetry();
+        Ok(results)
+    }
+
+    fn insert_batch_impl(&self, vectors: &Dataset) -> Result<Vec<Result<u32>>> {
         if vectors.is_empty() {
             return Ok(Vec::new());
         }
@@ -500,7 +801,7 @@ impl ComputeNode {
         let mut partitions = Vec::with_capacity(n);
         let mut by_area: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, v) in vectors.iter().enumerate() {
-            let p = self.meta.classify(v)?;
+            let p = self.meta.classify_with_beam(v, self.config.fanout())?;
             let loc = self.directory.location(p)?;
             partitions.push(p);
             by_area.entry(loc.overflow_counter_off()).or_default().push(i);
@@ -571,13 +872,20 @@ impl ComputeNode {
     /// - [`Error::OverflowFull`] when the group's overflow area has no
     ///   slot left for the tombstone.
     pub fn delete(&self, v: &[f32], global_id: u32) -> Result<()> {
+        let result = self.delete_impl(v, global_id);
+        self.metrics.deletes.inc();
+        self.flush_telemetry();
+        result
+    }
+
+    fn delete_impl(&self, v: &[f32], global_id: u32) -> Result<()> {
         if v.len() != self.directory.dim() {
             return Err(Error::DimensionMismatch {
                 expected: self.directory.dim(),
                 got: v.len(),
             });
         }
-        let partition = self.meta.classify(v)?;
+        let partition = self.meta.classify_with_beam(v, self.config.fanout())?;
         let loc = *self.directory.location(partition)?;
         let record_size = self.directory.record_size() as u64;
         let used = self

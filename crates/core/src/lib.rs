@@ -60,15 +60,18 @@ pub mod meta;
 pub mod sharded;
 pub mod snapshot;
 mod store;
+pub mod telemetry;
 
 pub use balancer::{DispatchPolicy, LoadBalancer};
 pub use breakdown::{BatchReport, LatencyBreakdown};
+pub use cache::CacheStats;
 pub use config::DHnswConfig;
 pub use engine::{ComputeNode, QueryOptions, SearchMode};
 pub use error::Error;
 pub use meta::MetaIndex;
 pub use sharded::{ShardedSession, ShardedStore};
 pub use store::VectorStore;
+pub use telemetry::{QueryTrace, Telemetry};
 
 /// Convenient result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, Error>;

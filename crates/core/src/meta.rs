@@ -106,13 +106,26 @@ impl MetaIndex {
     ///
     /// Returns [`Error::DimensionMismatch`] for a wrong-length vector.
     pub fn classify(&self, v: &[f32]) -> Result<u32> {
+        self.classify_with_beam(v, 1)
+    }
+
+    /// Like [`MetaIndex::classify`], but descends with a beam of width
+    /// `beam` before taking the top-1. Insertion must use the same beam
+    /// width queries route with: beam-1 greedy descent can terminate in a
+    /// local optimum that a wider query route never visits, making the
+    /// inserted vector unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a wrong-length vector.
+    pub fn classify_with_beam(&self, v: &[f32], beam: usize) -> Result<u32> {
         if v.len() != self.dim() {
             return Err(Error::DimensionMismatch {
                 expected: self.dim(),
                 got: v.len(),
             });
         }
-        self.route(v, 1)
+        self.route(v, beam.max(1))
             .first()
             .map(|n| n.id)
             .ok_or_else(|| Error::InvalidParameter("meta index is empty".into()))

@@ -13,11 +13,14 @@
 //! different shards never collide and inserts (which allocate local ids
 //! via each shard's remote counter) stay globally unique.
 
+use std::sync::Arc;
+
 use vecsim::{Dataset, Neighbor, TopK};
 
 use crate::breakdown::BatchReport;
 use crate::engine::{ComputeNode, SearchMode};
 use crate::store::VectorStore;
+use crate::telemetry::{Counter, Telemetry};
 use crate::{DHnswConfig, Error, Result};
 
 /// Id stride between shards: local ids live below it, the shard index
@@ -129,12 +132,58 @@ impl ShardedStore {
     ///
     /// Propagates connect errors.
     pub fn connect(&self, mode: SearchMode) -> Result<ShardedSession> {
+        self.connect_with_telemetry(mode, Telemetry::global())
+    }
+
+    /// Opens a sharded compute session reporting to a specific
+    /// [`Telemetry`] registry instead of the global one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect_with_telemetry(
+        &self,
+        mode: SearchMode,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<ShardedSession> {
         let nodes = self
             .stores
             .iter()
-            .map(|s| s.connect(mode))
+            .map(|s| s.connect_with_telemetry(mode, Arc::clone(&telemetry)))
             .collect::<Result<Vec<_>>>()?;
-        Ok(ShardedSession { nodes })
+        let shard_metrics = (0..nodes.len())
+            .map(|i| ShardCounters::new(&telemetry, i))
+            .collect();
+        Ok(ShardedSession {
+            nodes,
+            shard_metrics,
+        })
+    }
+}
+
+/// Pre-resolved per-shard counter handles, labeled `{shard="i"}`.
+#[derive(Debug)]
+struct ShardCounters {
+    queries: Arc<Counter>,
+    inserts: Arc<Counter>,
+}
+
+impl ShardCounters {
+    fn new(telemetry: &Telemetry, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard)];
+        ShardCounters {
+            queries: telemetry.counter(
+                "dhnsw_shard_queries_total",
+                "Queries fanned out to this shard by sharded sessions.",
+                labels,
+            ),
+            inserts: telemetry.counter(
+                "dhnsw_shard_inserts_total",
+                "Inserts routed to this shard by sharded sessions.",
+                labels,
+            ),
+        }
     }
 }
 
@@ -142,6 +191,7 @@ impl ShardedStore {
 #[derive(Debug)]
 pub struct ShardedSession {
     nodes: Vec<ComputeNode>,
+    shard_metrics: Vec<ShardCounters>,
 }
 
 impl ShardedSession {
@@ -192,8 +242,9 @@ impl ShardedSession {
 
         let mut per_shard = Vec::with_capacity(self.nodes.len());
         let mut reports = Vec::with_capacity(self.nodes.len());
-        for out in shard_outputs {
+        for (shard, out) in shard_outputs.into_iter().enumerate() {
             let (results, report) = out?;
+            self.shard_metrics[shard].queries.add(queries.len() as u64);
             per_shard.push(results);
             reports.push(report);
         }
@@ -241,6 +292,7 @@ impl ShardedSession {
             }
         }
         let local = self.nodes[best].insert(v)?;
+        self.shard_metrics[best].inserts.inc();
         if u64::from(local) >= u64::from(SHARD_STRIDE) {
             return Err(Error::InvalidParameter(format!(
                 "shard {best} exceeded the id stride ({local} local ids)"

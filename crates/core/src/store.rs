@@ -12,6 +12,7 @@ use crate::cluster::SubCluster;
 use crate::engine::{ComputeNode, SearchMode};
 use crate::layout::Directory;
 use crate::meta::MetaIndex;
+use crate::telemetry::Telemetry;
 use crate::{DHnswConfig, Error, Result};
 
 /// A fully built d-HNSW store: the memory-pool side plus the shared
@@ -85,8 +86,10 @@ impl VectorStore {
         let meta = Arc::new(MetaIndex::build(&data, config)?);
         let parts = meta.partitions();
 
-        // Classify every vector (parallel over row ranges).
-        let assignments = classify_all(&data, &meta);
+        // Classify every vector (parallel over row ranges), routing with
+        // the same beam width queries use so a vector's home partition is
+        // always on its own query route.
+        let assignments = classify_all(&data, &meta, config.fanout());
         let mut members: Vec<Vec<u32>> = vec![Vec::new(); parts];
         for (i, &p) in assignments.iter().enumerate() {
             members[p as usize].push(i as u32);
@@ -156,13 +159,29 @@ impl VectorStore {
         }
     }
 
-    /// Opens a compute-instance session in the given [`SearchMode`].
+    /// Opens a compute-instance session in the given [`SearchMode`],
+    /// reporting to the process-wide [`Telemetry::global`] registry.
     ///
     /// # Errors
     ///
     /// Propagates substrate errors from fetching the remote directory.
     pub fn connect(&self, mode: SearchMode) -> Result<ComputeNode> {
-        ComputeNode::connect(self, mode)
+        ComputeNode::connect(self, mode, Telemetry::global())
+    }
+
+    /// Opens a compute-instance session that reports to a specific
+    /// [`Telemetry`] registry instead of the global one — useful for
+    /// tests and for benchmarks that want isolated counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors from fetching the remote directory.
+    pub fn connect_with_telemetry(
+        &self,
+        mode: SearchMode,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<ComputeNode> {
+        ComputeNode::connect(self, mode, telemetry)
     }
 
     /// Rebuilds the store from its current remote state, folding every
@@ -281,8 +300,10 @@ impl VectorStore {
 }
 
 /// Classifies every row of `data` with the meta index, fanned out over
-/// available cores.
-fn classify_all(data: &Dataset, meta: &MetaIndex) -> Vec<u32> {
+/// available cores. `beam` must match the query-routing fanout: a
+/// narrower greedy descent can park a vector in a local-optimum
+/// partition that query routes never visit.
+fn classify_all(data: &Dataset, meta: &MetaIndex, beam: usize) -> Vec<u32> {
     let n = data.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -295,7 +316,7 @@ fn classify_all(data: &Dataset, meta: &MetaIndex) -> Vec<u32> {
             let start = t * chunk;
             s.spawn(move || {
                 for (off, dst) in slot.iter_mut().enumerate() {
-                    let route = meta.route(data.get(start + off), 1);
+                    let route = meta.route(data.get(start + off), beam.max(1));
                     *dst = route.first().map(|n| n.id).unwrap_or(0);
                 }
             });

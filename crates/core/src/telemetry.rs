@@ -1,0 +1,836 @@
+//! Unified telemetry: metrics registry, per-query traces, exposition.
+//!
+//! Everything the query path wants to record flows through a
+//! [`Telemetry`] instance — counters, gauges, and fixed-bucket
+//! log-scale histograms, plus a bounded ring of structured
+//! [`QueryTrace`] records. One process-wide instance
+//! ([`Telemetry::global`]) backs every [`crate::ComputeNode`] unless a
+//! caller supplies its own (tests isolate themselves this way).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cheapness.** Recording a metric is a handful of
+//!    relaxed atomic RMWs on pre-resolved [`Counter`] / [`Histogram`]
+//!    handles. The registry lock is touched only at registration time
+//!    (node connect) and at exposition time.
+//! 2. **No allocation per query.** Handles are `Arc`s resolved once;
+//!    histograms are fixed arrays; the trace ring is preallocated and
+//!    traces are `Copy`. With tracing disabled the per-batch overhead
+//!    is a single atomic load.
+//! 3. **No dependencies.** Exposition renders Prometheus text format
+//!    0.0.4 and JSON by hand; ordering is made deterministic with
+//!    `BTreeMap`s so output is diffable and testable.
+//!
+//! Metric naming follows Prometheus conventions: `dhnsw_` prefix,
+//! `_total` suffix on counters, base units in the name (`_us`,
+//! `_bytes`). Labels are attached at registration (`mode`, `stage`,
+//! `shard`) and become part of the handle, never a per-sample cost.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of histogram buckets: upper bounds `2^0 .. 2^31`, then +Inf.
+const HIST_BUCKETS: usize = 33;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (occupancy, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale histogram of non-negative integer samples.
+///
+/// Buckets have upper bounds `1, 2, 4, …, 2^31, +Inf` — 33 in total,
+/// which spans sub-microsecond latencies to half-hour outliers when
+/// samples are microseconds, and single-element to billion-element
+/// sizes when they are counts. Quantiles are read as the upper bound
+/// of the bucket holding the target rank, clamped to the observed
+/// max, so a histogram with one sample reports that sample exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the first bucket whose upper bound is `>= v`.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let i = 64 - (v - 1).leading_zeros() as usize;
+        i.min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (`f64::INFINITY` for the last).
+fn bucket_bound(i: usize) -> f64 {
+    if i + 1 == HIST_BUCKETS {
+        f64::INFINITY
+    } else {
+        (1u64 << i) as f64
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `count` samples of value `v` (used when merging
+    /// pre-bucketed counts from a substrate snapshot).
+    pub fn observe_n(&self, v: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(count), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The quantile `q` in `[0, 1]`: the upper bound of the bucket that
+    /// holds the sample of rank `ceil(q × count)`, clamped to the
+    /// observed max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bound(i).min(self.max() as f64);
+            }
+        }
+        self.max() as f64
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs, Prometheus-style.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        (0..HIST_BUCKETS)
+            .map(|i| {
+                cum += self.buckets[i].load(Ordering::Relaxed);
+                (bucket_bound(i), cum)
+            })
+            .collect()
+    }
+}
+
+/// What a registered metric is, for exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// All instruments sharing one metric name (one per label set).
+#[derive(Debug)]
+struct Family {
+    help: &'static str,
+    kind: Kind,
+    /// Keyed by the rendered label set (`{a="x",b="y"}` or "").
+    series: BTreeMap<String, Instrument>,
+}
+
+/// Renders a label slice as `{k="v",…}`, keys sorted, or `""` if empty.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Escapes a label value for both exposition formats.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// A structured record of one `query_batch` call.
+///
+/// `Copy` on purpose: recording a trace moves a fixed-size value into
+/// a preallocated ring — no heap allocation on the query path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTrace {
+    /// Search-mode label (`full`, `no_doorbell`, `naive`).
+    pub mode: &'static str,
+    /// Queries in the batch.
+    pub queries: u32,
+    /// Requested neighbors per query.
+    pub k: u32,
+    /// Sub-HNSW beam width.
+    pub ef: u32,
+    /// Partitions routed per query.
+    pub fanout: u32,
+    /// Total partition demand before dedup (queries × fanout).
+    pub raw_cluster_demand: u32,
+    /// Distinct clusters the batch touched.
+    pub unique_clusters: u32,
+    /// Clusters already resident in the cache.
+    pub cache_hits: u32,
+    /// Clusters fetched from remote memory.
+    pub clusters_loaded: u32,
+    /// Doorbell batches the loads issued.
+    pub doorbell_batches: u32,
+    /// Network round trips charged to the batch.
+    pub round_trips: u64,
+    /// Bytes read from remote memory.
+    pub bytes_read: u64,
+    /// Meta-HNSW routing stage, microseconds.
+    pub meta_us: f64,
+    /// Network stage (virtual clock), microseconds.
+    pub network_us: f64,
+    /// Sub-HNSW search stage, microseconds.
+    pub sub_us: f64,
+    /// Whole call, wall clock, microseconds.
+    pub total_us: f64,
+}
+
+/// Bounded ring of the most recent [`QueryTrace`]s.
+///
+/// Disabled by default; when disabled, recording costs one atomic
+/// load. The buffer is allocated once at construction, so recording
+/// never allocates.
+#[derive(Debug)]
+pub struct TraceRing {
+    enabled: AtomicBool,
+    capacity: usize,
+    buf: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            enabled: AtomicBool::new(false),
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Turns per-query tracing on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether traces are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records a trace if enabled, evicting the oldest at capacity.
+    pub fn record(&self, trace: QueryTrace) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(trace);
+    }
+
+    /// The retained traces, oldest first. Allocates; exposition-path
+    /// only.
+    pub fn recent(&self) -> Vec<QueryTrace> {
+        self.buf.lock().iter().copied().collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained traces (capacity is kept reserved).
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Default number of traces the ring retains.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// The telemetry hub: a metrics registry plus a trace ring.
+#[derive(Debug)]
+pub struct Telemetry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+    traces: TraceRing,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// An empty telemetry hub with the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty telemetry hub retaining up to `capacity` traces.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Telemetry {
+            families: Mutex::new(BTreeMap::new()),
+            traces: TraceRing::new(capacity),
+        }
+    }
+
+    /// The process-wide instance every node uses unless told otherwise.
+    pub fn global() -> Arc<Telemetry> {
+        static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(Telemetry::new())))
+    }
+
+    /// The per-query trace ring.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Gets or registers the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        match self.instrument(name, help, labels, Kind::Counter, || {
+            Instrument::Counter(Arc::new(Counter::default()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked in instrument()"),
+        }
+    }
+
+    /// Gets or registers the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        match self.instrument(name, help, labels, Kind::Gauge, || {
+            Instrument::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked in instrument()"),
+        }
+    }
+
+    /// Gets or registers the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.instrument(name, help, labels, Kind::Histogram, || {
+            Instrument::Histogram(Arc::new(Histogram::default()))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked in instrument()"),
+        }
+    }
+
+    fn instrument(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let key = render_labels(labels);
+        let mut families = self.families.lock();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {:?}, requested as {kind:?}",
+            family.kind
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Renders every metric in Prometheus text format 0.0.4, families
+    /// and series in lexicographic order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock();
+        for (name, family) in families.iter() {
+            let kind = match family.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "histogram",
+            };
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, inst) in &family.series {
+                match inst {
+                    Instrument::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Instrument::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        for (bound, cum) in h.cumulative_buckets() {
+                            let le = if bound.is_infinite() {
+                                "+Inf".to_string()
+                            } else {
+                                format!("{bound}")
+                            };
+                            let with_le = merge_label(labels, &format!("le=\"{le}\""));
+                            out.push_str(&format!("{name}_bucket{with_le} {cum}\n"));
+                        }
+                        out.push_str(&format!("{name}_sum{labels} {}\n", h.sum()));
+                        out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric (and histogram quantiles) as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`,
+    /// keys in lexicographic order.
+    pub fn snapshot_json(&self) -> String {
+        let mut counters: BTreeMap<String, String> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, String> = BTreeMap::new();
+        let mut hists: BTreeMap<String, String> = BTreeMap::new();
+        let families = self.families.lock();
+        for (name, family) in families.iter() {
+            for (labels, inst) in &family.series {
+                let key = format!("{name}{labels}");
+                match inst {
+                    Instrument::Counter(c) => {
+                        counters.insert(key, c.get().to_string());
+                    }
+                    Instrument::Gauge(g) => {
+                        gauges.insert(key, g.get().to_string());
+                    }
+                    Instrument::Histogram(h) => {
+                        let buckets: Vec<String> = h
+                            .cumulative_buckets()
+                            .into_iter()
+                            .map(|(bound, cum)| {
+                                let le = if bound.is_infinite() {
+                                    "\"+Inf\"".to_string()
+                                } else {
+                                    format!("{bound}")
+                                };
+                                format!("[{le},{cum}]")
+                            })
+                            .collect();
+                        hists.insert(
+                            key,
+                            format!(
+                                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+                                h.count(),
+                                h.sum(),
+                                h.min(),
+                                h.max(),
+                                json_f64(h.quantile(0.50)),
+                                json_f64(h.quantile(0.95)),
+                                json_f64(h.quantile(0.99)),
+                                buckets.join(",")
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        let join = |m: &BTreeMap<String, String>| {
+            m.iter()
+                .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            join(&counters),
+            join(&gauges),
+            join(&hists)
+        )
+    }
+}
+
+/// Inserts an extra label into an already-rendered label set.
+fn merge_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        // `{a="x"}` → `{a="x",extra}`
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Formats an f64 as JSON (no NaN/Inf — clamp to a string if ever hit).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "\"+Inf\"".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let t = Telemetry::new();
+        let c = t.counter("dhnsw_test_total", "help", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name+labels returns the same instrument.
+        assert_eq!(t.counter("dhnsw_test_total", "help", &[]).get(), 5);
+
+        let g = t.gauge("dhnsw_test_gauge", "help", &[("mode", "full")]);
+        g.set(10);
+        g.sub(3);
+        g.add(1);
+        assert_eq!(g.get(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge sub saturates at zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as Counter")]
+    fn kind_mismatch_panics() {
+        let t = Telemetry::new();
+        t.counter("dhnsw_x", "help", &[]);
+        t.gauge("dhnsw_x", "help", &[]);
+    }
+
+    #[test]
+    fn histogram_empty_reports_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact_at_every_quantile() {
+        let h = Histogram::default();
+        h.observe(37);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37.0, "q={q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 37);
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+    }
+
+    #[test]
+    fn histogram_bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 31), 31);
+        assert_eq!(bucket_index((1 << 31) + 1), 32);
+        assert_eq!(bucket_index(u64::MAX), 32);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_buckets() {
+        let h = Histogram::default();
+        // 90 fast samples, 10 slow ones.
+        h.observe_n(10, 90);
+        h.observe_n(1000, 10);
+        // p50 lands in the bucket of 10 (upper bound 16).
+        assert_eq!(h.quantile(0.5), 16.0);
+        // p95 lands in the bucket of 1000 (upper bound 1024, clamped to
+        // observed max 1000).
+        assert_eq!(h.quantile(0.95), 1000.0);
+        assert_eq!(h.quantile(0.99), 1000.0);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 10 + 10 * 1000);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_catches_huge_samples() {
+        let h = Histogram::default();
+        h.observe(u64::MAX / 2);
+        let buckets = h.cumulative_buckets();
+        assert!(buckets[HIST_BUCKETS - 1].0.is_infinite());
+        assert_eq!(buckets[HIST_BUCKETS - 1].1, 1);
+        assert_eq!(buckets[HIST_BUCKETS - 2].1, 0);
+    }
+
+    #[test]
+    fn prometheus_output_is_well_formed_and_ordered() {
+        let t = Telemetry::new();
+        t.counter("dhnsw_b_total", "second family", &[("mode", "full")])
+            .add(2);
+        t.counter("dhnsw_b_total", "second family", &[("mode", "naive")])
+            .add(3);
+        t.counter("dhnsw_a_total", "first family", &[]).inc();
+        let h = t.histogram("dhnsw_lat_us", "latency", &[]);
+        h.observe(3);
+        h.observe(100);
+
+        let text = t.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Families appear in name order; series in label order.
+        let a = lines.iter().position(|l| l.starts_with("dhnsw_a_total")).unwrap();
+        let b_full = lines
+            .iter()
+            .position(|l| l.starts_with("dhnsw_b_total{mode=\"full\"}"))
+            .unwrap();
+        let b_naive = lines
+            .iter()
+            .position(|l| l.starts_with("dhnsw_b_total{mode=\"naive\"}"))
+            .unwrap();
+        assert!(a < b_full && b_full < b_naive);
+
+        // Every family has HELP and TYPE lines before its samples.
+        assert!(lines.contains(&"# HELP dhnsw_a_total first family"));
+        assert!(lines.contains(&"# TYPE dhnsw_a_total counter"));
+        assert!(lines.contains(&"# TYPE dhnsw_lat_us histogram"));
+
+        // Histogram exposition: cumulative buckets end at +Inf = count.
+        assert!(text.contains("dhnsw_lat_us_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("dhnsw_lat_us_bucket{le=\"128\"} 2\n"));
+        assert!(text.contains("dhnsw_lat_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("dhnsw_lat_us_sum 103\n"));
+        assert!(text.contains("dhnsw_lat_us_count 2\n"));
+
+        // Every non-comment line is `name{labels}? value`.
+        for l in &lines {
+            if l.starts_with('#') || l.is_empty() {
+                continue;
+            }
+            let (name_part, value) = l.rsplit_once(' ').expect("sample line");
+            assert!(!name_part.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {l}");
+        }
+
+        // Rendering twice with no new samples is byte-identical.
+        assert_eq!(text, t.render_prometheus());
+    }
+
+    #[test]
+    fn json_snapshot_contains_quantiles() {
+        let t = Telemetry::new();
+        t.counter("dhnsw_q_total", "queries", &[("mode", "full")]).add(7);
+        let h = t.histogram("dhnsw_lat_us", "latency", &[]);
+        h.observe_n(8, 90);
+        h.observe_n(4096, 10);
+        let json = t.snapshot_json();
+        assert!(json.contains("\"dhnsw_q_total{mode=\\\"full\\\"}\":7"));
+        assert!(json.contains("\"count\":100"));
+        assert!(json.contains("\"p50\":8"));
+        assert!(json.contains("\"p99\":4096"));
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn trace_ring_respects_capacity_and_toggle() {
+        let t = Telemetry::with_trace_capacity(3);
+        let mk = |i: u32| QueryTrace {
+            mode: "full",
+            queries: i,
+            k: 10,
+            ef: 32,
+            fanout: 4,
+            raw_cluster_demand: 4,
+            unique_clusters: 4,
+            cache_hits: 0,
+            clusters_loaded: 4,
+            doorbell_batches: 1,
+            round_trips: 2,
+            bytes_read: 4096,
+            meta_us: 1.0,
+            network_us: 2.0,
+            sub_us: 3.0,
+            total_us: 6.0,
+        };
+
+        // Disabled by default: nothing is recorded.
+        t.traces().record(mk(0));
+        assert!(t.traces().is_empty());
+
+        t.traces().set_enabled(true);
+        for i in 1..=5 {
+            t.traces().record(mk(i));
+        }
+        let got = t.traces().recent();
+        assert_eq!(got.len(), 3, "ring keeps only the newest N");
+        assert_eq!(
+            got.iter().map(|tr| tr.queries).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+
+        t.traces().set_enabled(false);
+        t.traces().record(mk(9));
+        assert_eq!(t.traces().len(), 3);
+        t.traces().clear();
+        assert!(t.traces().is_empty());
+    }
+
+    #[test]
+    fn merge_label_handles_both_shapes() {
+        assert_eq!(merge_label("", "le=\"1\""), "{le=\"1\"}");
+        assert_eq!(
+            merge_label("{mode=\"full\"}", "le=\"1\""),
+            "{mode=\"full\",le=\"1\"}"
+        );
+    }
+}

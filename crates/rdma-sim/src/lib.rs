@@ -77,7 +77,7 @@ pub use fault::DEFAULT_RETRY_LIMIT;
 pub use model::NetworkModel;
 pub use node::{MemoryNode, RegionHandle};
 pub use qp::{QueuePair, ReadReq, WriteReq};
-pub use stats::TransferStats;
+pub use stats::{StatsSnapshot, TransferStats, DOORBELL_SIZE_BUCKETS};
 
 /// Convenient result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, Error>;

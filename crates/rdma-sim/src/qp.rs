@@ -182,7 +182,7 @@ impl QueuePair {
             let guard = region.read();
             out.push(guard[r.offset as usize..(r.offset + r.len) as usize].to_vec());
         }
-        self.stats.record_doorbell();
+        self.stats.record_doorbell(reqs.len() as u64);
         // Charge per doorbell-limit chunk: each chunk is one round trip.
         for chunk in reqs.chunks(self.model.doorbell_limit()) {
             let bytes: usize = chunk.iter().map(|r| r.len as usize).sum();
@@ -218,7 +218,7 @@ impl QueuePair {
             region.write()[r.offset as usize..r.offset as usize + r.data.len()]
                 .copy_from_slice(&r.data);
         }
-        self.stats.record_doorbell();
+        self.stats.record_doorbell(reqs.len() as u64);
         for chunk in reqs.chunks(self.model.doorbell_limit()) {
             let bytes: usize = chunk.iter().map(|r| r.data.len()).sum();
             self.clock

@@ -25,10 +25,42 @@ pub struct TransferStats {
     round_trips: AtomicU64,
     work_requests: AtomicU64,
     doorbell_batches: AtomicU64,
+    doorbell_sizes: DoorbellSizeBuckets,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     atomics: AtomicU64,
     faults: AtomicU64,
+}
+
+/// Number of doorbell batch-size buckets: sizes `1, 2, 4, …, 2^14`,
+/// then everything larger.
+pub const DOORBELL_SIZE_BUCKETS: usize = 16;
+
+/// Power-of-two histogram of doorbell batch sizes (work requests per
+/// doorbell ring). Bucket `i` counts batches of size in
+/// `(2^(i-1), 2^i]`; the last bucket also absorbs anything larger.
+#[derive(Debug, Default)]
+struct DoorbellSizeBuckets([AtomicU64; DOORBELL_SIZE_BUCKETS]);
+
+impl DoorbellSizeBuckets {
+    fn record(&self, size: u64) {
+        let i = if size <= 1 {
+            0
+        } else {
+            (64 - (size - 1).leading_zeros() as usize).min(DOORBELL_SIZE_BUCKETS - 1)
+        };
+        self.0[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> [u64; DOORBELL_SIZE_BUCKETS] {
+        std::array::from_fn(|i| self.0[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.0 {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 impl TransferStats {
@@ -54,9 +86,10 @@ impl TransferStats {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Records one doorbell batch submission.
-    pub fn record_doorbell(&self) {
+    /// Records one doorbell batch submission of `size` work requests.
+    pub fn record_doorbell(&self, size: u64) {
         self.doorbell_batches.fetch_add(1, Ordering::Relaxed);
+        self.doorbell_sizes.record(size);
     }
 
     /// Records one faulted (dropped and retransmitted) verb attempt.
@@ -110,6 +143,7 @@ impl TransferStats {
         self.round_trips.store(0, Ordering::Relaxed);
         self.work_requests.store(0, Ordering::Relaxed);
         self.doorbell_batches.store(0, Ordering::Relaxed);
+        self.doorbell_sizes.reset();
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.atomics.store(0, Ordering::Relaxed);
@@ -122,9 +156,11 @@ impl TransferStats {
             round_trips: self.round_trips(),
             work_requests: self.work_requests(),
             doorbell_batches: self.doorbell_batches(),
+            doorbell_size_buckets: self.doorbell_sizes.load(),
             bytes_read: self.bytes_read(),
             bytes_written: self.bytes_written(),
             atomics: self.atomics(),
+            faults: self.faults(),
         }
     }
 }
@@ -139,12 +175,18 @@ pub struct StatsSnapshot {
     pub work_requests: u64,
     /// Total doorbell batches posted.
     pub doorbell_batches: u64,
+    /// Doorbell batch sizes by power-of-two bucket: bucket `i` counts
+    /// batches of `(2^(i-1), 2^i]` work requests (last bucket absorbs
+    /// larger).
+    pub doorbell_size_buckets: [u64; DOORBELL_SIZE_BUCKETS],
     /// Total bytes read.
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
     /// Total atomic verbs.
     pub atomics: u64,
+    /// Total faulted (dropped and retransmitted) verb attempts.
+    pub faults: u64,
 }
 
 impl std::ops::Sub for StatsSnapshot {
@@ -155,9 +197,13 @@ impl std::ops::Sub for StatsSnapshot {
             round_trips: self.round_trips - rhs.round_trips,
             work_requests: self.work_requests - rhs.work_requests,
             doorbell_batches: self.doorbell_batches - rhs.doorbell_batches,
+            doorbell_size_buckets: std::array::from_fn(|i| {
+                self.doorbell_size_buckets[i] - rhs.doorbell_size_buckets[i]
+            }),
             bytes_read: self.bytes_read - rhs.bytes_read,
             bytes_written: self.bytes_written - rhs.bytes_written,
             atomics: self.atomics - rhs.atomics,
+            faults: self.faults - rhs.faults,
         }
     }
 }
@@ -172,7 +218,7 @@ mod tests {
         s.record_round_trips(2);
         s.record_read(3, 100);
         s.record_write(1, 50);
-        s.record_doorbell();
+        s.record_doorbell(3);
         s.record_atomic();
         assert_eq!(s.round_trips(), 2);
         assert_eq!(s.work_requests(), 5);
@@ -187,8 +233,44 @@ mod tests {
         let s = TransferStats::new();
         s.record_read(3, 100);
         s.record_round_trips(1);
+        s.record_doorbell(7);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn doorbell_sizes_land_in_power_of_two_buckets() {
+        let s = TransferStats::new();
+        s.record_doorbell(1); // bucket 0 (<= 1)
+        s.record_doorbell(2); // bucket 1 (<= 2)
+        s.record_doorbell(3); // bucket 2 (<= 4)
+        s.record_doorbell(4); // bucket 2
+        s.record_doorbell(16); // bucket 4
+        s.record_doorbell(1_000_000); // clamped to the last bucket
+        let snap = s.snapshot();
+        assert_eq!(snap.doorbell_batches, 6);
+        assert_eq!(snap.doorbell_size_buckets[0], 1);
+        assert_eq!(snap.doorbell_size_buckets[1], 1);
+        assert_eq!(snap.doorbell_size_buckets[2], 2);
+        assert_eq!(snap.doorbell_size_buckets[4], 1);
+        assert_eq!(snap.doorbell_size_buckets[DOORBELL_SIZE_BUCKETS - 1], 1);
+        assert_eq!(
+            snap.doorbell_size_buckets.iter().sum::<u64>(),
+            snap.doorbell_batches
+        );
+    }
+
+    #[test]
+    fn doorbell_bucket_delta_subtracts_elementwise() {
+        let s = TransferStats::new();
+        s.record_doorbell(4);
+        let before = s.snapshot();
+        s.record_doorbell(4);
+        s.record_doorbell(8);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.doorbell_batches, 2);
+        assert_eq!(delta.doorbell_size_buckets[2], 1);
+        assert_eq!(delta.doorbell_size_buckets[3], 1);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: release build, every test, and lint-clean clippy.
+# Run from the repo root:  ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK: build, tests, and clippy all green."

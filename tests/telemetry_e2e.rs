@@ -1,0 +1,191 @@
+//! End-to-end telemetry: the metrics registry and per-query traces must
+//! agree with what the engine already reports through [`BatchReport`]
+//! and the substrate's [`TransferStats`].
+
+use std::sync::Arc;
+
+use dhnsw_repro::dhnsw::{
+    DHnswConfig, SearchMode, ShardedStore, Telemetry, VectorStore,
+};
+use dhnsw_repro::vecsim::{gen, Dataset};
+
+fn workload() -> (VectorStore, Dataset) {
+    let data = gen::sift_like(2_000, 11).unwrap();
+    let queries = gen::perturbed_queries(&data, 40, 0.02, 12).unwrap();
+    let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+    (store, queries)
+}
+
+/// Extracts the value of a Prometheus sample line, e.g.
+/// `metric_value(&text, "dhnsw_queries_total{mode=\"full\"}")`.
+fn metric_value(text: &str, series: &str) -> f64 {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(series) {
+            if let Some(v) = rest.split_whitespace().next() {
+                return v.parse().unwrap();
+            }
+        }
+    }
+    panic!("series {series} not found in:\n{text}");
+}
+
+#[test]
+fn tracing_is_off_by_default_and_records_nothing() {
+    let (store, queries) = workload();
+    let telemetry = Arc::new(Telemetry::new());
+    let node = store
+        .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+        .unwrap();
+
+    node.query_batch(&queries, 10, 32).unwrap();
+    assert!(telemetry.traces().is_empty(), "tracing must be opt-in");
+
+    telemetry.traces().set_enabled(true);
+    node.query_batch(&queries, 10, 32).unwrap();
+    assert_eq!(telemetry.traces().len(), 1);
+
+    telemetry.traces().set_enabled(false);
+    node.query_batch(&queries, 10, 32).unwrap();
+    assert_eq!(telemetry.traces().len(), 1, "disable must stop recording");
+}
+
+#[test]
+fn query_trace_agrees_with_batch_report() {
+    let (store, queries) = workload();
+    let telemetry = Arc::new(Telemetry::new());
+    telemetry.traces().set_enabled(true);
+    let node = store
+        .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+        .unwrap();
+
+    let (_, report) = node.query_batch(&queries, 10, 32).unwrap();
+    let traces = telemetry.traces().recent();
+    assert_eq!(traces.len(), 1);
+    let t = traces[0];
+
+    assert_eq!(t.mode, "full");
+    assert_eq!(t.queries as usize, report.queries);
+    assert_eq!((t.k, t.ef), (10, 32));
+    assert_eq!(t.raw_cluster_demand as usize, report.raw_cluster_demand);
+    assert_eq!(t.unique_clusters as usize, report.unique_clusters);
+    assert_eq!(t.cache_hits as usize, report.cache_hits);
+    assert_eq!(t.clusters_loaded as usize, report.clusters_loaded);
+    assert_eq!(t.round_trips, report.round_trips);
+    assert_eq!(t.bytes_read, report.bytes_read);
+    // The virtual network time is part of the trace's stage breakdown.
+    assert!((t.network_us - report.breakdown.network_us).abs() < 1e-9);
+    assert!(t.total_us > 0.0);
+    // Doorbell batching on: every loaded cluster crossed in few rings.
+    assert!(t.doorbell_batches as u64 <= t.round_trips);
+}
+
+#[test]
+fn prometheus_counters_agree_with_reports() {
+    let (store, queries) = workload();
+    let telemetry = Arc::new(Telemetry::new());
+    let node = store
+        .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+        .unwrap();
+
+    let (_, r1) = node.query_batch(&queries, 10, 32).unwrap();
+    let (_, r2) = node.query_batch(&queries, 10, 32).unwrap();
+    let text = telemetry.render_prometheus();
+
+    assert_eq!(
+        metric_value(&text, "dhnsw_queries_total{mode=\"full\"}") as usize,
+        r1.queries + r2.queries
+    );
+    assert_eq!(
+        metric_value(&text, "dhnsw_query_batches_total{mode=\"full\"}") as u64,
+        2
+    );
+    assert_eq!(
+        metric_value(&text, "dhnsw_rdma_round_trips_total") as u64,
+        r1.round_trips + r2.round_trips
+    );
+    assert_eq!(
+        metric_value(&text, "dhnsw_rdma_bytes_read_total") as u64,
+        r1.bytes_read + r2.bytes_read
+    );
+    assert_eq!(
+        metric_value(&text, "dhnsw_clusters_loaded_total{mode=\"full\"}") as usize,
+        r1.clusters_loaded + r2.clusters_loaded
+    );
+    assert_eq!(
+        metric_value(&text, "dhnsw_cluster_cache_hits_total{mode=\"full\"}") as usize,
+        r1.cache_hits + r2.cache_hits
+    );
+    // The second identical batch must hit the cluster cache.
+    assert!(r2.cache_hits > 0);
+    assert!(metric_value(&text, "dhnsw_cache_hits_total") > 0.0);
+
+    // Histogram invariants: latency count equals queries; the doorbell
+    // batch-size histogram counts exactly the doorbell rings.
+    assert_eq!(
+        metric_value(&text, "dhnsw_query_latency_us_count{mode=\"full\"}") as usize,
+        r1.queries + r2.queries
+    );
+    assert_eq!(
+        metric_value(&text, "dhnsw_doorbell_batch_size_count"),
+        metric_value(&text, "dhnsw_rdma_doorbell_batches_total")
+    );
+
+    // JSON snapshot carries the quantiles the paper-style reports need.
+    let json = telemetry.snapshot_json();
+    for needle in ["\"p50\"", "\"p95\"", "\"p99\"", "dhnsw_query_latency_us"] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+}
+
+#[test]
+fn mutation_counters_track_insert_and_delete() {
+    let (store, queries) = workload();
+    let telemetry = Arc::new(Telemetry::new());
+    let node = store
+        .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+        .unwrap();
+
+    let v = queries.get(0).to_vec();
+    let id = node.insert(&v).unwrap();
+    let batch = Dataset::from_rows(&[queries.get(1), queries.get(2)]).unwrap();
+    let ok = node.insert_batch(&batch).unwrap();
+    assert!(ok.iter().all(|r| r.is_ok()));
+    node.delete(&v, id).unwrap();
+
+    let text = telemetry.render_prometheus();
+    assert_eq!(metric_value(&text, "dhnsw_inserts_total") as u64, 3);
+    assert_eq!(metric_value(&text, "dhnsw_deletes_total") as u64, 1);
+    assert_eq!(metric_value(&text, "dhnsw_insert_overflow_total") as u64, 0);
+    // Inserts and deletes move bytes and atomics through the substrate.
+    assert!(metric_value(&text, "dhnsw_rdma_atomics_total") > 0.0);
+    assert!(metric_value(&text, "dhnsw_rdma_bytes_written_total") > 0.0);
+}
+
+#[test]
+fn sharded_sessions_expose_per_shard_counters() {
+    let data = gen::sift_like(900, 21).unwrap();
+    let queries = gen::perturbed_queries(&data, 15, 0.02, 22).unwrap();
+    let sharded = ShardedStore::build(&data, &DHnswConfig::small(), 3).unwrap();
+    let telemetry = Arc::new(Telemetry::new());
+    let session = sharded
+        .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+        .unwrap();
+
+    session.query_batch(&queries, 5, 32).unwrap();
+    session.insert(data.get(0)).unwrap();
+
+    let text = telemetry.render_prometheus();
+    for shard in 0..3 {
+        let series = format!("dhnsw_shard_queries_total{{shard=\"{shard}\"}}");
+        assert_eq!(metric_value(&text, &series) as usize, queries.len());
+    }
+    let inserts: f64 = (0..3)
+        .map(|s| metric_value(&text, &format!("dhnsw_shard_inserts_total{{shard=\"{s}\"}}")))
+        .sum();
+    assert_eq!(inserts as u64, 1);
+    // Per-node engine counters aggregate across the three shards.
+    assert_eq!(
+        metric_value(&text, "dhnsw_queries_total{mode=\"full\"}") as usize,
+        3 * queries.len()
+    );
+}
