@@ -1,0 +1,190 @@
+//! Benchmark-regression gate.
+//!
+//! Runs the pinned-seed workload grid ({single-node, sharded} × {cold,
+//! warm cache}), writes a schema-versioned `BENCH_<label>.json`, and —
+//! when a baseline exists — compares against it with per-metric
+//! tolerances, exiting non-zero on any regression.
+//!
+//! ```text
+//! bench_regress [--profile smoke|full] [--label NAME] [--out DIR]
+//!               [--baseline PATH] [--write-baseline]
+//!               [--tolerance-scale X] [--trace-out PATH]
+//! ```
+//!
+//! Defaults: smoke profile, label `current`, output under `results/`,
+//! baseline at `results/BENCH_baseline.json`, tolerance scale 1.0.
+//! `--write-baseline` (re)writes the baseline from this run instead of
+//! comparing. `--trace-out` additionally saves the single-node
+//! scenario's span traces as Chrome trace-event JSON (open in Perfetto
+//! or chrome://tracing).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dhnsw::chrome_trace_json;
+use dhnsw_bench::regress::{compare, render_comparison, BenchResult, Profile};
+
+struct Args {
+    profile: Profile,
+    label: String,
+    out_dir: PathBuf,
+    baseline: PathBuf,
+    write_baseline: bool,
+    tolerance_scale: f64,
+    trace_out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_regress [--profile smoke|full] [--label NAME] [--out DIR] \
+         [--baseline PATH] [--write-baseline] [--tolerance-scale X] [--trace-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        profile: Profile::smoke(),
+        label: "current".to_string(),
+        out_dir: PathBuf::from("results"),
+        baseline: PathBuf::from("results/BENCH_baseline.json"),
+        write_baseline: false,
+        tolerance_scale: 1.0,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--profile" => {
+                let name = value("--profile");
+                args.profile = Profile::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown profile {name:?} (want smoke or full)");
+                    usage();
+                });
+            }
+            "--label" => args.label = value("--label"),
+            "--out" => args.out_dir = PathBuf::from(value("--out")),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")),
+            "--write-baseline" => args.write_baseline = true,
+            "--tolerance-scale" => {
+                let raw = value("--tolerance-scale");
+                args.tolerance_scale = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --tolerance-scale {raw:?}");
+                    usage();
+                });
+            }
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "[bench_regress] profile={} label={} seed={:#x}",
+        args.profile.name, args.label, args.profile.seed
+    );
+
+    let run = match dhnsw_bench::regress::run_profile(
+        &args.profile,
+        &args.label,
+        args.trace_out.is_some(),
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("[bench_regress] run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.trace_out {
+        let json = chrome_trace_json(&run.traces);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("[bench_regress] cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "[bench_regress] wrote {} span traces to {}",
+            run.traces.len(),
+            path.display()
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!(
+            "[bench_regress] cannot create {}: {e}",
+            args.out_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let out_path = args.out_dir.join(format!("BENCH_{}.json", args.label));
+    if let Err(e) = std::fs::write(&out_path, run.result.to_json()) {
+        eprintln!("[bench_regress] cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("[bench_regress] wrote {}", out_path.display());
+
+    if args.write_baseline {
+        if let Err(e) = std::fs::write(&args.baseline, run.result.to_json()) {
+            eprintln!(
+                "[bench_regress] cannot write baseline {}: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!("[bench_regress] baseline updated: {}", args.baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "[bench_regress] no baseline at {} ({e}); run with --write-baseline first",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match BenchResult::from_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "[bench_regress] bad baseline {}: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.profile != run.result.profile {
+        eprintln!(
+            "[bench_regress] baseline profile {:?} != current profile {:?}; refusing to compare",
+            baseline.profile, run.result.profile
+        );
+        return ExitCode::from(2);
+    }
+
+    let deltas = compare(&baseline, &run.result, args.tolerance_scale);
+    let mut table = String::new();
+    let regressed = render_comparison(&deltas, &mut table);
+    println!("{table}");
+    if regressed {
+        eprintln!("[bench_regress] REGRESSION detected vs {}", args.baseline.display());
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[bench_regress] ok vs {}", args.baseline.display());
+        ExitCode::SUCCESS
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod regress;
 pub mod trace;
 
 use std::time::Instant;

@@ -1,0 +1,837 @@
+//! Benchmark-regression harness: pinned-seed workloads, schema-versioned
+//! `BENCH_<label>.json` files, and tolerance-gated comparison against a
+//! committed baseline.
+//!
+//! The harness runs a deterministic synthetic workload across
+//! {single-node, sharded} × {cold cache, warm cache} and reduces each
+//! scenario to a flat set of metrics: per-batch latency percentiles,
+//! recall@10, network bytes, doorbell batches, and cache hit rate.
+//! Deterministic metrics (bytes, doorbells, recall) get tight tolerances;
+//! wall-clock latencies get generous ones. `bench_regress` (the binary)
+//! exits non-zero when any metric regresses beyond its tolerance, which
+//! is what lets `scripts/check.sh` gate on a committed
+//! `results/BENCH_baseline.json`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use dhnsw::telemetry::Telemetry;
+use dhnsw::{
+    DHnswConfig, FinishedTrace, QueryTrace, SearchMode, ShardedStore, VectorStore,
+};
+use vecsim::{gen, ground_truth, recall, Dataset, Metric};
+
+use crate::trace::TraceReport;
+
+/// Version stamped into every `BENCH_*.json`; bump when the metric set or
+/// envelope changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A pinned benchmark workload.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Profile name recorded in the JSON envelope (`smoke` / `full`).
+    pub name: &'static str,
+    /// Base vectors.
+    pub n: usize,
+    /// Query batches per pass.
+    pub batches: usize,
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Shards in the sharded scenarios.
+    pub shards: usize,
+    /// Neighbors requested per query.
+    pub k: usize,
+    /// Sub-HNSW beam width.
+    pub ef: usize,
+    /// RNG seed for data and queries.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// Small profile for CI gating (a few seconds end to end).
+    pub fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            n: 3_000,
+            batches: 6,
+            batch_size: 32,
+            shards: 2,
+            k: 10,
+            ef: 32,
+            seed: 0xBE7C,
+        }
+    }
+
+    /// Larger profile for local investigation.
+    pub fn full() -> Self {
+        Profile {
+            name: "full",
+            n: 20_000,
+            batches: 16,
+            batch_size: 64,
+            shards: 4,
+            k: 10,
+            ef: 48,
+            seed: 0xBE7C,
+        }
+    }
+
+    /// Looks a profile up by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// The store configuration the profile benches under.
+    pub fn config(&self) -> DHnswConfig {
+        let reps = (self.n / 150).clamp(8, 64);
+        DHnswConfig::small().with_representatives(reps)
+    }
+}
+
+/// One run's measurements: the envelope of a `BENCH_<label>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Free-form label (`baseline`, a branch name, ...).
+    pub label: String,
+    /// Profile name the metrics were measured under.
+    pub profile: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Flat dotted-key metrics (`scenario.metric` → value).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Everything a harness run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The measurements.
+    pub result: BenchResult,
+    /// Finished span traces from the single-node scenario (empty unless
+    /// span capture was requested).
+    pub traces: Vec<FinishedTrace>,
+}
+
+fn batch_queries(data: &Dataset, profile: &Profile) -> Result<Vec<Dataset>, vecsim::Error> {
+    (0..profile.batches)
+        .map(|b| {
+            gen::perturbed_queries(
+                data,
+                profile.batch_size,
+                0.03,
+                profile.seed.wrapping_add(100 + b as u64),
+            )
+        })
+        .collect()
+}
+
+/// Per-pass accumulator: the per-batch traces plus recall.
+struct PassStats {
+    report: TraceReport,
+    recall_sum: f64,
+}
+
+impl PassStats {
+    fn new() -> Self {
+        PassStats {
+            report: TraceReport {
+                batch_traces: Vec::new(),
+                queries: 0,
+                inserts: 0,
+                insert_rejects: 0,
+                round_trips: 0,
+            },
+            recall_sum: 0.0,
+        }
+    }
+
+    fn mean_recall(&self) -> f64 {
+        if self.report.batch_traces.is_empty() {
+            0.0
+        } else {
+            self.recall_sum / self.report.batch_traces.len() as f64
+        }
+    }
+
+    fn emit(&self, scenario: &str, metrics: &mut BTreeMap<String, f64>) {
+        metrics.insert(format!("{scenario}.p50_us"), self.report.percentile_us(0.50));
+        metrics.insert(format!("{scenario}.p95_us"), self.report.percentile_us(0.95));
+        metrics.insert(format!("{scenario}.p99_us"), self.report.percentile_us(0.99));
+        metrics.insert(format!("{scenario}.recall_at_10"), self.mean_recall());
+        metrics.insert(
+            format!("{scenario}.network_bytes"),
+            self.report.bytes_read() as f64,
+        );
+        metrics.insert(
+            format!("{scenario}.doorbell_batches"),
+            self.report.doorbell_batches() as f64,
+        );
+        metrics.insert(
+            format!("{scenario}.cache_hit_rate"),
+            self.report.cache_hit_rate(),
+        );
+    }
+}
+
+/// Runs the full scenario grid for `profile`.
+///
+/// When `capture_spans` is set, span tracing is enabled on the
+/// single-node scenario and its finished per-batch traces are returned
+/// for Chrome trace export.
+///
+/// # Errors
+///
+/// Propagates build and query errors.
+pub fn run_profile(
+    profile: &Profile,
+    label: &str,
+    capture_spans: bool,
+) -> Result<RunOutput, Box<dyn std::error::Error>> {
+    let data = gen::sift_like(profile.n, profile.seed)?;
+    let batches = batch_queries(&data, profile)?;
+    let truths: Vec<_> = batches
+        .iter()
+        .map(|q| ground_truth::exact_batch(&data, q, profile.k, Metric::L2))
+        .collect();
+    let config = profile.config();
+    let mut metrics = BTreeMap::new();
+    let mut traces = Vec::new();
+
+    // Single-node scenarios: one connection, pass 1 cold, pass 2 warm.
+    {
+        let store = VectorStore::build(data.clone(), &config)?;
+        let telemetry = Arc::new(Telemetry::with_trace_capacity(64));
+        telemetry
+            .spans()
+            .set_enabled(capture_spans);
+        let node = store.connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))?;
+        for (pass, scenario) in ["single_cold", "single_warm"].iter().enumerate() {
+            let mut stats = PassStats::new();
+            for (b, queries) in batches.iter().enumerate() {
+                let stats0 = node.queue_pair().stats().snapshot();
+                let (results, report) = node.query_batch(queries, profile.k, profile.ef)?;
+                let delta = node.queue_pair().stats().snapshot() - stats0;
+                let ids: Vec<Vec<u32>> = results
+                    .iter()
+                    .map(|r| r.iter().map(|n| n.id).collect())
+                    .collect();
+                stats.recall_sum += recall::mean_recall(&ids, &truths[b]);
+                stats.report.batch_traces.push(QueryTrace {
+                    mode: node.mode().label(),
+                    queries: report.queries as u32,
+                    k: profile.k as u32,
+                    ef: profile.ef as u32,
+                    fanout: config.fanout() as u32,
+                    raw_cluster_demand: report.raw_cluster_demand as u32,
+                    unique_clusters: report.unique_clusters as u32,
+                    cache_hits: report.cache_hits as u32,
+                    clusters_loaded: report.clusters_loaded as u32,
+                    doorbell_batches: delta.doorbell_batches as u32,
+                    round_trips: report.round_trips,
+                    bytes_read: report.bytes_read,
+                    meta_us: report.breakdown.meta_hnsw_us,
+                    network_us: report.breakdown.network_us,
+                    sub_us: report.breakdown.sub_hnsw_us,
+                    total_us: report.breakdown.total_us(),
+                });
+            }
+            stats.emit(scenario, &mut metrics);
+            let _ = pass;
+        }
+        if capture_spans {
+            traces = telemetry.spans().recent();
+        }
+    }
+
+    // Sharded scenarios: one session over `shards` shards; per-batch
+    // latency is the slowest shard (shards overlap in a real deployment),
+    // volume metrics are summed across shards.
+    {
+        let sharded = ShardedStore::build(&data, &config, profile.shards)?;
+        let session = sharded.connect(SearchMode::Full)?;
+        for scenario in ["sharded_cold", "sharded_warm"] {
+            let mut stats = PassStats::new();
+            for (b, queries) in batches.iter().enumerate() {
+                let stats0: Vec<_> = (0..session.shards())
+                    .map(|s| session.node(s).queue_pair().stats().snapshot())
+                    .collect();
+                let (results, reports) = session.query_batch(queries, profile.k, profile.ef)?;
+                let doorbells: u64 = (0..session.shards())
+                    .map(|s| {
+                        (session.node(s).queue_pair().stats().snapshot() - stats0[s])
+                            .doorbell_batches
+                    })
+                    .sum();
+                let ids: Vec<Vec<u32>> = results
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .filter_map(|n| sharded.original_row(n.id))
+                            .collect()
+                    })
+                    .collect();
+                stats.recall_sum += recall::mean_recall(&ids, &truths[b]);
+                let slowest = reports
+                    .iter()
+                    .max_by(|a, b| {
+                        a.breakdown.total_us().total_cmp(&b.breakdown.total_us())
+                    })
+                    .copied()
+                    .unwrap_or_default();
+                let sum_u32 = |f: fn(&dhnsw::BatchReport) -> usize| -> u32 {
+                    reports.iter().map(f).sum::<usize>() as u32
+                };
+                stats.report.batch_traces.push(QueryTrace {
+                    mode: "full",
+                    queries: queries.len() as u32,
+                    k: profile.k as u32,
+                    ef: profile.ef as u32,
+                    fanout: config.fanout() as u32,
+                    raw_cluster_demand: sum_u32(|r| r.raw_cluster_demand),
+                    unique_clusters: sum_u32(|r| r.unique_clusters),
+                    cache_hits: sum_u32(|r| r.cache_hits),
+                    clusters_loaded: sum_u32(|r| r.clusters_loaded),
+                    doorbell_batches: doorbells as u32,
+                    round_trips: reports.iter().map(|r| r.round_trips).sum(),
+                    bytes_read: reports.iter().map(|r| r.bytes_read).sum(),
+                    meta_us: slowest.breakdown.meta_hnsw_us,
+                    network_us: slowest.breakdown.network_us,
+                    sub_us: slowest.breakdown.sub_hnsw_us,
+                    total_us: slowest.breakdown.total_us(),
+                });
+            }
+            stats.emit(scenario, &mut metrics);
+        }
+    }
+
+    Ok(RunOutput {
+        result: BenchResult {
+            label: label.to_string(),
+            profile: profile.name.to_string(),
+            seed: profile.seed,
+            metrics,
+        },
+        traces,
+    })
+}
+
+// ---------------------------------------------------------------------
+// JSON envelope (hand-rolled: the workspace is dependency-free).
+// ---------------------------------------------------------------------
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl BenchResult {
+    /// Renders the schema-versioned `BENCH_*.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"label\": \"{}\",", escape_json(&self.label));
+        let _ = writeln!(out, "  \"profile\": \"{}\",", escape_json(&self.profile));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"metrics\": {\n");
+        let n = self.metrics.len();
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            let _ = writeln!(out, "    \"{}\": {:.6}{}", escape_json(k), v, comma);
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`BenchResult::to_json`] (or any
+    /// JSON object with the same shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonParser::new(text).parse_document()?;
+        let top = match value {
+            Json::Obj(map) => map,
+            _ => return Err("top level is not an object".into()),
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            match top.get(key) {
+                Some(Json::Num(v)) => Ok(*v),
+                Some(_) => Err(format!("\"{key}\" is not a number")),
+                None => Err(format!("missing \"{key}\"")),
+            }
+        };
+        let text_field = |key: &str| -> Result<String, String> {
+            match top.get(key) {
+                Some(Json::Str(v)) => Ok(v.clone()),
+                Some(_) => Err(format!("\"{key}\" is not a string")),
+                None => Err(format!("missing \"{key}\"")),
+            }
+        };
+        let version = num("schema_version")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} unsupported (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let mut metrics = BTreeMap::new();
+        match top.get("metrics") {
+            Some(Json::Obj(map)) => {
+                for (k, v) in map {
+                    match v {
+                        Json::Num(value) => {
+                            metrics.insert(k.clone(), *value);
+                        }
+                        _ => return Err(format!("metric \"{k}\" is not a number")),
+                    }
+                }
+            }
+            _ => return Err("missing \"metrics\" object".into()),
+        }
+        Ok(BenchResult {
+            label: text_field("label")?,
+            profile: text_field("profile")?,
+            seed: num("seed")? as u64,
+            metrics,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Obj(BTreeMap<String, Json>),
+}
+
+/// A minimal recursive-descent parser covering the subset of JSON the
+/// bench envelope uses: objects, strings, and numbers.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                c as char, self.pos
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'"' => Ok(Json::Str(self.parse_string()?)),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(format!(
+                "unsupported JSON value starting with '{}' at offset {}",
+                c as char, self.pos
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => {
+                    self.pos += 1;
+                }
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                c => {
+                    return Err(format!(
+                        "expected ',' or '}}', got '{}' at offset {}",
+                        c as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or("unterminated escape")?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        c => {
+                            return Err(format!(
+                                "unsupported escape '\\{}'",
+                                *c as char
+                            ))
+                        }
+                    }
+                    self.pos += 2;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison against a baseline.
+// ---------------------------------------------------------------------
+
+/// Per-metric acceptance band.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative slack as a fraction of the baseline value.
+    pub rel: f64,
+    /// Absolute slack floor (same unit as the metric).
+    pub abs: f64,
+    /// Whether an increase (true) or a decrease (false) is the bad
+    /// direction.
+    pub higher_is_worse: bool,
+}
+
+/// The tolerance for a dotted metric key, selected by its suffix.
+///
+/// Wall-clock latencies get generous relative slack (they share a CI box
+/// with other work); virtual-clock byte/doorbell counts are deterministic
+/// and get tight bands; quality metrics use small absolute bands.
+pub fn tolerance_for(metric: &str) -> Tolerance {
+    let suffix = metric.rsplit('.').next().unwrap_or(metric);
+    match suffix {
+        "p50_us" | "p95_us" | "p99_us" | "mean_us" => Tolerance {
+            rel: 1.0,
+            abs: 200.0,
+            higher_is_worse: true,
+        },
+        "network_bytes" | "doorbell_batches" => Tolerance {
+            rel: 0.01,
+            abs: 1.0,
+            higher_is_worse: true,
+        },
+        "recall_at_10" => Tolerance {
+            rel: 0.0,
+            abs: 0.02,
+            higher_is_worse: false,
+        },
+        "cache_hit_rate" => Tolerance {
+            rel: 0.0,
+            abs: 0.02,
+            higher_is_worse: false,
+        },
+        _ => Tolerance {
+            rel: 0.25,
+            abs: 0.0,
+            higher_is_worse: true,
+        },
+    }
+}
+
+/// One metric's baseline-vs-current verdict.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Dotted metric key.
+    pub metric: String,
+    /// Baseline value (`None` for a metric new in the current run).
+    pub baseline: Option<f64>,
+    /// Current value (`None` when the current run lost the metric).
+    pub current: Option<f64>,
+    /// Whether this metric regressed beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Compares a run against a baseline; `scale` multiplies every tolerance
+/// band (check.sh smoke mode passes > 1 to be generous).
+pub fn compare(baseline: &BenchResult, current: &BenchResult, scale: f64) -> Vec<MetricDelta> {
+    let mut out = Vec::new();
+    for (metric, &base) in &baseline.metrics {
+        match current.metrics.get(metric) {
+            None => out.push(MetricDelta {
+                metric: metric.clone(),
+                baseline: Some(base),
+                current: None,
+                regressed: true,
+            }),
+            Some(&cur) => {
+                let tol = tolerance_for(metric);
+                let worse = if tol.higher_is_worse {
+                    cur - base
+                } else {
+                    base - cur
+                };
+                let allowed = (tol.abs + tol.rel * base.abs()) * scale.max(0.0);
+                out.push(MetricDelta {
+                    metric: metric.clone(),
+                    baseline: Some(base),
+                    current: Some(cur),
+                    regressed: worse > allowed,
+                });
+            }
+        }
+    }
+    for (metric, &cur) in &current.metrics {
+        if !baseline.metrics.contains_key(metric) {
+            out.push(MetricDelta {
+                metric: metric.clone(),
+                baseline: None,
+                current: Some(cur),
+                regressed: false,
+            });
+        }
+    }
+    out
+}
+
+/// Renders a comparison table; returns whether any metric regressed.
+pub fn render_comparison(deltas: &[MetricDelta], out: &mut String) -> bool {
+    let mut regressed = false;
+    let _ = writeln!(
+        out,
+        "{:<34} {:>16} {:>16} {:>9}  status",
+        "metric", "baseline", "current", "delta"
+    );
+    for d in deltas {
+        let status = match (d.baseline, d.current) {
+            (Some(_), None) => "MISSING",
+            (None, Some(_)) => "new",
+            _ if d.regressed => "REGRESSED",
+            _ => "ok",
+        };
+        if d.regressed {
+            regressed = true;
+        }
+        let delta = match (d.baseline, d.current) {
+            (Some(b), Some(c)) if b.abs() > 1e-12 => {
+                format!("{:+.1}%", (c - b) / b * 100.0)
+            }
+            (Some(b), Some(c)) => format!("{:+.3}", c - b),
+            _ => "-".to_string(),
+        };
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.3}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<34} {:>16} {:>16} {:>9}  {}",
+            d.metric,
+            fmt(d.baseline),
+            fmt(d.current),
+            delta,
+            status
+        );
+    }
+    regressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(metrics: &[(&str, f64)]) -> BenchResult {
+        BenchResult {
+            label: "test".into(),
+            profile: "smoke".into(),
+            seed: 7,
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = result_with(&[
+            ("single_cold.p50_us", 1234.5),
+            ("single_cold.recall_at_10", 0.937),
+            ("sharded_warm.network_bytes", 1_048_576.0),
+        ]);
+        let parsed = BenchResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.label, "test");
+        assert_eq!(parsed.profile, "smoke");
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.metrics.len(), 3);
+        assert!((parsed.metrics["single_cold.p50_us"] - 1234.5).abs() < 1e-6);
+        assert!((parsed.metrics["single_cold.recall_at_10"] - 0.937).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_rejects_schema_mismatch_and_garbage() {
+        assert!(BenchResult::from_json("{").is_err());
+        assert!(BenchResult::from_json("[1, 2]").is_err());
+        let wrong_version = r#"{"schema_version": 99, "label": "x", "profile": "smoke", "seed": 1, "metrics": {}}"#;
+        assert!(BenchResult::from_json(wrong_version)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn deterministic_metric_regression_is_caught() {
+        let base = result_with(&[("single_cold.network_bytes", 1000.0)]);
+        // +0.5% stays inside the 1% band.
+        let ok = result_with(&[("single_cold.network_bytes", 1005.0)]);
+        assert!(!compare(&base, &ok, 1.0).iter().any(|d| d.regressed));
+        // +5% regresses.
+        let bad = result_with(&[("single_cold.network_bytes", 1050.0)]);
+        let deltas = compare(&base, &bad, 1.0);
+        assert!(deltas.iter().any(|d| d.regressed));
+        // ...unless the tolerance scale is opened up.
+        assert!(!compare(&base, &bad, 10.0).iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn lower_is_worse_metrics_gate_on_drops_only() {
+        let base = result_with(&[("single_warm.recall_at_10", 0.95)]);
+        let better = result_with(&[("single_warm.recall_at_10", 1.0)]);
+        assert!(!compare(&base, &better, 1.0).iter().any(|d| d.regressed));
+        let worse = result_with(&[("single_warm.recall_at_10", 0.90)]);
+        assert!(compare(&base, &worse, 1.0).iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_and_new_metric_is_not() {
+        let base = result_with(&[("a.p50_us", 1.0), ("b.p50_us", 2.0)]);
+        let cur = result_with(&[("a.p50_us", 1.0), ("c.p50_us", 3.0)]);
+        let deltas = compare(&base, &cur, 1.0);
+        let by_name = |n: &str| deltas.iter().find(|d| d.metric == n).unwrap();
+        assert!(by_name("b.p50_us").regressed);
+        assert!(!by_name("c.p50_us").regressed);
+        let mut table = String::new();
+        assert!(render_comparison(&deltas, &mut table));
+        assert!(table.contains("MISSING"));
+        assert!(table.contains("new"));
+    }
+
+    #[test]
+    fn latency_tolerances_are_generous() {
+        let base = result_with(&[("single_cold.p99_us", 1000.0)]);
+        let doubled = result_with(&[("single_cold.p99_us", 1990.0)]);
+        assert!(!compare(&base, &doubled, 1.0).iter().any(|d| d.regressed));
+        let tripled = result_with(&[("single_cold.p99_us", 3500.0)]);
+        assert!(compare(&base, &tripled, 1.0).iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn tiny_profile_produces_the_full_metric_grid() {
+        let profile = Profile {
+            name: "smoke",
+            n: 600,
+            batches: 2,
+            batch_size: 8,
+            shards: 2,
+            k: 10,
+            ef: 16,
+            seed: 0xBE7C,
+        };
+        let out = run_profile(&profile, "unit", true).unwrap();
+        let r = &out.result;
+        assert_eq!(r.profile, "smoke");
+        for scenario in ["single_cold", "single_warm", "sharded_cold", "sharded_warm"] {
+            for metric in [
+                "p50_us",
+                "p95_us",
+                "p99_us",
+                "recall_at_10",
+                "network_bytes",
+                "doorbell_batches",
+                "cache_hit_rate",
+            ] {
+                let key = format!("{scenario}.{metric}");
+                assert!(r.metrics.contains_key(&key), "missing {key}");
+            }
+        }
+        // Warm passes reuse the cache: strictly fewer bytes than cold.
+        assert!(
+            r.metrics["single_warm.network_bytes"] <= r.metrics["single_cold.network_bytes"]
+        );
+        assert!(
+            r.metrics["single_warm.cache_hit_rate"] >= r.metrics["single_cold.cache_hit_rate"]
+        );
+        // Span capture returned per-batch traces (2 batches x 2 passes).
+        assert_eq!(out.traces.len(), 4);
+        assert!(out.traces.iter().all(|t| !t.spans.is_empty()));
+        // A self-comparison has zero regressions.
+        assert!(!compare(r, r, 1.0).iter().any(|d| d.regressed));
+    }
+}

@@ -7,7 +7,7 @@
 //! replays it against one compute node, and reports p50/p95/p99 of the
 //! per-batch modeled latency.
 
-use dhnsw::{ComputeNode, Error};
+use dhnsw::{ComputeNode, Error, QueryTrace};
 use vecsim::{gen, Dataset};
 
 /// One operation in a trace.
@@ -99,11 +99,14 @@ impl TraceSpec {
 }
 
 /// Outcome of replaying a trace.
+///
+/// Per-batch observations are kept as the core telemetry type
+/// ([`dhnsw::QueryTrace`]), built locally from each batch's report so a
+/// concurrent reader of the global trace ring cannot perturb the bench.
 #[derive(Debug, Clone)]
 pub struct TraceReport {
-    /// Per-query-batch modeled latency (network virtual + compute wall),
-    /// µs, in trace order.
-    pub batch_latencies_us: Vec<f64>,
+    /// One structured trace per query batch, in trace order.
+    pub batch_traces: Vec<QueryTrace>,
     /// Total queries answered.
     pub queries: usize,
     /// Total vectors inserted (accepted).
@@ -114,14 +117,26 @@ pub struct TraceReport {
     pub round_trips: u64,
 }
 
+/// The modeled latency of one batch: network virtual time plus compute
+/// wall time, µs.
+fn modeled_us(t: &QueryTrace) -> f64 {
+    t.meta_us + t.network_us + t.sub_us
+}
+
 impl TraceReport {
+    /// Per-batch modeled latencies (network virtual + compute wall), µs,
+    /// in trace order.
+    pub fn batch_latencies_us(&self) -> Vec<f64> {
+        self.batch_traces.iter().map(modeled_us).collect()
+    }
+
     /// The `q`-th latency percentile (0.0–1.0) over query batches, µs.
     /// Returns `0.0` for an empty trace.
     pub fn percentile_us(&self, q: f64) -> f64 {
-        if self.batch_latencies_us.is_empty() {
+        let mut sorted = self.batch_latencies_us();
+        if sorted.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.batch_latencies_us.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         sorted[rank]
@@ -129,10 +144,42 @@ impl TraceReport {
 
     /// Mean per-batch latency, µs.
     pub fn mean_us(&self) -> f64 {
-        if self.batch_latencies_us.is_empty() {
+        if self.batch_traces.is_empty() {
             return 0.0;
         }
-        self.batch_latencies_us.iter().sum::<f64>() / self.batch_latencies_us.len() as f64
+        self.batch_latencies_us().iter().sum::<f64>() / self.batch_traces.len() as f64
+    }
+
+    /// Total bytes read from remote memory across all batches.
+    pub fn bytes_read(&self) -> u64 {
+        self.batch_traces.iter().map(|t| t.bytes_read).sum()
+    }
+
+    /// Total doorbell batches issued across all batches.
+    pub fn doorbell_batches(&self) -> u64 {
+        self.batch_traces
+            .iter()
+            .map(|t| u64::from(t.doorbell_batches))
+            .sum()
+    }
+
+    /// Cache hits over unique-cluster demand across the trace, in
+    /// `[0, 1]`; 0.0 for an empty trace.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let unique: u64 = self
+            .batch_traces
+            .iter()
+            .map(|t| u64::from(t.unique_clusters))
+            .sum();
+        if unique == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .batch_traces
+            .iter()
+            .map(|t| u64::from(t.cache_hits))
+            .sum();
+        hits as f64 / unique as f64
     }
 }
 
@@ -144,7 +191,7 @@ impl TraceReport {
 /// raised).
 pub fn replay(node: &ComputeNode, ops: &[Op], k: usize, ef: usize) -> Result<TraceReport, Error> {
     let mut report = TraceReport {
-        batch_latencies_us: Vec::new(),
+        batch_traces: Vec::new(),
         queries: 0,
         inserts: 0,
         insert_rejects: 0,
@@ -153,8 +200,27 @@ pub fn replay(node: &ComputeNode, ops: &[Op], k: usize, ef: usize) -> Result<Tra
     for op in ops {
         match op {
             Op::QueryBatch(queries) => {
+                let stats0 = node.queue_pair().stats().snapshot();
                 let (_, batch) = node.query_batch(queries, k, ef)?;
-                report.batch_latencies_us.push(batch.breakdown.total_us());
+                let delta = node.queue_pair().stats().snapshot() - stats0;
+                report.batch_traces.push(QueryTrace {
+                    mode: node.mode().label(),
+                    queries: batch.queries as u32,
+                    k: k as u32,
+                    ef: ef as u32,
+                    fanout: node.config().fanout() as u32,
+                    raw_cluster_demand: batch.raw_cluster_demand as u32,
+                    unique_clusters: batch.unique_clusters as u32,
+                    cache_hits: batch.cache_hits as u32,
+                    clusters_loaded: batch.clusters_loaded as u32,
+                    doorbell_batches: delta.doorbell_batches as u32,
+                    round_trips: batch.round_trips,
+                    bytes_read: batch.bytes_read,
+                    meta_us: batch.breakdown.meta_hnsw_us,
+                    network_us: batch.breakdown.network_us,
+                    sub_us: batch.breakdown.sub_hnsw_us,
+                    total_us: batch.breakdown.total_us(),
+                });
                 report.queries += batch.queries;
                 report.round_trips += batch.round_trips;
             }
@@ -229,15 +295,44 @@ mod tests {
         let report = replay(&node, &ops, 5, 32).unwrap();
         assert_eq!(report.queries, 40);
         assert_eq!(report.inserts + report.insert_rejects, 6);
-        assert_eq!(report.batch_latencies_us.len(), 4);
+        assert_eq!(report.batch_traces.len(), 4);
         assert!(report.round_trips > 0);
         assert!(report.mean_us() > 0.0);
+        assert!(report.bytes_read() > 0);
+        let t = &report.batch_traces[0];
+        assert_eq!(t.mode, "full");
+        assert_eq!((t.queries, t.k, t.ef), (10, 5, 32));
+        assert!(t.unique_clusters > 0);
+    }
+
+    fn trace_with_network_us(us: f64) -> QueryTrace {
+        QueryTrace {
+            mode: "full",
+            queries: 1,
+            k: 1,
+            ef: 1,
+            fanout: 1,
+            raw_cluster_demand: 0,
+            unique_clusters: 0,
+            cache_hits: 0,
+            clusters_loaded: 0,
+            doorbell_batches: 0,
+            round_trips: 0,
+            bytes_read: 0,
+            meta_us: 0.0,
+            network_us: us,
+            sub_us: 0.0,
+            total_us: us,
+        }
     }
 
     #[test]
     fn percentiles_are_ordered() {
         let report = TraceReport {
-            batch_latencies_us: vec![5.0, 1.0, 9.0, 3.0, 7.0],
+            batch_traces: [5.0, 1.0, 9.0, 3.0, 7.0]
+                .iter()
+                .map(|&us| trace_with_network_us(us))
+                .collect(),
             queries: 0,
             inserts: 0,
             insert_rejects: 0,
@@ -252,7 +347,7 @@ mod tests {
     #[test]
     fn empty_report_is_zeroed() {
         let report = TraceReport {
-            batch_latencies_us: vec![],
+            batch_traces: vec![],
             queries: 0,
             inserts: 0,
             insert_rejects: 0,
@@ -260,6 +355,8 @@ mod tests {
         };
         assert_eq!(report.percentile_us(0.5), 0.0);
         assert_eq!(report.mean_us(), 0.0);
+        assert_eq!(report.cache_hit_rate(), 0.0);
+        assert_eq!(report.doorbell_batches(), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cluster::LoadedCluster;
+use crate::telemetry::span::{emit_scope_instant, ArgValue};
 
 /// Lifetime counters of a [`ClusterCache`], as reported by
 /// [`crate::ComputeNode::cache_stats`].
@@ -92,10 +93,20 @@ impl ClusterCache {
             Some((stamp, cluster)) => {
                 *stamp = self.tick;
                 self.stats.hits += 1;
+                emit_scope_instant(
+                    "cache_hit",
+                    "cache",
+                    &[("cluster", ArgValue::U64(u64::from(partition)))],
+                );
                 Some(Arc::clone(cluster))
             }
             None => {
                 self.stats.misses += 1;
+                emit_scope_instant(
+                    "cache_miss",
+                    "cache",
+                    &[("cluster", ArgValue::U64(u64::from(partition)))],
+                );
                 None
             }
         }
@@ -116,6 +127,14 @@ impl ClusterCache {
             {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
+                emit_scope_instant(
+                    "cache_evict",
+                    "cache",
+                    &[
+                        ("victim", ArgValue::U64(u64::from(victim))),
+                        ("for", ArgValue::U64(u64::from(partition))),
+                    ],
+                );
             }
         }
         self.entries.insert(partition, (self.tick, cluster));
@@ -281,6 +300,34 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (2, 2));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_events_land_in_the_active_trace_scope() {
+        use crate::telemetry::span::{SpanId, SpanTracer};
+        let tracer = SpanTracer::new(4);
+        tracer.set_enabled(true);
+        let trace = tracer.begin("full");
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        let mut c = ClusterCache::new(1);
+        {
+            let _guard = trace.enter_scope(root);
+            c.get(5); // miss
+            c.put(5, cluster(5));
+            c.get(5); // hit
+            c.put(6, cluster(6)); // evicts 5
+        }
+        c.get(6); // outside the scope: not traced
+        trace.end_span(root);
+        tracer.finish(trace);
+        let ft = &tracer.recent()[0];
+        let events: Vec<&str> = ft
+            .spans
+            .iter()
+            .filter(|s| s.cat == "cache")
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(events, vec!["cache_miss", "cache_hit", "cache_evict"]);
     }
 
     #[test]

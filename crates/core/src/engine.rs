@@ -32,6 +32,7 @@ use crate::layout::{Directory, ID_COUNTER_OFFSET};
 use crate::loader::{plan_batch, read_requests};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
+use crate::telemetry::span::{ArgValue, BatchTrace, QpSpanSink, SpanId};
 use crate::telemetry::{Counter, Gauge, Histogram, QueryTrace, Telemetry};
 use crate::{DHnswConfig, Error, Result};
 
@@ -312,6 +313,26 @@ impl ComputeNode {
         let directory = Directory::from_bytes(&dir_bytes)?;
         let capacity = config.cache_capacity(directory.partitions());
         let metrics = EngineMetrics::new(&telemetry, mode);
+        // Bridge substrate verb events into the span tracer. Without an
+        // active trace scope the sink drops events after one
+        // thread-local lookup, so untraced verbs stay cheap.
+        qp.set_trace_sink(Some(Arc::new(QpSpanSink)));
+        // Environment knobs so binaries get tracing without code changes:
+        // DHNSW_TRACE_SPANS=1 enables per-batch span capture and
+        // DHNSW_SLOW_QUERY_US=<µs> arms the slow-query log.
+        if std::env::var("DHNSW_TRACE_SPANS").is_ok_and(|v| v == "1") {
+            telemetry.spans().set_enabled(true);
+        }
+        if let Some(us) = std::env::var("DHNSW_SLOW_QUERY_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            telemetry.spans().set_slow_threshold_us(us);
+            if us > 0 {
+                // A slow-query budget is meaningless without capture.
+                telemetry.spans().set_enabled(true);
+            }
+        }
         // The directory fetch above already moved bytes; start the flush
         // baseline there so connect traffic is not charged to queries.
         let flushed = Mutex::new(FlushState {
@@ -484,15 +505,54 @@ impl ComputeNode {
         } else {
             None
         };
+        // Span tracing: one root span per batch; the planned/naive paths
+        // hang stage spans off it. `begin` hands back a no-op handle
+        // when the tracer is off.
+        let trace = self.telemetry.spans().begin(self.mode.label());
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        trace.add_args(
+            root,
+            &[
+                ("mode", ArgValue::Str(self.mode.label())),
+                ("queries", ArgValue::U64(queries.len() as u64)),
+                ("k", ArgValue::U64(opts.k as u64)),
+                ("ef", ArgValue::U64(opts.ef as u64)),
+                ("fanout", ArgValue::U64(b as u64)),
+            ],
+        );
         let t0 = Instant::now();
-        let (results, report) = match self.mode {
-            SearchMode::Full => self.query_batch_planned(queries, opts.k, opts.ef, b, true),
-            SearchMode::NoDoorbell => {
-                self.query_batch_planned(queries, opts.k, opts.ef, b, false)
+        let outcome = match self.mode {
+            SearchMode::Full => {
+                self.query_batch_planned(queries, opts.k, opts.ef, b, true, &trace, root)
             }
-            SearchMode::Naive => self.query_batch_naive(queries, opts.k, opts.ef, b),
-        }?;
+            SearchMode::NoDoorbell => {
+                self.query_batch_planned(queries, opts.k, opts.ef, b, false, &trace, root)
+            }
+            SearchMode::Naive => self.query_batch_naive(queries, opts.k, opts.ef, b, &trace, root),
+        };
+        let (results, report) = match outcome {
+            Ok(pair) => pair,
+            Err(e) => {
+                trace.end_span_with(root, &[("error", ArgValue::Str("batch_failed"))]);
+                self.telemetry.spans().finish(trace);
+                return Err(e);
+            }
+        };
         let total_us = t0.elapsed().as_secs_f64() * 1e6;
+        trace.end_span_with(
+            root,
+            &[
+                ("unique_clusters", ArgValue::U64(report.unique_clusters as u64)),
+                ("cache_hits", ArgValue::U64(report.cache_hits as u64)),
+                ("clusters_loaded", ArgValue::U64(report.clusters_loaded as u64)),
+                ("round_trips", ArgValue::U64(report.round_trips)),
+                ("bytes_read", ArgValue::U64(report.bytes_read)),
+                ("meta_us", ArgValue::F64(report.breakdown.meta_hnsw_us)),
+                ("network_vt_us", ArgValue::F64(report.breakdown.network_us)),
+                ("sub_us", ArgValue::F64(report.breakdown.sub_hnsw_us)),
+            ],
+        );
+        self.telemetry.spans().finish(trace);
 
         let m = &self.metrics;
         let n = report.queries.max(1) as u64;
@@ -544,6 +604,8 @@ impl ComputeNode {
         ef: usize,
         b: usize,
         doorbell: bool,
+        trace: &BatchTrace,
+        root: SpanId,
     ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
         let mut report = BatchReport {
             queries: queries.len(),
@@ -551,14 +613,17 @@ impl ComputeNode {
         };
 
         // 1. Meta-HNSW routing (cached index, pure compute).
+        let s_meta = trace.begin_span("meta_route", "engine", root);
         let t_meta = Instant::now();
         let routes: Vec<Vec<u32>> = queries
             .iter()
             .map(|q| self.meta.route(q, b).iter().map(|n| n.id).collect())
             .collect();
         report.breakdown.meta_hnsw_us = t_meta.elapsed().as_secs_f64() * 1e6;
+        trace.end_span_with(s_meta, &[("fanout", ArgValue::U64(b as u64))]);
 
         // 2. Query-aware load planning against current cache residency.
+        let s_union = trace.begin_span("cluster_union", "engine", root);
         let plan = {
             let cache = self.cache.lock();
             plan_batch(&routes, |p| cache.contains(p))
@@ -569,9 +634,11 @@ impl ComputeNode {
         report.clusters_loaded = plan.to_load.len();
 
         // Pin cached clusters before loading so same-batch evictions
-        // cannot take them away mid-batch.
+        // cannot take them away mid-batch. Cache hit instants attach to
+        // the cluster-union span via the scope.
         let mut resolved: HashMap<u32, Arc<LoadedCluster>> = HashMap::new();
         {
+            let _scope = trace.enter_scope(s_union);
             let mut cache = self.cache.lock();
             for &p in &plan.cached {
                 if let Some(c) = cache.get(p) {
@@ -579,51 +646,84 @@ impl ComputeNode {
                 }
             }
         }
+        trace.end_span_with(s_union, &plan.trace_args());
 
-        // 3. Network: fetch every missing cluster exactly once.
+        // 3. Network: fetch every missing cluster exactly once. Verb
+        // spans (doorbell chunks, per-cluster reads) nest under the
+        // network span via the scope.
+        let s_net = trace.begin_span("network", "engine", root);
         let clock0 = self.qp.clock().now_us();
         let stats0 = self.qp.stats().snapshot();
         let reqs = read_requests(&self.directory, self.rkey, &plan.to_load)?;
-        let buffers: Vec<Vec<u8>> = if doorbell {
-            self.qp.read_doorbell(&reqs)?
-        } else {
-            reqs.iter()
-                .map(|r| self.qp.read(r.rkey, r.offset, r.len))
-                .collect::<std::result::Result<_, _>>()?
+        let buffers: Vec<Vec<u8>> = {
+            let _scope = trace.enter_scope(s_net);
+            if doorbell {
+                self.qp.read_doorbell(&reqs)?
+            } else {
+                reqs.iter()
+                    .map(|r| self.qp.read(r.rkey, r.offset, r.len))
+                    .collect::<std::result::Result<_, _>>()?
+            }
         };
         report.breakdown.network_us = self.qp.clock().now_us() - clock0;
         let stats_delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = stats_delta.round_trips;
         report.bytes_read = stats_delta.bytes_read;
+        trace.set_vt(s_net, clock0, report.breakdown.network_us);
+        trace.end_span_with(
+            s_net,
+            &[
+                ("round_trips", ArgValue::U64(stats_delta.round_trips)),
+                ("bytes_read", ArgValue::U64(stats_delta.bytes_read)),
+                (
+                    "doorbell_batches",
+                    ArgValue::U64(stats_delta.doorbell_batches),
+                ),
+            ],
+        );
 
         // 4. Materialize loads (compute on loaded data) and cache them.
         // Deserialization fans out over the instance's worker threads,
         // like the paper's per-instance OpenMP pool.
         let threads = self.config.effective_search_threads();
         let t_sub = Instant::now();
+        let s_mat = trace.begin_span("materialize", "engine", root);
         let loaded = materialize_parallel(&self.directory, &plan.to_load, &buffers, threads)?;
         {
+            let _scope = trace.enter_scope(s_mat);
             let mut cache = self.cache.lock();
             for (&p, cluster) in plan.to_load.iter().zip(&loaded) {
                 cache.put(p, Arc::clone(cluster));
                 resolved.insert(p, Arc::clone(cluster));
             }
         }
+        trace.end_span_with(s_mat, &[("clusters", ArgValue::U64(loaded.len() as u64))]);
 
         // 5. Sub-HNSW search per query over its b clusters.
+        let s_search = trace.begin_span("sub_hnsw_search", "engine", root);
         let results = search_over(&routes, queries, &resolved, k, ef, threads)?;
         report.breakdown.sub_hnsw_us = t_sub.elapsed().as_secs_f64() * 1e6;
+        trace.end_span_with(
+            s_search,
+            &[
+                ("queries", ArgValue::U64(routes.len() as u64)),
+                ("ef", ArgValue::U64(ef as u64)),
+            ],
+        );
         Ok((results, report))
     }
 
     /// The Naive path: each query fetches each of its clusters with an
     /// individual read; nothing is reused within or across batches.
+    #[allow(clippy::too_many_arguments)]
     fn query_batch_naive(
         &self,
         queries: &Dataset,
         k: usize,
         ef: usize,
         b: usize,
+        trace: &BatchTrace,
+        root: SpanId,
     ) -> Result<(Vec<Vec<Neighbor>>, BatchReport)> {
         let mut report = BatchReport {
             queries: queries.len(),
@@ -632,12 +732,14 @@ impl ComputeNode {
 
         // Meta routing (still cached locally — the naive baseline differs
         // only in how cluster bytes cross the network).
+        let s_meta = trace.begin_span("meta_route", "engine", root);
         let t_meta = Instant::now();
         let routes: Vec<Vec<u32>> = queries
             .iter()
             .map(|q| self.meta.route(q, b).iter().map(|n| n.id).collect())
             .collect();
         report.breakdown.meta_hnsw_us = t_meta.elapsed().as_secs_f64() * 1e6;
+        trace.end_span_with(s_meta, &[("fanout", ArgValue::U64(b as u64))]);
 
         // Per query: fetch its clusters with individual reads, then
         // deserialize and search them immediately. Buffers are dropped
@@ -655,22 +757,30 @@ impl ComputeNode {
         for (chunk_idx, route_chunk) in routes.chunks(stripe).enumerate() {
             let base = chunk_idx * stripe;
             // Network phase for this stripe.
+            let s_net = trace.begin_span("network", "engine", root);
             let clock0 = self.qp.clock().now_us();
             let mut buffers: Vec<Vec<Vec<u8>>> = Vec::with_capacity(route_chunk.len());
-            for route in route_chunk {
-                report.raw_cluster_demand += route.len();
-                report.unique_clusters += route.len();
-                report.clusters_loaded += route.len();
-                let reqs = read_requests(&self.directory, self.rkey, route)?;
-                let mut per_query = Vec::with_capacity(reqs.len());
-                for r in &reqs {
-                    per_query.push(self.qp.read(r.rkey, r.offset, r.len)?);
+            {
+                let _scope = trace.enter_scope(s_net);
+                for route in route_chunk {
+                    report.raw_cluster_demand += route.len();
+                    report.unique_clusters += route.len();
+                    report.clusters_loaded += route.len();
+                    let reqs = read_requests(&self.directory, self.rkey, route)?;
+                    let mut per_query = Vec::with_capacity(reqs.len());
+                    for r in &reqs {
+                        per_query.push(self.qp.read(r.rkey, r.offset, r.len)?);
+                    }
+                    buffers.push(per_query);
                 }
-                buffers.push(per_query);
             }
-            net_us += self.qp.clock().now_us() - clock0;
+            let stripe_net_us = self.qp.clock().now_us() - clock0;
+            net_us += stripe_net_us;
+            trace.set_vt(s_net, clock0, stripe_net_us);
+            trace.end_span_with(s_net, &[("stripe", ArgValue::U64(chunk_idx as u64))]);
 
             // Compute phase for this stripe.
+            let s_search = trace.begin_span("sub_hnsw_search", "engine", root);
             let t_sub = Instant::now();
             let directory = &self.directory;
             let stripe_results = run_indexed(route_chunk.len(), threads, |j| {
@@ -691,6 +801,7 @@ impl ComputeNode {
             })?;
             results.extend(stripe_results);
             sub_us += t_sub.elapsed().as_secs_f64() * 1e6;
+            trace.end_span_with(s_search, &[("stripe", ArgValue::U64(chunk_idx as u64))]);
         }
         report.breakdown.network_us = net_us;
         report.breakdown.sub_hnsw_us = sub_us;

@@ -71,6 +71,10 @@ pub use error::Error;
 pub use meta::MetaIndex;
 pub use sharded::{ShardedSession, ShardedStore};
 pub use store::VectorStore;
+pub use telemetry::chrome::chrome_trace_json;
+pub use telemetry::span::{
+    ArgValue, BatchTrace, FinishedTrace, QpSpanSink, SpanId, SpanKind, SpanRecord, SpanTracer,
+};
 pub use telemetry::{QueryTrace, Telemetry};
 
 /// Convenient result alias used throughout this crate.

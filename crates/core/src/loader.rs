@@ -13,6 +13,7 @@
 use rdma_sim::ReadReq;
 
 use crate::layout::Directory;
+use crate::telemetry::span::ArgValue;
 use crate::Result;
 
 /// The outcome of planning one batch's cluster loads.
@@ -33,6 +34,21 @@ impl LoadPlan {
     /// per-query fetching (cache hits included).
     pub fn transfers_saved(&self) -> usize {
         self.raw_demand - self.to_load.len()
+    }
+
+    /// The plan as span arguments, for annotating the cluster-union
+    /// span of a batch trace.
+    pub fn trace_args(&self) -> Vec<(&'static str, ArgValue)> {
+        vec![
+            ("raw_demand", ArgValue::U64(self.raw_demand as u64)),
+            ("unique", ArgValue::U64(self.unique.len() as u64)),
+            ("cached", ArgValue::U64(self.cached.len() as u64)),
+            ("to_load", ArgValue::U64(self.to_load.len() as u64)),
+            (
+                "transfers_saved",
+                ArgValue::U64(self.transfers_saved() as u64),
+            ),
+        ]
     }
 }
 
@@ -134,6 +150,17 @@ mod tests {
         let plan = plan_batch(&routes(&[&[5, 5, 5]]), |_| false);
         assert_eq!(plan.unique, vec![5]);
         assert_eq!(plan.raw_demand, 3);
+    }
+
+    #[test]
+    fn trace_args_summarize_the_plan() {
+        let plan = plan_batch(&routes(&[&[1, 2], &[2, 3]]), |p| p == 2);
+        let args = plan.trace_args();
+        assert!(args.contains(&("raw_demand", ArgValue::U64(4))));
+        assert!(args.contains(&("unique", ArgValue::U64(3))));
+        assert!(args.contains(&("cached", ArgValue::U64(1))));
+        assert!(args.contains(&("to_load", ArgValue::U64(2))));
+        assert!(args.contains(&("transfers_saved", ArgValue::U64(2))));
     }
 
     #[test]

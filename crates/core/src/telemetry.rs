@@ -26,10 +26,15 @@
 //! `_bytes`). Labels are attached at registration (`mode`, `stage`,
 //! `shard`) and become part of the handle, never a per-sample cost.
 
+pub mod chrome;
+pub mod span;
+
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+use span::{SpanTracer, DEFAULT_SPAN_TRACE_CAPACITY};
 
 /// Number of histogram buckets: upper bounds `2^0 .. 2^31`, then +Inf.
 const HIST_BUCKETS: usize = 33;
@@ -258,7 +263,7 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
 }
 
 /// Escapes a label value for both exposition formats.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
@@ -305,13 +310,23 @@ pub struct QueryTrace {
 /// Bounded ring of the most recent [`QueryTrace`]s.
 ///
 /// Disabled by default; when disabled, recording costs one atomic
-/// load. The buffer is allocated once at construction, so recording
-/// never allocates.
+/// load. A fixed-slot ring: the slot vector grows to capacity once
+/// and is then overwritten in place, so steady-state recording never
+/// allocates or shifts elements.
 #[derive(Debug)]
 pub struct TraceRing {
     enabled: AtomicBool,
     capacity: usize,
-    buf: Mutex<VecDeque<QueryTrace>>,
+    buf: Mutex<RingBuf>,
+}
+
+/// Fixed-capacity slot storage: `slots[head]` is the oldest retained
+/// trace, `len` of the slots are live, writes wrap modulo capacity.
+#[derive(Debug)]
+struct RingBuf {
+    slots: Vec<QueryTrace>,
+    head: usize,
+    len: usize,
 }
 
 impl TraceRing {
@@ -320,7 +335,11 @@ impl TraceRing {
         TraceRing {
             enabled: AtomicBool::new(false),
             capacity,
-            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            buf: Mutex::new(RingBuf {
+                slots: Vec::with_capacity(capacity),
+                head: 0,
+                len: 0,
+            }),
         }
     }
 
@@ -340,21 +359,35 @@ impl TraceRing {
             return;
         }
         let mut buf = self.buf.lock();
-        if buf.len() == self.capacity {
-            buf.pop_front();
+        if buf.len < self.capacity {
+            // Still filling: the write index is past the live window.
+            let idx = (buf.head + buf.len) % self.capacity;
+            if idx == buf.slots.len() {
+                buf.slots.push(trace);
+            } else {
+                buf.slots[idx] = trace;
+            }
+            buf.len += 1;
+        } else {
+            // Full: overwrite the oldest slot and advance the head.
+            let idx = buf.head;
+            buf.slots[idx] = trace;
+            buf.head = (buf.head + 1) % self.capacity;
         }
-        buf.push_back(trace);
     }
 
-    /// The retained traces, oldest first. Allocates; exposition-path
-    /// only.
+    /// The retained traces, strictly oldest first — stable across
+    /// wraparound. Allocates; exposition-path only.
     pub fn recent(&self) -> Vec<QueryTrace> {
-        self.buf.lock().iter().copied().collect()
+        let buf = self.buf.lock();
+        (0..buf.len)
+            .map(|i| buf.slots[(buf.head + i) % self.capacity])
+            .collect()
     }
 
     /// Number of retained traces.
     pub fn len(&self) -> usize {
-        self.buf.lock().len()
+        self.buf.lock().len
     }
 
     /// Whether no traces are retained.
@@ -364,7 +397,10 @@ impl TraceRing {
 
     /// Drops all retained traces (capacity is kept reserved).
     pub fn clear(&self) {
-        self.buf.lock().clear();
+        let mut buf = self.buf.lock();
+        buf.slots.clear();
+        buf.head = 0;
+        buf.len = 0;
     }
 
     /// Maximum number of retained traces.
@@ -376,11 +412,13 @@ impl TraceRing {
 /// Default number of traces the ring retains.
 pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
-/// The telemetry hub: a metrics registry plus a trace ring.
+/// The telemetry hub: a metrics registry, a trace ring, and a span
+/// tracer.
 #[derive(Debug)]
 pub struct Telemetry {
     families: Mutex<BTreeMap<&'static str, Family>>,
     traces: TraceRing,
+    spans: SpanTracer,
 }
 
 impl Default for Telemetry {
@@ -400,6 +438,7 @@ impl Telemetry {
         Telemetry {
             families: Mutex::new(BTreeMap::new()),
             traces: TraceRing::new(capacity),
+            spans: SpanTracer::new(DEFAULT_SPAN_TRACE_CAPACITY),
         }
     }
 
@@ -412,6 +451,11 @@ impl Telemetry {
     /// The per-query trace ring.
     pub fn traces(&self) -> &TraceRing {
         &self.traces
+    }
+
+    /// The span tracer (per-batch span trees, slow-query log).
+    pub fn spans(&self) -> &SpanTracer {
+        &self.spans
     }
 
     /// Gets or registers the counter `name{labels}`.
@@ -823,6 +867,46 @@ mod tests {
         assert_eq!(t.traces().len(), 3);
         t.traces().clear();
         assert!(t.traces().is_empty());
+    }
+
+    #[test]
+    fn trace_ring_recent_is_oldest_first_across_wraparound() {
+        let t = Telemetry::with_trace_capacity(4);
+        t.traces().set_enabled(true);
+        let mk = |i: u32| QueryTrace {
+            mode: "full",
+            queries: i,
+            k: 10,
+            ef: 32,
+            fanout: 4,
+            raw_cluster_demand: 4,
+            unique_clusters: 4,
+            cache_hits: 0,
+            clusters_loaded: 4,
+            doorbell_batches: 1,
+            round_trips: 2,
+            bytes_read: 4096,
+            meta_us: 1.0,
+            network_us: 2.0,
+            sub_us: 3.0,
+            total_us: 6.0,
+        };
+        // Wrap the ring two and a half times; after every record the
+        // retained window must be the most recent traces, strictly
+        // oldest→newest, regardless of where the head sits.
+        for i in 1..=10u32 {
+            t.traces().record(mk(i));
+            let got: Vec<u32> = t.traces().recent().iter().map(|tr| tr.queries).collect();
+            let lo = i.saturating_sub(3).max(1);
+            let want: Vec<u32> = (lo..=i).collect();
+            assert_eq!(got, want, "after recording {i}");
+        }
+        assert_eq!(t.traces().len(), 4);
+        // Clearing resets the window and recording restarts cleanly.
+        t.traces().clear();
+        assert!(t.traces().is_empty());
+        t.traces().record(mk(99));
+        assert_eq!(t.traces().recent()[0].queries, 99);
     }
 
     #[test]

@@ -1,0 +1,797 @@
+//! Parent/child span tracing for the batch read path.
+//!
+//! One [`BatchTrace`] covers one `query_batch` call: a root span with
+//! routing / cluster-union / network / search children, per-doorbell
+//! and per-work-request spans bridged in from the RDMA substrate, and
+//! instant events for cache hits, misses, evictions, and fault
+//! retries. Each span carries **two** timelines:
+//!
+//! - *wall* microseconds relative to the batch epoch (an [`Instant`]
+//!   captured at [`SpanTracer::begin`]) — the primary timeline, what
+//!   the Chrome exporter renders;
+//! - *virtual-clock* microseconds from the simulated fabric — the
+//!   modeled network cost, attached as span arguments so a trace shows
+//!   both where real time went and what the cost model charged.
+//!
+//! Tracing is off by default; a disabled [`BatchTrace`] is a `None`
+//! and every method on it is a no-op, so the query path pays one
+//! atomic load per batch when idle. Finished traces land in a bounded
+//! ring on the [`SpanTracer`]; batches whose root span exceeds the
+//! configured slow threshold additionally render their full span tree
+//! into the slow-query log (and to stderr).
+//!
+//! The RDMA substrate cannot depend on this crate, so the bridge runs
+//! the other way: [`QpSpanSink`] implements [`rdma_sim::TraceSink`]
+//! and resolves the *current scope* — a thread-local stack pushed by
+//! [`BatchTrace::enter_scope`] around each phase — to decide which
+//! trace and parent span the verb events belong to. This works
+//! because verbs execute synchronously on the thread that entered the
+//! scope.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Default number of finished traces the tracer retains.
+pub const DEFAULT_SPAN_TRACE_CAPACITY: usize = 64;
+
+/// Number of rendered slow-query reports retained.
+const SLOW_LOG_CAPACITY: usize = 32;
+
+/// A value attached to a span argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (counts, bytes, offsets).
+    U64(u64),
+    /// Floating point (virtual-clock microseconds).
+    F64(f64),
+    /// Static string (mode labels, verb names).
+    Str(&'static str),
+}
+
+impl ArgValue {
+    /// Renders the value as a JSON fragment.
+    pub(crate) fn render_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) => crate::telemetry::chrome::json_num(*v),
+            ArgValue::Str(s) => format!("\"{}\"", crate::telemetry::escape(s)),
+        }
+    }
+
+    /// Renders the value for the plain-text slow log.
+    fn render_plain(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) => format!("{v:.1}"),
+            ArgValue::Str(s) => (*s).to_string(),
+        }
+    }
+}
+
+/// Whether a record is a duration span or a point-in-time marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A duration span (`ph: "X"` in Chrome trace events).
+    Span,
+    /// An instant marker (`ph: "i"`).
+    Instant,
+}
+
+/// Identifier of a span within one batch trace.
+///
+/// A 1-based index into the trace's span list; `0` means "none" and is
+/// what the root span uses as its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The "no parent" sentinel (what the root span points at).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Raw 1-based index (0 = none).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// One recorded span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (`query_batch`, `meta_route`, `read_doorbell`, …).
+    pub name: &'static str,
+    /// Category (`engine`, `rdma`, `cache`) — Chrome's `cat` field.
+    pub cat: &'static str,
+    /// Raw [`SpanId`] of the parent span (0 for the root).
+    pub parent: u32,
+    /// Duration span or instant marker.
+    pub kind: SpanKind,
+    /// Wall-clock start, microseconds since the batch epoch.
+    pub wall_start_us: f64,
+    /// Wall-clock duration, microseconds. Negative while the span is
+    /// open; [`SpanTracer::finish`] closes any still-open span at the
+    /// batch end.
+    pub wall_dur_us: f64,
+    /// Virtual-clock start, microseconds (0 when not applicable).
+    pub vt_start_us: f64,
+    /// Virtual-clock duration, microseconds (0 when not applicable).
+    pub vt_dur_us: f64,
+    /// Key/value annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A finished batch trace: the root span plus its whole tree, in
+/// recording order (parents always precede their children).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedTrace {
+    /// Search-mode label of the batch (`full`, `no_doorbell`, `naive`).
+    pub label: &'static str,
+    /// Monotonic batch sequence number (the Chrome `tid`).
+    pub seq: u64,
+    /// Root-span wall duration, microseconds.
+    pub total_us: f64,
+    /// Every span and instant recorded for the batch.
+    pub spans: Vec<SpanRecord>,
+}
+
+#[derive(Debug)]
+struct BatchInner {
+    epoch: Instant,
+    seq: u64,
+    label: &'static str,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Handle to an in-flight batch trace.
+///
+/// Cloneable — clones share the same span tree (the thread-local scope
+/// holds one). When tracing is disabled the handle is empty and every
+/// method is a no-op, so call sites never branch on enablement.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTrace(Option<Arc<BatchInner>>);
+
+impl BatchTrace {
+    /// An empty, always-no-op handle.
+    pub fn disabled() -> Self {
+        BatchTrace(None)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Microseconds elapsed since the batch epoch (0 when disabled).
+    pub fn elapsed_us(&self) -> f64 {
+        match &self.0 {
+            None => 0.0,
+            Some(inner) => inner.epoch.elapsed().as_secs_f64() * 1e6,
+        }
+    }
+
+    /// Opens a span starting now. Returns [`SpanId::NONE`] when
+    /// disabled.
+    pub fn begin_span(&self, name: &'static str, cat: &'static str, parent: SpanId) -> SpanId {
+        let Some(inner) = &self.0 else {
+            return SpanId::NONE;
+        };
+        let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
+        let mut spans = inner.spans.lock();
+        spans.push(SpanRecord {
+            name,
+            cat,
+            parent: parent.0,
+            kind: SpanKind::Span,
+            wall_start_us: now,
+            wall_dur_us: -1.0,
+            vt_start_us: 0.0,
+            vt_dur_us: 0.0,
+            args: Vec::new(),
+        });
+        SpanId(spans.len() as u32)
+    }
+
+    /// Closes a span at the current wall time.
+    pub fn end_span(&self, id: SpanId) {
+        self.end_span_with(id, &[]);
+    }
+
+    /// Closes a span and attaches arguments.
+    pub fn end_span_with(&self, id: SpanId, args: &[(&'static str, ArgValue)]) {
+        let Some(inner) = &self.0 else { return };
+        if id.0 == 0 {
+            return;
+        }
+        let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
+        let mut spans = inner.spans.lock();
+        if let Some(rec) = spans.get_mut(id.0 as usize - 1) {
+            rec.wall_dur_us = (now - rec.wall_start_us).max(0.0);
+            rec.args.extend_from_slice(args);
+        }
+    }
+
+    /// Attaches arguments to an open or closed span.
+    pub fn add_args(&self, id: SpanId, args: &[(&'static str, ArgValue)]) {
+        let Some(inner) = &self.0 else { return };
+        if id.0 == 0 {
+            return;
+        }
+        let mut spans = inner.spans.lock();
+        if let Some(rec) = spans.get_mut(id.0 as usize - 1) {
+            rec.args.extend_from_slice(args);
+        }
+    }
+
+    /// Sets the virtual-clock interval of a span.
+    pub fn set_vt(&self, id: SpanId, vt_start_us: f64, vt_dur_us: f64) {
+        let Some(inner) = &self.0 else { return };
+        if id.0 == 0 {
+            return;
+        }
+        let mut spans = inner.spans.lock();
+        if let Some(rec) = spans.get_mut(id.0 as usize - 1) {
+            rec.vt_start_us = vt_start_us;
+            rec.vt_dur_us = vt_dur_us;
+        }
+    }
+
+    /// Records an instant marker at the current wall time.
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        parent: SpanId,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        let Some(inner) = &self.0 else { return };
+        let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
+        inner.spans.lock().push(SpanRecord {
+            name,
+            cat,
+            parent: parent.0,
+            kind: SpanKind::Instant,
+            wall_start_us: now,
+            wall_dur_us: 0.0,
+            vt_start_us: 0.0,
+            vt_dur_us: 0.0,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Pushes a fully-timed span record (the RDMA sink uses this to
+    /// place verb spans at explicit wall intervals). Returns the new
+    /// span's id.
+    pub fn push_span(&self, rec: SpanRecord) -> SpanId {
+        let Some(inner) = &self.0 else {
+            return SpanId::NONE;
+        };
+        let mut spans = inner.spans.lock();
+        spans.push(rec);
+        SpanId(spans.len() as u32)
+    }
+
+    /// Pushes this trace onto the thread-local scope stack so that
+    /// substrate events ([`QpSpanSink`], cache listeners) attach to
+    /// `parent`. The scope pops when the guard drops; scopes nest.
+    pub fn enter_scope(&self, parent: SpanId) -> ScopeGuard {
+        if !self.is_enabled() {
+            return ScopeGuard { active: false };
+        }
+        SCOPE.with(|s| {
+            s.borrow_mut().push(NetScope {
+                trace: self.clone(),
+                parent,
+                last_wall_us: self.elapsed_us(),
+            });
+        });
+        ScopeGuard { active: true }
+    }
+}
+
+/// Per-thread stack of active trace scopes (innermost last).
+struct NetScope {
+    trace: BatchTrace,
+    parent: SpanId,
+    /// Wall cursor: verb spans tile the scope's wall time, each one
+    /// covering the interval since the previous emission.
+    last_wall_us: f64,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Vec<NetScope>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`BatchTrace::enter_scope`].
+#[derive(Debug)]
+pub struct ScopeGuard {
+    active: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.active {
+            SCOPE.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Records an instant event against the innermost active scope on
+/// this thread (no-op without one). This is how the cluster cache
+/// reports hit/miss/evict events without depending on a trace handle.
+pub fn emit_scope_instant(name: &'static str, cat: &'static str, args: &[(&'static str, ArgValue)]) {
+    SCOPE.with(|s| {
+        let stack = s.borrow();
+        if let Some(scope) = stack.last() {
+            scope.trace.instant(name, cat, scope.parent, args);
+        }
+    });
+}
+
+/// Bridges [`rdma_sim::TraceSink`] events into the active trace scope.
+///
+/// Install one per queue pair via `QueuePair::set_trace_sink`. Verb
+/// spans tile the scope's wall time using the scope cursor (the verbs
+/// run synchronously, so the wall interval since the last emission is
+/// the verb's real cost); per-work-request child spans subdivide the
+/// verb's wall interval proportionally to their virtual-clock slices.
+#[derive(Debug, Default)]
+pub struct QpSpanSink;
+
+impl rdma_sim::TraceSink for QpSpanSink {
+    fn verb_span(&self, span: &rdma_sim::VerbSpan, wqes: &[rdma_sim::WqeSpan]) {
+        SCOPE.with(|s| {
+            let mut stack = s.borrow_mut();
+            let Some(scope) = stack.last_mut() else { return };
+            let wall_now = scope.trace.elapsed_us();
+            let wall_start = scope.last_wall_us.min(wall_now);
+            let wall_dur = wall_now - wall_start;
+            let vt_dur = (span.vt_end_us - span.vt_start_us).max(0.0);
+            let verb_id = scope.trace.push_span(SpanRecord {
+                name: span.verb,
+                cat: "rdma",
+                parent: scope.parent.raw(),
+                kind: SpanKind::Span,
+                wall_start_us: wall_start,
+                wall_dur_us: wall_dur,
+                vt_start_us: span.vt_start_us,
+                vt_dur_us: vt_dur,
+                args: vec![
+                    ("wqes", ArgValue::U64(u64::from(span.wqes))),
+                    ("bytes", ArgValue::U64(span.bytes)),
+                    ("chunk", ArgValue::U64(u64::from(span.chunk))),
+                ],
+            });
+            if wqes.len() > 1 {
+                // Doorbell chunk: one child span per work request — for
+                // reads, that is one per fetched cluster (§3.2).
+                let child = if span.verb == "write_doorbell" {
+                    "wqe_write"
+                } else {
+                    "cluster_read"
+                };
+                for w in wqes {
+                    let (f0, f1) = if vt_dur > 0.0 {
+                        (
+                            (w.vt_start_us - span.vt_start_us) / vt_dur,
+                            (w.vt_end_us - span.vt_start_us) / vt_dur,
+                        )
+                    } else {
+                        (0.0, 1.0)
+                    };
+                    scope.trace.push_span(SpanRecord {
+                        name: child,
+                        cat: "rdma",
+                        parent: verb_id.raw(),
+                        kind: SpanKind::Span,
+                        wall_start_us: wall_start + wall_dur * f0,
+                        wall_dur_us: wall_dur * (f1 - f0).max(0.0),
+                        vt_start_us: w.vt_start_us,
+                        vt_dur_us: (w.vt_end_us - w.vt_start_us).max(0.0),
+                        args: vec![
+                            ("wqe", ArgValue::U64(u64::from(w.index))),
+                            ("offset", ArgValue::U64(w.offset)),
+                            ("bytes", ArgValue::U64(w.bytes)),
+                        ],
+                    });
+                }
+            }
+            scope.last_wall_us = wall_now;
+        });
+    }
+
+    fn fault(&self, event: &rdma_sim::FaultEvent) {
+        SCOPE.with(|s| {
+            let stack = s.borrow();
+            let Some(scope) = stack.last() else { return };
+            scope.trace.instant(
+                "fault_retry",
+                "rdma",
+                scope.parent,
+                &[
+                    ("verb", ArgValue::Str(event.verb)),
+                    ("attempt", ArgValue::U64(u64::from(event.attempt))),
+                    ("timeout_us", ArgValue::F64(event.timeout_us)),
+                    ("vt_us", ArgValue::F64(event.vt_us)),
+                ],
+            );
+        });
+    }
+}
+
+/// The span tracer: hands out [`BatchTrace`]s and retains finished
+/// ones in a bounded ring, plus a slow-query log.
+#[derive(Debug)]
+pub struct SpanTracer {
+    enabled: AtomicBool,
+    /// Slow-query threshold in whole microseconds; 0 disables the log.
+    slow_threshold_us: AtomicU64,
+    next_seq: AtomicU64,
+    capacity: usize,
+    finished: Mutex<VecDeque<FinishedTrace>>,
+    slow_log: Mutex<VecDeque<String>>,
+}
+
+impl SpanTracer {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SpanTracer {
+            enabled: AtomicBool::new(false),
+            slow_threshold_us: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            finished: Mutex::new(VecDeque::new()),
+            slow_log: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Turns span tracing on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether new batches are traced.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slow-query threshold in microseconds (0 disables).
+    /// Batches whose root span exceeds it dump their span tree to the
+    /// slow log and stderr.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Current slow-query threshold in microseconds (0 = disabled).
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Starts a trace for one batch, or a no-op handle when disabled.
+    pub fn begin(&self, label: &'static str) -> BatchTrace {
+        if !self.is_enabled() {
+            return BatchTrace(None);
+        }
+        BatchTrace(Some(Arc::new(BatchInner {
+            epoch: Instant::now(),
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            label,
+            spans: Mutex::new(Vec::new()),
+        })))
+    }
+
+    /// Finishes a trace: closes any still-open spans, retains the
+    /// result (evicting the oldest at capacity), and renders a
+    /// slow-query report if over threshold. No-op for disabled
+    /// handles.
+    pub fn finish(&self, trace: BatchTrace) {
+        let Some(inner) = trace.0 else { return };
+        let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
+        let spans = {
+            let mut guard = inner.spans.lock();
+            for rec in guard.iter_mut() {
+                if rec.wall_dur_us < 0.0 {
+                    rec.wall_dur_us = (now - rec.wall_start_us).max(0.0);
+                }
+            }
+            std::mem::take(&mut *guard)
+        };
+        let total_us = spans.first().map_or(now, |root| root.wall_dur_us);
+        let ft = FinishedTrace {
+            label: inner.label,
+            seq: inner.seq,
+            total_us,
+            spans,
+        };
+        let threshold = self.slow_threshold_us.load(Ordering::Relaxed);
+        if threshold > 0 && ft.total_us > threshold as f64 {
+            let report = render_tree(&ft);
+            eprintln!("{report}");
+            let mut log = self.slow_log.lock();
+            if log.len() == SLOW_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(report);
+        }
+        let mut finished = self.finished.lock();
+        if finished.len() == self.capacity {
+            finished.pop_front();
+        }
+        finished.push_back(ft);
+    }
+
+    /// The retained finished traces, oldest first.
+    pub fn recent(&self) -> Vec<FinishedTrace> {
+        self.finished.lock().iter().cloned().collect()
+    }
+
+    /// The retained slow-query reports, oldest first.
+    pub fn slow_log(&self) -> Vec<String> {
+        self.slow_log.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained finished traces.
+    pub fn len(&self) -> usize {
+        self.finished.lock().len()
+    }
+
+    /// Whether no finished traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained traces and slow-query reports.
+    pub fn clear(&self) {
+        self.finished.lock().clear();
+        self.slow_log.lock().clear();
+    }
+}
+
+/// Renders a finished trace as an indented span tree for the
+/// slow-query log.
+fn render_tree(ft: &FinishedTrace) -> String {
+    let mut out = format!(
+        "slow query batch: seq={} mode={} total={:.1}us ({} spans)",
+        ft.seq,
+        ft.label,
+        ft.total_us,
+        ft.spans.len()
+    );
+    // Children of span `p` (0 = roots), preserving recording order.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); ft.spans.len() + 1];
+    for (i, rec) in ft.spans.iter().enumerate() {
+        children[rec.parent as usize].push(i);
+    }
+    let mut stack: Vec<(usize, usize)> = children[0].iter().rev().map(|&i| (i, 1)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let rec = &ft.spans[i];
+        let mut line = format!(
+            "\n{:indent$}{} [{}]",
+            "",
+            rec.name,
+            rec.cat,
+            indent = depth * 2
+        );
+        match rec.kind {
+            SpanKind::Span => {
+                line.push_str(&format!(
+                    " wall={:.1}+{:.1}us",
+                    rec.wall_start_us, rec.wall_dur_us
+                ));
+                if rec.vt_dur_us > 0.0 {
+                    line.push_str(&format!(" vt={:.1}us", rec.vt_dur_us));
+                }
+            }
+            SpanKind::Instant => {
+                line.push_str(&format!(" @{:.1}us", rec.wall_start_us));
+            }
+        }
+        for (k, v) in &rec.args {
+            line.push_str(&format!(" {k}={}", v.render_plain()));
+        }
+        out.push_str(&line);
+        for &c in children[i + 1].iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::TraceSink;
+
+    fn tracer() -> SpanTracer {
+        let t = SpanTracer::new(4);
+        t.set_enabled(true);
+        t
+    }
+
+    #[test]
+    fn disabled_tracer_hands_out_noop_handles() {
+        let t = SpanTracer::new(4);
+        let trace = t.begin("full");
+        assert!(!trace.is_enabled());
+        let id = trace.begin_span("x", "engine", SpanId::NONE);
+        assert_eq!(id, SpanId::NONE);
+        trace.end_span(id);
+        t.finish(trace);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_close_with_durations() {
+        let t = tracer();
+        let trace = t.begin("full");
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        let child = trace.begin_span("meta_route", "engine", root);
+        trace.end_span_with(child, &[("fanout", ArgValue::U64(4))]);
+        trace.instant("marker", "cache", root, &[]);
+        trace.end_span(root);
+        t.finish(trace);
+
+        let got = t.recent();
+        assert_eq!(got.len(), 1);
+        let ft = &got[0];
+        assert_eq!(ft.label, "full");
+        assert_eq!(ft.spans.len(), 3);
+        assert_eq!(ft.spans[0].name, "query_batch");
+        assert_eq!(ft.spans[0].parent, 0);
+        assert_eq!(ft.spans[1].parent, 1, "child points at root");
+        assert_eq!(ft.spans[1].args, vec![("fanout", ArgValue::U64(4))]);
+        assert_eq!(ft.spans[2].kind, SpanKind::Instant);
+        assert!(ft.spans[0].wall_dur_us >= ft.spans[1].wall_dur_us);
+        assert!(ft.total_us >= 0.0);
+    }
+
+    #[test]
+    fn finish_closes_open_spans_and_ring_respects_capacity() {
+        let t = SpanTracer::new(2);
+        t.set_enabled(true);
+        for i in 0..3u64 {
+            let trace = t.begin("full");
+            let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+            let _leaked = trace.begin_span("never_ended", "engine", root);
+            t.finish(trace);
+            let _ = i;
+        }
+        let got = t.recent();
+        assert_eq!(got.len(), 2, "ring keeps the newest N");
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[1].seq, 2);
+        for ft in &got {
+            for rec in &ft.spans {
+                assert!(rec.wall_dur_us >= 0.0, "open span was closed at finish");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_threshold_gates_the_slow_log() {
+        let t = tracer();
+        t.set_slow_threshold_us(500);
+        // Fast batch: under threshold, no report.
+        let fast = t.begin("full");
+        fast.begin_span("query_batch", "engine", SpanId::NONE);
+        t.finish(fast);
+        assert!(t.slow_log().is_empty());
+        // Slow batch: sleep past the threshold.
+        let slow = t.begin("full");
+        let root = slow.begin_span("query_batch", "engine", SpanId::NONE);
+        let child = slow.begin_span("sub_hnsw_search", "engine", root);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        slow.end_span(child);
+        slow.end_span(root);
+        t.finish(slow);
+        let log = t.slow_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("slow query batch"));
+        assert!(log[0].contains("sub_hnsw_search"));
+        assert!(log[0].contains("mode=full"));
+    }
+
+    #[test]
+    fn qp_sink_attaches_verbs_to_the_active_scope() {
+        let t = tracer();
+        let trace = t.begin("full");
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        let net = trace.begin_span("network", "engine", root);
+        let sink = QpSpanSink;
+        {
+            let _guard = trace.enter_scope(net);
+            sink.verb_span(
+                &rdma_sim::VerbSpan {
+                    verb: "read_doorbell",
+                    wqes: 2,
+                    bytes: 96,
+                    chunk: 0,
+                    vt_start_us: 0.0,
+                    vt_end_us: 10.0,
+                },
+                &[
+                    rdma_sim::WqeSpan {
+                        index: 0,
+                        offset: 0,
+                        bytes: 64,
+                        vt_start_us: 0.0,
+                        vt_end_us: 6.0,
+                    },
+                    rdma_sim::WqeSpan {
+                        index: 1,
+                        offset: 64,
+                        bytes: 32,
+                        vt_start_us: 6.0,
+                        vt_end_us: 10.0,
+                    },
+                ],
+            );
+            sink.fault(&rdma_sim::FaultEvent {
+                verb: "read",
+                attempt: 1,
+                timeout_us: 5.0,
+                vt_us: 15.0,
+            });
+        }
+        // Scope popped: further events are dropped.
+        sink.fault(&rdma_sim::FaultEvent {
+            verb: "read",
+            attempt: 2,
+            timeout_us: 5.0,
+            vt_us: 20.0,
+        });
+        trace.end_span(net);
+        trace.end_span(root);
+        t.finish(trace);
+
+        let ft = &t.recent()[0];
+        let names: Vec<&str> = ft.spans.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "query_batch",
+                "network",
+                "read_doorbell",
+                "cluster_read",
+                "cluster_read",
+                "fault_retry"
+            ]
+        );
+        let verb = &ft.spans[2];
+        assert_eq!(verb.parent, 2, "verb nests under the network span");
+        assert_eq!(verb.vt_dur_us, 10.0);
+        let wqe0 = &ft.spans[3];
+        let wqe1 = &ft.spans[4];
+        assert_eq!(wqe0.parent, 3, "WQEs nest under the verb span");
+        assert_eq!(wqe1.args[1], ("offset", ArgValue::U64(64)));
+        // WQE wall intervals tile the verb's wall interval.
+        assert!((wqe0.wall_start_us - verb.wall_start_us).abs() < 1e-6);
+        let w0_end = wqe0.wall_start_us + wqe0.wall_dur_us;
+        assert!((w0_end - wqe1.wall_start_us).abs() < 1e-6);
+        let w1_end = wqe1.wall_start_us + wqe1.wall_dur_us;
+        assert!((w1_end - (verb.wall_start_us + verb.wall_dur_us)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scope_instants_reach_the_innermost_scope() {
+        let t = tracer();
+        let trace = t.begin("full");
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        emit_scope_instant("cache_hit", "cache", &[]);
+        {
+            let _guard = trace.enter_scope(root);
+            emit_scope_instant("cache_hit", "cache", &[("cluster", ArgValue::U64(7))]);
+        }
+        emit_scope_instant("cache_hit", "cache", &[]);
+        trace.end_span(root);
+        t.finish(trace);
+        let ft = &t.recent()[0];
+        assert_eq!(ft.spans.len(), 2, "only the in-scope instant landed");
+        assert_eq!(ft.spans[1].name, "cache_hit");
+        assert_eq!(ft.spans[1].args, vec![("cluster", ArgValue::U64(7))]);
+    }
+}

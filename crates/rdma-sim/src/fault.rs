@@ -128,8 +128,16 @@ impl QueuePair {
         let mut attempts = 0u32;
         while state.attempt_fails() {
             attempts += 1;
+            let vt0 = self.clock().now_us();
             self.charge_timeout();
             self.stats().record_fault();
+            let vt1 = self.clock().now_us();
+            self.emit_fault(&crate::trace::FaultEvent {
+                verb,
+                attempt: attempts,
+                timeout_us: vt1 - vt0,
+                vt_us: vt1,
+            });
             if attempts > limit {
                 return Err(Error::RetriesExhausted { verb, attempts });
             }

@@ -69,6 +69,7 @@ mod model;
 mod node;
 mod qp;
 mod stats;
+mod trace;
 
 pub use clock::VirtualClock;
 pub use cq::{Completion, VerbKind};
@@ -78,6 +79,7 @@ pub use model::NetworkModel;
 pub use node::{MemoryNode, RegionHandle};
 pub use qp::{QueuePair, ReadReq, WriteReq};
 pub use stats::{StatsSnapshot, TransferStats, DOORBELL_SIZE_BUCKETS};
+pub use trace::{FaultEvent, TraceSink, VerbSpan, WqeSpan};
 
 /// Convenient result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,7 +1,11 @@
 //! The compute-side queue pair: one-sided verbs and doorbell batching.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
+use crate::trace::{split_chunk_intervals, SharedSink, TraceSink, VerbSpan, WqeSpan};
 use crate::{Error, MemoryNode, NetworkModel, Result, TransferStats, VirtualClock};
 
 /// A read work request: fetch `len` bytes at `offset` within region
@@ -74,6 +78,8 @@ pub struct QueuePair {
     stats: TransferStats,
     send: crate::cq::SendState,
     fault: crate::fault::FaultState,
+    has_sink: AtomicBool,
+    sink: RwLock<Option<SharedSink>>,
 }
 
 impl QueuePair {
@@ -86,6 +92,62 @@ impl QueuePair {
             stats: TransferStats::new(),
             send: crate::cq::SendState::default(),
             fault: crate::fault::FaultState::default(),
+            has_sink: AtomicBool::new(false),
+            sink: RwLock::new(None),
+        }
+    }
+
+    /// Installs (or removes) a [`TraceSink`] observing every verb this
+    /// queue pair executes. With no sink installed the per-verb
+    /// overhead is one relaxed atomic load.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        let mut slot = self.sink.write();
+        self.has_sink.store(sink.is_some(), Ordering::Relaxed);
+        *slot = sink;
+    }
+
+    /// Emits a verb span (plus its work requests) to the sink, if any.
+    fn emit_verb(&self, span: VerbSpan, wqes: &[WqeSpan]) {
+        if !self.has_sink.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink.verb_span(&span, wqes);
+        }
+    }
+
+    /// Emits a single-work-request verb span covering `[vt0, now]`.
+    fn emit_plain(&self, verb: &'static str, offset: u64, bytes: u64, vt0: f64) {
+        if !self.has_sink.load(Ordering::Relaxed) {
+            return;
+        }
+        let vt1 = self.clock.now_us();
+        self.emit_verb(
+            VerbSpan {
+                verb,
+                wqes: 1,
+                bytes,
+                chunk: 0,
+                vt_start_us: vt0,
+                vt_end_us: vt1,
+            },
+            &[WqeSpan {
+                index: 0,
+                offset,
+                bytes,
+                vt_start_us: vt0,
+                vt_end_us: vt1,
+            }],
+        );
+    }
+
+    /// Emits a fault event to the sink, if any.
+    pub(crate) fn emit_fault(&self, event: &crate::trace::FaultEvent) {
+        if !self.has_sink.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink.fault(event);
         }
     }
 
@@ -128,12 +190,14 @@ impl QueuePair {
         let guard = region.read();
         let out = guard[offset as usize..(offset + len) as usize].to_vec();
         drop(guard);
+        let vt0 = self.clock.now_us();
         self.clock
             .advance_us(self.model.round_trip_cost_us(1, len as usize));
         self.stats.record_round_trips(1);
         self.stats.record_read(1, len);
         self.node.service_stats().record_round_trips(1);
         self.node.service_stats().record_read(1, len);
+        self.emit_plain("read", offset, len, vt0);
         Ok(out)
     }
 
@@ -147,12 +211,14 @@ impl QueuePair {
         self.admit("write")?;
         let region = self.node.region(rkey)?;
         region.write()[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        let vt0 = self.clock.now_us();
         self.clock
             .advance_us(self.model.round_trip_cost_us(1, data.len()));
         self.stats.record_round_trips(1);
         self.stats.record_write(1, data.len() as u64);
         self.node.service_stats().record_round_trips(1);
         self.node.service_stats().record_write(1, data.len() as u64);
+        self.emit_plain("write", offset, data.len() as u64, vt0);
         Ok(())
     }
 
@@ -184,8 +250,9 @@ impl QueuePair {
         }
         self.stats.record_doorbell(reqs.len() as u64);
         // Charge per doorbell-limit chunk: each chunk is one round trip.
-        for chunk in reqs.chunks(self.model.doorbell_limit()) {
+        for (ci, chunk) in reqs.chunks(self.model.doorbell_limit()).enumerate() {
             let bytes: usize = chunk.iter().map(|r| r.len as usize).sum();
+            let vt0 = self.clock.now_us();
             self.clock
                 .advance_us(self.model.round_trip_cost_us(chunk.len(), bytes));
             self.stats.record_round_trips(1);
@@ -195,6 +262,21 @@ impl QueuePair {
             self.node
                 .service_stats()
                 .record_read(chunk.len() as u64, bytes as u64);
+            if self.has_sink.load(Ordering::Relaxed) {
+                let vt1 = self.clock.now_us();
+                let sizes: Vec<(u64, u64)> = chunk.iter().map(|r| (r.offset, r.len)).collect();
+                self.emit_verb(
+                    VerbSpan {
+                        verb: "read_doorbell",
+                        wqes: chunk.len() as u32,
+                        bytes: bytes as u64,
+                        chunk: ci as u32,
+                        vt_start_us: vt0,
+                        vt_end_us: vt1,
+                    },
+                    &split_chunk_intervals(vt0, vt1, &sizes),
+                );
+            }
         }
         Ok(out)
     }
@@ -219,8 +301,9 @@ impl QueuePair {
                 .copy_from_slice(&r.data);
         }
         self.stats.record_doorbell(reqs.len() as u64);
-        for chunk in reqs.chunks(self.model.doorbell_limit()) {
+        for (ci, chunk) in reqs.chunks(self.model.doorbell_limit()).enumerate() {
             let bytes: usize = chunk.iter().map(|r| r.data.len()).sum();
+            let vt0 = self.clock.now_us();
             self.clock
                 .advance_us(self.model.round_trip_cost_us(chunk.len(), bytes));
             self.stats.record_round_trips(1);
@@ -229,6 +312,22 @@ impl QueuePair {
             self.node
                 .service_stats()
                 .record_write(chunk.len() as u64, bytes as u64);
+            if self.has_sink.load(Ordering::Relaxed) {
+                let vt1 = self.clock.now_us();
+                let sizes: Vec<(u64, u64)> =
+                    chunk.iter().map(|r| (r.offset, r.data.len() as u64)).collect();
+                self.emit_verb(
+                    VerbSpan {
+                        verb: "write_doorbell",
+                        wqes: chunk.len() as u32,
+                        bytes: bytes as u64,
+                        chunk: ci as u32,
+                        vt_start_us: vt0,
+                        vt_end_us: vt1,
+                    },
+                    &split_chunk_intervals(vt0, vt1, &sizes),
+                );
+            }
         }
         Ok(())
     }
@@ -255,11 +354,13 @@ impl QueuePair {
             slot.copy_from_slice(&new.to_le_bytes());
         }
         drop(guard);
+        let vt0 = self.clock.now_us();
         self.clock.advance_us(self.model.round_trip_cost_us(1, 8));
         self.stats.record_round_trips(1);
         self.stats.record_atomic();
         self.node.service_stats().record_round_trips(1);
         self.node.service_stats().record_atomic();
+        self.emit_plain("cas", offset, 8, vt0);
         Ok(current)
     }
 
@@ -281,11 +382,13 @@ impl QueuePair {
         let current = u64::from_le_bytes(slot.try_into().expect("8 bytes"));
         slot.copy_from_slice(&current.wrapping_add(add).to_le_bytes());
         drop(guard);
+        let vt0 = self.clock.now_us();
         self.clock.advance_us(self.model.round_trip_cost_us(1, 8));
         self.stats.record_round_trips(1);
         self.stats.record_atomic();
         self.node.service_stats().record_round_trips(1);
         self.node.service_stats().record_atomic();
+        self.emit_plain("faa", offset, 8, vt0);
         Ok(current)
     }
 
@@ -509,5 +612,86 @@ mod tests {
     fn queue_pair_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<QueuePair>();
+    }
+
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        verbs: parking_lot::Mutex<Vec<(VerbSpan, Vec<WqeSpan>)>>,
+        faults: parking_lot::Mutex<Vec<crate::trace::FaultEvent>>,
+    }
+
+    impl TraceSink for RecordingSink {
+        fn verb_span(&self, span: &VerbSpan, wqes: &[WqeSpan]) {
+            self.verbs.lock().push((*span, wqes.to_vec()));
+        }
+        fn fault(&self, event: &crate::trace::FaultEvent) {
+            self.faults.lock().push(*event);
+        }
+    }
+
+    #[test]
+    fn sink_sees_plain_verbs_with_virtual_intervals() {
+        let (_n, r, qp) = setup(64);
+        let sink = Arc::new(RecordingSink::default());
+        qp.set_trace_sink(Some(sink.clone()));
+        qp.write(r.rkey(), 0, &[1; 16]).unwrap();
+        qp.read(r.rkey(), 0, 16).unwrap();
+        qp.cas(r.rkey(), 0, 0, 0).unwrap();
+        qp.faa(r.rkey(), 8, 1).unwrap();
+        let verbs = sink.verbs.lock();
+        let names: Vec<&str> = verbs.iter().map(|(s, _)| s.verb).collect();
+        assert_eq!(names, vec!["write", "read", "cas", "faa"]);
+        for (span, wqes) in verbs.iter() {
+            assert_eq!(span.wqes, 1);
+            assert_eq!(wqes.len(), 1);
+            assert!(span.vt_end_us > span.vt_start_us);
+        }
+        // Spans are contiguous on the virtual clock: each starts where
+        // the previous ended.
+        for pair in verbs.windows(2) {
+            assert_eq!(pair[1].0.vt_start_us, pair[0].0.vt_end_us);
+        }
+    }
+
+    #[test]
+    fn sink_sees_per_chunk_doorbell_spans() {
+        let node = MemoryNode::new("m");
+        let r = node.register(1024).unwrap();
+        let model = NetworkModel::connectx6().with_doorbell_limit(4).unwrap();
+        let qp = QueuePair::connect(&node, model);
+        let sink = Arc::new(RecordingSink::default());
+        qp.set_trace_sink(Some(sink.clone()));
+        let reqs: Vec<ReadReq> = (0..10).map(|i| ReadReq::new(r.rkey(), i * 8, 8)).collect();
+        qp.read_doorbell(&reqs).unwrap();
+        let verbs = sink.verbs.lock();
+        assert_eq!(verbs.len(), 3); // ceil(10/4) chunks
+        assert_eq!(verbs[0].0.chunk, 0);
+        assert_eq!(verbs[2].0.chunk, 2);
+        assert_eq!(verbs[0].0.wqes, 4);
+        assert_eq!(verbs[2].0.wqes, 2);
+        // Per-WQE spans tile their chunk interval.
+        let (span, wqes) = &verbs[1];
+        assert_eq!(wqes[0].vt_start_us, span.vt_start_us);
+        assert_eq!(wqes.last().unwrap().vt_end_us, span.vt_end_us);
+        assert_eq!(wqes[1].offset, reqs[5].offset);
+    }
+
+    #[test]
+    fn sink_sees_fault_retries_and_uninstall_stops_events() {
+        let (_n, r, qp) = setup(64);
+        let sink = Arc::new(RecordingSink::default());
+        qp.set_trace_sink(Some(sink.clone()));
+        qp.fail_next(2);
+        qp.read(r.rkey(), 0, 8).unwrap();
+        {
+            let faults = sink.faults.lock();
+            assert_eq!(faults.len(), 2);
+            assert_eq!(faults[0].attempt, 1);
+            assert_eq!(faults[1].attempt, 2);
+            assert!(faults[0].timeout_us > 0.0);
+        }
+        qp.set_trace_sink(None);
+        qp.read(r.rkey(), 0, 8).unwrap();
+        assert_eq!(sink.verbs.lock().len(), 1);
     }
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Benchmark-regression driver around the bench_regress binary.
+#
+#   ./scripts/bench.sh                  # smoke run vs committed baseline
+#   ./scripts/bench.sh --full           # full profile (local investigation)
+#   ./scripts/bench.sh --update-baseline# rewrite results/BENCH_baseline.json
+#   ./scripts/bench.sh --trace out.json # also save a Chrome/Perfetto trace
+#
+# Extra arguments after the flags are passed through to bench_regress.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE=smoke
+UPDATE=0
+TRACE_ARGS=()
+PASSTHROUGH=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --full) PROFILE=full; shift ;;
+    --update-baseline) UPDATE=1; shift ;;
+    --trace) TRACE_ARGS=(--trace-out "$2"); shift 2 ;;
+    *) PASSTHROUGH+=("$1"); shift ;;
+  esac
+done
+
+echo "==> cargo build --release -p dhnsw-bench --bin bench_regress"
+cargo build --release -p dhnsw-bench --bin bench_regress
+
+BIN=target/release/bench_regress
+if [[ "$UPDATE" == 1 ]]; then
+  "$BIN" --profile "$PROFILE" --label baseline --write-baseline \
+    "${TRACE_ARGS[@]}" "${PASSTHROUGH[@]}"
+  echo "OK: baseline rewritten (results/BENCH_baseline.json)."
+else
+  "$BIN" --profile "$PROFILE" --label current \
+    "${TRACE_ARGS[@]}" "${PASSTHROUGH[@]}"
+  echo "OK: no benchmark regression vs results/BENCH_baseline.json."
+fi

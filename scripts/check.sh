@@ -1,11 +1,28 @@
 #!/usr/bin/env bash
-# Full local gate: release build, every test, and lint-clean clippy.
-# Run from the repo root:  ./scripts/check.sh
+# Full local gate: release build, every test, lint-clean clippy, and the
+# benchmark-regression smoke gate.
+#
+#   ./scripts/check.sh                   # the gate
+#   ./scripts/check.sh --update-baseline # regenerate committed baselines
+#                                        # (telemetry + bench) then re-gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE=1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --workspace
+
+if [[ "$UPDATE" == 1 ]]; then
+  echo "==> regenerating results/telemetry_baseline.{prom,json}"
+  DHNSW_SIFT_N=4000 DHNSW_QUERIES=100 \
+    target/release/repro fig6a --metrics-out results/telemetry_baseline
+  echo "==> regenerating results/BENCH_baseline.json"
+  target/release/bench_regress --profile smoke --label baseline --write-baseline
+fi
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
@@ -13,4 +30,11 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "OK: build, tests, and clippy all green."
+# Bench-regression smoke gate: latency tolerances are already generous,
+# and the 4x scale keeps a loaded CI box from tripping the gate; the
+# deterministic byte/doorbell/recall bands stay meaningfully tight.
+echo "==> bench_regress --profile smoke (vs results/BENCH_baseline.json)"
+target/release/bench_regress --profile smoke --label check \
+  --tolerance-scale 4.0
+
+echo "OK: build, tests, clippy, and bench smoke gate all green."
