@@ -18,6 +18,10 @@
 //! # Run a workload and dump the telemetry registry:
 //! dhnsw_cli metrics --store store.dhnsw --queries q.fvecs --format prom
 //! dhnsw_cli query --store store.dhnsw --queries q.fvecs --metrics-out run1
+//!
+//! # Health check: probe the store, print the HealthReport JSON, and
+//! # exit non-zero when an SLO budget is violated:
+//! dhnsw_cli doctor --store store.dhnsw --check --slo-max-overflow 0.9
 //! ```
 //!
 //! Every subcommand runs on the simulated RDMA fabric and reports what
@@ -26,10 +30,15 @@
 //! registry to `<base>.prom` (Prometheus text format) and `<base>.json`;
 //! the `metrics` subcommand runs a query workload with per-query tracing
 //! on and prints the exposition to stdout.
+//!
+//! Workload subcommands accept `--trace-spans` and `--slow-query-us <n>`
+//! to control span capture from the command line; when the flags are
+//! absent the `DHNSW_TRACE_SPANS` / `DHNSW_SLOW_QUERY_US` environment
+//! variables (read at connect time) stay in force.
 
 use std::collections::HashMap;
 
-use dhnsw::{snapshot, DHnswConfig, SearchMode, Telemetry, VectorStore};
+use dhnsw::{snapshot, DHnswConfig, SearchMode, SloBudgets, Telemetry, VectorStore};
 use vecsim::Dataset;
 
 type AnyResult<T> = Result<T, Box<dyn std::error::Error>>;
@@ -58,6 +67,7 @@ fn run(args: &[String]) -> AnyResult<()> {
         "query" => cmd_query(&flags),
         "insert" => cmd_insert(&flags),
         "metrics" => cmd_metrics(&flags),
+        "doctor" => cmd_doctor(&flags),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -71,15 +81,21 @@ fn run(args: &[String]) -> AnyResult<()> {
 
 fn print_usage() {
     eprintln!(
-        "usage: dhnsw_cli <build|info|query|insert|metrics> [flags]\n\
+        "usage: dhnsw_cli <build|info|query|insert|metrics|doctor> [flags]\n\
          build:   --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
          info:    --store <snapshot>\n\
          query:   --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--metrics-out <base>]\n\
          insert:  --store <snapshot> --input <fvecs> --out <snapshot> [--limit N] [--metrics-out <base>]\n\
-         metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]"
+         metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]\n\
+         doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--out <path>] [--check]\n\
+                  [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
+         all workload commands: [--trace-spans] [--slow-query-us N]"
     );
 }
 
+/// Parses `--key value` pairs. A flag followed by another `--flag` (or
+/// by nothing) is boolean and stored as `"1"` — e.g. `--check`,
+/// `--trace-spans`.
 fn parse_flags(args: &[String]) -> AnyResult<HashMap<String, String>> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -87,11 +103,16 @@ fn parse_flags(args: &[String]) -> AnyResult<HashMap<String, String>> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                flags.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+            _ => {
+                flags.insert(key.to_string(), "1".to_string());
+                i += 1;
+            }
+        }
     }
     Ok(flags)
 }
@@ -101,6 +122,26 @@ fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Any
         None => Ok(default),
         Some(v) => Ok(v.parse()?),
     }
+}
+
+fn flag_f64_opt(flags: &HashMap<String, String>, key: &str) -> AnyResult<Option<f64>> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => Ok(Some(v.parse()?)),
+    }
+}
+
+/// Applies `--slow-query-us` / `--trace-spans` to the span tracer. Call
+/// after `connect()` so explicit flags win over the `DHNSW_*` env
+/// fallback applied there.
+fn apply_trace_flags(flags: &HashMap<String, String>, telemetry: &Telemetry) -> AnyResult<()> {
+    if let Some(v) = flags.get("slow-query-us") {
+        telemetry.spans().set_slow_threshold_us(v.parse()?);
+    }
+    if flags.contains_key("trace-spans") {
+        telemetry.spans().set_enabled(true);
+    }
+    Ok(())
 }
 
 fn load_vectors(flags: &HashMap<String, String>) -> AnyResult<Dataset> {
@@ -238,6 +279,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
     let ef = flag_usize(flags, "ef", 48)?;
 
     let node = store.connect(SearchMode::Full)?;
+    apply_trace_flags(flags, &Telemetry::global())?;
     let (results, report) = node.query_batch(&queries, k, ef)?;
     for (i, hits) in results.iter().enumerate() {
         let row: Vec<String> = hits
@@ -271,6 +313,7 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> AnyResult<()> {
     let telemetry = Telemetry::global();
     telemetry.traces().set_enabled(true);
     let node = store.connect(SearchMode::Full)?;
+    apply_trace_flags(flags, &telemetry)?;
     let (_, report) = node.query_batch(&queries, k, ef)?;
     if let Some(trace) = telemetry.traces().recent().last() {
         eprintln!(
@@ -314,6 +357,7 @@ fn cmd_insert(flags: &HashMap<String, String>) -> AnyResult<()> {
     let batch = data.select(&take);
 
     let node = store.connect(SearchMode::Full)?;
+    apply_trace_flags(flags, &Telemetry::global())?;
     let results = node.insert_batch(&batch)?;
     let ok = results.iter().filter(|r| r.is_ok()).count();
     let rejected = results.len() - ok;
@@ -331,4 +375,155 @@ fn cmd_insert(flags: &HashMap<String, String>) -> AnyResult<()> {
         write_metrics(base)?;
     }
     save_store(&store, flags)
+}
+
+/// Resolves SLO budgets: `DHNSW_SLO_*` environment variables first,
+/// then `--slo-*` flags on top (flags win per-budget).
+fn budgets_from(flags: &HashMap<String, String>) -> AnyResult<SloBudgets> {
+    let mut b = SloBudgets::from_env();
+    if let Some(v) = flag_f64_opt(flags, "slo-p99-us")? {
+        b.max_p99_us = Some(v);
+    }
+    if let Some(v) = flag_f64_opt(flags, "slo-min-hit-rate")? {
+        b.min_cache_hit_rate = Some(v);
+    }
+    if let Some(v) = flag_f64_opt(flags, "slo-max-overflow")? {
+        b.max_overflow_occupancy = Some(v);
+    }
+    if let Some(v) = flag_f64_opt(flags, "slo-max-route-gini")? {
+        b.max_route_gini = Some(v);
+    }
+    Ok(b)
+}
+
+/// Probes the store with a query workload, prints the machine-readable
+/// [`dhnsw::HealthReport`] (heatmap, layout occupancy/fragmentation,
+/// routing skew, cache and latency health), and evaluates it against
+/// the SLO budgets. With `--check`, any violated budget makes the
+/// process exit non-zero; violations are also published to telemetry as
+/// counters and structured span-trace warning events.
+fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
+    let store = open_store(flags)?;
+    let k = flag_usize(flags, "k", 10)?;
+    let ef = flag_usize(flags, "ef", 48)?;
+
+    let telemetry = Telemetry::global();
+    let node = store.connect(SearchMode::Full)?;
+    apply_trace_flags(flags, &telemetry)?;
+    // The watchdog reports through the span ring; doctor always listens.
+    telemetry.spans().set_enabled(true);
+
+    // Probe workload: the user's queries, or the meta-HNSW
+    // representatives (one per partition, capped) when none are given.
+    let probes = if flags.contains_key("queries") {
+        load_queries(flags)?
+    } else {
+        let n = store.meta().partitions().min(256);
+        let rows: Vec<&[f32]> = (0..n as u32)
+            .map(|p| store.meta().representative(p))
+            .collect();
+        Dataset::from_rows(&rows)?
+    };
+    let passes = flag_usize(flags, "passes", 2)?.max(1);
+    for _ in 0..passes {
+        node.query_batch(&probes, k, ef)?;
+    }
+    eprintln!(
+        "probed with {} queries x {passes} passes (k={k}, ef={ef})",
+        probes.len()
+    );
+
+    let mut health = node.health_report()?;
+    let budgets = budgets_from(flags)?;
+    health.violations = dhnsw::evaluate_slo(&health, &budgets);
+    dhnsw::health::watchdog::emit(&telemetry, &health.violations);
+
+    let text = health.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("wrote health report to {path}");
+        }
+        None => println!("{text}"),
+    }
+    for v in &health.violations {
+        eprintln!(
+            "SLO violation: {} = {:.6} (limit {:.6})",
+            v.budget, v.actual, v.limit
+        );
+    }
+    if flags.contains_key("check") && !health.violations.is_empty() {
+        return Err(format!("{} SLO budget(s) violated", health.violations.len()).into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_handles_boolean_and_valued_flags() {
+        let f = parse_flags(&s(&["--store", "x", "--check", "--slo-min-hit-rate", "2.0"])).unwrap();
+        assert_eq!(f.get("store").unwrap(), "x");
+        assert_eq!(f.get("check").unwrap(), "1");
+        assert_eq!(f.get("slo-min-hit-rate").unwrap(), "2.0");
+        // Trailing boolean flag, and a bare word where a flag belongs.
+        assert_eq!(
+            parse_flags(&s(&["--trace-spans"])).unwrap().get("trace-spans").unwrap(),
+            "1"
+        );
+        assert!(parse_flags(&s(&["store"])).is_err());
+    }
+
+    #[test]
+    fn doctor_check_trips_watchdog_and_exits_nonzero() {
+        let dir = std::env::temp_dir().join(format!("dhnsw_cli_doctor_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("store.dhnsw");
+        let data = vecsim::gen::sift_like(1_200, 11).unwrap();
+        let store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+        {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&snap).unwrap());
+            snapshot::write_snapshot(&store, &mut file).unwrap();
+            use std::io::Write;
+            file.flush().unwrap();
+        }
+
+        // A cache hit rate above 1.0 is unsatisfiable, so the budget
+        // must always trip and --check must fail.
+        let out = dir.join("health.json");
+        let args = s(&[
+            "doctor",
+            "--store",
+            snap.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--check",
+            "--slo-min-hit-rate",
+            "2.0",
+        ]);
+        let err = run(&args).expect_err("unsatisfiable budget must fail --check");
+        assert!(err.to_string().contains("SLO"), "got: {err}");
+
+        // The report on disk carries the violation...
+        let report = std::fs::read_to_string(&out).unwrap();
+        assert!(report.contains("\"violations\""));
+        assert!(report.contains("\"cache_hit_rate\""));
+        assert!(report.contains("\"heatmap\""));
+        assert!(report.contains("\"occupancy\""));
+
+        // ...and the watchdog left a structured warning in the span ring.
+        let traces = Telemetry::global().spans().recent();
+        assert!(
+            traces.iter().any(|t| t.label == "watchdog"
+                && t.spans.iter().any(|sp| sp.name == "slo_violation")),
+            "no watchdog trace found"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -12,6 +12,10 @@
 //! Pass `--metrics-out <base>` to additionally dump the process-wide
 //! telemetry registry (every query the run issued) to `<base>.prom`
 //! (Prometheus text format 0.0.4) and `<base>.json` after the run.
+//!
+//! `--trace-spans` turns on span capture and `--slow-query-us <n>` arms
+//! the slow-query log; without the flags the `DHNSW_TRACE_SPANS` /
+//! `DHNSW_SLOW_QUERY_US` environment variables apply.
 
 use dhnsw::{DHnswConfig, SearchMode, Telemetry, VectorStore};
 use dhnsw_bench::{
@@ -28,6 +32,14 @@ fn main() -> AnyResult {
     while let Some(arg) = args.next() {
         if arg == "--metrics-out" {
             metrics_out = Some(args.next().ok_or("--metrics-out needs a value")?);
+        } else if arg == "--slow-query-us" {
+            let us: u64 = args
+                .next()
+                .ok_or("--slow-query-us needs a value")?
+                .parse()?;
+            Telemetry::global().spans().set_slow_threshold_us(us);
+        } else if arg == "--trace-spans" {
+            Telemetry::global().spans().set_enabled(true);
         } else {
             cmd = arg;
         }

@@ -243,6 +243,22 @@ pub fn run_profile(
             stats.emit(scenario, &mut metrics);
             let _ = pass;
         }
+        // Health snapshot of the warmed single node. Keys absent from a
+        // baseline are never treated as regressions, so adding these is
+        // backward compatible with old BENCH_*.json files.
+        let health = node.health_report()?;
+        metrics.insert(
+            "health.overflow_occupancy_max".into(),
+            health.layout.max_group_occupancy,
+        );
+        metrics.insert(
+            "health.region_utilization".into(),
+            health.layout.utilization,
+        );
+        metrics.insert("health.fragmentation".into(), health.layout.fragmentation);
+        metrics.insert("health.partition_gini".into(), health.partition_skew.gini);
+        metrics.insert("health.route_gini".into(), health.route_skew.gini);
+        metrics.insert("health.cache_hit_rate".into(), health.cache.hit_rate);
         if capture_spans {
             traces = telemetry.spans().recent();
         }
@@ -820,6 +836,16 @@ mod tests {
                 let key = format!("{scenario}.{metric}");
                 assert!(r.metrics.contains_key(&key), "missing {key}");
             }
+        }
+        for metric in [
+            "health.overflow_occupancy_max",
+            "health.region_utilization",
+            "health.fragmentation",
+            "health.partition_gini",
+            "health.route_gini",
+            "health.cache_hit_rate",
+        ] {
+            assert!(r.metrics.contains_key(metric), "missing {metric}");
         }
         // Warm passes reuse the cache: strictly fewer bytes than cold.
         assert!(

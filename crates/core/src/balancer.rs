@@ -220,6 +220,14 @@ impl LoadBalancer {
             .map(|b| b.load(Ordering::Relaxed) as u64)
             .collect()
     }
+
+    /// Gini coefficient of the per-instance busy time — 0 when the
+    /// dispatch policy spreads load evenly, approaching 1 when one
+    /// instance absorbs everything. A health-check companion to
+    /// [`LoadBalancer::busy_times_us`].
+    pub fn busy_gini(&self) -> f64 {
+        crate::health::skew_of(&self.busy_times_us(), 1).gini
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +312,19 @@ mod tests {
             .unwrap();
         assert!(results.is_empty());
         assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn busy_gini_tracks_dispatch_imbalance() {
+        let (data, store) = setup();
+        let lb = LoadBalancer::new(&store, 2, SearchMode::Full).unwrap();
+        assert_eq!(lb.busy_gini(), 0.0, "idle pool is perfectly balanced");
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 9).unwrap();
+        for _ in 0..4 {
+            lb.query_batch(&queries, 5, 16).unwrap();
+        }
+        // Round-robin over identical batches stays close to balanced.
+        assert!(lb.busy_gini() < 0.5, "gini {} too skewed", lb.busy_gini());
     }
 
     #[test]

@@ -119,14 +119,17 @@ impl ClusterCache {
     }
 
     /// Inserts a cluster, evicting the least recently used entry if the
-    /// cache is full.
-    pub fn put(&mut self, partition: u32, cluster: Arc<LoadedCluster>) {
+    /// cache is full. Returns the evicted partition, if any, so callers
+    /// (the engine's heatmap sampler) can attribute the eviction.
+    pub fn put(&mut self, partition: u32, cluster: Arc<LoadedCluster>) -> Option<u32> {
         self.tick += 1;
+        let mut evicted = None;
         if !self.entries.contains_key(&partition) && self.entries.len() >= self.capacity {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp)
             {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
+                evicted = Some(victim);
                 emit_scope_instant(
                     "cache_evict",
                     "cache",
@@ -138,6 +141,7 @@ impl ClusterCache {
             }
         }
         self.entries.insert(partition, (self.tick, cluster));
+        evicted
     }
 
     /// Drops a partition (after an insert invalidates its materialized
@@ -222,6 +226,16 @@ mod tests {
         assert!(!c.contains(1));
         assert!(c.contains(2));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_reports_the_eviction_victim() {
+        let mut c = ClusterCache::new(2);
+        assert_eq!(c.put(0, cluster(0)), None);
+        assert_eq!(c.put(1, cluster(1)), None);
+        c.get(1); // 0 becomes the LRU
+        assert_eq!(c.put(2, cluster(2)), Some(0));
+        assert_eq!(c.put(2, cluster(2)), None, "refresh evicts nobody");
     }
 
     #[test]

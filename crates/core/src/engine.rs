@@ -28,6 +28,11 @@ use vecsim::{Dataset, Neighbor, TopK};
 use crate::breakdown::BatchReport;
 use crate::cache::{CacheStats, ClusterCache};
 use crate::cluster::{LoadedCluster, OverflowRecord};
+use crate::health::heatmap::ClusterHeatmap;
+use crate::health::report::{
+    CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary,
+};
+use crate::health::skew::skew_of;
 use crate::layout::{Directory, ID_COUNTER_OFFSET};
 use crate::loader::{plan_batch, read_requests};
 use crate::meta::MetaIndex;
@@ -293,6 +298,7 @@ pub struct ComputeNode {
     mode: SearchMode,
     telemetry: Arc<Telemetry>,
     metrics: EngineMetrics,
+    heatmap: Arc<ClusterHeatmap>,
     flushed: Mutex<FlushState>,
 }
 
@@ -339,6 +345,7 @@ impl ComputeNode {
             rdma: qp.stats().snapshot(),
             cache: CacheStats::default(),
         });
+        let heatmap = Arc::new(ClusterHeatmap::new(directory.partitions()));
         Ok(ComputeNode {
             qp,
             rkey,
@@ -349,6 +356,7 @@ impl ComputeNode {
             mode,
             telemetry,
             metrics,
+            heatmap,
             flushed,
         })
     }
@@ -387,6 +395,146 @@ impl ComputeNode {
     /// The telemetry hub this node records into.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The per-cluster access heatmap this node samples into.
+    pub fn heatmap(&self) -> &ClusterHeatmap {
+        &self.heatmap
+    }
+
+    /// Assembles a point-in-time [`HealthReport`]: live per-group
+    /// overflow occupancy (one doorbell batch of 8-byte counter
+    /// reads), layout/fragmentation accounting, the access heatmap,
+    /// routing-skew statistics, and cache/latency summaries. The
+    /// report's headline numbers are also published as telemetry
+    /// gauges. Read-only with respect to the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate read errors or a corrupt overflow counter.
+    pub fn health_report(&self) -> Result<HealthReport> {
+        let groups = self.directory.groups();
+        let reqs: Vec<rdma_sim::ReadReq> = groups
+            .iter()
+            .map(|g| rdma_sim::ReadReq::new(self.rkey, g.overflow_off, 8))
+            .collect();
+        let buffers = self.qp.read_doorbell(&reqs)?;
+        let mut group_health = Vec::with_capacity(groups.len());
+        let mut layout = LayoutSummary {
+            total_bytes: self.directory.total_len(),
+            directory_bytes: self.directory.directory_bytes(),
+            padding_bytes: self.directory.directory_padding(),
+            ..LayoutSummary::default()
+        };
+        for (g, buf) in groups.iter().zip(&buffers) {
+            let raw: [u8; 8] = buf.as_slice().try_into().map_err(|_| {
+                Error::Corrupt(format!("group {} overflow counter short read", g.group))
+            })?;
+            let used = u64::from_le_bytes(raw).min(g.overflow_capacity);
+            let occupancy = if g.overflow_capacity == 0 {
+                0.0
+            } else {
+                used as f64 / g.overflow_capacity as f64
+            };
+            layout.cluster_bytes += g.cluster_bytes;
+            layout.padding_bytes += g.padding_bytes;
+            layout.overflow_capacity_bytes += g.overflow_capacity;
+            layout.overflow_used_bytes += used;
+            layout.max_group_occupancy = layout.max_group_occupancy.max(occupancy);
+            layout.mean_group_occupancy += occupancy;
+            group_health.push(GroupHealth {
+                group: g.group,
+                front: g.front,
+                back: g.back,
+                cluster_bytes: g.cluster_bytes,
+                padding_bytes: g.padding_bytes,
+                overflow_capacity_bytes: g.overflow_capacity,
+                overflow_used_bytes: used,
+                overflow_slack_bytes: g.overflow_capacity - used,
+                occupancy,
+            });
+        }
+        if !group_health.is_empty() {
+            layout.mean_group_occupancy /= group_health.len() as f64;
+        }
+        if layout.total_bytes > 0 {
+            let total = layout.total_bytes as f64;
+            // Live bytes: directory, clusters, the 8-byte counters, and
+            // overflow records already written. Dead bytes: alignment
+            // padding plus unused overflow slack.
+            let live = layout.directory_bytes
+                + layout.cluster_bytes
+                + 8 * group_health.len() as u64
+                + layout.overflow_used_bytes;
+            let dead = layout.padding_bytes
+                + (layout.overflow_capacity_bytes - layout.overflow_used_bytes);
+            layout.utilization = live as f64 / total;
+            layout.fragmentation = dead as f64 / total;
+        }
+
+        let partitions = self.directory.partitions();
+        let topk = (partitions / 10).max(1);
+        let cluster_bytes: Vec<u64> = self
+            .directory
+            .locations()
+            .iter()
+            .map(|loc| loc.cluster_len)
+            .collect();
+        let degree_hist: Vec<u64> = hnsw::diagnostics::degree_histogram(self.meta.hnsw(), 0)
+            .into_iter()
+            .map(|d| d as u64)
+            .collect();
+
+        // Hit rate uses plan-time residency (hits = loads avoided,
+        // misses = clusters fetched): the engine only probes the LRU
+        // for partitions planning already proved resident, so the
+        // cache's own lookup counters can never record a miss and
+        // would report a vacuous 100% here.
+        let cache = {
+            let c = self.cache.lock();
+            let stats = c.stats();
+            let hits = self.metrics.cluster_cache_hits.get();
+            let misses = self.metrics.clusters_loaded.get();
+            CacheHealth {
+                capacity: c.capacity(),
+                resident: c.len(),
+                resident_bytes: c.resident_bytes() as u64,
+                hits,
+                misses,
+                evictions: stats.evictions,
+                hit_rate: if hits + misses == 0 {
+                    0.0
+                } else {
+                    hits as f64 / (hits + misses) as f64
+                },
+            }
+        };
+        let latency = {
+            let h = &self.metrics.latency_us;
+            LatencyHealth {
+                queries: h.count(),
+                p50_us: h.quantile(0.5),
+                p95_us: h.quantile(0.95),
+                p99_us: h.quantile(0.99),
+                max_us: h.max(),
+            }
+        };
+
+        let report = HealthReport {
+            mode: self.mode.label(),
+            partitions,
+            groups: group_health,
+            layout,
+            heatmap: self.heatmap.snapshot(),
+            partition_skew: skew_of(&cluster_bytes, topk),
+            route_skew: skew_of(&self.heatmap.route_hit_counts(), topk),
+            degree_skew: skew_of(&degree_hist, topk),
+            cache,
+            latency,
+            violations: Vec::new(),
+        };
+        report.publish(&self.telemetry);
+        Ok(report)
     }
 
     /// Clears the clock and transfer counters — used between benchmark
@@ -622,6 +770,18 @@ impl ComputeNode {
         report.breakdown.meta_hnsw_us = t_meta.elapsed().as_secs_f64() * 1e6;
         trace.end_span_with(s_meta, &[("fanout", ArgValue::U64(b as u64))]);
 
+        // Heatmap sampling: one relaxed load decides, then relaxed
+        // counter bumps only — nothing here allocates or takes a lock.
+        let heat = self.heatmap.is_enabled();
+        if heat {
+            self.heatmap.begin_batch();
+            for route in &routes {
+                for &p in route {
+                    self.heatmap.record_route(p);
+                }
+            }
+        }
+
         // 2. Query-aware load planning against current cache residency.
         let s_union = trace.begin_span("cluster_union", "engine", root);
         let plan = {
@@ -632,6 +792,11 @@ impl ComputeNode {
         report.unique_clusters = plan.unique.len();
         report.cache_hits = plan.cached.len();
         report.clusters_loaded = plan.to_load.len();
+        if heat {
+            for &p in &plan.cached {
+                self.heatmap.record_cache_hit(p);
+            }
+        }
 
         // Pin cached clusters before loading so same-batch evictions
         // cannot take them away mid-batch. Cache hit instants attach to
@@ -669,6 +834,11 @@ impl ComputeNode {
         let stats_delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = stats_delta.round_trips;
         report.bytes_read = stats_delta.bytes_read;
+        if heat {
+            for (&p, buf) in plan.to_load.iter().zip(&buffers) {
+                self.heatmap.record_load(p, buf.len() as u64);
+            }
+        }
         trace.set_vt(s_net, clock0, report.breakdown.network_us);
         trace.end_span_with(
             s_net,
@@ -693,7 +863,11 @@ impl ComputeNode {
             let _scope = trace.enter_scope(s_mat);
             let mut cache = self.cache.lock();
             for (&p, cluster) in plan.to_load.iter().zip(&loaded) {
-                cache.put(p, Arc::clone(cluster));
+                if let Some(victim) = cache.put(p, Arc::clone(cluster)) {
+                    if heat {
+                        self.heatmap.record_eviction(victim);
+                    }
+                }
                 resolved.insert(p, Arc::clone(cluster));
             }
         }
@@ -741,6 +915,18 @@ impl ComputeNode {
         report.breakdown.meta_hnsw_us = t_meta.elapsed().as_secs_f64() * 1e6;
         trace.end_span_with(s_meta, &[("fanout", ArgValue::U64(b as u64))]);
 
+        // Heatmap sampling (the naive baseline still routes, and every
+        // route is a load — it has no cache).
+        let heat = self.heatmap.is_enabled();
+        if heat {
+            self.heatmap.begin_batch();
+            for route in &routes {
+                for &p in route {
+                    self.heatmap.record_route(p);
+                }
+            }
+        }
+
         // Per query: fetch its clusters with individual reads, then
         // deserialize and search them immediately. Buffers are dropped
         // after each query — the naive scheme has no reuse to exploit, so
@@ -768,8 +954,12 @@ impl ComputeNode {
                     report.clusters_loaded += route.len();
                     let reqs = read_requests(&self.directory, self.rkey, route)?;
                     let mut per_query = Vec::with_capacity(reqs.len());
-                    for r in &reqs {
-                        per_query.push(self.qp.read(r.rkey, r.offset, r.len)?);
+                    for (&p, r) in route.iter().zip(&reqs) {
+                        let buf = self.qp.read(r.rkey, r.offset, r.len)?;
+                        if heat {
+                            self.heatmap.record_load(p, buf.len() as u64);
+                        }
+                        per_query.push(buf);
                     }
                     buffers.push(per_query);
                 }
@@ -1519,5 +1709,167 @@ mod tests {
     fn compute_node_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ComputeNode>();
+    }
+
+    #[test]
+    fn heatmap_samples_routes_loads_and_cache_hits() {
+        let (data, store) = setup(600);
+        let telemetry = Arc::new(Telemetry::new());
+        let node = store
+            .connect_with_telemetry(SearchMode::Full, telemetry)
+            .unwrap();
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 93).unwrap();
+        let b = node.config().fanout();
+        node.query_batch(&queries, 5, 16).unwrap();
+        let cold = node.heatmap().snapshot();
+        let route_hits: u64 = cold.iter().map(|c| c.route_hits).sum();
+        let loads: u64 = cold.iter().map(|c| c.loads).sum();
+        let bytes: u64 = cold.iter().map(|c| c.bytes_read).sum();
+        assert_eq!(route_hits, 8 * b as u64, "every route is sampled");
+        assert!(loads > 0, "cold batch loads clusters");
+        assert!(bytes > 0, "loads carry their byte size");
+        assert!(cold.iter().any(|c| c.hotness > 0.0));
+        // Same batch again: the cache now serves what it kept.
+        node.query_batch(&queries, 5, 16).unwrap();
+        let warm = node.heatmap().snapshot();
+        let cache_hits: u64 = warm.iter().map(|c| c.cache_hits).sum();
+        assert!(cache_hits > 0, "warm batch hits the cluster cache");
+    }
+
+    #[test]
+    fn naive_mode_samples_routes_and_per_query_loads() {
+        let (data, store) = setup(400);
+        let node = store.connect(SearchMode::Naive).unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 94).unwrap();
+        let b = node.config().fanout();
+        node.query_batch(&queries, 5, 16).unwrap();
+        let snap = node.heatmap().snapshot();
+        let route_hits: u64 = snap.iter().map(|c| c.route_hits).sum();
+        let loads: u64 = snap.iter().map(|c| c.loads).sum();
+        assert_eq!(route_hits, 4 * b as u64);
+        assert_eq!(loads, route_hits, "naive reloads every routed cluster");
+    }
+
+    #[test]
+    fn disabled_heatmap_adds_nothing_on_the_query_path() {
+        // The acceptance bound: with sampling off, the hot loop pays
+        // one relaxed load per batch and the record calls are no-ops.
+        let (data, store) = setup(400);
+        let node = store.connect(SearchMode::Full).unwrap();
+        node.heatmap().set_enabled(false);
+        let queries = gen::perturbed_queries(&data, 6, 0.02, 95).unwrap();
+        let (results, _) = node.query_batch(&queries, 5, 16).unwrap();
+        assert_eq!(results.len(), 6, "queries still answered");
+        for cell in node.heatmap().snapshot() {
+            assert_eq!(cell.route_hits, 0);
+            assert_eq!(cell.loads, 0);
+            assert_eq!(cell.cache_hits, 0);
+            assert_eq!(cell.evictions, 0);
+            assert_eq!(cell.bytes_read, 0);
+            assert_eq!(cell.hotness, 0.0);
+        }
+    }
+
+    #[test]
+    fn health_report_accounts_layout_occupancy_and_latency() {
+        let (data, store) = setup(600);
+        let telemetry = Arc::new(Telemetry::new());
+        let node = store
+            .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+            .unwrap();
+        let queries = gen::perturbed_queries(&data, 8, 0.02, 96).unwrap();
+        node.query_batch(&queries, 5, 16).unwrap();
+
+        // Before any insert every overflow area is empty.
+        let fresh = node.health_report().unwrap();
+        assert_eq!(fresh.partitions, store.partitions());
+        assert!(fresh.groups.iter().all(|g| g.overflow_used_bytes == 0));
+        assert_eq!(fresh.layout.overflow_used_bytes, 0);
+
+        // One insert shows up as live overflow bytes in exactly one
+        // group, and occupancy/slack stay consistent.
+        let mut v = data.get(0).to_vec();
+        v[0] += 0.5;
+        node.insert(&v).unwrap();
+        let report = node.health_report().unwrap();
+        let used: Vec<&GroupHealth> = report
+            .groups
+            .iter()
+            .filter(|g| g.overflow_used_bytes > 0)
+            .collect();
+        assert_eq!(used.len(), 1, "one group absorbed the insert");
+        let g = used[0];
+        assert!(g.occupancy > 0.0 && g.occupancy <= 1.0);
+        assert_eq!(
+            g.overflow_used_bytes + g.overflow_slack_bytes,
+            g.overflow_capacity_bytes
+        );
+        // Live + dead bytes tile the registered region.
+        assert!(
+            (report.layout.utilization + report.layout.fragmentation - 1.0).abs() < 1e-9,
+            "utilization {} + fragmentation {} must cover the region",
+            report.layout.utilization,
+            report.layout.fragmentation
+        );
+        // Query traffic is reflected in skew, cache, and latency.
+        assert!(report.route_skew.total > 0);
+        assert!(report.degree_skew.count > 0);
+        assert_eq!(report.partition_skew.count, report.partitions);
+        assert!(report.cache.capacity > 0);
+        // Plan-time hit rate: the cold pass loaded clusters, so the
+        // rate must stay strictly below the vacuous 100%.
+        assert!(report.cache.misses > 0);
+        assert!(report.cache.hit_rate < 1.0);
+        assert!(report.latency.queries >= 8);
+        assert!(report.latency.p99_us >= report.latency.p50_us);
+        assert!(report.violations.is_empty());
+
+        // The JSON rendering carries every section; publish() exposed
+        // the series through the telemetry registry.
+        let json = report.to_json();
+        for key in ["\"groups\":", "\"heatmap\":", "\"route_skew\":", "\"latency\":"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let prom = telemetry.render_prometheus();
+        for series in [
+            "dhnsw_heat_route_hits",
+            "dhnsw_health_overflow_occupancy_milli",
+            "dhnsw_health_route_gini_milli",
+            "dhnsw_health_region_utilization_milli",
+        ] {
+            assert!(prom.contains(series), "missing {series}");
+        }
+        assert!(telemetry.snapshot_json().contains("dhnsw_health_overflow_occupancy_milli"));
+    }
+
+    #[test]
+    fn health_report_feeds_the_watchdog_end_to_end() {
+        let (data, store) = setup(400);
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.spans().set_enabled(true);
+        let node = store
+            .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+            .unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 97).unwrap();
+        node.query_batch(&queries, 5, 16).unwrap();
+        let mut report = node.health_report().unwrap();
+        // An impossible hit-rate budget must trip.
+        let budgets = crate::health::SloBudgets {
+            min_cache_hit_rate: Some(2.0),
+            ..Default::default()
+        };
+        report.violations = crate::health::evaluate(&report, &budgets);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].budget, "cache_hit_rate");
+        crate::health::watchdog::emit(&telemetry, &report.violations);
+        assert!(telemetry
+            .render_prometheus()
+            .contains("dhnsw_slo_violations_total{budget=\"cache_hit_rate\"} 1"));
+        let traces = telemetry.spans().recent();
+        assert!(traces
+            .iter()
+            .any(|t| t.label == "watchdog"
+                && t.spans.iter().any(|s| s.name == "slo_violation")));
+        assert!(report.to_json().contains("\"budget\": \"cache_hit_rate\""));
     }
 }

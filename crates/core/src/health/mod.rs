@@ -1,0 +1,40 @@
+//! Memory-pool health introspection.
+//!
+//! PRs 1–2 made the *query path* observable; this module makes the
+//! *state* of the system observable — which partitions are hot, how
+//! full each group's overflow area is (§3.2's layout is exactly where
+//! d-HNSW degrades silently as inserts accumulate), and how skewed the
+//! meta-HNSW routing is (§3.1's partitioning under non-uniform query
+//! load). Four pieces:
+//!
+//! - [`heatmap`] — per-cluster access counters (route hits, loads,
+//!   cache hits, evictions, bytes read) plus an EWMA hotness score,
+//!   sampled on the query path with relaxed atomics only and **zero
+//!   allocation**, so the always-on cost is a handful of counter
+//!   increments per batch and a single atomic load when disabled.
+//! - [`report`] — the machine-readable [`HealthReport`]: per-group
+//!   overflow occupancy / slack / fragmentation from the layout
+//!   directory plus live `used` counters (one doorbell batch of 8-byte
+//!   reads), the heatmap snapshot, routing-skew statistics, cache and
+//!   latency summaries, rendered as deterministic JSON and published
+//!   as telemetry gauges.
+//! - [`skew`] — Gini coefficient and top-k share over any counter
+//!   vector (partition bytes, route frequencies, meta-graph degrees).
+//! - [`watchdog`] — threshold budgets ([`SloBudgets`], configurable
+//!   via environment or CLI flags) evaluated against a report;
+//!   violations land in the span-trace ring as structured warning
+//!   events and drive `dhnsw_cli doctor --check`'s non-zero exit.
+//!
+//! The subsystem is read-only: producing a report costs one doorbell
+//! batch of overflow-counter reads and never mutates the store, so it
+//! is safe to run against a live deployment.
+
+pub mod heatmap;
+pub mod report;
+pub mod skew;
+pub mod watchdog;
+
+pub use heatmap::{ClusterHeatmap, PartitionHeat};
+pub use report::{CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary};
+pub use skew::{skew_of, SkewStats};
+pub use watchdog::{evaluate, SloBudgets, SloViolation};

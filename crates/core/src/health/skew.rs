@@ -1,0 +1,132 @@
+//! Skew statistics: Gini coefficient and top-k share.
+//!
+//! d-HNSW's partitioning (§3.1) assumes queries spread across the
+//! meta-HNSW's partitions; real workloads concentrate. The same
+//! summary works for partition sizes (build-time imbalance), route
+//! frequencies (query-time imbalance), and meta-graph degrees
+//! (structural imbalance), so the report computes all three with one
+//! helper.
+
+/// Distribution summary of a non-negative counter vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SkewStats {
+    /// Number of values summarized.
+    pub count: usize,
+    /// Sum of all values.
+    pub total: u64,
+    /// Arithmetic mean (0 for an empty input).
+    pub mean: f64,
+    /// Largest value.
+    pub max: u64,
+    /// Gini coefficient in `[0, 1)`: 0 = perfectly uniform, → 1 =
+    /// fully concentrated. 0 when the total is zero.
+    pub gini: f64,
+    /// Share of the total held by the single largest value.
+    pub top1_share: f64,
+    /// Share of the total held by the `topk` largest values.
+    pub topk_share: f64,
+    /// The `k` used for [`SkewStats::topk_share`] (clamped to `count`).
+    pub topk: usize,
+}
+
+/// Computes [`SkewStats`] over `values` with a top-`k` share.
+///
+/// `k` is clamped to `values.len()`; an empty input yields the zero
+/// summary. The Gini uses the standard sorted formulation
+/// `(2·Σ i·xᵢ)/(n·Σx) − (n+1)/n` with 1-based ranks over ascending
+/// values, which is exact for populations (no sampling correction).
+pub fn skew_of(values: &[u64], k: usize) -> SkewStats {
+    let count = values.len();
+    if count == 0 {
+        return SkewStats::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let total: u64 = sorted.iter().sum();
+    let max = *sorted.last().expect("non-empty");
+    let topk = k.clamp(1, count);
+    let mut stats = SkewStats {
+        count,
+        total,
+        mean: total as f64 / count as f64,
+        max,
+        topk,
+        ..SkewStats::default()
+    };
+    if total == 0 {
+        return stats;
+    }
+    let n = count as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    stats.gini = ((2.0 * weighted) / (n * total as f64) - (n + 1.0) / n).max(0.0);
+    let topk_sum: u64 = sorted.iter().rev().take(topk).sum();
+    stats.top1_share = max as f64 / total as f64;
+    stats.topk_share = topk_sum as f64 / total as f64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_zero_summary() {
+        assert_eq!(skew_of(&[], 5), SkewStats::default());
+    }
+
+    #[test]
+    fn uniform_values_have_zero_gini() {
+        let s = skew_of(&[7, 7, 7, 7], 2);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.total, 28);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.max, 7);
+        assert!(s.gini.abs() < 1e-12);
+        assert!((s.top1_share - 0.25).abs() < 1e-12);
+        assert!((s.topk_share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_concentration_approaches_one() {
+        // One value holds everything: gini = (n-1)/n.
+        let s = skew_of(&[0, 0, 0, 100], 1);
+        assert!((s.gini - 0.75).abs() < 1e-12);
+        assert_eq!(s.top1_share, 1.0);
+        assert_eq!(s.topk_share, 1.0);
+    }
+
+    #[test]
+    fn moderate_skew_lands_in_between() {
+        let s = skew_of(&[1, 2, 3, 4], 2);
+        // Hand-computed: (2·(1+4+9+16))/(4·10) − 5/4 = 0.25.
+        assert!((s.gini - 0.25).abs() < 1e-12);
+        assert!((s.top1_share - 0.4).abs() < 1e-12);
+        assert!((s.topk_share - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_values_have_zero_gini() {
+        let s = skew_of(&[0, 0, 0], 2);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.topk, 2);
+    }
+
+    #[test]
+    fn topk_clamps_to_the_population() {
+        let s = skew_of(&[5, 5], 10);
+        assert_eq!(s.topk, 2);
+        assert_eq!(s.topk_share, 1.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = skew_of(&[9, 1, 4, 2], 2);
+        let b = skew_of(&[1, 2, 4, 9], 2);
+        assert_eq!(a, b);
+    }
+}

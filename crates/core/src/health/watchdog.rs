@@ -1,0 +1,301 @@
+//! Threshold-based SLO watchdog.
+//!
+//! Budgets come from the environment (`DHNSW_SLO_P99_US`,
+//! `DHNSW_SLO_MIN_HIT_RATE`, `DHNSW_SLO_MAX_OVERFLOW`,
+//! `DHNSW_SLO_MAX_ROUTE_GINI`) or CLI flags; [`evaluate`] checks a
+//! [`HealthReport`] against them and [`emit`] publishes the violations
+//! as a `dhnsw_slo_violations_total` counter plus structured
+//! `slo_violation` instant events in the span-trace ring (when span
+//! capture is enabled), so a dashboard or a `doctor --check` script
+//! sees the same verdict.
+
+use crate::health::report::HealthReport;
+use crate::telemetry::span::{ArgValue, SpanId};
+use crate::telemetry::Telemetry;
+
+/// Configurable health budgets; `None` disables a check.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloBudgets {
+    /// Largest acceptable p99 per-query latency, microseconds.
+    pub max_p99_us: Option<f64>,
+    /// Smallest acceptable cluster-cache hit rate in `[0, 1]`.
+    pub min_cache_hit_rate: Option<f64>,
+    /// Largest acceptable per-group overflow occupancy in `[0, 1]`
+    /// (checked against the fullest group).
+    pub max_overflow_occupancy: Option<f64>,
+    /// Largest acceptable route-frequency Gini coefficient.
+    pub max_route_gini: Option<f64>,
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+impl SloBudgets {
+    /// Reads budgets from the `DHNSW_SLO_*` environment variables;
+    /// unset or unparsable variables leave the check disabled.
+    pub fn from_env() -> Self {
+        SloBudgets {
+            max_p99_us: env_f64("DHNSW_SLO_P99_US"),
+            min_cache_hit_rate: env_f64("DHNSW_SLO_MIN_HIT_RATE"),
+            max_overflow_occupancy: env_f64("DHNSW_SLO_MAX_OVERFLOW"),
+            max_route_gini: env_f64("DHNSW_SLO_MAX_ROUTE_GINI"),
+        }
+    }
+
+    /// Whether every check is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.max_p99_us.is_none()
+            && self.min_cache_hit_rate.is_none()
+            && self.max_overflow_occupancy.is_none()
+            && self.max_route_gini.is_none()
+    }
+}
+
+/// One budget the report violated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloViolation {
+    /// Budget name (`p99_latency_us`, `cache_hit_rate`, …).
+    pub budget: &'static str,
+    /// Observed value.
+    pub actual: f64,
+    /// Configured limit.
+    pub limit: f64,
+}
+
+impl SloViolation {
+    /// Renders the violation as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"budget\": \"{}\", \"actual\": {:.6}, \"limit\": {:.6}}}",
+            self.budget, self.actual, self.limit
+        )
+    }
+}
+
+/// Checks `report` against `budgets`, returning every violated budget
+/// in a fixed order (latency, hit rate, occupancy, skew).
+pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation> {
+    let mut out = Vec::new();
+    if let Some(limit) = budgets.max_p99_us {
+        if report.latency.p99_us > limit {
+            out.push(SloViolation {
+                budget: "p99_latency_us",
+                actual: report.latency.p99_us,
+                limit,
+            });
+        }
+    }
+    if let Some(limit) = budgets.min_cache_hit_rate {
+        if report.cache.hit_rate < limit {
+            out.push(SloViolation {
+                budget: "cache_hit_rate",
+                actual: report.cache.hit_rate,
+                limit,
+            });
+        }
+    }
+    if let Some(limit) = budgets.max_overflow_occupancy {
+        if report.layout.max_group_occupancy > limit {
+            out.push(SloViolation {
+                budget: "overflow_occupancy",
+                actual: report.layout.max_group_occupancy,
+                limit,
+            });
+        }
+    }
+    if let Some(limit) = budgets.max_route_gini {
+        if report.route_skew.gini > limit {
+            out.push(SloViolation {
+                budget: "route_gini",
+                actual: report.route_skew.gini,
+                limit,
+            });
+        }
+    }
+    out
+}
+
+/// Publishes violations: bumps `dhnsw_slo_violations_total{budget=…}`
+/// and, when span capture is enabled, records one `slo_watchdog` trace
+/// in the ring with a structured `slo_violation` instant per breach.
+pub fn emit(telemetry: &Telemetry, violations: &[SloViolation]) {
+    if violations.is_empty() {
+        return;
+    }
+    for v in violations {
+        telemetry
+            .counter(
+                "dhnsw_slo_violations_total",
+                "SLO budget violations flagged by the health watchdog",
+                &[("budget", v.budget)],
+            )
+            .inc();
+    }
+    let trace = telemetry.spans().begin("watchdog");
+    if trace.is_enabled() {
+        let root = trace.begin_span("slo_watchdog", "health", SpanId::NONE);
+        for v in violations {
+            trace.instant(
+                "slo_violation",
+                "health",
+                root,
+                &[
+                    ("budget", ArgValue::Str(v.budget)),
+                    ("actual", ArgValue::F64(v.actual)),
+                    ("limit", ArgValue::F64(v.limit)),
+                ],
+            );
+        }
+        trace.end_span(root);
+    }
+    telemetry.spans().finish(trace);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::heatmap::PartitionHeat;
+    use crate::health::report::{CacheHealth, GroupHealth, LatencyHealth, LayoutSummary};
+    use crate::health::skew::skew_of;
+
+    fn report() -> HealthReport {
+        HealthReport {
+            mode: "full",
+            partitions: 2,
+            groups: vec![GroupHealth {
+                group: 0,
+                front: 0,
+                back: Some(1),
+                cluster_bytes: 100,
+                padding_bytes: 0,
+                overflow_capacity_bytes: 100,
+                overflow_used_bytes: 90,
+                overflow_slack_bytes: 10,
+                occupancy: 0.9,
+            }],
+            layout: LayoutSummary {
+                max_group_occupancy: 0.9,
+                ..LayoutSummary::default()
+            },
+            heatmap: vec![PartitionHeat {
+                partition: 0,
+                route_hits: 10,
+                loads: 1,
+                cache_hits: 9,
+                evictions: 0,
+                bytes_read: 100,
+                hotness: 1.0,
+            }],
+            partition_skew: skew_of(&[50, 50], 1),
+            route_skew: skew_of(&[10, 0], 1),
+            degree_skew: SkewStats::default(),
+            cache: CacheHealth {
+                hit_rate: 0.5,
+                hits: 1,
+                misses: 1,
+                ..CacheHealth::default()
+            },
+            latency: LatencyHealth {
+                queries: 10,
+                p99_us: 900.0,
+                ..LatencyHealth::default()
+            },
+            violations: Vec::new(),
+        }
+    }
+    use crate::health::skew::SkewStats;
+
+    #[test]
+    fn empty_budgets_never_fire() {
+        let b = SloBudgets::default();
+        assert!(b.is_empty());
+        assert!(evaluate(&report(), &b).is_empty());
+    }
+
+    #[test]
+    fn each_budget_trips_on_its_own_dimension() {
+        let r = report();
+        let b = SloBudgets {
+            max_p99_us: Some(500.0),
+            min_cache_hit_rate: Some(0.8),
+            max_overflow_occupancy: Some(0.75),
+            max_route_gini: Some(0.25),
+        };
+        let v = evaluate(&r, &b);
+        let names: Vec<&str> = v.iter().map(|x| x.budget).collect();
+        assert_eq!(
+            names,
+            vec![
+                "p99_latency_us",
+                "cache_hit_rate",
+                "overflow_occupancy",
+                "route_gini"
+            ]
+        );
+        assert_eq!(v[0].actual, 900.0);
+        assert_eq!(v[0].limit, 500.0);
+    }
+
+    #[test]
+    fn satisfied_budgets_stay_quiet() {
+        let b = SloBudgets {
+            max_p99_us: Some(1_000.0),
+            min_cache_hit_rate: Some(0.4),
+            max_overflow_occupancy: Some(0.95),
+            max_route_gini: Some(0.6),
+        };
+        assert!(evaluate(&report(), &b).is_empty());
+    }
+
+    #[test]
+    fn emit_lands_counter_and_trace_events() {
+        let telemetry = Telemetry::new();
+        telemetry.spans().set_enabled(true);
+        let violations = vec![SloViolation {
+            budget: "overflow_occupancy",
+            actual: 0.9,
+            limit: 0.75,
+        }];
+        emit(&telemetry, &violations);
+        assert!(telemetry
+            .render_prometheus()
+            .contains("dhnsw_slo_violations_total{budget=\"overflow_occupancy\"} 1"));
+        let traces = telemetry.spans().recent();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].label, "watchdog");
+        let instant = traces[0]
+            .spans
+            .iter()
+            .find(|s| s.name == "slo_violation")
+            .expect("structured warning event recorded");
+        assert!(instant
+            .args
+            .contains(&("budget", ArgValue::Str("overflow_occupancy"))));
+        assert!(instant.args.contains(&("limit", ArgValue::F64(0.75))));
+    }
+
+    #[test]
+    fn emit_without_violations_is_silent() {
+        let telemetry = Telemetry::new();
+        telemetry.spans().set_enabled(true);
+        emit(&telemetry, &[]);
+        assert!(telemetry.spans().recent().is_empty());
+        assert!(!telemetry
+            .render_prometheus()
+            .contains("dhnsw_slo_violations_total"));
+    }
+
+    #[test]
+    fn violation_json_is_structured() {
+        let v = SloViolation {
+            budget: "route_gini",
+            actual: 0.5,
+            limit: 0.25,
+        };
+        assert_eq!(
+            v.to_json(),
+            "{\"budget\": \"route_gini\", \"actual\": 0.500000, \"limit\": 0.250000}"
+        );
+    }
+}

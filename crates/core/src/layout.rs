@@ -129,6 +129,38 @@ impl ClusterLocation {
     pub fn overflow_capacity(&self) -> u64 {
         self.overflow_len - 8
     }
+
+    /// Alignment padding after this cluster's serialized bytes (in
+    /// front of the overflow area for the front slot, at the group's
+    /// tail for the back slot) — dead bytes the layout spends on
+    /// 8-byte alignment.
+    pub fn padding_bytes(&self) -> u64 {
+        pad8(self.cluster_len) - self.cluster_len
+    }
+}
+
+/// Layout accounting for one §3.2 group: up to two clusters sharing an
+/// overflow area. Produced by [`Directory::groups`] for health
+/// reporting — the group's live `used` counter sits at
+/// [`GroupLayout::overflow_off`] and can be read with one 8-byte
+/// `RDMA_READ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLayout {
+    /// Group index.
+    pub group: u32,
+    /// Partition in the front slot.
+    pub front: u32,
+    /// Partition in the back slot (`None` for a trailing odd group).
+    pub back: Option<u32>,
+    /// Serialized cluster bytes across the group's members.
+    pub cluster_bytes: u64,
+    /// Alignment padding across the group's members.
+    pub padding_bytes: u64,
+    /// Absolute offset of the shared overflow area (== its 8-byte
+    /// `used` counter).
+    pub overflow_off: u64,
+    /// Insert capacity of the overflow area in bytes, header excluded.
+    pub overflow_capacity: u64,
 }
 
 /// The global metadata block: every cluster's location, plus enough
@@ -291,6 +323,44 @@ impl Directory {
     /// Serialized size of a directory over `n` partitions.
     pub fn byte_size(n: usize) -> usize {
         HEADER_BYTES + n * ENTRY_BYTES
+    }
+
+    /// Serialized size of *this* directory at the head of the region.
+    pub fn directory_bytes(&self) -> u64 {
+        Self::byte_size(self.locations.len()) as u64
+    }
+
+    /// Alignment padding between the directory and the first group.
+    pub fn directory_padding(&self) -> u64 {
+        pad8(self.directory_bytes()) - self.directory_bytes()
+    }
+
+    /// Per-group layout accounting, in group order. Locations are laid
+    /// out front-slot first, so every group's shared overflow geometry
+    /// is taken from its front member.
+    pub fn groups(&self) -> Vec<GroupLayout> {
+        let mut groups: Vec<GroupLayout> = Vec::new();
+        for loc in &self.locations {
+            let g = loc.group as usize;
+            if g == groups.len() {
+                groups.push(GroupLayout {
+                    group: loc.group,
+                    front: loc.partition,
+                    back: None,
+                    cluster_bytes: 0,
+                    padding_bytes: 0,
+                    overflow_off: loc.overflow_off,
+                    overflow_capacity: loc.overflow_capacity(),
+                });
+            }
+            let entry = &mut groups[g];
+            if loc.slot == GroupSlot::Back {
+                entry.back = Some(loc.partition);
+            }
+            entry.cluster_bytes += loc.cluster_len;
+            entry.padding_bytes += loc.padding_bytes();
+        }
+        groups
     }
 
     /// Serializes the directory (what gets written at region offset 0).
@@ -525,5 +595,49 @@ mod tests {
         let loc = dir.location(0).unwrap();
         let rec = OverflowRecord::wire_size(4) as u64;
         assert_eq!(loc.overflow_capacity(), 3 * rec);
+    }
+
+    #[test]
+    fn padding_accounts_for_alignment() {
+        let dir = Directory::plan(&[100, 64], 4, 2).unwrap();
+        // 100 pads to 104; 64 is already aligned.
+        assert_eq!(dir.location(0).unwrap().padding_bytes(), 4);
+        assert_eq!(dir.location(1).unwrap().padding_bytes(), 0);
+        assert_eq!(
+            dir.directory_padding(),
+            pad8(dir.directory_bytes()) - dir.directory_bytes()
+        );
+    }
+
+    #[test]
+    fn groups_pair_members_and_share_overflow_geometry() {
+        let dir = Directory::plan(&[100, 220, 60], 4, 8).unwrap();
+        let groups = dir.groups();
+        assert_eq!(groups.len(), 2);
+        let g0 = &groups[0];
+        assert_eq!((g0.front, g0.back), (0, Some(1)));
+        assert_eq!(g0.cluster_bytes, 320);
+        assert_eq!(g0.padding_bytes, (104 - 100) + (224 - 220));
+        let front = dir.location(0).unwrap();
+        assert_eq!(g0.overflow_off, front.overflow_off);
+        assert_eq!(g0.overflow_capacity, front.overflow_capacity());
+        // Trailing odd group has a single member.
+        let g1 = &groups[1];
+        assert_eq!((g1.front, g1.back), (2, None));
+        assert_eq!(g1.cluster_bytes, 60);
+        assert_eq!(g1.padding_bytes, 64 - 60);
+    }
+
+    #[test]
+    fn group_accounting_tiles_the_region() {
+        // directory + Σ(cluster + padding) + Σ(overflow area) == total.
+        let dir = Directory::plan(&[100, 220, 60, 31, 57], 4, 8).unwrap();
+        let groups = dir.groups();
+        let covered: u64 = pad8(dir.directory_bytes())
+            + groups
+                .iter()
+                .map(|g| g.cluster_bytes + g.padding_bytes + 8 + g.overflow_capacity)
+                .sum::<u64>();
+        assert_eq!(covered, dir.total_len());
     }
 }

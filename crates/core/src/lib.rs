@@ -54,6 +54,7 @@ pub mod cluster;
 mod config;
 pub mod engine;
 mod error;
+pub mod health;
 pub mod layout;
 pub mod loader;
 pub mod meta;
@@ -68,6 +69,10 @@ pub use cache::CacheStats;
 pub use config::DHnswConfig;
 pub use engine::{ComputeNode, QueryOptions, SearchMode};
 pub use error::Error;
+pub use health::{
+    evaluate as evaluate_slo, skew_of, ClusterHeatmap, HealthReport, PartitionHeat, SkewStats,
+    SloBudgets, SloViolation,
+};
 pub use meta::MetaIndex;
 pub use sharded::{ShardedSession, ShardedStore};
 pub use store::VectorStore;

@@ -36,6 +36,17 @@ impl LoadPlan {
         self.raw_demand - self.to_load.len()
     }
 
+    /// Fraction of the raw cluster demand served without a network
+    /// transfer (batch dedup plus cache hits), in `[0, 1]`. A healthy
+    /// warm deployment sits near 1; a cold or thrashing one near 0.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.raw_demand == 0 {
+            0.0
+        } else {
+            self.transfers_saved() as f64 / self.raw_demand as f64
+        }
+    }
+
     /// The plan as span arguments, for annotating the cluster-union
     /// span of a batch trace.
     pub fn trace_args(&self) -> Vec<(&'static str, ArgValue)> {
@@ -48,6 +59,7 @@ impl LoadPlan {
                 "transfers_saved",
                 ArgValue::U64(self.transfers_saved() as u64),
             ),
+            ("reuse_ratio", ArgValue::F64(self.reuse_ratio())),
         ]
     }
 }
@@ -161,6 +173,22 @@ mod tests {
         assert!(args.contains(&("cached", ArgValue::U64(1))));
         assert!(args.contains(&("to_load", ArgValue::U64(2))));
         assert!(args.contains(&("transfers_saved", ArgValue::U64(2))));
+        assert!(args.contains(&("reuse_ratio", ArgValue::F64(0.5))));
+    }
+
+    #[test]
+    fn reuse_ratio_spans_cold_to_warm() {
+        assert_eq!(plan_batch(&[], |_| false).reuse_ratio(), 0.0);
+        // Cold batch with disjoint routes: nothing reused.
+        assert_eq!(
+            plan_batch(&routes(&[&[0], &[1]]), |_| false).reuse_ratio(),
+            0.0
+        );
+        // Fully cached batch: everything reused.
+        assert_eq!(
+            plan_batch(&routes(&[&[0, 1], &[1, 0]]), |_| true).reuse_ratio(),
+            1.0
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use vecsim::{Dataset, Neighbor, TopK};
 
 use crate::breakdown::BatchReport;
 use crate::engine::{ComputeNode, SearchMode};
+use crate::health::report::HealthReport;
 use crate::store::VectorStore;
 use crate::telemetry::{Counter, Telemetry};
 use crate::{DHnswConfig, Error, Result};
@@ -262,6 +263,18 @@ impl ShardedSession {
         Ok((merged, reports))
     }
 
+    /// Collects one [`HealthReport`] per shard, in shard order. Each
+    /// shard is an independent memory node with its own layout and
+    /// overflow areas, so the reports do not aggregate — rebalancing
+    /// decisions are per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's report error.
+    pub fn health_reports(&self) -> Result<Vec<HealthReport>> {
+        self.nodes.iter().map(|n| n.health_report()).collect()
+    }
+
     /// Single-query convenience wrapper.
     ///
     /// # Errors
@@ -408,6 +421,20 @@ mod tests {
         for (i, v) in inserts.iter().enumerate() {
             let hit = session.query(v, 1, 32).unwrap();
             assert_eq!(hit[0].id, gids[i], "insert {i} not found");
+        }
+    }
+
+    #[test]
+    fn health_reports_cover_every_shard() {
+        let (data, store) = setup(400, 2);
+        let session = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 66).unwrap();
+        session.query_batch(&queries, 5, 16).unwrap();
+        let reports = session.health_reports().unwrap();
+        assert_eq!(reports.len(), 2);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.partitions, store.shard(i).partitions());
+            assert!(r.route_skew.total > 0, "shard {i} saw the fan-out");
         }
     }
 

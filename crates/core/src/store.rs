@@ -292,6 +292,12 @@ impl VectorStore {
             .ok_or(Error::UnknownPartition(p))
     }
 
+    /// Vector counts for every partition (index == partition id), for
+    /// build-time balance/skew analysis.
+    pub fn partition_sizes(&self) -> &[usize] {
+        &self.partition_sizes
+    }
+
     /// Total remote bytes the store occupies (directory + clusters +
     /// overflow areas).
     pub fn remote_bytes(&self) -> u64 {

@@ -94,6 +94,18 @@ impl Gauge {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Stores a ratio-like float in milli-units (1000 == 1.0), the
+    /// convention health gauges use since gauges are integral.
+    /// Negative or non-finite values clamp to zero.
+    pub fn set_milli(&self, v: f64) {
+        let milli = if v.is_finite() && v > 0.0 {
+            (v * 1000.0).round() as u64
+        } else {
+            0
+        };
+        self.set(milli);
+    }
 }
 
 /// A fixed-bucket log-scale histogram of non-negative integer samples.
@@ -683,6 +695,22 @@ mod tests {
         assert_eq!(g.get(), 8);
         g.sub(100);
         assert_eq!(g.get(), 0, "gauge sub saturates at zero");
+    }
+
+    #[test]
+    fn gauge_set_milli_encodes_ratios() {
+        let t = Telemetry::new();
+        let g = t.gauge("dhnsw_test_ratio_milli", "help", &[]);
+        g.set_milli(0.25);
+        assert_eq!(g.get(), 250);
+        g.set_milli(1.0);
+        assert_eq!(g.get(), 1000);
+        g.set_milli(0.0004);
+        assert_eq!(g.get(), 0, "rounds to nearest milli");
+        g.set_milli(-1.0);
+        assert_eq!(g.get(), 0, "negative clamps to zero");
+        g.set_milli(f64::NAN);
+        assert_eq!(g.get(), 0, "non-finite clamps to zero");
     }
 
     #[test]
