@@ -35,6 +35,12 @@
 //! to control span capture from the command line; when the flags are
 //! absent the `DHNSW_TRACE_SPANS` / `DHNSW_SLOW_QUERY_US` environment
 //! variables (read at connect time) stay in force.
+//!
+//! Reliability knobs: `--fault-rate <p>` (with `--fault-seed <s>`) arms
+//! seeded substrate fault injection on the session's queue pair;
+//! `--read-retry-limit <n>` bounds the engine-level retries above the
+//! substrate's retransmission budget, and `--degraded-ok` lets queries
+//! answer from the clusters that arrived instead of failing the batch.
 
 use std::collections::HashMap;
 
@@ -89,7 +95,9 @@ fn print_usage() {
          metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]\n\
          doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--out <path>] [--check]\n\
                   [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
-         all workload commands: [--trace-spans] [--slow-query-us N]"
+                  [--slo-max-degraded-rate X]\n\
+         all workload commands: [--trace-spans] [--slow-query-us N]\n\
+                  [--fault-rate P] [--fault-seed S] [--read-retry-limit N] [--degraded-ok]"
     );
 }
 
@@ -144,6 +152,20 @@ fn apply_trace_flags(flags: &HashMap<String, String>, telemetry: &Telemetry) -> 
     Ok(())
 }
 
+/// Arms seeded substrate fault injection on a connected node's queue
+/// pair (`--fault-rate`, `--fault-seed`). Call after `connect()`.
+fn apply_fault_flags(
+    flags: &HashMap<String, String>,
+    node: &dhnsw::ComputeNode,
+) -> AnyResult<()> {
+    if let Some(rate) = flag_f64_opt(flags, "fault-rate")? {
+        let seed = flag_usize(flags, "fault-seed", 42)? as u64;
+        node.queue_pair().set_fault_rate(rate, seed);
+        eprintln!("fault injection armed: rate {rate}, seed {seed}");
+    }
+    Ok(())
+}
+
 fn load_vectors(flags: &HashMap<String, String>) -> AnyResult<Dataset> {
     if let Some(path) = flags.get("input") {
         let file = std::fs::File::open(path)?;
@@ -183,9 +205,15 @@ fn open_store(flags: &HashMap<String, String>) -> AnyResult<VectorStore> {
     let path = flags.get("store").ok_or("--store <snapshot> required")?;
     let file = std::fs::File::open(path)?;
     // The snapshot carries the data; runtime knobs come from flags.
-    let config = DHnswConfig::paper()
+    let mut config = DHnswConfig::paper()
         .with_fanout(flag_usize(flags, "fanout", 4)?)
         .with_representatives(500); // not used by restore
+    if let Some(n) = flags.get("read-retry-limit") {
+        config = config.with_read_retry_limit(n.parse()?);
+    }
+    if flags.contains_key("degraded-ok") {
+        config = config.with_degraded_ok(true);
+    }
     let store = snapshot::read_snapshot(std::io::BufReader::new(file), &config)?;
     eprintln!(
         "restored store: {} base vectors, {} partitions, {:.1} MB remote",
@@ -280,6 +308,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
 
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &Telemetry::global())?;
+    apply_fault_flags(flags, &node)?;
     let (results, report) = node.query_batch(&queries, k, ef)?;
     for (i, hits) in results.iter().enumerate() {
         let row: Vec<String> = hits
@@ -296,6 +325,15 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
         report.round_trips,
         report.bytes_read as f64 / 1e6
     );
+    if report.degraded_queries > 0 {
+        eprintln!(
+            "{} of {} queries degraded ({} engine read retries; mean coverage {:.3})",
+            report.degraded_queries,
+            report.queries,
+            report.read_retries,
+            report.coverage.iter().sum::<f64>() / report.coverage.len().max(1) as f64
+        );
+    }
     if let Some(base) = flags.get("metrics-out") {
         write_metrics(base)?;
     }
@@ -314,6 +352,7 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> AnyResult<()> {
     telemetry.traces().set_enabled(true);
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &telemetry)?;
+    apply_fault_flags(flags, &node)?;
     let (_, report) = node.query_batch(&queries, k, ef)?;
     if let Some(trace) = telemetry.traces().recent().last() {
         eprintln!(
@@ -358,6 +397,7 @@ fn cmd_insert(flags: &HashMap<String, String>) -> AnyResult<()> {
 
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &Telemetry::global())?;
+    apply_fault_flags(flags, &node)?;
     let results = node.insert_batch(&batch)?;
     let ok = results.iter().filter(|r| r.is_ok()).count();
     let rejected = results.len() - ok;
@@ -393,6 +433,9 @@ fn budgets_from(flags: &HashMap<String, String>) -> AnyResult<SloBudgets> {
     if let Some(v) = flag_f64_opt(flags, "slo-max-route-gini")? {
         b.max_route_gini = Some(v);
     }
+    if let Some(v) = flag_f64_opt(flags, "slo-max-degraded-rate")? {
+        b.max_degraded_rate = Some(v);
+    }
     Ok(b)
 }
 
@@ -410,6 +453,7 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
     let telemetry = Telemetry::global();
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &telemetry)?;
+    apply_fault_flags(flags, &node)?;
     // The watchdog reports through the span ring; doctor always listens.
     telemetry.spans().set_enabled(true);
 

@@ -207,7 +207,7 @@ impl Workload {
 }
 
 /// One point of a latency-recall sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The efSearch value.
     pub ef: usize,
@@ -269,12 +269,13 @@ fn median_report(mut reports: Vec<BatchReport>) -> BatchReport {
             .total_us()
             .total_cmp(&b.breakdown.total_us())
     });
-    reports[reports.len() / 2]
+    let mid = reports.len() / 2;
+    reports.swap_remove(mid)
 }
 
 /// A measured Table-1/2 row: the three latency components for one scheme,
 /// plus round trips per query.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BreakdownRow {
     /// The scheme.
     pub mode: SearchMode,
@@ -340,7 +341,7 @@ pub fn print_sweep_table(title: &str, schemes: &[(SearchMode, Vec<SweepPoint>)])
     for i in 0..schemes[0].1.len() {
         print!("{:>4} |", schemes[0].1[i].ef);
         for (_, points) in schemes {
-            let p = points[i];
+            let p = &points[i];
             print!(" {:>14} {:>13.3} |", fmt_us(p.latency_us), p.recall);
         }
         println!();

@@ -297,7 +297,7 @@ pub fn run_profile(
                     .max_by(|a, b| {
                         a.breakdown.total_us().total_cmp(&b.breakdown.total_us())
                     })
-                    .copied()
+                    .cloned()
                     .unwrap_or_default();
                 let sum_u32 = |f: fn(&dhnsw::BatchReport) -> usize| -> u32 {
                     reports.iter().map(f).sum::<usize>() as u32

@@ -42,7 +42,7 @@ impl std::ops::AddAssign for LatencyBreakdown {
 }
 
 /// Everything one [`crate::ComputeNode::query_batch`] call did.
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct BatchReport {
     /// Queries answered in the batch.
     pub queries: usize,
@@ -60,6 +60,17 @@ pub struct BatchReport {
     pub clusters_loaded: usize,
     /// Total cluster demand before dedup (`b × s`).
     pub raw_cluster_demand: usize,
+    /// Queries answered from an incomplete cluster set because a read
+    /// exhausted the engine retry budget (degraded mode).
+    pub degraded_queries: usize,
+    /// Engine-level read retries this batch performed (version-mismatch
+    /// reloads plus post-retransmission verb retries).
+    pub read_retries: u64,
+    /// Per-query coverage: the fraction of the query's routed clusters
+    /// actually searched, in query order. `1.0` everywhere unless the
+    /// batch degraded; empty when the engine skipped per-query
+    /// attribution (no degradation and no loads failed).
+    pub coverage: Vec<f64>,
 }
 
 impl BatchReport {
@@ -91,9 +102,32 @@ impl BatchReport {
         }
     }
 
+    /// Fraction of queries served degraded (incomplete cluster
+    /// coverage), in `[0, 1]`.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.degraded_queries as f64 / self.queries as f64
+        }
+    }
+
     /// Merges another batch's counters into this one (for aggregating a
-    /// run of batches).
+    /// run of batches). Coverage vectors concatenate in batch order;
+    /// an empty coverage vector stands for full coverage and is expanded
+    /// when the other side carries per-query values.
     pub fn merge(&mut self, other: &BatchReport) {
+        if !self.coverage.is_empty() || !other.coverage.is_empty() {
+            if self.coverage.is_empty() {
+                self.coverage = vec![1.0; self.queries];
+            }
+            if other.coverage.is_empty() {
+                self.coverage
+                    .extend(std::iter::repeat_n(1.0, other.queries));
+            } else {
+                self.coverage.extend_from_slice(&other.coverage);
+            }
+        }
         self.queries += other.queries;
         self.breakdown += other.breakdown;
         self.round_trips += other.round_trips;
@@ -102,6 +136,8 @@ impl BatchReport {
         self.cache_hits += other.cache_hits;
         self.clusters_loaded += other.clusters_loaded;
         self.raw_cluster_demand += other.raw_cluster_demand;
+        self.degraded_queries += other.degraded_queries;
+        self.read_retries += other.read_retries;
     }
 }
 
@@ -176,5 +212,32 @@ mod tests {
         assert_eq!(a.queries, 10);
         assert_eq!(a.round_trips, 5);
         assert_eq!(a.cache_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn merge_expands_missing_coverage() {
+        // Full-coverage batch (empty vector) + degraded batch: the
+        // merged coverage is per-query, padded with 1.0 for the former.
+        let mut a = BatchReport {
+            queries: 2,
+            ..Default::default()
+        };
+        let b = BatchReport {
+            queries: 2,
+            degraded_queries: 1,
+            read_retries: 3,
+            coverage: vec![0.5, 1.0],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.coverage, vec![1.0, 1.0, 0.5, 1.0]);
+        assert_eq!(a.degraded_queries, 1);
+        assert_eq!(a.read_retries, 3);
+        assert!((a.degraded_rate() - 0.25).abs() < 1e-12);
+        // Two full-coverage batches keep the compact empty form.
+        let mut c = BatchReport::default();
+        c.merge(&BatchReport::default());
+        assert!(c.coverage.is_empty());
+        assert_eq!(c.degraded_rate(), 0.0);
     }
 }

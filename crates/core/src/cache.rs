@@ -41,6 +41,13 @@ impl CacheStats {
 ///
 /// Entries are handed out as `Arc`s so a batch can keep using a cluster
 /// it already resolved even if a later load in the same batch evicts it.
+/// Each entry remembers the cluster *version* it was loaded at (the
+/// remote version-slot value), so the engine can detect cross-node
+/// mutations and invalidate stale entries on the next load.
+///
+/// A capacity of `0` is an explicit **cache-disabled** mode: every
+/// lookup misses, [`ClusterCache::put`] is a no-op, and nothing is ever
+/// resident — so "no cache" benchmarks genuinely hold zero clusters.
 ///
 /// # Example
 ///
@@ -54,16 +61,17 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct ClusterCache {
     capacity: usize,
-    entries: HashMap<u32, (u64, Arc<LoadedCluster>)>,
+    entries: HashMap<u32, (u64, u64, Arc<LoadedCluster>)>,
     tick: u64,
     stats: CacheStats,
 }
 
 impl ClusterCache {
-    /// Creates a cache holding at most `capacity` clusters (minimum 1).
+    /// Creates a cache holding at most `capacity` clusters; `0` disables
+    /// caching entirely.
     pub fn new(capacity: usize) -> Self {
         ClusterCache {
-            capacity: capacity.max(1),
+            capacity,
             entries: HashMap::new(),
             tick: 0,
             stats: CacheStats::default(),
@@ -90,7 +98,7 @@ impl ClusterCache {
     pub fn get(&mut self, partition: u32) -> Option<Arc<LoadedCluster>> {
         self.tick += 1;
         match self.entries.get_mut(&partition) {
-            Some((stamp, cluster)) => {
+            Some((stamp, _, cluster)) => {
                 *stamp = self.tick;
                 self.stats.hits += 1;
                 emit_scope_instant(
@@ -118,14 +126,31 @@ impl ClusterCache {
         self.entries.contains_key(&partition)
     }
 
-    /// Inserts a cluster, evicting the least recently used entry if the
-    /// cache is full. Returns the evicted partition, if any, so callers
-    /// (the engine's heatmap sampler) can attribute the eviction.
-    pub fn put(&mut self, partition: u32, cluster: Arc<LoadedCluster>) -> Option<u32> {
+    /// The version a resident partition was loaded at, without touching
+    /// recency or hit statistics (used by the engine's coherence check).
+    pub fn version_of(&self, partition: u32) -> Option<u64> {
+        self.entries.get(&partition).map(|(_, v, _)| *v)
+    }
+
+    /// Inserts a cluster loaded at `version`, evicting the least
+    /// recently used entry if the cache is full. Returns the evicted
+    /// partition, if any, so callers (the engine's heatmap sampler) can
+    /// attribute the eviction. A no-op when the cache is disabled
+    /// (capacity 0).
+    pub fn put(
+        &mut self,
+        partition: u32,
+        cluster: Arc<LoadedCluster>,
+        version: u64,
+    ) -> Option<u32> {
+        if self.capacity == 0 {
+            return None;
+        }
         self.tick += 1;
         let mut evicted = None;
         if !self.entries.contains_key(&partition) && self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp)
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, (stamp, _, _))| *stamp)
             {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
@@ -140,7 +165,7 @@ impl ClusterCache {
                 );
             }
         }
-        self.entries.insert(partition, (self.tick, cluster));
+        self.entries.insert(partition, (self.tick, version, cluster));
         evicted
     }
 
@@ -179,7 +204,7 @@ impl ClusterCache {
     pub fn resident_bytes(&self) -> usize {
         self.entries
             .values()
-            .map(|(_, c)| c.resident_bytes())
+            .map(|(_, _, c)| c.resident_bytes())
             .sum()
     }
 }
@@ -202,7 +227,7 @@ mod tests {
     #[test]
     fn get_after_put_hits() {
         let mut c = ClusterCache::new(4);
-        c.put(7, cluster(7));
+        c.put(7, cluster(7), 0);
         assert!(c.get(7).is_some());
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 0);
@@ -218,10 +243,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = ClusterCache::new(2);
-        c.put(0, cluster(0));
-        c.put(1, cluster(1));
+        c.put(0, cluster(0), 0);
+        c.put(1, cluster(1), 0);
         c.get(0); // 0 is now more recent than 1
-        c.put(2, cluster(2)); // evicts 1
+        c.put(2, cluster(2), 0); // evicts 1
         assert!(c.contains(0));
         assert!(!c.contains(1));
         assert!(c.contains(2));
@@ -231,36 +256,54 @@ mod tests {
     #[test]
     fn put_reports_the_eviction_victim() {
         let mut c = ClusterCache::new(2);
-        assert_eq!(c.put(0, cluster(0)), None);
-        assert_eq!(c.put(1, cluster(1)), None);
+        assert_eq!(c.put(0, cluster(0), 0), None);
+        assert_eq!(c.put(1, cluster(1), 0), None);
         c.get(1); // 0 becomes the LRU
-        assert_eq!(c.put(2, cluster(2)), Some(0));
-        assert_eq!(c.put(2, cluster(2)), None, "refresh evicts nobody");
+        assert_eq!(c.put(2, cluster(2), 0), Some(0));
+        assert_eq!(c.put(2, cluster(2), 0), None, "refresh evicts nobody");
     }
 
     #[test]
     fn reinserting_resident_key_does_not_evict() {
         let mut c = ClusterCache::new(2);
-        c.put(0, cluster(0));
-        c.put(1, cluster(1));
-        c.put(1, cluster(1)); // refresh, not grow
+        c.put(0, cluster(0), 0);
+        c.put(1, cluster(1), 0);
+        c.put(1, cluster(1), 0); // refresh, not grow
         assert_eq!(c.len(), 2);
         assert!(c.contains(0));
     }
 
     #[test]
-    fn capacity_zero_is_clamped_to_one() {
+    fn capacity_zero_disables_the_cache() {
         let mut c = ClusterCache::new(0);
-        assert_eq!(c.capacity(), 1);
-        c.put(0, cluster(0));
-        c.put(1, cluster(1));
-        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 0);
+        assert_eq!(c.put(0, cluster(0), 1), None);
+        assert!(c.is_empty());
+        assert!(!c.contains(0));
+        assert!(c.get(0).is_none());
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.evictions(), 0, "disabled cache never evicts");
+        assert_eq!(c.version_of(0), None);
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn entries_remember_their_load_version() {
+        let mut c = ClusterCache::new(2);
+        c.put(3, cluster(3), 17);
+        assert_eq!(c.version_of(3), Some(17));
+        assert_eq!(c.version_of(4), None);
+        // A re-put at a newer version replaces the remembered one.
+        c.put(3, cluster(3), 18);
+        assert_eq!(c.version_of(3), Some(18));
+        c.invalidate(3);
+        assert_eq!(c.version_of(3), None);
     }
 
     #[test]
     fn invalidate_removes_entry() {
         let mut c = ClusterCache::new(2);
-        c.put(3, cluster(3));
+        c.put(3, cluster(3), 0);
         assert!(c.invalidate(3));
         assert!(!c.invalidate(3));
         assert!(c.get(3).is_none());
@@ -269,10 +312,10 @@ mod tests {
     #[test]
     fn contains_does_not_perturb_lru_or_stats() {
         let mut c = ClusterCache::new(2);
-        c.put(0, cluster(0));
-        c.put(1, cluster(1));
+        c.put(0, cluster(0), 0);
+        c.put(1, cluster(1), 0);
         assert!(c.contains(0)); // must NOT refresh 0
-        c.put(2, cluster(2)); // evicts 0, the true LRU
+        c.put(2, cluster(2), 0); // evicts 0, the true LRU
         assert!(!c.contains(0));
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
@@ -281,7 +324,7 @@ mod tests {
     #[test]
     fn clear_empties_cache() {
         let mut c = ClusterCache::new(2);
-        c.put(0, cluster(0));
+        c.put(0, cluster(0), 0);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.resident_bytes(), 0);
@@ -290,10 +333,10 @@ mod tests {
     #[test]
     fn evictions_count_lru_pressure_only() {
         let mut c = ClusterCache::new(2);
-        c.put(0, cluster(0));
-        c.put(1, cluster(1));
+        c.put(0, cluster(0), 0);
+        c.put(1, cluster(1), 0);
         assert_eq!(c.evictions(), 0);
-        c.put(2, cluster(2)); // LRU pressure
+        c.put(2, cluster(2), 0); // LRU pressure
         assert_eq!(c.evictions(), 1);
         c.invalidate(2); // explicit drop: not an eviction
         c.clear(); // neither is a clear
@@ -306,7 +349,7 @@ mod tests {
         let empty = CacheStats::default();
         assert_eq!(empty.hit_rate(), 0.0);
         let mut c = ClusterCache::new(2);
-        c.put(0, cluster(0));
+        c.put(0, cluster(0), 0);
         c.get(0);
         c.get(0);
         c.get(9);
@@ -327,9 +370,9 @@ mod tests {
         {
             let _guard = trace.enter_scope(root);
             c.get(5); // miss
-            c.put(5, cluster(5));
+            c.put(5, cluster(5), 0);
             c.get(5); // hit
-            c.put(6, cluster(6)); // evicts 5
+            c.put(6, cluster(6), 0); // evicts 5
         }
         c.get(6); // outside the scope: not traced
         trace.end_span(root);
@@ -348,7 +391,7 @@ mod tests {
     fn resident_bytes_tracks_contents() {
         let mut c = ClusterCache::new(2);
         assert_eq!(c.resident_bytes(), 0);
-        c.put(0, cluster(0));
+        c.put(0, cluster(0), 0);
         assert!(c.resident_bytes() > 0);
     }
 }

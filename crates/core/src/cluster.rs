@@ -197,6 +197,25 @@ impl SubCluster {
 /// `2^31`, which the representative counts in play never approach.
 pub const TOMBSTONE_BIT: u32 = 1 << 31;
 
+/// Value of the commit marker word that ends every *committed* overflow
+/// slot. A slot whose final word differs (the all-zero value of a
+/// reserved-but-never-written slot, most importantly) is treated as
+/// uncommitted and skipped at materialization.
+pub const OVERFLOW_COMMIT: u32 = 0x3256_4F44; // "DOV2"
+
+/// 32-bit FNV-1a over `bytes` — dependency-free record checksum.
+fn fnv1a(seed: u32, bytes: &[u8]) -> u32 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// FNV-1a offset basis (the conventional starting seed).
+const FNV_OFFSET: u32 = 0x811c_9dc5;
+
 /// A record appended after the cluster was serialized, living in the
 /// group's shared overflow area. Two kinds share one fixed-size slot
 /// format:
@@ -204,6 +223,26 @@ pub const TOMBSTONE_BIT: u32 = 1 << 31;
 /// - an **insert** carries a new vector under a fresh global id;
 /// - a **tombstone** marks an existing global id (base or inserted) as
 ///   deleted; its vector payload is ignored.
+///
+/// # Wire format (v2)
+///
+/// ```text
+/// offset  size  field
+/// 0       4     tag        (partition | TOMBSTONE_BIT)
+/// 4       4     global_id
+/// 8       4     len        (payload bytes = 4 * dim, length prefix)
+/// 12      4     checksum   (FNV-1a over tag..len + payload)
+/// 16      4*dim payload    (f32 little-endian)
+/// ...           zero padding to 8-byte alignment
+/// end-4   4     commit     (OVERFLOW_COMMIT, written last)
+/// ```
+///
+/// The commit marker occupies the *final* word of the slot, so a slot is
+/// only ever observed committed after every preceding byte of the record
+/// landed. A fault between the slot-reserving FAA and the RDMA_WRITE
+/// leaves the slot all-zero: no commit marker, skipped on read. The
+/// checksum additionally rejects slots whose bytes were damaged after
+/// commit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OverflowRecord {
     /// Partition the record belongs to (either cluster of the group).
@@ -237,35 +276,93 @@ impl OverflowRecord {
         }
     }
 
-    /// On-wire size of one record for dimensionality `dim`, padded to an
-    /// 8-byte multiple so records never straddle the alignment the FAA
-    /// bump allocator guarantees.
+    /// On-wire size of one record for dimensionality `dim`: 16-byte
+    /// header, payload, trailing commit word, padded to an 8-byte
+    /// multiple so records never straddle the alignment the FAA bump
+    /// allocator guarantees.
     pub fn wire_size(dim: usize) -> usize {
+        (16 + 4 * dim + 4 + 7) & !7
+    }
+
+    /// On-wire size under the v1 framing (no length prefix, checksum, or
+    /// commit marker). Kept for decoding pre-v2 snapshots.
+    pub fn wire_size_legacy(dim: usize) -> usize {
         (8 + 4 * dim + 7) & !7
     }
 
     /// Encodes the record into exactly [`OverflowRecord::wire_size`]
-    /// bytes.
+    /// bytes, commit marker in the slot's final word.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::wire_size(self.vector.len()));
+        let dim = self.vector.len();
+        let size = Self::wire_size(dim);
+        let mut out = Vec::with_capacity(size);
         let tag = self.partition | if self.tombstone { TOMBSTONE_BIT } else { 0 };
         out.extend_from_slice(&tag.to_le_bytes());
         out.extend_from_slice(&self.global_id.to_le_bytes());
+        out.extend_from_slice(&((4 * dim) as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // checksum backfilled below
         for &x in &self.vector {
             out.extend_from_slice(&x.to_le_bytes());
         }
-        out.resize(Self::wire_size(self.vector.len()), 0);
+        let sum = fnv1a(fnv1a(FNV_OFFSET, &out[0..12]), &out[16..16 + 4 * dim]);
+        out[12..16].copy_from_slice(&sum.to_le_bytes());
+        out.resize(size - 4, 0);
+        out.extend_from_slice(&OVERFLOW_COMMIT.to_le_bytes());
         out
     }
 
-    /// Decodes one record of dimensionality `dim`.
+    /// Decodes one committed record of dimensionality `dim`.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Corrupt`] when `bytes` is shorter than the wire
-    /// size.
+    /// size, the commit marker is absent (torn or never-completed
+    /// insert), the length prefix disagrees with `dim`, or the checksum
+    /// does not match.
     pub fn from_bytes(bytes: &[u8], dim: usize) -> Result<Self> {
-        if bytes.len() < Self::wire_size(dim) {
+        let size = Self::wire_size(dim);
+        if bytes.len() < size {
+            return Err(Error::Corrupt("truncated overflow record".into()));
+        }
+        let word = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+        if word(size - 4) != OVERFLOW_COMMIT {
+            return Err(Error::Corrupt("uncommitted overflow record".into()));
+        }
+        let tag = word(0);
+        let global_id = word(4);
+        let len = word(8) as usize;
+        if len != 4 * dim {
+            return Err(Error::Corrupt(format!(
+                "overflow record length prefix {len} does not match dim {dim}"
+            )));
+        }
+        let sum = fnv1a(fnv1a(FNV_OFFSET, &bytes[0..12]), &bytes[16..16 + len]);
+        if sum != word(12) {
+            return Err(Error::Corrupt("overflow record checksum mismatch".into()));
+        }
+        let mut vector = Vec::with_capacity(dim);
+        for i in 0..dim {
+            vector.push(f32::from_le_bytes(
+                bytes[16 + 4 * i..20 + 4 * i].try_into().expect("4 bytes"),
+            ));
+        }
+        Ok(OverflowRecord {
+            partition: tag & !TOMBSTONE_BIT,
+            global_id,
+            vector,
+            tombstone: tag & TOMBSTONE_BIT != 0,
+        })
+    }
+
+    /// Decodes one record under the v1 framing (tag, global id, payload;
+    /// no integrity fields). Pre-v2 snapshots use this layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when `bytes` is shorter than
+    /// [`OverflowRecord::wire_size_legacy`].
+    pub fn from_bytes_legacy(bytes: &[u8], dim: usize) -> Result<Self> {
+        if bytes.len() < Self::wire_size_legacy(dim) {
             return Err(Error::Corrupt("truncated overflow record".into()));
         }
         let tag = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
@@ -287,13 +384,30 @@ impl OverflowRecord {
 }
 
 /// Parses a raw overflow area: an 8-byte little-endian `used` counter
-/// followed by `used` bytes of records.
+/// followed by `used` bytes of fixed-size record slots.
+///
+/// Slots without a valid commit marker or whose checksum fails — torn or
+/// never-completed inserts — are *skipped*, not errors: a crashed writer
+/// must never poison every subsequent read of its group.
 ///
 /// # Errors
 ///
-/// Returns [`Error::Corrupt`] when the area is shorter than its counter
-/// claims or a record is malformed.
+/// Returns [`Error::Corrupt`] only when the area is shorter than its own
+/// `used` counter header.
 pub fn parse_overflow(area: &[u8], dim: usize) -> Result<Vec<OverflowRecord>> {
+    Ok(parse_overflow_detailed(area, dim)?.0)
+}
+
+/// Like [`parse_overflow`], additionally reporting how many slots inside
+/// the committed range were skipped as uncommitted or damaged.
+///
+/// # Errors
+///
+/// Same as [`parse_overflow`].
+pub fn parse_overflow_detailed(
+    area: &[u8],
+    dim: usize,
+) -> Result<(Vec<OverflowRecord>, usize)> {
     if area.len() < 8 {
         return Err(Error::Corrupt("overflow area shorter than header".into()));
     }
@@ -301,13 +415,41 @@ pub fn parse_overflow(area: &[u8], dim: usize) -> Result<Vec<OverflowRecord>> {
     let rec = OverflowRecord::wire_size(dim);
     // A concurrent reservation may have bumped `used` past capacity (the
     // failed insert writes nothing); only whole records within the area
-    // are live.
+    // can be live.
+    let usable = used.min(area.len() - 8);
+    let count = usable / rec;
+    let mut out = Vec::with_capacity(count);
+    let mut skipped = 0usize;
+    for i in 0..count {
+        let off = 8 + i * rec;
+        match OverflowRecord::from_bytes(&area[off..off + rec], dim) {
+            Ok(r) => out.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((out, skipped))
+}
+
+/// [`parse_overflow`] under the v1 framing, for pre-v2 snapshots. v1
+/// slots carry no commit marker, so a torn insert is indistinguishable
+/// from a record of zeros — exactly the defect the v2 framing removes.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] when the area is shorter than its counter
+/// header or a record is truncated.
+pub fn parse_overflow_legacy(area: &[u8], dim: usize) -> Result<Vec<OverflowRecord>> {
+    if area.len() < 8 {
+        return Err(Error::Corrupt("overflow area shorter than header".into()));
+    }
+    let used = u64::from_le_bytes(area[0..8].try_into().expect("8 bytes")) as usize;
+    let rec = OverflowRecord::wire_size_legacy(dim);
     let usable = used.min(area.len() - 8);
     let count = usable / rec;
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let off = 8 + i * rec;
-        out.push(OverflowRecord::from_bytes(&area[off..off + rec], dim)?);
+        out.push(OverflowRecord::from_bytes_legacy(&area[off..off + rec], dim)?);
     }
     Ok(out)
 }
@@ -320,6 +462,7 @@ pub struct LoadedCluster {
     sub: SubCluster,
     extra: Vec<(u32, Vec<f32>)>,
     deleted: std::collections::HashSet<u32>,
+    skipped_slots: usize,
 }
 
 impl LoadedCluster {
@@ -333,7 +476,7 @@ impl LoadedCluster {
     /// Propagates [`Error::Corrupt`] from either parse.
     pub fn from_remote(cluster_bytes: &[u8], overflow_area: &[u8]) -> Result<Self> {
         let sub = SubCluster::from_bytes(cluster_bytes)?;
-        let records = parse_overflow(overflow_area, sub.dim())?;
+        let (records, skipped_slots) = parse_overflow_detailed(overflow_area, sub.dim())?;
         let mut extra: Vec<(u32, Vec<f32>)> = Vec::new();
         let mut deleted = std::collections::HashSet::new();
         for r in records {
@@ -348,7 +491,12 @@ impl LoadedCluster {
         }
         // A tombstone also kills an earlier overflow insert of that id.
         extra.retain(|(gid, _)| !deleted.contains(gid));
-        Ok(LoadedCluster { sub, extra, deleted })
+        Ok(LoadedCluster {
+            sub,
+            extra,
+            deleted,
+            skipped_slots,
+        })
     }
 
     /// Wraps a freshly built cluster with no overflow (used at store-build
@@ -358,7 +506,14 @@ impl LoadedCluster {
             sub,
             extra: Vec::new(),
             deleted: std::collections::HashSet::new(),
+            skipped_slots: 0,
         }
+    }
+
+    /// Overflow slots inside the committed range that were skipped as
+    /// uncommitted or damaged (torn inserts survived).
+    pub fn skipped_slots(&self) -> usize {
+        self.skipped_slots
     }
 
     /// Global ids tombstoned in this cluster's overflow.
@@ -502,9 +657,62 @@ mod tests {
             let bytes = r.to_bytes();
             assert_eq!(bytes.len(), OverflowRecord::wire_size(dim));
             assert_eq!(bytes.len() % 8, 0, "records must stay 8-aligned");
+            // Commit marker sits in the slot's final word.
+            let tail = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+            assert_eq!(tail, OVERFLOW_COMMIT);
             let back = OverflowRecord::from_bytes(&bytes, dim).unwrap();
             assert_eq!(back, r);
         }
+    }
+
+    #[test]
+    fn uncommitted_slot_is_rejected_by_decode() {
+        let dim = 4;
+        // A reserved-but-never-written slot reads as all zeros.
+        let zeros = vec![0u8; OverflowRecord::wire_size(dim)];
+        let err = OverflowRecord::from_bytes(&zeros, dim).unwrap_err();
+        assert!(err.to_string().contains("uncommitted"), "{err}");
+        // A committed slot with a cleared marker is also uncommitted.
+        let mut torn = OverflowRecord::insert(1, 7, vec![1.0; dim]).to_bytes();
+        let n = torn.len();
+        torn[n - 4..].fill(0);
+        assert!(OverflowRecord::from_bytes(&torn, dim).is_err());
+    }
+
+    #[test]
+    fn damaged_payload_fails_the_checksum() {
+        let dim = 3;
+        let mut bytes = OverflowRecord::insert(2, 42, vec![0.25; dim]).to_bytes();
+        bytes[17] ^= 0x01; // flip a payload bit, marker intact
+        let err = OverflowRecord::from_bytes(&bytes, dim).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn legacy_framing_still_decodes() {
+        // Hand-packed v1 slot: tag, global id, payload, pad — no header
+        // extensions, no commit marker.
+        let dim = 3;
+        let rec = OverflowRecord::wire_size_legacy(dim);
+        assert_eq!(rec, (8 + 4 * dim + 7) & !7);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(6u32 | TOMBSTONE_BIT).to_le_bytes());
+        bytes.extend_from_slice(&123u32.to_le_bytes());
+        for x in [1.0f32, 2.0, 3.0] {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        bytes.resize(rec, 0);
+        let r = OverflowRecord::from_bytes_legacy(&bytes, dim).unwrap();
+        assert_eq!(r.partition, 6);
+        assert_eq!(r.global_id, 123);
+        assert!(r.tombstone);
+        assert_eq!(r.vector, vec![1.0, 2.0, 3.0]);
+
+        let mut area = vec![0u8; 8 + rec];
+        area[0..8].copy_from_slice(&(rec as u64).to_le_bytes());
+        area[8..].copy_from_slice(&bytes);
+        let got = parse_overflow_legacy(&area, dim).unwrap();
+        assert_eq!(got, vec![r]);
     }
 
     #[test]
@@ -536,11 +744,30 @@ mod tests {
         // A failed insert can leave `used` past capacity; parsing must
         // clamp, not error.
         let dim = 2;
-        let area_len = 8 + OverflowRecord::wire_size(dim);
-        let mut area = vec![0u8; area_len];
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + rec];
+        let r = OverflowRecord::insert(0, 5, vec![0.5; dim]);
+        area[8..8 + rec].copy_from_slice(&r.to_bytes());
         area[0..8].copy_from_slice(&(10_000u64).to_le_bytes());
         let got = parse_overflow(&area, dim).unwrap();
-        assert_eq!(got.len(), 1); // only the one whole record that fits
+        assert_eq!(got, vec![r]); // only the one whole record that fits
+    }
+
+    #[test]
+    fn parse_overflow_skips_torn_slots() {
+        // Committed, torn (reserved-but-unwritten, all zeros), committed:
+        // parse yields the two committed records and counts one skip.
+        let dim = 2;
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + 3 * rec];
+        let r0 = OverflowRecord::insert(0, 1, vec![1.0; dim]);
+        let r2 = OverflowRecord::insert(0, 3, vec![3.0; dim]);
+        area[8..8 + rec].copy_from_slice(&r0.to_bytes());
+        area[8 + 2 * rec..8 + 3 * rec].copy_from_slice(&r2.to_bytes());
+        area[0..8].copy_from_slice(&((3 * rec) as u64).to_le_bytes());
+        let (got, skipped) = parse_overflow_detailed(&area, dim).unwrap();
+        assert_eq!(got, vec![r0, r2]);
+        assert_eq!(skipped, 1);
     }
 
     #[test]

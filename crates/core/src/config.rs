@@ -34,6 +34,9 @@ pub struct DHnswConfig {
     network: NetworkModel,
     seed: u64,
     search_threads: usize,
+    read_retry_limit: u32,
+    retry_backoff_us: f64,
+    degraded_ok: bool,
 }
 
 impl DHnswConfig {
@@ -51,6 +54,9 @@ impl DHnswConfig {
             network: NetworkModel::connectx6(),
             seed: 0x5EED,
             search_threads: 0,
+            read_retry_limit: 3,
+            retry_backoff_us: 8.0,
+            degraded_ok: false,
         }
     }
 
@@ -68,6 +74,9 @@ impl DHnswConfig {
             network: NetworkModel::connectx6(),
             seed: 0x5EED,
             search_threads: 1,
+            read_retry_limit: 3,
+            retry_backoff_us: 8.0,
+            degraded_ok: false,
         }
     }
 
@@ -105,11 +114,56 @@ impl DHnswConfig {
         self
     }
 
-    /// Cache capacity in clusters for a store with `partitions` clusters:
-    /// at least one, at most all of them.
+    /// Cache capacity in clusters for a store with `partitions`
+    /// clusters: at most all of them, and exactly `0` — caching
+    /// disabled — when the fraction is `0.0`.
     pub fn cache_capacity(&self, partitions: usize) -> usize {
+        if self.cache_fraction == 0.0 {
+            return 0;
+        }
         ((partitions as f64 * self.cache_fraction).ceil() as usize)
             .clamp(1, partitions.max(1))
+    }
+
+    /// Engine-level read retries per cluster load, on top of rdma-sim's
+    /// own retransmission budget. Each retry re-reads the cluster span
+    /// after a version mismatch or an exhausted-retransmission error.
+    pub fn read_retry_limit(&self) -> u32 {
+        self.read_retry_limit
+    }
+
+    /// Sets the engine-level read retry budget.
+    pub fn with_read_retry_limit(mut self, n: u32) -> Self {
+        self.read_retry_limit = n;
+        self
+    }
+
+    /// Base backoff charged (in virtual µs) before the first engine
+    /// retry; doubles on each subsequent retry, bounded by the retry
+    /// limit.
+    pub fn retry_backoff_us(&self) -> f64 {
+        self.retry_backoff_us
+    }
+
+    /// Sets the base engine retry backoff in virtual µs.
+    pub fn with_retry_backoff_us(mut self, us: f64) -> Self {
+        self.retry_backoff_us = us;
+        self
+    }
+
+    /// Whether a query batch may complete with *degraded* results when a
+    /// cluster read exhausts the retry budget: affected queries are
+    /// answered from the clusters that did arrive and report coverage
+    /// `< 1.0` in [`crate::BatchReport`]. When `false` (the default),
+    /// the batch fails with [`Error::ReadRetriesExhausted`].
+    pub fn degraded_ok(&self) -> bool {
+        self.degraded_ok
+    }
+
+    /// Sets whether degraded query results are acceptable.
+    pub fn with_degraded_ok(mut self, ok: bool) -> Self {
+        self.degraded_ok = ok;
+        self
     }
 
     /// Overflow capacity per group, in inserted-vector records.
@@ -231,6 +285,12 @@ impl DHnswConfig {
                 self.cache_fraction
             )));
         }
+        if !self.retry_backoff_us.is_finite() || self.retry_backoff_us < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "retry_backoff_us must be finite and >= 0, got {}",
+                self.retry_backoff_us
+            )));
+        }
         self.meta_params
             .validate()
             .map_err(|e| Error::InvalidParameter(format!("meta params: {e}")))?;
@@ -296,7 +356,34 @@ mod tests {
         let full = DHnswConfig::paper().with_cache_fraction(1.0);
         assert_eq!(full.cache_capacity(500), 500);
         let none = DHnswConfig::paper().with_cache_fraction(0.0);
-        assert_eq!(none.cache_capacity(500), 1, "at least one slot");
+        assert_eq!(none.cache_capacity(500), 0, "fraction 0 disables caching");
+        // Any positive fraction still provisions at least one slot.
+        let tiny = DHnswConfig::paper().with_cache_fraction(1e-9);
+        assert_eq!(tiny.cache_capacity(5), 1);
+    }
+
+    #[test]
+    fn retry_knobs_default_and_build() {
+        let c = DHnswConfig::paper();
+        assert_eq!(c.read_retry_limit(), 3);
+        assert!((c.retry_backoff_us() - 8.0).abs() < 1e-12);
+        assert!(!c.degraded_ok());
+        let c = c
+            .with_read_retry_limit(5)
+            .with_retry_backoff_us(2.5)
+            .with_degraded_ok(true);
+        assert_eq!(c.read_retry_limit(), 5);
+        assert!((c.retry_backoff_us() - 2.5).abs() < 1e-12);
+        assert!(c.degraded_ok());
+        c.validate().unwrap();
+        assert!(DHnswConfig::paper()
+            .with_retry_backoff_us(-1.0)
+            .validate()
+            .is_err());
+        assert!(DHnswConfig::paper()
+            .with_retry_backoff_us(f64::NAN)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! | [`SearchMode::Naive`]      | ✓ | ✗ | ✗ | ✗ (per-query cluster fetches) |
 //!
 //! Mutations go through the shared overflow areas: [`ComputeNode::insert`]
-//! (three one-sided verbs), [`ComputeNode::insert_batch`] (doorbell-
-//! batched), and [`ComputeNode::delete`] (tombstone records).
+//! (four one-sided verbs, the last publishing the partition's version),
+//! [`ComputeNode::insert_batch`] (doorbell-batched), and
+//! [`ComputeNode::delete`] (tombstone records). Reads validate the
+//! per-partition version slots around each cluster fetch and retry (or
+//! degrade, when allowed) when a read cannot stabilize.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,7 +33,7 @@ use crate::cache::{CacheStats, ClusterCache};
 use crate::cluster::{LoadedCluster, OverflowRecord};
 use crate::health::heatmap::ClusterHeatmap;
 use crate::health::report::{
-    CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary,
+    CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary, ReliabilityHealth,
 };
 use crate::health::skew::skew_of;
 use crate::layout::{Directory, ID_COUNTER_OFFSET};
@@ -151,6 +154,8 @@ struct EngineMetrics {
     rdma_atomics: Arc<Counter>,
     rdma_faults: Arc<Counter>,
     doorbell_batch_size: Arc<Histogram>,
+    degraded_queries: Arc<Counter>,
+    read_retries: Arc<Counter>,
     inserts: Arc<Counter>,
     insert_overflow: Arc<Counter>,
     deletes: Arc<Counter>,
@@ -263,6 +268,16 @@ impl EngineMetrics {
                 "Work requests per doorbell batch",
                 &[],
             ),
+            degraded_queries: t.counter(
+                "dhnsw_degraded_queries_total",
+                "Queries answered from an incomplete cluster set after read retries ran out",
+                m,
+            ),
+            read_retries: t.counter(
+                "dhnsw_read_retries_total",
+                "Engine-level cluster read retries (version mismatch or exhausted retransmissions)",
+                m,
+            ),
             inserts: t.counter("dhnsw_inserts_total", "Insert attempts", &[]),
             insert_overflow: t.counter(
                 "dhnsw_insert_overflow_total",
@@ -311,7 +326,26 @@ impl ComputeNode {
         mode: SearchMode,
         telemetry: Arc<Telemetry>,
     ) -> Result<Self> {
-        let config = store.config().clone();
+        let mut config = store.config().clone();
+        // Reliability knobs are also settable from the environment so
+        // binaries can run fault drills without code changes:
+        // DHNSW_READ_RETRY_LIMIT, DHNSW_RETRY_BACKOFF_US, and
+        // DHNSW_DEGRADED_OK=1.
+        if let Some(n) = std::env::var("DHNSW_READ_RETRY_LIMIT")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            config = config.with_read_retry_limit(n);
+        }
+        if let Some(us) = std::env::var("DHNSW_RETRY_BACKOFF_US")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            config = config.with_retry_backoff_us(us);
+        }
+        if std::env::var("DHNSW_DEGRADED_OK").is_ok_and(|v| v == "1") {
+            config = config.with_degraded_ok(true);
+        }
         let qp = QueuePair::connect(store.memory_node(), config.network());
         let rkey = store.region().rkey();
         let dir_len = Directory::byte_size(store.partitions()) as u64;
@@ -430,7 +464,17 @@ impl ComputeNode {
             let raw: [u8; 8] = buf.as_slice().try_into().map_err(|_| {
                 Error::Corrupt(format!("group {} overflow counter short read", g.group))
             })?;
-            let used = u64::from_le_bytes(raw).min(g.overflow_capacity);
+            let used = u64::from_le_bytes(raw);
+            // Reservations are compensated on the overflow-full path, so
+            // a counter past capacity is not bookkeeping slack — it means
+            // the remote counter (or the directory) is damaged. Surface
+            // that instead of silently clamping it away.
+            if used > g.overflow_capacity {
+                return Err(Error::Corrupt(format!(
+                    "group {} overflow counter {} exceeds capacity {}",
+                    g.group, used, g.overflow_capacity
+                )));
+            }
             let occupancy = if g.overflow_capacity == 0 {
                 0.0
             } else {
@@ -519,6 +563,20 @@ impl ComputeNode {
                 max_us: h.max(),
             }
         };
+        let reliability = {
+            let queries = self.metrics.queries.get();
+            let degraded = self.metrics.degraded_queries.get();
+            ReliabilityHealth {
+                queries,
+                degraded_queries: degraded,
+                read_retries: self.metrics.read_retries.get(),
+                degraded_rate: if queries == 0 {
+                    0.0
+                } else {
+                    degraded as f64 / queries as f64
+                },
+            }
+        };
 
         let report = HealthReport {
             mode: self.mode.label(),
@@ -531,6 +589,7 @@ impl ComputeNode {
             degree_skew: skew_of(&degree_hist, topk),
             cache,
             latency,
+            reliability,
             violations: Vec::new(),
         };
         report.publish(&self.telemetry);
@@ -713,6 +772,8 @@ impl ComputeNode {
         m.clusters_loaded.add(report.clusters_loaded as u64);
         m.cluster_cache_hits.add(report.cache_hits as u64);
         m.raw_cluster_demand.add(report.raw_cluster_demand as u64);
+        m.degraded_queries.add(report.degraded_queries as u64);
+        m.read_retries.add(report.read_retries);
         m.transfers_saved.add(
             (report.raw_cluster_demand.saturating_sub(report.clusters_loaded)) as u64,
         );
@@ -800,43 +861,163 @@ impl ComputeNode {
 
         // Pin cached clusters before loading so same-batch evictions
         // cannot take them away mid-batch. Cache hit instants attach to
-        // the cluster-union span via the scope.
+        // the cluster-union span via the scope. Each pin remembers the
+        // version the entry was loaded at for the coherence check below.
         let mut resolved: HashMap<u32, Arc<LoadedCluster>> = HashMap::new();
+        let mut pinned_versions: Vec<(u32, u64)> = Vec::new();
         {
             let _scope = trace.enter_scope(s_union);
             let mut cache = self.cache.lock();
             for &p in &plan.cached {
+                let version = cache.version_of(p).unwrap_or(0);
                 if let Some(c) = cache.get(p) {
                     resolved.insert(p, c);
+                    pinned_versions.push((p, version));
                 }
             }
         }
         trace.end_span_with(s_union, &plan.trace_args());
 
-        // 3. Network: fetch every missing cluster exactly once. Verb
-        // spans (doorbell chunks, per-cluster reads) nest under the
-        // network span via the scope.
+        // 3. Network: fetch every missing cluster exactly once, under the
+        // optimistic version protocol. Each loaded span travels between
+        // two reads of its partition's version slot; a mismatch means a
+        // writer committed mid-read and the span is re-fetched. Cached
+        // pins piggyback one version read each on the same doorbell, so
+        // cross-node mutations invalidate stale entries whenever a batch
+        // touches the wire at all (a fully-cached batch stays at zero
+        // verbs — cache lifetime bounds staleness there, as documented).
+        // Substrate retransmission-budget errors are retried at this
+        // level too, with exponential backoff charged to virtual time.
         let s_net = trace.begin_span("network", "engine", root);
         let clock0 = self.qp.clock().now_us();
         let stats0 = self.qp.stats().snapshot();
-        let reqs = read_requests(&self.directory, self.rkey, &plan.to_load)?;
-        let buffers: Vec<Vec<u8>> = {
-            let _scope = trace.enter_scope(s_net);
-            if doorbell {
-                self.qp.read_doorbell(&reqs)?
-            } else {
-                reqs.iter()
-                    .map(|r| self.qp.read(r.rkey, r.offset, r.len))
-                    .collect::<std::result::Result<_, _>>()?
-            }
+        let versioned = self.directory.has_version_slots();
+        let mut verify: Vec<(u32, u64)> = if versioned && !plan.to_load.is_empty() {
+            pinned_versions
+        } else {
+            Vec::new()
         };
+        let mut pending: Vec<u32> = plan.to_load.clone();
+        // (partition, version-at-load, span bytes) that passed the check.
+        let mut stable: Vec<(u32, u64, Vec<u8>)> = Vec::new();
+        let mut failed: Vec<u32> = Vec::new();
+        let mut demoted = 0usize;
+        let mut attempt: u32 = 0;
+        while !pending.is_empty() || !verify.is_empty() {
+            let mut reqs = Vec::with_capacity(verify.len() + 3 * pending.len());
+            for &(p, _) in &verify {
+                reqs.push(rdma_sim::ReadReq::new(
+                    self.rkey,
+                    self.directory.version_slot_off(p)?,
+                    8,
+                ));
+            }
+            if versioned {
+                for &p in &pending {
+                    let vs = rdma_sim::ReadReq::new(
+                        self.rkey,
+                        self.directory.version_slot_off(p)?,
+                        8,
+                    );
+                    let (off, len) = self.directory.location(p)?.read_span();
+                    reqs.push(vs);
+                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len));
+                    reqs.push(vs);
+                }
+            } else {
+                reqs.extend(read_requests(&self.directory, self.rkey, &pending)?);
+            }
+            let outcome = {
+                let _scope = trace.enter_scope(s_net);
+                if doorbell {
+                    self.qp.read_doorbell(&reqs)
+                } else {
+                    reqs.iter()
+                        .map(|r| self.qp.read(r.rkey, r.offset, r.len))
+                        .collect::<std::result::Result<Vec<_>, _>>()
+                }
+            };
+            let buffers = match outcome {
+                Ok(buffers) => buffers,
+                Err(rdma_sim::Error::RetriesExhausted { .. }) => {
+                    attempt += 1;
+                    report.read_retries += 1;
+                    if attempt > self.config.read_retry_limit() {
+                        if self.config.degraded_ok() {
+                            failed.append(&mut pending);
+                            verify.clear();
+                            break;
+                        }
+                        trace.end_span(s_net);
+                        return Err(Error::ReadRetriesExhausted {
+                            partition: pending.first().copied().unwrap_or_default(),
+                            attempts: attempt,
+                        });
+                    }
+                    self.backoff(attempt, trace, s_net, pending.len());
+                    continue;
+                }
+                Err(e) => {
+                    trace.end_span(s_net);
+                    return Err(e.into());
+                }
+            };
+            let mut bufs = buffers.into_iter();
+            let mut unstable: Vec<u32> = Vec::new();
+            for &(p, pinned) in &verify {
+                let now = read_version(&bufs.next().expect("one buffer per request"))?;
+                if now != pinned {
+                    // A writer moved the cluster since we cached it:
+                    // drop the stale pin and reload it with this batch.
+                    self.cache.lock().invalidate(p);
+                    resolved.remove(&p);
+                    unstable.push(p);
+                    demoted += 1;
+                }
+            }
+            verify.clear();
+            for &p in &pending {
+                if versioned {
+                    let before = read_version(&bufs.next().expect("version read"))?;
+                    let span = bufs.next().expect("span read");
+                    let after = read_version(&bufs.next().expect("version read"))?;
+                    if before == after {
+                        stable.push((p, after, span));
+                    } else {
+                        unstable.push(p);
+                    }
+                } else {
+                    stable.push((p, 0, bufs.next().expect("span read")));
+                }
+            }
+            if unstable.is_empty() {
+                break;
+            }
+            attempt += 1;
+            report.read_retries += unstable.len() as u64;
+            if attempt > self.config.read_retry_limit() {
+                if self.config.degraded_ok() {
+                    failed = unstable;
+                    break;
+                }
+                trace.end_span(s_net);
+                return Err(Error::ReadRetriesExhausted {
+                    partition: unstable[0],
+                    attempts: attempt,
+                });
+            }
+            self.backoff(attempt, trace, s_net, unstable.len());
+            pending = unstable;
+        }
+        report.cache_hits = plan.cached.len() - demoted;
+        report.clusters_loaded = stable.len();
         report.breakdown.network_us = self.qp.clock().now_us() - clock0;
         let stats_delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = stats_delta.round_trips;
         report.bytes_read = stats_delta.bytes_read;
         if heat {
-            for (&p, buf) in plan.to_load.iter().zip(&buffers) {
-                self.heatmap.record_load(p, buf.len() as u64);
+            for (p, _, span) in &stable {
+                self.heatmap.record_load(*p, span.len() as u64);
             }
         }
         trace.set_vt(s_net, clock0, report.breakdown.network_us);
@@ -849,21 +1030,30 @@ impl ComputeNode {
                     "doorbell_batches",
                     ArgValue::U64(stats_delta.doorbell_batches),
                 ),
+                ("read_retries", ArgValue::U64(report.read_retries)),
             ],
         );
 
-        // 4. Materialize loads (compute on loaded data) and cache them.
-        // Deserialization fans out over the instance's worker threads,
-        // like the paper's per-instance OpenMP pool.
+        // 4. Materialize loads (compute on loaded data) and cache them at
+        // the version they were read. Deserialization fans out over the
+        // instance's worker threads, like the paper's per-instance OpenMP
+        // pool.
         let threads = self.config.effective_search_threads();
         let t_sub = Instant::now();
         let s_mat = trace.begin_span("materialize", "engine", root);
-        let loaded = materialize_parallel(&self.directory, &plan.to_load, &buffers, threads)?;
+        let stable_parts: Vec<u32> = stable.iter().map(|(p, _, _)| *p).collect();
+        let stable_versions: Vec<u64> = stable.iter().map(|(_, v, _)| *v).collect();
+        let stable_bufs: Vec<Vec<u8>> = stable.into_iter().map(|(_, _, b)| b).collect();
+        let loaded = materialize_parallel(&self.directory, &stable_parts, &stable_bufs, threads)?;
         {
             let _scope = trace.enter_scope(s_mat);
             let mut cache = self.cache.lock();
-            for (&p, cluster) in plan.to_load.iter().zip(&loaded) {
-                if let Some(victim) = cache.put(p, Arc::clone(cluster)) {
+            for ((&p, cluster), version) in stable_parts
+                .iter()
+                .zip(&loaded)
+                .zip(stable_versions.iter().copied())
+            {
+                if let Some(victim) = cache.put(p, Arc::clone(cluster), version) {
                     if heat {
                         self.heatmap.record_eviction(victim);
                     }
@@ -873,9 +1063,13 @@ impl ComputeNode {
         }
         trace.end_span_with(s_mat, &[("clusters", ArgValue::U64(loaded.len() as u64))]);
 
-        // 5. Sub-HNSW search per query over its b clusters.
+        // 5. Sub-HNSW search per query over its b clusters. When reads
+        // ran out of retries and degradation is allowed, queries are
+        // answered from the clusters that did arrive and report their
+        // coverage.
         let s_search = trace.begin_span("sub_hnsw_search", "engine", root);
-        let results = search_over(&routes, queries, &resolved, k, ef, threads)?;
+        let searched =
+            search_over(&routes, queries, &resolved, k, ef, threads, !failed.is_empty())?;
         report.breakdown.sub_hnsw_us = t_sub.elapsed().as_secs_f64() * 1e6;
         trace.end_span_with(
             s_search,
@@ -884,7 +1078,38 @@ impl ComputeNode {
                 ("ef", ArgValue::U64(ef as u64)),
             ],
         );
+        let mut results = Vec::with_capacity(searched.len());
+        if failed.is_empty() {
+            results.extend(searched.into_iter().map(|(r, _)| r));
+        } else {
+            let mut coverage = Vec::with_capacity(searched.len());
+            for (r, cov) in searched {
+                if cov < 1.0 {
+                    report.degraded_queries += 1;
+                }
+                coverage.push(cov);
+                results.push(r);
+            }
+            report.coverage = coverage;
+        }
         Ok((results, report))
+    }
+
+    /// Charges one exponential-backoff step to virtual time before an
+    /// engine-level read retry and records a `read_retry` span instant.
+    fn backoff(&self, attempt: u32, trace: &BatchTrace, parent: SpanId, clusters: usize) {
+        let us = self.config.retry_backoff_us() * f64::from(1u32 << (attempt - 1).min(16));
+        self.qp.clock().advance_us(us);
+        trace.instant(
+            "read_retry",
+            "engine",
+            parent,
+            &[
+                ("attempt", ArgValue::U64(u64::from(attempt))),
+                ("clusters", ArgValue::U64(clusters as u64)),
+                ("backoff_us", ArgValue::F64(us)),
+            ],
+        );
     }
 
     /// The Naive path: each query fetches each of its clusters with an
@@ -927,6 +1152,17 @@ impl ComputeNode {
             }
         }
 
+        // The naive scheme never dedups its loads, but "unique clusters"
+        // is still a property of the batch, not of the fetch strategy:
+        // report the batch-wide union so the metric is comparable across
+        // modes (loads exceeding it measure exactly the reuse forgone).
+        report.unique_clusters = routes
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<std::collections::HashSet<u32>>()
+            .len();
+
         // Per query: fetch its clusters with individual reads, then
         // deserialize and search them immediately. Buffers are dropped
         // after each query — the naive scheme has no reuse to exploit, so
@@ -937,6 +1173,7 @@ impl ComputeNode {
         let threads = self.config.effective_search_threads();
         let stats0 = self.qp.stats().snapshot();
         let mut results = Vec::with_capacity(queries.len());
+        let mut coverage = Vec::with_capacity(queries.len());
         let mut sub_us = 0.0f64;
         let mut net_us = 0.0f64;
         let stripe = threads.max(1) * 4;
@@ -945,21 +1182,30 @@ impl ComputeNode {
             // Network phase for this stripe.
             let s_net = trace.begin_span("network", "engine", root);
             let clock0 = self.qp.clock().now_us();
-            let mut buffers: Vec<Vec<Vec<u8>>> = Vec::with_capacity(route_chunk.len());
+            let mut buffers: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(route_chunk.len());
             {
                 let _scope = trace.enter_scope(s_net);
                 for route in route_chunk {
                     report.raw_cluster_demand += route.len();
-                    report.unique_clusters += route.len();
-                    report.clusters_loaded += route.len();
                     let reqs = read_requests(&self.directory, self.rkey, route)?;
                     let mut per_query = Vec::with_capacity(reqs.len());
                     for (&p, r) in route.iter().zip(&reqs) {
-                        let buf = self.qp.read(r.rkey, r.offset, r.len)?;
-                        if heat {
-                            self.heatmap.record_load(p, buf.len() as u64);
+                        match self.read_naive_with_retry(
+                            p,
+                            r,
+                            trace,
+                            s_net,
+                            &mut report.read_retries,
+                        )? {
+                            Some(buf) => {
+                                report.clusters_loaded += 1;
+                                if heat {
+                                    self.heatmap.record_load(p, buf.len() as u64);
+                                }
+                                per_query.push(Some(buf));
+                            }
+                            None => per_query.push(None),
                         }
-                        per_query.push(buf);
                     }
                     buffers.push(per_query);
                 }
@@ -977,19 +1223,31 @@ impl ComputeNode {
                 let q = queries.get(base + j);
                 let mut top = TopK::new(k);
                 let mut seen = std::collections::HashSet::new();
+                let mut searched = 0usize;
                 for (&p, buf) in route_chunk[j].iter().zip(&buffers[j]) {
+                    let Some(buf) = buf else { continue };
                     let loc = directory.location(p)?;
                     let (cluster_bytes, overflow) = loc.split(buf)?;
                     let loaded = LoadedCluster::from_remote(cluster_bytes, overflow)?;
+                    searched += 1;
                     for n in loaded.search(q, k, ef) {
                         if seen.insert(n.id) {
                             top.push(n.id, n.dist);
                         }
                     }
                 }
-                Ok(top.into_sorted_vec())
+                let total = route_chunk[j].len();
+                let cov = if total == 0 {
+                    1.0
+                } else {
+                    searched as f64 / total as f64
+                };
+                Ok((top.into_sorted_vec(), cov))
             })?;
-            results.extend(stripe_results);
+            for (r, cov) in stripe_results {
+                coverage.push(cov);
+                results.push(r);
+            }
             sub_us += t_sub.elapsed().as_secs_f64() * 1e6;
             trace.end_span_with(s_search, &[("stripe", ArgValue::U64(chunk_idx as u64))]);
         }
@@ -998,15 +1256,56 @@ impl ComputeNode {
         let delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = delta.round_trips;
         report.bytes_read = delta.bytes_read;
+        if coverage.iter().any(|&c| c < 1.0) {
+            report.degraded_queries = coverage.iter().filter(|&&c| c < 1.0).count();
+            report.coverage = coverage;
+        }
         Ok((results, report))
+    }
+
+    /// One naive-mode cluster read with the engine-level retry policy:
+    /// substrate retransmission exhaustion is retried with backoff; past
+    /// the budget the cluster is skipped (`None`) when degraded results
+    /// are allowed, or the batch fails.
+    fn read_naive_with_retry(
+        &self,
+        partition: u32,
+        req: &rdma_sim::ReadReq,
+        trace: &BatchTrace,
+        parent: SpanId,
+        retries: &mut u64,
+    ) -> Result<Option<Vec<u8>>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.qp.read(req.rkey, req.offset, req.len) {
+                Ok(buf) => return Ok(Some(buf)),
+                Err(rdma_sim::Error::RetriesExhausted { .. }) => {
+                    attempt += 1;
+                    *retries += 1;
+                    if attempt > self.config.read_retry_limit() {
+                        if self.config.degraded_ok() {
+                            return Ok(None);
+                        }
+                        return Err(Error::ReadRetriesExhausted {
+                            partition,
+                            attempts: attempt,
+                        });
+                    }
+                    self.backoff(attempt, trace, parent, 1);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Inserts a vector: classify via the cached meta-HNSW, allocate a
     /// global id (`FAA` on the directory's id counter), reserve a slot in
     /// the target group's shared overflow area (`FAA` on its `used`
-    /// counter), and `RDMA_WRITE` the record — three one-sided verbs, no
-    /// memory-node CPU involvement. The local cached copy of the affected
-    /// cluster is invalidated so the next load observes the insert.
+    /// counter), `RDMA_WRITE` the record (commit marker last), and `FAA`
+    /// the partition's version slot to publish the mutation — four
+    /// one-sided verbs, no memory-node CPU involvement. The local cached
+    /// copy of the affected cluster is invalidated so the next load
+    /// observes the insert; remote caches observe the version bump.
     ///
     /// Returns the assigned global id.
     ///
@@ -1042,6 +1341,11 @@ impl ComputeNode {
             .qp
             .faa(self.rkey, loc.overflow_counter_off(), record_size)?;
         if used + record_size > loc.overflow_capacity() {
+            // Give the reservation back so the remote counter keeps
+            // meaning "bytes handed out": without this, health checks
+            // could not tell a full area from a corrupt counter.
+            self.qp
+                .faa(self.rkey, loc.overflow_counter_off(), record_size.wrapping_neg())?;
             return Err(Error::OverflowFull {
                 partition,
                 capacity: loc.overflow_capacity(),
@@ -1050,17 +1354,33 @@ impl ComputeNode {
         let record = OverflowRecord::insert(partition, global_id, v.to_vec());
         self.qp
             .write(self.rkey, loc.overflow_off + 8 + used, &record.to_bytes())?;
+        // Publish the mutation *after* the record (with its commit
+        // marker) is fully written: readers that observe the new version
+        // are guaranteed to decode a committed record, and readers that
+        // raced the write see an uncommitted slot and skip it.
+        self.bump_version(partition)?;
         self.cache.lock().invalidate(partition);
         Ok(global_id)
     }
 
+    /// FAAs a partition's directory version slot after a committed
+    /// mutation (no-op for pre-versioning directories).
+    fn bump_version(&self, partition: u32) -> Result<()> {
+        if self.directory.has_version_slots() {
+            self.qp
+                .faa(self.rkey, self.directory.version_slot_off(partition)?, 1)?;
+        }
+        Ok(())
+    }
+
     /// Batched insertion: the write-path analogue of query-aware batched
-    /// loading. For `n` vectors the single-insert path costs `3n` round
-    /// trips; this path costs `1 + G + ceil(n / doorbell_limit)` where `G`
-    /// is the number of distinct overflow areas touched — one `FAA`
-    /// allocates the whole id range, one `FAA` per group reserves all of
-    /// that group's slots at once, and every record travels in one
-    /// doorbell-batched `RDMA_WRITE`.
+    /// loading. For `n` vectors the single-insert path costs `4n` round
+    /// trips; this path costs `1 + G + ceil(n / doorbell_limit) + P`
+    /// where `G` is the number of distinct overflow areas touched and `P`
+    /// the distinct partitions mutated — one `FAA` allocates the whole id
+    /// range, one `FAA` per group reserves all of that group's slots at
+    /// once, every record travels in one doorbell-batched `RDMA_WRITE`,
+    /// and one version `FAA` per partition publishes the batch.
     ///
     /// Returns one entry per input vector, aligned by position:
     /// `Ok(global_id)` or [`Error::OverflowFull`] for vectors whose group
@@ -1123,10 +1443,12 @@ impl ComputeNode {
             // Representative location for capacity checks (all partners
             // of a group share the same overflow geometry).
             let loc = *self.directory.location(partitions[indices[0]])?;
+            let mut rejected = 0u64;
             for (slot, &i) in indices.iter().enumerate() {
                 let off = start + record_size * slot as u64;
                 let global_id = (id_base + i as u64) as u32;
                 if off + record_size > loc.overflow_capacity() {
+                    rejected += record_size;
                     results[i] = Some(Err(Error::OverflowFull {
                         partition: partitions[i],
                         capacity: loc.overflow_capacity(),
@@ -1143,10 +1465,21 @@ impl ComputeNode {
                 touched_partitions.push(partitions[i]);
                 results[i] = Some(Ok(global_id));
             }
+            // Return the over-reservation so the counter tracks bytes
+            // actually handed out (see the single-insert path).
+            if rejected > 0 {
+                self.qp.faa(self.rkey, area_off, rejected.wrapping_neg())?;
+            }
         }
 
-        // All accepted records in one doorbell.
+        // All accepted records in one doorbell, then one version bump
+        // per mutated partition — after the commit markers are in place.
         self.qp.write_doorbell(&writes)?;
+        touched_partitions.sort_unstable();
+        touched_partitions.dedup();
+        for &p in &touched_partitions {
+            self.bump_version(p)?;
+        }
         {
             let mut cache = self.cache.lock();
             for p in touched_partitions {
@@ -1160,8 +1493,9 @@ impl ComputeNode {
     }
 
     /// Deletes a vector by writing a tombstone record into its group's
-    /// shared overflow area — the same two-verb path as an insert (slot
-    /// `FAA` + record `WRITE`), no re-layout required. `v` must be the
+    /// shared overflow area — the same commit discipline as an insert
+    /// (slot `FAA` + record `WRITE` + version `FAA`), no re-layout
+    /// required. `v` must be the
     /// deleted vector's value: the meta-HNSW classifies it to the
     /// partition that holds it, exactly as the insert path placed it.
     /// The deletion becomes durable immediately and permanent at the next
@@ -1193,6 +1527,8 @@ impl ComputeNode {
             .qp
             .faa(self.rkey, loc.overflow_counter_off(), record_size)?;
         if used + record_size > loc.overflow_capacity() {
+            self.qp
+                .faa(self.rkey, loc.overflow_counter_off(), record_size.wrapping_neg())?;
             return Err(Error::OverflowFull {
                 partition,
                 capacity: loc.overflow_capacity(),
@@ -1201,6 +1537,7 @@ impl ComputeNode {
         let record = OverflowRecord::tombstone(partition, global_id, self.directory.dim());
         self.qp
             .write(self.rkey, loc.overflow_off + 8 + used, &record.to_bytes())?;
+        self.bump_version(partition)?;
         self.cache.lock().invalidate(partition);
         Ok(())
     }
@@ -1253,9 +1590,21 @@ fn materialize_parallel(
     })
 }
 
+/// Decodes one 8-byte version-slot read.
+fn read_version(buf: &[u8]) -> Result<u64> {
+    let raw: [u8; 8] = buf
+        .try_into()
+        .map_err(|_| Error::Corrupt("version slot short read".into()))?;
+    Ok(u64::from_le_bytes(raw))
+}
+
 /// Searches each query over its routed clusters (in parallel) and merges
 /// per-query top-k, deduplicating global ids — a forced representative
-/// can appear in two clusters.
+/// can appear in two clusters. Returns each query's results with the
+/// fraction of its routed clusters that were actually searched; with
+/// `allow_missing` false an unresolved cluster is a corruption error
+/// (every planned load must have landed), with it true the cluster is
+/// skipped and the coverage dips below 1 (degraded mode).
 fn search_over(
     routes: &[Vec<u32>],
     queries: &Dataset,
@@ -1263,22 +1612,35 @@ fn search_over(
     k: usize,
     ef: usize,
     threads: usize,
-) -> Result<Vec<Vec<Neighbor>>> {
+    allow_missing: bool,
+) -> Result<Vec<(Vec<Neighbor>, f64)>> {
     run_indexed(routes.len(), threads, |i| {
         let q = queries.get(i);
         let mut top = TopK::new(k);
         let mut seen = std::collections::HashSet::new();
+        let mut searched = 0usize;
         for p in &routes[i] {
-            let cluster = resolved
-                .get(p)
-                .ok_or_else(|| Error::Corrupt(format!("cluster {p} missing after load")))?;
+            let cluster = match resolved.get(p) {
+                Some(c) => c,
+                None if allow_missing => continue,
+                None => {
+                    return Err(Error::Corrupt(format!("cluster {p} missing after load")))
+                }
+            };
+            searched += 1;
             for n in cluster.search(q, k, ef) {
                 if seen.insert(n.id) {
                     top.push(n.id, n.dist);
                 }
             }
         }
-        Ok(top.into_sorted_vec())
+        let total = routes[i].len();
+        let cov = if total == 0 {
+            1.0
+        } else {
+            searched as f64 / total as f64
+        };
+        Ok((top.into_sorted_vec(), cov))
     })
 }
 
@@ -1512,14 +1874,15 @@ mod tests {
     }
 
     #[test]
-    fn insert_uses_three_one_sided_verbs() {
+    fn insert_uses_four_one_sided_verbs() {
         let (data, store) = setup(300);
         let node = store.connect(SearchMode::Full).unwrap();
         node.reset_measurements();
         node.insert(data.get(0)).unwrap();
         let s = node.queue_pair().stats().snapshot();
-        assert_eq!(s.round_trips, 3); // id FAA + slot FAA + record write
-        assert_eq!(s.atomics, 2);
+        // id FAA + slot FAA + record write + version FAA.
+        assert_eq!(s.round_trips, 4);
+        assert_eq!(s.atomics, 3);
     }
 
     #[test]
@@ -1557,7 +1920,7 @@ mod tests {
             single.insert(v).unwrap();
         }
         let single_trips = single.queue_pair().stats().round_trips();
-        assert_eq!(single_trips, 3 * 32);
+        assert_eq!(single_trips, 4 * 32);
 
         let batched = store.connect(SearchMode::Full).unwrap();
         batched.reset_measurements();
@@ -1643,14 +2006,15 @@ mod tests {
     }
 
     #[test]
-    fn delete_uses_two_one_sided_verbs() {
+    fn delete_uses_three_one_sided_verbs() {
         let (data, store) = setup(300);
         let node = store.connect(SearchMode::Full).unwrap();
         node.reset_measurements();
         node.delete(data.get(0), 0).unwrap();
         let s = node.queue_pair().stats().snapshot();
-        assert_eq!(s.round_trips, 2); // slot FAA + tombstone write
-        assert_eq!(s.atomics, 1);
+        // slot FAA + tombstone write + version FAA.
+        assert_eq!(s.round_trips, 3);
+        assert_eq!(s.atomics, 2);
     }
 
     #[test]
@@ -1871,5 +2235,138 @@ mod tests {
             .any(|t| t.label == "watchdog"
                 && t.spans.iter().any(|s| s.name == "slo_violation")));
         assert!(report.to_json().contains("\"budget\": \"cache_hit_rate\""));
+    }
+
+    #[test]
+    fn torn_insert_is_skipped_and_the_slot_stays_burned() {
+        let (data, store) = setup(400);
+        let writer = store.connect(SearchMode::Full).unwrap();
+        let reader = store.connect(SearchMode::Full).unwrap();
+        let mut v = data.get(3).to_vec();
+        v[0] += 0.5;
+        // Insert verbs in order: id FAA, slot FAA, record write, version
+        // FAA. Let the two FAAs through and kill the record write with no
+        // retransmissions left: the slot is reserved but the record never
+        // lands — a torn insert.
+        writer.queue_pair().set_retry_limit(0);
+        writer.queue_pair().fail_nth(2, 1);
+        let err = writer.insert(&v).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Rdma(rdma_sim::Error::RetriesExhausted { .. })
+        ));
+        writer
+            .queue_pair()
+            .set_retry_limit(rdma_sim::DEFAULT_RETRY_LIMIT);
+        // A fresh reader decodes the overflow area without tripping on
+        // the uncommitted slot: no Corrupt, no phantom vector.
+        let base = store.base_len() as u32;
+        let hits = reader.query(&v, 3, 48).unwrap();
+        assert!(hits.iter().all(|n| n.id < base), "torn record surfaced");
+        // The next insert commits after the burned slot and is found.
+        let gid = writer.insert(&v).unwrap();
+        reader.drop_cache();
+        let hits = reader.query(&v, 1, 48).unwrap();
+        assert_eq!(hits[0].id, gid);
+    }
+
+    #[test]
+    fn version_mismatch_refreshes_stale_cache_without_drop() {
+        let data = gen::sift_like(400, 77).unwrap();
+        let store =
+            VectorStore::build(data.clone(), &DHnswConfig::small().with_cache_fraction(1.0))
+                .unwrap();
+        let writer = store.connect(SearchMode::Full).unwrap();
+        let reader = store.connect(SearchMode::Full).unwrap();
+        let b = store.config().fanout();
+        let mut v = data.get(0).to_vec();
+        v[1] += 0.25;
+        // Reader caches the clusters the new vector routes to.
+        reader.query(&v, 1, 32).unwrap();
+        let warm: std::collections::HashSet<u32> =
+            store.meta().route(&v, b).iter().map(|n| n.id).collect();
+        // A probe whose route is disjoint from the warm set forces the
+        // next batch onto the wire, so the piggybacked version check runs.
+        let probe = (0..data.len())
+            .map(|i| data.get(i))
+            .find(|r| store.meta().route(r, b).iter().all(|n| !warm.contains(&n.id)))
+            .expect("some row routes entirely outside the warm set");
+        let gid = writer.insert(&v).unwrap();
+        let batch = Dataset::from_rows(&[&v, probe]).unwrap();
+        let (results, report) = reader.query_batch(&batch, 1, 32).unwrap();
+        // The stale pin was demoted and reloaded — no drop_cache needed.
+        assert_eq!(results[0][0].id, gid, "stale cached cluster served");
+        assert!(report.cache_hits < warm.len());
+        assert!(report.degraded_queries == 0 && report.coverage.is_empty());
+    }
+
+    #[test]
+    fn degraded_mode_serves_partial_coverage_when_reads_fail() {
+        let data = gen::sift_like(400, 77).unwrap();
+        let cfg = DHnswConfig::small()
+            .with_degraded_ok(true)
+            .with_read_retry_limit(1);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 88).unwrap();
+        node.queue_pair().set_retry_limit(0);
+        node.queue_pair().fail_next(u32::MAX);
+        let (results, report) = node.query_batch(&queries, 5, 16).unwrap();
+        node.queue_pair().fail_next(0);
+        // Nothing arrived: every query degrades to zero coverage instead
+        // of failing the batch.
+        assert!(results.iter().all(|r| r.is_empty()));
+        assert_eq!(report.degraded_queries, queries.len());
+        assert_eq!(report.coverage.len(), queries.len());
+        assert!(report.coverage.iter().all(|&c| c < 1.0));
+        assert!(report.read_retries > 0);
+        assert!((report.degraded_rate() - 1.0).abs() < 1e-12);
+        let prom = node.telemetry().render_prometheus();
+        assert!(prom.contains("dhnsw_degraded_queries_total"));
+        assert!(prom.contains("dhnsw_read_retries_total"));
+    }
+
+    #[test]
+    fn exhausted_reads_error_without_degraded_opt_in() {
+        let (data, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 2, 0.02, 89).unwrap();
+        node.queue_pair().set_retry_limit(0);
+        node.queue_pair().fail_next(u32::MAX);
+        let err = node.query_batch(&queries, 5, 16).unwrap_err();
+        node.queue_pair().fail_next(0);
+        assert!(matches!(err, Error::ReadRetriesExhausted { .. }));
+    }
+
+    #[test]
+    fn naive_unique_clusters_is_the_batch_wide_union() {
+        let (data, store) = setup(400);
+        let node = store.connect(SearchMode::Naive).unwrap();
+        let b = store.config().fanout();
+        // Two identical queries route identically: the distinct-cluster
+        // count must not double just because naive mode reloads.
+        let batch = Dataset::from_rows(&[data.get(0), data.get(0)]).unwrap();
+        let (_, report) = node.query_batch(&batch, 5, 16).unwrap();
+        assert_eq!(report.unique_clusters, b);
+        assert_eq!(report.raw_cluster_demand, 2 * b);
+        assert_eq!(report.clusters_loaded, 2 * b);
+    }
+
+    #[test]
+    fn health_report_rejects_corrupt_overflow_counter() {
+        let (_, store) = setup(300);
+        let node = store.connect(SearchMode::Full).unwrap();
+        // Scribble an impossible value into one group's used counter:
+        // the report must call it corruption, not clamp it away.
+        let loc = *node.directory.location(0).unwrap();
+        node.qp
+            .write(
+                node.rkey,
+                loc.overflow_counter_off(),
+                &(loc.overflow_capacity() + 64).to_le_bytes(),
+            )
+            .unwrap();
+        let err = node.health_report().unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
     }
 }

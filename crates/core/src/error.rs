@@ -25,6 +25,16 @@ pub enum Error {
     },
     /// A serialized cluster or directory blob failed validation.
     Corrupt(String),
+    /// A cluster read kept observing concurrent mutation (or substrate
+    /// faults) past the engine-level retry budget, and the session does
+    /// not permit degraded results.
+    ReadRetriesExhausted {
+        /// Partition whose read never stabilized.
+        partition: u32,
+        /// Engine-level attempts made (each on top of rdma-sim's own
+        /// retransmission budget).
+        attempts: u32,
+    },
     /// An error from the RDMA substrate.
     Rdma(rdma_sim::Error),
     /// An error from the HNSW layer.
@@ -49,6 +59,13 @@ impl fmt::Display for Error {
                 "overflow area serving partition {partition} is full ({capacity} bytes)"
             ),
             Error::Corrupt(what) => write!(f, "corrupt remote data: {what}"),
+            Error::ReadRetriesExhausted {
+                partition,
+                attempts,
+            } => write!(
+                f,
+                "cluster {partition} read did not stabilize after {attempts} attempts"
+            ),
             Error::Rdma(e) => write!(f, "rdma error: {e}"),
             Error::Hnsw(e) => write!(f, "hnsw error: {e}"),
             Error::Vecsim(e) => write!(f, "vector error: {e}"),
@@ -100,6 +117,12 @@ mod tests {
             capacity: 1024,
         };
         assert!(e.to_string().contains("partition 3"));
+        let e = Error::ReadRetriesExhausted {
+            partition: 5,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("cluster 5"));
+        assert!(e.to_string().contains("4 attempts"));
     }
 
     #[test]

@@ -102,6 +102,21 @@ pub struct LatencyHealth {
     pub max_us: u64,
 }
 
+/// Degraded-service and retry accounting since connect.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReliabilityHealth {
+    /// Queries answered since connect.
+    pub queries: u64,
+    /// Queries answered from an incomplete cluster set (read retries
+    /// exhausted with degraded results allowed).
+    pub degraded_queries: u64,
+    /// Engine-level cluster read retries (version mismatches plus
+    /// exhausted substrate retransmission budgets).
+    pub read_retries: u64,
+    /// `degraded_queries / queries` in `[0, 1]`, 0 with no queries.
+    pub degraded_rate: f64,
+}
+
 /// A point-in-time health summary of one compute node's memory pool.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthReport {
@@ -125,6 +140,8 @@ pub struct HealthReport {
     pub cache: CacheHealth,
     /// Query-latency summary.
     pub latency: LatencyHealth,
+    /// Degraded-service and retry accounting.
+    pub reliability: ReliabilityHealth,
     /// SLO budget violations (empty until a watchdog evaluates the
     /// report).
     pub violations: Vec<SloViolation>,
@@ -225,6 +242,14 @@ impl HealthReport {
             num(t.p95_us),
             num(t.p99_us),
             t.max_us,
+        ));
+        let r = &self.reliability;
+        out.push_str(&format!(
+            "  \"reliability\": {{\"queries\": {}, \"degraded_queries\": {}, \"read_retries\": {}, \"degraded_rate\": {}}},\n",
+            r.queries,
+            r.degraded_queries,
+            r.read_retries,
+            num(r.degraded_rate),
         ));
         out.push_str("  \"violations\": [\n");
         for (i, v) in self.violations.iter().enumerate() {
@@ -335,6 +360,20 @@ impl HealthReport {
                 &[],
             )
             .set(self.latency.p99_us as u64);
+        telemetry
+            .gauge(
+                "dhnsw_health_degraded_rate_milli",
+                "Fraction of queries answered degraded since connect, milli-units",
+                &[],
+            )
+            .set_milli(self.reliability.degraded_rate);
+        telemetry
+            .gauge(
+                "dhnsw_health_read_retries",
+                "Engine-level cluster read retries since connect",
+                &[],
+            )
+            .set(self.reliability.read_retries);
     }
 }
 
@@ -409,6 +448,12 @@ mod tests {
                 p99_us: 250.0,
                 max_us: 300,
             },
+            reliability: ReliabilityHealth {
+                queries: 10,
+                degraded_queries: 2,
+                read_retries: 3,
+                degraded_rate: 0.2,
+            },
             violations: Vec::new(),
         }
     }
@@ -429,6 +474,8 @@ mod tests {
             "\"degree_skew\":",
             "\"cache\":",
             "\"latency\":",
+            "\"reliability\":",
+            "\"degraded_rate\": 0.200000",
             "\"violations\":",
             "\"occupancy\": 0.250000",
             "\"hotness\": 1.500000",
@@ -461,6 +508,8 @@ mod tests {
             "dhnsw_health_route_gini_milli 500",
             "dhnsw_health_cache_hit_rate_milli 800",
             "dhnsw_health_p99_us 250",
+            "dhnsw_health_degraded_rate_milli 200",
+            "dhnsw_health_read_retries 3",
         ] {
             assert!(prom.contains(series), "missing {series} in:\n{prom}");
         }

@@ -2,7 +2,8 @@
 //!
 //! Budgets come from the environment (`DHNSW_SLO_P99_US`,
 //! `DHNSW_SLO_MIN_HIT_RATE`, `DHNSW_SLO_MAX_OVERFLOW`,
-//! `DHNSW_SLO_MAX_ROUTE_GINI`) or CLI flags; [`evaluate`] checks a
+//! `DHNSW_SLO_MAX_ROUTE_GINI`, `DHNSW_SLO_MAX_DEGRADED_RATE`) or CLI
+//! flags; [`evaluate`] checks a
 //! [`HealthReport`] against them and [`emit`] publishes the violations
 //! as a `dhnsw_slo_violations_total` counter plus structured
 //! `slo_violation` instant events in the span-trace ring (when span
@@ -25,6 +26,9 @@ pub struct SloBudgets {
     pub max_overflow_occupancy: Option<f64>,
     /// Largest acceptable route-frequency Gini coefficient.
     pub max_route_gini: Option<f64>,
+    /// Largest acceptable fraction of queries answered degraded
+    /// (incomplete cluster coverage), in `[0, 1]`.
+    pub max_degraded_rate: Option<f64>,
 }
 
 fn env_f64(key: &str) -> Option<f64> {
@@ -40,6 +44,7 @@ impl SloBudgets {
             min_cache_hit_rate: env_f64("DHNSW_SLO_MIN_HIT_RATE"),
             max_overflow_occupancy: env_f64("DHNSW_SLO_MAX_OVERFLOW"),
             max_route_gini: env_f64("DHNSW_SLO_MAX_ROUTE_GINI"),
+            max_degraded_rate: env_f64("DHNSW_SLO_MAX_DEGRADED_RATE"),
         }
     }
 
@@ -49,6 +54,7 @@ impl SloBudgets {
             && self.min_cache_hit_rate.is_none()
             && self.max_overflow_occupancy.is_none()
             && self.max_route_gini.is_none()
+            && self.max_degraded_rate.is_none()
     }
 }
 
@@ -74,7 +80,7 @@ impl SloViolation {
 }
 
 /// Checks `report` against `budgets`, returning every violated budget
-/// in a fixed order (latency, hit rate, occupancy, skew).
+/// in a fixed order (latency, hit rate, occupancy, skew, degradation).
 pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation> {
     let mut out = Vec::new();
     if let Some(limit) = budgets.max_p99_us {
@@ -109,6 +115,15 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
             out.push(SloViolation {
                 budget: "route_gini",
                 actual: report.route_skew.gini,
+                limit,
+            });
+        }
+    }
+    if let Some(limit) = budgets.max_degraded_rate {
+        if report.reliability.degraded_rate > limit {
+            out.push(SloViolation {
+                budget: "degraded_rate",
+                actual: report.reliability.degraded_rate,
                 limit,
             });
         }
@@ -156,7 +171,9 @@ pub fn emit(telemetry: &Telemetry, violations: &[SloViolation]) {
 mod tests {
     use super::*;
     use crate::health::heatmap::PartitionHeat;
-    use crate::health::report::{CacheHealth, GroupHealth, LatencyHealth, LayoutSummary};
+    use crate::health::report::{
+        CacheHealth, GroupHealth, LatencyHealth, LayoutSummary, ReliabilityHealth,
+    };
     use crate::health::skew::skew_of;
 
     fn report() -> HealthReport {
@@ -201,6 +218,12 @@ mod tests {
                 p99_us: 900.0,
                 ..LatencyHealth::default()
             },
+            reliability: ReliabilityHealth {
+                queries: 10,
+                degraded_queries: 2,
+                read_retries: 3,
+                degraded_rate: 0.2,
+            },
             violations: Vec::new(),
         }
     }
@@ -221,6 +244,7 @@ mod tests {
             min_cache_hit_rate: Some(0.8),
             max_overflow_occupancy: Some(0.75),
             max_route_gini: Some(0.25),
+            max_degraded_rate: Some(0.1),
         };
         let v = evaluate(&r, &b);
         let names: Vec<&str> = v.iter().map(|x| x.budget).collect();
@@ -230,7 +254,8 @@ mod tests {
                 "p99_latency_us",
                 "cache_hit_rate",
                 "overflow_occupancy",
-                "route_gini"
+                "route_gini",
+                "degraded_rate"
             ]
         );
         assert_eq!(v[0].actual, 900.0);
@@ -244,6 +269,7 @@ mod tests {
             min_cache_hit_rate: Some(0.4),
             max_overflow_occupancy: Some(0.95),
             max_route_gini: Some(0.6),
+            max_degraded_rate: Some(0.5),
         };
         assert!(evaluate(&report(), &b).is_empty());
     }

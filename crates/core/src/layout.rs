@@ -9,8 +9,14 @@
 //! ```
 //!
 //! The *directory* (global metadata block) records the offset and length
-//! of every serialized sub-HNSW cluster. Each *group* packs two clusters
-//! at its two ends with a shared overflow area between them, so that
+//! of every serialized sub-HNSW cluster, and — since format v2 — carries
+//! one aligned `u64` *version slot* per cluster at its tail. Writers
+//! `FAA` a cluster's version slot after committing a mutation; readers
+//! bracket their cluster fetch with version reads (version → bytes →
+//! version, folded into the same doorbell batch) and retry on mismatch,
+//! which is the §3.2 optimistic-read protocol. Each *group* packs two
+//! clusters at its two ends with a shared overflow area between them, so
+//! that
 //!
 //! - cluster A plus the overflow is one contiguous span, and
 //! - the overflow plus cluster B is one contiguous span,
@@ -28,8 +34,13 @@ use crate::{Error, Result};
 
 /// Magic tag of a serialized directory.
 pub const DIRECTORY_MAGIC: u32 = 0x3144_4844; // "DHD1"
-/// Directory format version.
-pub const DIRECTORY_VERSION: u32 = 1;
+/// Directory format version: v2 appends one aligned `u64` version slot
+/// per cluster after the location entries (and pairs with the v2
+/// overflow-record framing: length prefix, checksum, commit marker).
+pub const DIRECTORY_VERSION: u32 = 2;
+/// The previous directory format (no version slots, v1 overflow
+/// framing); still accepted by [`Directory::from_bytes`].
+pub const DIRECTORY_VERSION_V1: u32 = 1;
 
 const HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
 
@@ -182,6 +193,7 @@ pub struct GroupLayout {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Directory {
+    format_version: u32,
     dim: u32,
     epoch: u64,
     total_len: u64,
@@ -251,6 +263,7 @@ impl Directory {
         }
 
         Ok(Directory {
+            format_version: DIRECTORY_VERSION,
             dim: dim as u32,
             epoch: 0,
             total_len: cursor,
@@ -258,6 +271,17 @@ impl Directory {
             next_id: 0,
             locations,
         })
+    }
+
+    /// Format version this directory was planned/decoded at. Version
+    /// slots only exist for [`DIRECTORY_VERSION`] (v2) directories.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+
+    /// Whether the directory carries per-cluster version slots.
+    pub fn has_version_slots(&self) -> bool {
+        self.format_version >= DIRECTORY_VERSION
     }
 
     /// Number of partitions described.
@@ -320,9 +344,40 @@ impl Directory {
         &self.locations
     }
 
-    /// Serialized size of a directory over `n` partitions.
+    /// Serialized size of a directory over `n` partitions: header,
+    /// location entries, alignment padding, then `n` version slots.
     pub fn byte_size(n: usize) -> usize {
+        Self::version_slots_off(n) + n * 8
+    }
+
+    /// Serialized size under the v1 format (no version slots).
+    pub fn byte_size_v1(n: usize) -> usize {
         HEADER_BYTES + n * ENTRY_BYTES
+    }
+
+    /// Byte offset of the first version slot, 8-aligned so every slot is
+    /// a legal `FAA` target.
+    fn version_slots_off(n: usize) -> usize {
+        pad8((HEADER_BYTES + n * ENTRY_BYTES) as u64) as usize
+    }
+
+    /// Absolute region offset of partition `p`'s version slot (an
+    /// aligned `u64` that writers `FAA` after committing a mutation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for an out-of-range id, or
+    /// [`Error::Corrupt`] for a v1 directory, which has no slots.
+    pub fn version_slot_off(&self, p: u32) -> Result<u64> {
+        if !self.has_version_slots() {
+            return Err(Error::Corrupt(
+                "v1 directory carries no version slots".into(),
+            ));
+        }
+        if p as usize >= self.locations.len() {
+            return Err(Error::UnknownPartition(p));
+        }
+        Ok(Self::version_slots_off(self.locations.len()) as u64 + 8 * u64::from(p))
     }
 
     /// Serialized size of *this* directory at the head of the region.
@@ -364,10 +419,12 @@ impl Directory {
     }
 
     /// Serializes the directory (what gets written at region offset 0).
+    /// The version slots at the tail are serialized as zero — the live
+    /// values exist only in remote memory, advanced by writer `FAA`s.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::byte_size(self.locations.len()));
         out.extend_from_slice(&DIRECTORY_MAGIC.to_le_bytes());
-        out.extend_from_slice(&DIRECTORY_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.format_version.to_le_bytes());
         out.extend_from_slice(&self.dim.to_le_bytes());
         out.extend_from_slice(&(self.locations.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.record_size.to_le_bytes());
@@ -386,6 +443,9 @@ impl Directory {
             out.extend_from_slice(&loc.cluster_len.to_le_bytes());
             out.extend_from_slice(&loc.overflow_off.to_le_bytes());
             out.extend_from_slice(&loc.overflow_len.to_le_bytes());
+        }
+        if self.has_version_slots() {
+            out.resize(Self::byte_size(self.locations.len()), 0);
         }
         out
     }
@@ -409,7 +469,8 @@ impl Directory {
         if u32_at(0)? != DIRECTORY_MAGIC {
             return Err(Error::Corrupt("bad directory magic".into()));
         }
-        if u32_at(4)? != DIRECTORY_VERSION {
+        let format_version = u32_at(4)?;
+        if format_version != DIRECTORY_VERSION && format_version != DIRECTORY_VERSION_V1 {
             return Err(Error::Corrupt("unsupported directory version".into()));
         }
         let dim = u32_at(8)?;
@@ -440,6 +501,7 @@ impl Directory {
             });
         }
         Ok(Directory {
+            format_version,
             dim,
             epoch,
             total_len,
@@ -587,6 +649,47 @@ mod tests {
     fn plan_rejects_degenerate_input() {
         assert!(Directory::plan(&[], 4, 4).is_err());
         assert!(Directory::plan(&[10], 0, 4).is_err());
+    }
+
+    #[test]
+    fn version_slots_are_aligned_and_inside_the_directory() {
+        let dir = Directory::plan(&[100, 200, 300], 4, 8).unwrap();
+        assert!(dir.has_version_slots());
+        assert_eq!(dir.format_version(), DIRECTORY_VERSION);
+        for p in 0..3u32 {
+            let off = dir.version_slot_off(p).unwrap();
+            assert_eq!(off % 8, 0, "slot {p} must be FAA-able");
+            // Slots live between the entries and the first group.
+            assert!(off >= (HEADER_BYTES + 3 * ENTRY_BYTES) as u64);
+            assert!(off + 8 <= Directory::byte_size(3) as u64);
+            assert!(off + 8 <= dir.location(0).unwrap().cluster_off);
+        }
+        // Slots are distinct and consecutive.
+        assert_eq!(
+            dir.version_slot_off(1).unwrap(),
+            dir.version_slot_off(0).unwrap() + 8
+        );
+        assert!(dir.version_slot_off(3).is_err());
+        // Serialization covers the slots (zeroed at build time).
+        assert_eq!(dir.to_bytes().len(), Directory::byte_size(3));
+    }
+
+    #[test]
+    fn v1_directories_still_decode() {
+        // A v1 blob is the v2 blob minus the version-slot tail, with the
+        // version field rewound.
+        let dir = Directory::plan(&[100, 200], 4, 8).unwrap();
+        let mut blob = dir.to_bytes();
+        blob.truncate(Directory::byte_size_v1(2));
+        blob[4..8].copy_from_slice(&DIRECTORY_VERSION_V1.to_le_bytes());
+        let back = Directory::from_bytes(&blob).unwrap();
+        assert_eq!(back.format_version(), DIRECTORY_VERSION_V1);
+        assert!(!back.has_version_slots());
+        assert_eq!(back.locations(), dir.locations());
+        assert!(back.version_slot_off(0).is_err());
+        // v1 round-trips at the v1 size.
+        assert_eq!(back.to_bytes().len(), Directory::byte_size_v1(2));
+        assert_eq!(Directory::from_bytes(&back.to_bytes()).unwrap(), back);
     }
 
     #[test]

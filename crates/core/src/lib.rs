@@ -74,7 +74,7 @@ pub use health::{
     SloBudgets, SloViolation,
 };
 pub use meta::MetaIndex;
-pub use sharded::{ShardedSession, ShardedStore};
+pub use sharded::{merged_coverage, ShardedSession, ShardedStore};
 pub use store::VectorStore;
 pub use telemetry::chrome::chrome_trace_json;
 pub use telemetry::span::{

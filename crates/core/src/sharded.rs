@@ -188,6 +188,29 @@ impl ShardCounters {
     }
 }
 
+/// Per-query coverage across shards: the unweighted mean of each
+/// shard's coverage for that query. Every shard routes the same fanout,
+/// so shards weigh equally; a shard that degraded (lost clusters to
+/// exhausted read retries) pulls the merged coverage below `1.0` while
+/// the healthy shards keep answering. An empty coverage vector stands
+/// for full coverage, exactly as in [`BatchReport`]; the merged vector
+/// is empty when every shard had full coverage.
+pub fn merged_coverage(reports: &[BatchReport], queries: usize) -> Vec<f64> {
+    if reports.is_empty() || reports.iter().all(|r| r.coverage.is_empty()) {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; queries];
+    for r in reports {
+        for (q, slot) in out.iter_mut().enumerate() {
+            *slot += r.coverage.get(q).copied().unwrap_or(1.0);
+        }
+    }
+    for slot in &mut out {
+        *slot /= reports.len() as f64;
+    }
+    out
+}
+
 /// A compute session spanning every shard.
 #[derive(Debug)]
 pub struct ShardedSession {
@@ -436,6 +459,33 @@ mod tests {
             assert_eq!(r.partitions, store.shard(i).partitions());
             assert!(r.route_skew.total > 0, "shard {i} saw the fan-out");
         }
+    }
+
+    #[test]
+    fn one_degraded_shard_leaves_the_others_answering() {
+        let data = gen::sift_like(600, 67).unwrap();
+        let cfg = DHnswConfig::small()
+            .with_degraded_ok(true)
+            .with_read_retry_limit(1);
+        let store = ShardedStore::build(&data, &cfg, 2).unwrap();
+        let session = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 4, 0.02, 68).unwrap();
+        // Shard 1's substrate eats every verb: its reads exhaust the
+        // retry budget and its queries degrade to zero coverage.
+        session.node(1).queue_pair().set_retry_limit(0);
+        session.node(1).queue_pair().fail_next(u32::MAX);
+        let (results, reports) = session.query_batch(&queries, 5, 32).unwrap();
+        session.node(1).queue_pair().fail_next(0);
+        assert!(results.iter().all(|r| !r.is_empty()), "healthy shard answers");
+        assert_eq!(reports[0].degraded_queries, 0);
+        assert_eq!(reports[1].degraded_queries, queries.len());
+        let merged = merged_coverage(&reports, queries.len());
+        assert_eq!(merged.len(), queries.len());
+        for &c in &merged {
+            assert!(c > 0.0 && c < 1.0, "merged coverage {c} must be partial");
+        }
+        // All-healthy reports keep the compact empty form.
+        assert!(merged_coverage(&[reports[0].clone()], queries.len()).is_empty());
     }
 
     #[test]

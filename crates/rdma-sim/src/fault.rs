@@ -41,6 +41,9 @@ pub const DEFAULT_RETRY_LIMIT: u32 = 7;
 /// Per-queue-pair fault state.
 #[derive(Debug)]
 pub(crate) struct FaultState {
+    /// Attempts allowed through before `fail_next` engages, counting
+    /// down.
+    skip_next: AtomicU32,
     /// Attempts that will deterministically fail, counting down.
     fail_next: AtomicU32,
     /// Random drop rate in [0, 1], encoded as parts-per-million.
@@ -54,6 +57,7 @@ pub(crate) struct FaultState {
 impl Default for FaultState {
     fn default() -> Self {
         FaultState {
+            skip_next: AtomicU32::new(0),
             fail_next: AtomicU32::new(0),
             drop_ppm: AtomicU32::new(0),
             rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
@@ -65,6 +69,20 @@ impl Default for FaultState {
 impl FaultState {
     /// Whether the next attempt should fail.
     fn attempt_fails(&self) -> bool {
+        // Armed skips let attempts through before `fail_next` engages.
+        loop {
+            let s = self.skip_next.load(Ordering::Relaxed);
+            if s == 0 {
+                break;
+            }
+            if self
+                .skip_next
+                .compare_exchange(s, s - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return false;
+            }
+        }
         // Deterministic injections first.
         loop {
             let n = self.fail_next.load(Ordering::Relaxed);
@@ -97,6 +115,16 @@ impl QueuePair {
     /// Makes the next `n` verb attempts fail (shared across threads using
     /// this queue pair; attempts consume the counter in execution order).
     pub fn fail_next(&self, n: u32) {
+        self.fault_state().fail_next.store(n, Ordering::Relaxed);
+    }
+
+    /// Lets the next `skip` verb attempts through, then fails the `n`
+    /// after those — i.e. targets a fault at a specific verb inside a
+    /// multi-verb protocol. Attempts include retransmissions, so pair
+    /// with [`QueuePair::set_retry_limit`]`(0)` to map attempts onto
+    /// verbs one-to-one.
+    pub fn fail_nth(&self, skip: u32, n: u32) {
+        self.fault_state().skip_next.store(skip, Ordering::Relaxed);
         self.fault_state().fail_next.store(n, Ordering::Relaxed);
     }
 
@@ -191,6 +219,19 @@ mod tests {
         assert!(qp.write(r.rkey(), 0, &[9; 8]).is_err());
         qp.fail_next(0);
         assert_eq!(qp.read(r.rkey(), 0, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn fail_nth_targets_a_specific_attempt() {
+        let (_n, r, qp) = setup();
+        qp.set_retry_limit(0);
+        qp.fail_nth(2, 1);
+        // Attempts 1 and 2 pass, attempt 3 fails, attempt 4 passes.
+        qp.read(r.rkey(), 0, 8).unwrap();
+        qp.read(r.rkey(), 0, 8).unwrap();
+        assert!(qp.read(r.rkey(), 0, 8).is_err());
+        qp.read(r.rkey(), 0, 8).unwrap();
+        assert_eq!(qp.stats().faults(), 1);
     }
 
     #[test]

@@ -37,4 +37,10 @@ echo "==> bench_regress --profile smoke (vs results/BENCH_baseline.json)"
 target/release/bench_regress --profile smoke --label check \
   --tolerance-scale 4.0
 
-echo "OK: build, tests, clippy, and bench smoke gate all green."
+# Fault-injection smoke gate: the seeded sweep must keep recall
+# identical to the clean run under the default retransmission budget
+# (it exits non-zero if any faulted row degrades or errors).
+echo "==> repro faults (fault-injection smoke gate)"
+DHNSW_ABLATION_N=4000 DHNSW_ABLATION_Q=100 target/release/repro faults
+
+echo "OK: build, tests, clippy, bench and fault smoke gates all green."

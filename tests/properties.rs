@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use dhnsw_repro::dhnsw::cluster::{parse_overflow, OverflowRecord, SubCluster};
+use dhnsw_repro::dhnsw::cluster::{
+    parse_overflow, parse_overflow_detailed, OverflowRecord, SubCluster,
+};
 use dhnsw_repro::dhnsw::layout::Directory;
 use dhnsw_repro::hnsw::{serialize, HnswIndex, HnswParams};
 use dhnsw_repro::vecsim::{Dataset, Metric, TopK};
@@ -111,6 +113,58 @@ proptest! {
         area[0..8].copy_from_slice(&((count * rec) as u64).to_le_bytes());
         let got = parse_overflow(&area, dim).unwrap();
         prop_assert_eq!(got, records);
+    }
+
+    /// Decoding arbitrarily truncated or bit-flipped overflow bytes never
+    /// panics: damage is skipped (commit marker / checksum) or rejected
+    /// as `Corrupt`, never a crash.
+    #[test]
+    fn overflow_decode_survives_truncation_and_bit_flips(
+        dim in 1usize..16,
+        count in 1usize..8,
+        cut in any::<usize>(),
+        flip in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + count * rec];
+        for i in 0..count {
+            let r = OverflowRecord::insert(i as u32, 100 + i as u32, vec![1.5; dim]);
+            area[8 + i * rec..8 + (i + 1) * rec].copy_from_slice(&r.to_bytes());
+        }
+        area[0..8].copy_from_slice(&((count * rec) as u64).to_le_bytes());
+        // Truncation at any point must not panic.
+        let cut_at = cut % (area.len() + 1);
+        let _ = parse_overflow(&area[..cut_at], dim);
+        let _ = OverflowRecord::from_bytes(&area[8..], dim);
+        // Neither must a single bit flip anywhere; the checksum or the
+        // commit marker downgrades the damaged slot instead.
+        let pos = flip % area.len();
+        area[pos] ^= 1 << bit;
+        let _ = parse_overflow(&area, dim);
+    }
+
+    /// A torn slot — reserved by the FAA but never written, so all-zero —
+    /// hides that one record and nothing else.
+    #[test]
+    fn torn_slots_are_skipped_not_fatal(
+        dim in 1usize..12,
+        count in 2usize..8,
+        torn in any::<usize>(),
+    ) {
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + count * rec];
+        for i in 0..count {
+            let r = OverflowRecord::insert(i as u32 % 3, 100 + i as u32, vec![2.5; dim]);
+            area[8 + i * rec..8 + (i + 1) * rec].copy_from_slice(&r.to_bytes());
+        }
+        area[0..8].copy_from_slice(&((count * rec) as u64).to_le_bytes());
+        let torn_at = torn % count;
+        area[8 + torn_at * rec..8 + (torn_at + 1) * rec].fill(0);
+        let (got, skipped) = parse_overflow_detailed(&area, dim).unwrap();
+        prop_assert_eq!(skipped, 1);
+        prop_assert_eq!(got.len(), count - 1);
+        prop_assert!(got.iter().all(|r| r.global_id != 100 + torn_at as u32));
     }
 
     /// HNSW serialization round-trips and searches identically for
