@@ -41,6 +41,12 @@
 //! `--read-retry-limit <n>` bounds the engine-level retries above the
 //! substrate's retransmission budget, and `--degraded-ok` lets queries
 //! answer from the clusters that arrived instead of failing the batch.
+//!
+//! Pipelining knobs: `--pipeline-depth <d>` splits each batch into `d`
+//! micro-batches whose cluster loads overlap the previous stage's
+//! search, and `--prefetch-budget-bytes <b>` arms the heatmap-driven
+//! background prefetcher between batches (0 disables it). Both override
+//! the `DHNSW_PIPELINE_DEPTH` / `DHNSW_PREFETCH_BUDGET_BYTES` env knobs.
 
 use std::collections::HashMap;
 
@@ -97,7 +103,8 @@ fn print_usage() {
                   [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
                   [--slo-max-degraded-rate X]\n\
          all workload commands: [--trace-spans] [--slow-query-us N]\n\
-                  [--fault-rate P] [--fault-seed S] [--read-retry-limit N] [--degraded-ok]"
+                  [--fault-rate P] [--fault-seed S] [--read-retry-limit N] [--degraded-ok]\n\
+                  [--pipeline-depth D] [--prefetch-budget-bytes B]"
     );
 }
 
@@ -162,6 +169,22 @@ fn apply_fault_flags(
         let seed = flag_usize(flags, "fault-seed", 42)? as u64;
         node.queue_pair().set_fault_rate(rate, seed);
         eprintln!("fault injection armed: rate {rate}, seed {seed}");
+    }
+    Ok(())
+}
+
+/// Applies the pipelined-execution knobs to a connected node
+/// (`--pipeline-depth`, `--prefetch-budget-bytes`). Call after
+/// `connect()` so explicit flags win over the `DHNSW_*` env knobs.
+fn apply_pipeline_flags(
+    flags: &HashMap<String, String>,
+    node: &dhnsw::ComputeNode,
+) -> AnyResult<()> {
+    if let Some(d) = flags.get("pipeline-depth") {
+        node.set_pipeline_depth(d.parse()?);
+    }
+    if let Some(b) = flags.get("prefetch-budget-bytes") {
+        node.set_prefetch_budget_bytes(b.parse()?);
     }
     Ok(())
 }
@@ -309,6 +332,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &Telemetry::global())?;
     apply_fault_flags(flags, &node)?;
+    apply_pipeline_flags(flags, &node)?;
     let (results, report) = node.query_batch(&queries, k, ef)?;
     for (i, hits) in results.iter().enumerate() {
         let row: Vec<String> = hits
@@ -353,6 +377,7 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> AnyResult<()> {
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &telemetry)?;
     apply_fault_flags(flags, &node)?;
+    apply_pipeline_flags(flags, &node)?;
     let (_, report) = node.query_batch(&queries, k, ef)?;
     if let Some(trace) = telemetry.traces().recent().last() {
         eprintln!(
@@ -398,6 +423,7 @@ fn cmd_insert(flags: &HashMap<String, String>) -> AnyResult<()> {
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &Telemetry::global())?;
     apply_fault_flags(flags, &node)?;
+    apply_pipeline_flags(flags, &node)?;
     let results = node.insert_batch(&batch)?;
     let ok = results.iter().filter(|r| r.is_ok()).count();
     let rejected = results.len() - ok;
@@ -454,6 +480,7 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &telemetry)?;
     apply_fault_flags(flags, &node)?;
+    apply_pipeline_flags(flags, &node)?;
     // The watchdog reports through the span ring; doctor always listens.
     telemetry.spans().set_enabled(true);
 

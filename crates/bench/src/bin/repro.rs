@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Subcommands: `fig6a` `fig6b` `fig6c` `fig6d` `table1` `table2`
-//! `metasize` `ablations` `faults` `all`. Scale via `DHNSW_SIFT_N`,
-//! `DHNSW_GIST_N`, `DHNSW_QUERIES`, `DHNSW_REPS` (see crate docs).
+//! `metasize` `ablations` `faults` `pipeline` `all`. Scale via
+//! `DHNSW_SIFT_N`, `DHNSW_GIST_N`, `DHNSW_QUERIES`, `DHNSW_REPS` (see
+//! crate docs).
 //! `faults` sweeps seeded substrate fault rates and reports recall,
 //! retransmissions, engine retries, and degraded-query coverage.
 //!
@@ -18,6 +19,12 @@
 //! `--trace-spans` turns on span capture and `--slow-query-us <n>` arms
 //! the slow-query log; without the flags the `DHNSW_TRACE_SPANS` /
 //! `DHNSW_SLOW_QUERY_US` environment variables apply.
+//!
+//! `--pipeline-depth <d>` and `--prefetch-budget-bytes <b>` apply the
+//! micro-batch pipelining and background-prefetch knobs to every node
+//! the run connects (they set the corresponding `DHNSW_*` env knobs
+//! before any store is opened). The `pipeline` subcommand sweeps the
+//! depth explicitly and gates on result equivalence.
 
 use dhnsw::{DHnswConfig, SearchMode, Telemetry, VectorStore};
 use dhnsw_bench::{
@@ -42,6 +49,17 @@ fn main() -> AnyResult {
             Telemetry::global().spans().set_slow_threshold_us(us);
         } else if arg == "--trace-spans" {
             Telemetry::global().spans().set_enabled(true);
+        } else if arg == "--pipeline-depth" {
+            let d: usize = args.next().ok_or("--pipeline-depth needs a value")?.parse()?;
+            // Applied via the env knob so every node the run connects
+            // (there are many, built deep inside the sweeps) picks it up.
+            std::env::set_var("DHNSW_PIPELINE_DEPTH", d.to_string());
+        } else if arg == "--prefetch-budget-bytes" {
+            let b: u64 = args
+                .next()
+                .ok_or("--prefetch-budget-bytes needs a value")?
+                .parse()?;
+            std::env::set_var("DHNSW_PREFETCH_BUDGET_BYTES", b.to_string());
         } else {
             cmd = arg;
         }
@@ -70,6 +88,7 @@ fn run_cmd(cmd: &str) -> AnyResult {
         "metasize" => metasize(),
         "ablations" => ablations(),
         "faults" => fault_sweep(),
+        "pipeline" => pipeline_sweep(),
         "tail" => tail_latency(),
         "all" => {
             // Each dataset's workload + store are reused across its
@@ -87,11 +106,12 @@ fn run_cmd(cmd: &str) -> AnyResult {
             metasize()?;
             ablations()?;
             fault_sweep()?;
+            pipeline_sweep()?;
             tail_latency()
         }
         other => {
             eprintln!(
-                "unknown subcommand {other}; use fig6a|fig6b|fig6c|fig6d|table1|table2|metasize|ablations|faults|tail|all"
+                "unknown subcommand {other}; use fig6a|fig6b|fig6c|fig6d|table1|table2|metasize|ablations|faults|pipeline|tail|all"
             );
             std::process::exit(2);
         }
@@ -278,6 +298,84 @@ fn fault_sweep() -> AnyResult {
     // degrades instead of failing (a half-lossy fabric makes the
     // coverage loss visible).
     run(0.5, true)?;
+    Ok(())
+}
+
+/// Micro-batch pipelining characterization: exposed network time and
+/// end-to-end batch latency as the pipeline deepens, on cold batches
+/// (the cache is dropped before each run so every stage actually
+/// loads). Gated: every depth must return byte-identical results and
+/// bytes_read to the sequential schedule, and pipelining must never
+/// *increase* the exposed network time. A final row arms the heatmap
+/// prefetcher and reports what it warmed.
+fn pipeline_sweep() -> AnyResult {
+    let w = Workload::sized(
+        DatasetKind::SiftLike,
+        dhnsw_bench::env_usize("DHNSW_ABLATION_N", 10_000),
+        dhnsw_bench::env_usize("DHNSW_ABLATION_Q", 500),
+    )?;
+    let base = DHnswConfig::paper().with_representatives(200);
+    let store = VectorStore::build(w.data.clone(), &base)?;
+    println!("\n=== Pipelined micro-batches: exposed network time vs depth (cold batches) ===");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>12}",
+        "depth", "recall@10", "network us", "batch us", "MB read"
+    );
+    let mut baseline: Option<(Vec<Vec<vecsim::Neighbor>>, u64, f64)> = None;
+    for depth in [1usize, 2, 4, 8] {
+        let node = store.connect(SearchMode::Full)?;
+        node.set_pipeline_depth(depth);
+        node.drop_cache();
+        let (results, r) = node.query_batch(&w.queries, 10, 48)?;
+        let ids: Vec<Vec<u32>> = results
+            .iter()
+            .map(|x| x.iter().map(|n| n.id).collect())
+            .collect();
+        let rec = vecsim::recall::mean_recall(&ids, w.truth(10));
+        println!(
+            "{:>6} {:>10.3} {:>14.1} {:>14.1} {:>12.2}",
+            depth,
+            rec,
+            r.breakdown.network_us,
+            r.breakdown.total_us(),
+            r.bytes_read as f64 / 1e6
+        );
+        match &baseline {
+            None => baseline = Some((results, r.bytes_read, r.breakdown.network_us)),
+            Some((seq_results, seq_bytes, seq_net)) => {
+                if results != *seq_results || r.bytes_read != *seq_bytes {
+                    return Err(format!(
+                        "pipeline gate: depth {depth} changed results or bytes_read"
+                    )
+                    .into());
+                }
+                if r.breakdown.network_us > *seq_net {
+                    return Err(format!(
+                        "pipeline gate: depth {depth} exposed {} us network \
+                         vs sequential {} us",
+                        r.breakdown.network_us, seq_net
+                    )
+                    .into());
+                }
+            }
+        }
+    }
+    // Prefetch: constrain the cache, seed the heatmap with a skewed
+    // batch, then report what one budgeted round warms.
+    let cfg = base.clone().with_cache_fraction(0.25);
+    let store_p = VectorStore::build(w.data.clone(), &cfg)?;
+    let node = store_p.connect(SearchMode::Full)?;
+    let zq = vecsim::gen::zipf_queries(&w.data, w.queries.len(), 0.03, 1.0, 0xFE7C)?;
+    node.query_batch(&zq, 10, 48)?;
+    let admitted = {
+        node.set_prefetch_budget_bytes(u64::MAX);
+        node.prefetch_hot()
+    };
+    let (_, r) = node.query_batch(&zq, 10, 48)?;
+    println!(
+        "prefetch (25% cache, zipf 1.0): warmed {admitted} clusters; repeat batch hit rate {:.0}%",
+        r.cache_hit_rate() * 100.0
+    );
     Ok(())
 }
 

@@ -120,7 +120,7 @@ pub struct TraceReport {
 /// The modeled latency of one batch: network virtual time plus compute
 /// wall time, µs.
 fn modeled_us(t: &QueryTrace) -> f64 {
-    t.meta_us + t.network_us + t.sub_us
+    t.meta_us + t.network_us + t.sub_us + t.materialize_us
 }
 
 impl TraceReport {
@@ -219,6 +219,7 @@ pub fn replay(node: &ComputeNode, ops: &[Op], k: usize, ef: usize) -> Result<Tra
                     meta_us: batch.breakdown.meta_hnsw_us,
                     network_us: batch.breakdown.network_us,
                     sub_us: batch.breakdown.sub_hnsw_us,
+                    materialize_us: batch.breakdown.materialize_us,
                     total_us: batch.breakdown.total_us(),
                 });
                 report.queries += batch.queries;
@@ -322,6 +323,7 @@ mod tests {
             meta_us: 0.0,
             network_us: us,
             sub_us: 0.0,
+            materialize_us: 0.0,
             total_us: us,
         }
     }

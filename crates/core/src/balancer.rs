@@ -110,6 +110,29 @@ impl LoadBalancer {
         &self.nodes[i]
     }
 
+    /// Sets the micro-batch pipeline depth on every pooled instance
+    /// (values are clamped to at least 1 per node).
+    pub fn set_pipeline_depth(&self, depth: usize) {
+        for node in &self.nodes {
+            node.set_pipeline_depth(depth);
+        }
+    }
+
+    /// Sets the background-prefetch byte budget on every pooled
+    /// instance; `0` disables prefetching.
+    pub fn set_prefetch_budget_bytes(&self, budget: u64) {
+        for node in &self.nodes {
+            node.set_prefetch_budget_bytes(budget);
+        }
+    }
+
+    /// Runs one heatmap-driven prefetch round on every pooled instance,
+    /// returning the total clusters admitted. Each instance has its own
+    /// cache, so warming is per instance.
+    pub fn prefetch_hot(&self) -> usize {
+        self.nodes.iter().map(|n| n.prefetch_hot()).sum()
+    }
+
     fn pick(&self) -> usize {
         match self.policy {
             DispatchPolicy::RoundRobin => {
@@ -325,6 +348,21 @@ mod tests {
         }
         // Round-robin over identical batches stays close to balanced.
         assert!(lb.busy_gini() < 0.5, "gini {} too skewed", lb.busy_gini());
+    }
+
+    #[test]
+    fn pipeline_knobs_fan_out_across_the_pool() {
+        let (_, store) = setup();
+        let lb = LoadBalancer::new(&store, 3, SearchMode::Full).unwrap();
+        lb.set_pipeline_depth(2);
+        lb.set_prefetch_budget_bytes(4096);
+        for i in 0..lb.instances() {
+            assert_eq!(lb.node(i).pipeline_depth(), 2);
+            assert_eq!(lb.node(i).prefetch_budget_bytes(), 4096);
+        }
+        // Depth 0 clamps to 1 rather than disabling the executor.
+        lb.set_pipeline_depth(0);
+        assert_eq!(lb.node(0).pipeline_depth(), 1);
     }
 
     #[test]

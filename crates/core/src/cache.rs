@@ -45,6 +45,17 @@ impl CacheStats {
 /// remote version-slot value), so the engine can detect cross-node
 /// mutations and invalidate stale entries on the next load.
 ///
+/// Entries can additionally be **pinned** for the duration of a batch
+/// ([`ClusterCache::pin`]): a pinned entry is never chosen as an LRU
+/// victim, which lets the pipelined executor keep every cluster of the
+/// current batch resident across micro-batch stages even while later
+/// stages insert more clusters. When every resident entry is pinned,
+/// [`ClusterCache::put`] admits the new entry anyway (a transient
+/// oversubscription bounded by the batch's unique-cluster count — memory
+/// the engine holds in its resolved set regardless);
+/// [`ClusterCache::settle`] then evicts back down to capacity in LRU
+/// order once the batch ends and the pins are released.
+///
 /// A capacity of `0` is an explicit **cache-disabled** mode: every
 /// lookup misses, [`ClusterCache::put`] is a no-op, and nothing is ever
 /// resident — so "no cache" benchmarks genuinely hold zero clusters.
@@ -61,9 +72,18 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct ClusterCache {
     capacity: usize,
-    entries: HashMap<u32, (u64, u64, Arc<LoadedCluster>)>,
+    entries: HashMap<u32, Entry>,
     tick: u64,
     stats: CacheStats,
+}
+
+/// One resident cluster with its LRU stamp, load version, and pin state.
+#[derive(Debug)]
+struct Entry {
+    stamp: u64,
+    version: u64,
+    pinned: bool,
+    cluster: Arc<LoadedCluster>,
 }
 
 impl ClusterCache {
@@ -98,15 +118,15 @@ impl ClusterCache {
     pub fn get(&mut self, partition: u32) -> Option<Arc<LoadedCluster>> {
         self.tick += 1;
         match self.entries.get_mut(&partition) {
-            Some((stamp, _, cluster)) => {
-                *stamp = self.tick;
+            Some(entry) => {
+                entry.stamp = self.tick;
                 self.stats.hits += 1;
                 emit_scope_instant(
                     "cache_hit",
                     "cache",
                     &[("cluster", ArgValue::U64(u64::from(partition)))],
                 );
-                Some(Arc::clone(cluster))
+                Some(Arc::clone(&entry.cluster))
             }
             None => {
                 self.stats.misses += 1;
@@ -129,7 +149,7 @@ impl ClusterCache {
     /// The version a resident partition was loaded at, without touching
     /// recency or hit statistics (used by the engine's coherence check).
     pub fn version_of(&self, partition: u32) -> Option<u64> {
-        self.entries.get(&partition).map(|(_, v, _)| *v)
+        self.entries.get(&partition).map(|e| e.version)
     }
 
     /// Inserts a cluster loaded at `version`, evicting the least
@@ -149,8 +169,14 @@ impl ClusterCache {
         self.tick += 1;
         let mut evicted = None;
         if !self.entries.contains_key(&partition) && self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) =
-                self.entries.iter().min_by_key(|(_, (stamp, _, _))| *stamp)
+            // Evict the least recently used *unpinned* entry. When the
+            // whole cache is pinned (a batch whose working set exceeds
+            // capacity), admit anyway; settle() restores the bound.
+            if let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by_key(|(_, e)| e.stamp)
             {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
@@ -165,8 +191,66 @@ impl ClusterCache {
                 );
             }
         }
-        self.entries.insert(partition, (self.tick, version, cluster));
+        let pinned = self.entries.get(&partition).is_some_and(|e| e.pinned);
+        self.entries.insert(
+            partition,
+            Entry {
+                stamp: self.tick,
+                version,
+                pinned,
+                cluster,
+            },
+        );
         evicted
+    }
+
+    /// Pins a resident partition so LRU pressure cannot evict it until
+    /// [`ClusterCache::unpin_all`] or [`ClusterCache::settle`]. Returns
+    /// whether the partition was resident. Recency and hit statistics are
+    /// untouched.
+    pub fn pin(&mut self, partition: u32) -> bool {
+        match self.entries.get_mut(&partition) {
+            Some(entry) => {
+                entry.pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears every pin without evicting anything.
+    pub fn unpin_all(&mut self) {
+        for entry in self.entries.values_mut() {
+            entry.pinned = false;
+        }
+    }
+
+    /// Number of currently pinned entries.
+    pub fn pinned(&self) -> usize {
+        self.entries.values().filter(|e| e.pinned).count()
+    }
+
+    /// Ends a batch's pin scope: releases every pin and evicts in LRU
+    /// order until the cache is back within capacity (undoing any
+    /// transient oversubscription pins forced). Returns the victims in
+    /// eviction order; each counts as an LRU eviction.
+    pub fn settle(&mut self) -> Vec<u32> {
+        self.unpin_all();
+        let mut victims = Vec::new();
+        while self.entries.len() > self.capacity {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+            emit_scope_instant(
+                "cache_evict",
+                "cache",
+                &[("victim", ArgValue::U64(u64::from(victim)))],
+            );
+            victims.push(victim);
+        }
+        victims
     }
 
     /// Drops a partition (after an insert invalidates its materialized
@@ -204,7 +288,7 @@ impl ClusterCache {
     pub fn resident_bytes(&self) -> usize {
         self.entries
             .values()
-            .map(|(_, _, c)| c.resident_bytes())
+            .map(|e| e.cluster.resident_bytes())
             .sum()
     }
 }
@@ -385,6 +469,63 @@ mod tests {
             .map(|s| s.name)
             .collect();
         assert_eq!(events, vec!["cache_miss", "cache_hit", "cache_evict"]);
+    }
+
+    #[test]
+    fn pinned_entries_survive_lru_pressure() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0), 0);
+        c.put(1, cluster(1), 0);
+        assert!(c.pin(0), "resident entry pins");
+        assert!(!c.pin(9), "absent entry does not");
+        assert_eq!(c.pinned(), 1);
+        // 0 is the LRU but pinned: pressure falls on 1 instead.
+        assert_eq!(c.put(2, cluster(2), 0), Some(1));
+        assert!(c.contains(0));
+        c.unpin_all();
+        assert_eq!(c.pinned(), 0);
+        // With the pin released, 0 is evictable again.
+        assert_eq!(c.put(3, cluster(3), 0), Some(0));
+    }
+
+    #[test]
+    fn fully_pinned_cache_oversubscribes_then_settles() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0), 0);
+        c.put(1, cluster(1), 0);
+        c.pin(0);
+        c.pin(1);
+        // Everything is pinned: the put admits without a victim.
+        assert_eq!(c.put(2, cluster(2), 0), None);
+        c.pin(2);
+        assert_eq!(c.len(), 3, "transient oversubscription");
+        let evictions_before = c.evictions();
+        let victims = c.settle();
+        assert_eq!(c.len(), 2, "settle restores the capacity bound");
+        assert_eq!(victims, vec![0], "LRU entry goes first");
+        assert_eq!(c.evictions(), evictions_before + 1);
+        assert_eq!(c.pinned(), 0);
+    }
+
+    #[test]
+    fn put_preserves_the_pin_of_a_refreshed_entry() {
+        let mut c = ClusterCache::new(2);
+        c.put(0, cluster(0), 0);
+        c.pin(0);
+        c.put(0, cluster(0), 1); // reload at a newer version
+        c.put(1, cluster(1), 0);
+        // 0 is still pinned after the re-put: pressure must pick 1.
+        assert_eq!(c.put(2, cluster(2), 0), Some(1));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn pins_on_a_disabled_cache_are_noops() {
+        let mut c = ClusterCache::new(0);
+        assert!(!c.pin(0));
+        c.unpin_all();
+        assert!(c.settle().is_empty());
+        assert_eq!(c.pinned(), 0);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub struct DHnswConfig {
     read_retry_limit: u32,
     retry_backoff_us: f64,
     degraded_ok: bool,
+    pipeline_depth: usize,
+    prefetch_budget_bytes: u64,
 }
 
 impl DHnswConfig {
@@ -57,6 +59,8 @@ impl DHnswConfig {
             read_retry_limit: 3,
             retry_backoff_us: 8.0,
             degraded_ok: false,
+            pipeline_depth: 1,
+            prefetch_budget_bytes: 0,
         }
     }
 
@@ -77,6 +81,8 @@ impl DHnswConfig {
             read_retry_limit: 3,
             retry_backoff_us: 8.0,
             degraded_ok: false,
+            pipeline_depth: 1,
+            prefetch_budget_bytes: 0,
         }
     }
 
@@ -163,6 +169,34 @@ impl DHnswConfig {
     /// Sets whether degraded query results are acceptable.
     pub fn with_degraded_ok(mut self, ok: bool) -> Self {
         self.degraded_ok = ok;
+        self
+    }
+
+    /// Micro-batches a query batch is split into so that micro-batch
+    /// *i + 1*'s cluster loads overlap micro-batch *i*'s sub-HNSW search.
+    /// `1` (the default) is the sequential route → load → search
+    /// execution; the effective depth is additionally clamped to the
+    /// batch size at query time.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Sets the pipeline depth (must be `>= 1`).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Byte budget for the heatmap-driven background prefetcher that
+    /// warms the LRU cache between batches. `0` (the default) disables
+    /// prefetching entirely.
+    pub fn prefetch_budget_bytes(&self) -> u64 {
+        self.prefetch_budget_bytes
+    }
+
+    /// Sets the between-batch prefetch byte budget (`0` = disabled).
+    pub fn with_prefetch_budget_bytes(mut self, bytes: u64) -> Self {
+        self.prefetch_budget_bytes = bytes;
         self
     }
 
@@ -285,6 +319,11 @@ impl DHnswConfig {
                 self.cache_fraction
             )));
         }
+        if self.pipeline_depth == 0 {
+            return Err(Error::InvalidParameter(
+                "pipeline_depth must be >= 1 (1 = sequential execution)".into(),
+            ));
+        }
         if !self.retry_backoff_us.is_finite() || self.retry_backoff_us < 0.0 {
             return Err(Error::InvalidParameter(format!(
                 "retry_backoff_us must be finite and >= 0, got {}",
@@ -382,6 +421,21 @@ mod tests {
             .is_err());
         assert!(DHnswConfig::paper()
             .with_retry_backoff_us(f64::NAN)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn pipeline_knobs_default_and_build() {
+        let c = DHnswConfig::paper();
+        assert_eq!(c.pipeline_depth(), 1, "sequential by default");
+        assert_eq!(c.prefetch_budget_bytes(), 0, "prefetch off by default");
+        let c = c.with_pipeline_depth(3).with_prefetch_budget_bytes(1 << 20);
+        assert_eq!(c.pipeline_depth(), 3);
+        assert_eq!(c.prefetch_budget_bytes(), 1 << 20);
+        c.validate().unwrap();
+        assert!(DHnswConfig::paper()
+            .with_pipeline_depth(0)
             .validate()
             .is_err());
     }

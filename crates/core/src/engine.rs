@@ -21,6 +21,7 @@
 //! degrade, when allowed) when a read cannot stabilize.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,12 +38,16 @@ use crate::health::report::{
 };
 use crate::health::skew::skew_of;
 use crate::layout::{Directory, ID_COUNTER_OFFSET};
-use crate::loader::{plan_batch, read_requests};
+use crate::loader::{plan_batch, read_requests, stage_loads};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
 use crate::telemetry::span::{ArgValue, BatchTrace, QpSpanSink, SpanId};
 use crate::telemetry::{Counter, Gauge, Histogram, QueryTrace, Telemetry};
 use crate::{DHnswConfig, Error, Result};
+
+/// `(partition, version-at-load, raw span bytes)` triples that passed a
+/// load stage's optimistic version check.
+type StableLoads = Vec<(u32, u64, Vec<u8>)>;
 
 /// Which of the paper's three evaluated schemes this compute node runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -137,6 +142,11 @@ struct EngineMetrics {
     stage_meta_us: Arc<Counter>,
     stage_network_us: Arc<Counter>,
     stage_sub_us: Arc<Counter>,
+    stage_materialize_us: Arc<Counter>,
+    pipeline_hidden_us: Arc<Counter>,
+    prefetch_rounds: Arc<Counter>,
+    prefetch_clusters: Arc<Counter>,
+    prefetch_bytes: Arc<Counter>,
     clusters_loaded: Arc<Counter>,
     cluster_cache_hits: Arc<Counter>,
     raw_cluster_demand: Arc<Counter>,
@@ -186,6 +196,31 @@ impl EngineMetrics {
                 "dhnsw_stage_us_total",
                 "Cumulative stage time in microseconds",
                 &[("mode", mode.label()), ("stage", "sub_hnsw")],
+            ),
+            stage_materialize_us: t.counter(
+                "dhnsw_stage_us_total",
+                "Cumulative stage time in microseconds",
+                &[("mode", mode.label()), ("stage", "materialize")],
+            ),
+            pipeline_hidden_us: t.counter(
+                "dhnsw_pipeline_hidden_us_total",
+                "Virtual network time hidden behind compute by micro-batch pipelining",
+                m,
+            ),
+            prefetch_rounds: t.counter(
+                "dhnsw_prefetch_rounds_total",
+                "Between-batch heatmap prefetch rounds that loaded at least one cluster",
+                m,
+            ),
+            prefetch_clusters: t.counter(
+                "dhnsw_prefetch_clusters_total",
+                "Clusters warmed into the cache by the heatmap prefetcher",
+                m,
+            ),
+            prefetch_bytes: t.counter(
+                "dhnsw_prefetch_bytes_total",
+                "Bytes read from remote memory by the heatmap prefetcher",
+                m,
             ),
             clusters_loaded: t.counter(
                 "dhnsw_clusters_loaded_total",
@@ -315,6 +350,11 @@ pub struct ComputeNode {
     metrics: EngineMetrics,
     heatmap: Arc<ClusterHeatmap>,
     flushed: Mutex<FlushState>,
+    // Runtime-tunable execution knobs (see `set_pipeline_depth` /
+    // `set_prefetch_budget_bytes`): initialized from the store config and
+    // the environment, adjustable per node without reconnecting.
+    pipeline_depth: AtomicUsize,
+    prefetch_budget: AtomicU64,
 }
 
 impl ComputeNode {
@@ -345,6 +385,28 @@ impl ComputeNode {
         }
         if std::env::var("DHNSW_DEGRADED_OK").is_ok_and(|v| v == "1") {
             config = config.with_degraded_ok(true);
+        }
+        // Execution knobs: DHNSW_PIPELINE_DEPTH splits batches into
+        // overlapped micro-batches, DHNSW_PREFETCH_BUDGET_BYTES arms the
+        // between-batch heatmap prefetcher, DHNSW_SEARCH_THREADS sizes
+        // the per-instance worker pool (0 = all cores).
+        if let Some(d) = std::env::var("DHNSW_PIPELINE_DEPTH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config = config.with_pipeline_depth(d.max(1));
+        }
+        if let Some(bytes) = std::env::var("DHNSW_PREFETCH_BUDGET_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            config = config.with_prefetch_budget_bytes(bytes);
+        }
+        if let Some(t) = std::env::var("DHNSW_SEARCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config = config.with_search_threads(t);
         }
         let qp = QueuePair::connect(store.memory_node(), config.network());
         let rkey = store.region().rkey();
@@ -380,6 +442,8 @@ impl ComputeNode {
             cache: CacheStats::default(),
         });
         let heatmap = Arc::new(ClusterHeatmap::new(directory.partitions()));
+        let pipeline_depth = AtomicUsize::new(config.pipeline_depth().max(1));
+        let prefetch_budget = AtomicU64::new(config.prefetch_budget_bytes());
         Ok(ComputeNode {
             qp,
             rkey,
@@ -392,7 +456,35 @@ impl ComputeNode {
             metrics,
             heatmap,
             flushed,
+            pipeline_depth,
+            prefetch_budget,
         })
+    }
+
+    /// The micro-batch pipeline depth in force (`1` = sequential).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth.load(Ordering::Relaxed)
+    }
+
+    /// Sets the micro-batch pipeline depth for subsequent batches on this
+    /// node (clamped to `>= 1`; additionally clamped to the batch size at
+    /// query time). Depth 1 is the strict route → load → search
+    /// execution; deeper pipelines overlap micro-batch *i + 1*'s cluster
+    /// loads with micro-batch *i*'s search.
+    pub fn set_pipeline_depth(&self, depth: usize) {
+        self.pipeline_depth.store(depth.max(1), Ordering::Relaxed);
+    }
+
+    /// The between-batch prefetch byte budget in force (`0` = disabled).
+    pub fn prefetch_budget_bytes(&self) -> u64 {
+        self.prefetch_budget.load(Ordering::Relaxed)
+    }
+
+    /// Sets the byte budget the heatmap-driven prefetcher may spend
+    /// warming the cluster cache after each query batch (`0` disables
+    /// prefetching).
+    pub fn set_prefetch_budget_bytes(&self, bytes: u64) {
+        self.prefetch_budget.store(bytes, Ordering::Relaxed);
     }
 
     /// The search mode this node runs.
@@ -737,6 +829,18 @@ impl ComputeNode {
             }
             SearchMode::Naive => self.query_batch_naive(queries, opts.k, opts.ef, b, &trace, root),
         };
+        // Release the batch's cache pins whether it succeeded or not —
+        // leaked pins would exempt entries from LRU pressure forever.
+        // Settling also evicts down to capacity if a fully-pinned cache
+        // transiently oversubscribed, charging those evictions here.
+        {
+            let victims = self.cache.lock().settle();
+            if self.heatmap.is_enabled() {
+                for v in victims {
+                    self.heatmap.record_eviction(v);
+                }
+            }
+        }
         let (results, report) = match outcome {
             Ok(pair) => pair,
             Err(e) => {
@@ -757,6 +861,10 @@ impl ComputeNode {
                 ("meta_us", ArgValue::F64(report.breakdown.meta_hnsw_us)),
                 ("network_vt_us", ArgValue::F64(report.breakdown.network_us)),
                 ("sub_us", ArgValue::F64(report.breakdown.sub_hnsw_us)),
+                (
+                    "materialize_us",
+                    ArgValue::F64(report.breakdown.materialize_us),
+                ),
             ],
         );
         self.telemetry.spans().finish(trace);
@@ -769,6 +877,8 @@ impl ComputeNode {
         m.stage_meta_us.add(report.breakdown.meta_hnsw_us as u64);
         m.stage_network_us.add(report.breakdown.network_us as u64);
         m.stage_sub_us.add(report.breakdown.sub_hnsw_us as u64);
+        m.stage_materialize_us
+            .add(report.breakdown.materialize_us as u64);
         m.clusters_loaded.add(report.clusters_loaded as u64);
         m.cluster_cache_hits.add(report.cache_hits as u64);
         m.raw_cluster_demand.add(report.raw_cluster_demand as u64);
@@ -797,8 +907,15 @@ impl ComputeNode {
                 meta_us: report.breakdown.meta_hnsw_us,
                 network_us: report.breakdown.network_us,
                 sub_us: report.breakdown.sub_hnsw_us,
+                materialize_us: report.breakdown.materialize_us,
                 total_us,
             });
+        }
+        // Warm the cache for the next batch while the client digests this
+        // one. Runs after every counter above so prefetch traffic is
+        // never attributed to the batch that triggered it.
+        if self.prefetch_budget_bytes() > 0 {
+            self.prefetch_hot();
         }
         Ok((results, report))
     }
@@ -859,49 +976,291 @@ impl ComputeNode {
             }
         }
 
-        // Pin cached clusters before loading so same-batch evictions
-        // cannot take them away mid-batch. Cache hit instants attach to
-        // the cluster-union span via the scope. Each pin remembers the
-        // version the entry was loaded at for the coherence check below.
+        // Pin cached clusters before loading so LRU pressure from
+        // same-batch (or later-stage) loads cannot take them away
+        // mid-batch. Cache hit instants attach to the cluster-union span
+        // via the scope. Each pin remembers the version the entry was
+        // loaded at for the coherence check below.
         let mut resolved: HashMap<u32, Arc<LoadedCluster>> = HashMap::new();
         let mut pinned_versions: Vec<(u32, u64)> = Vec::new();
+        let mut lost: Vec<u32> = Vec::new();
         {
             let _scope = trace.enter_scope(s_union);
             let mut cache = self.cache.lock();
             for &p in &plan.cached {
                 let version = cache.version_of(p).unwrap_or(0);
                 if let Some(c) = cache.get(p) {
+                    cache.pin(p);
                     resolved.insert(p, c);
                     pinned_versions.push((p, version));
+                } else {
+                    // A concurrent batch on this node evicted the entry
+                    // between planning and pinning: demote it to a
+                    // stage-0 load so every routed cluster still
+                    // resolves. Never happens single-threaded — the
+                    // cache only changes between the two locks when
+                    // another thread settles or admits.
+                    lost.push(p);
                 }
             }
         }
         trace.end_span_with(s_union, &plan.trace_args());
 
-        // 3. Network: fetch every missing cluster exactly once, under the
-        // optimistic version protocol. Each loaded span travels between
-        // two reads of its partition's version slot; a mismatch means a
-        // writer committed mid-read and the span is re-fetched. Cached
-        // pins piggyback one version read each on the same doorbell, so
-        // cross-node mutations invalidate stale entries whenever a batch
-        // touches the wire at all (a fully-cached batch stays at zero
-        // verbs — cache lifetime bounds staleness there, as documented).
-        // Substrate retransmission-budget errors are retried at this
-        // level too, with exponential backoff charged to virtual time.
-        let s_net = trace.begin_span("network", "engine", root);
-        let clock0 = self.qp.clock().now_us();
-        let stats0 = self.qp.stats().snapshot();
+        // 3–5. Pipelined execution. The batch is split into `depth`
+        // contiguous micro-batches (stages); each to-load cluster is
+        // assigned to the stage of its first-demanding query. Stage
+        // `i + 1`'s loads are issued — and charged to the virtual NIC
+        // timeline — *before* stage `i`'s materialize + search runs on
+        // the worker pool, so transfer time overlaps compute. Depth 1
+        // reproduces the sequential route → load → materialize → search
+        // execution exactly: same verbs, same order, same accounting.
+        //
+        // Every cluster still crosses the network at most once per batch
+        // (stages partition `plan.to_load`), loaded clusters stay pinned
+        // in the cache across stages, and cached-pin version verifies
+        // ride stage 0's doorbell so a stale entry is demoted and
+        // reloaded before *any* stage searches it.
         let versioned = self.directory.has_version_slots();
-        let mut verify: Vec<(u32, u64)> = if versioned && !plan.to_load.is_empty() {
+        let verify: Vec<(u32, u64)> = if versioned && !plan.to_load.is_empty() {
             pinned_versions
         } else {
             Vec::new()
         };
-        let mut pending: Vec<u32> = plan.to_load.clone();
+        let depth = self.pipeline_depth().clamp(1, queries.len());
+        let chunk = queries.len().div_ceil(depth);
+        let bounds: Vec<(usize, usize)> = (0..depth)
+            .map(|s| (s * chunk, ((s + 1) * chunk).min(queries.len())))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let mut staged = stage_loads(&routes, &plan.to_load, &bounds);
+        let lost_n = lost.len();
+        if !lost.is_empty() {
+            // Loading at stage 0 is always at-or-before first demand, so
+            // the stage invariant holds for demoted entries too.
+            staged[0].append(&mut lost);
+        }
+        let stages = bounds.len();
+        let threads = self.config.effective_search_threads();
+        let stats0 = self.qp.stats().snapshot();
+
+        let mut verify = Some(verify);
+        let mut failed: Vec<u32> = Vec::new();
+        // Lost entries were counted as hits by the planner but must be
+        // re-fetched, so they start the demotion count.
+        let mut demoted = lost_n;
+        let mut load_vt = vec![0.0f64; stages];
+        let mut cpu_wall = vec![0.0f64; stages];
+        let mut loads: Vec<Vec<(u32, u64, Vec<u8>)>> = (0..stages).map(|_| Vec::new()).collect();
+        let mut mat_total = 0.0f64;
+        let mut sub_total = 0.0f64;
+        let mut loaded_total = 0usize;
+        let mut searched_all: Vec<(Vec<Neighbor>, f64)> = Vec::with_capacity(queries.len());
+
+        for i in 0..stages {
+            if i == 0 {
+                let pending = std::mem::take(&mut staged[0]);
+                let verify0 = verify.take().unwrap_or_default();
+                if !pending.is_empty() || !verify0.is_empty() {
+                    let (stable, vt) = self.load_stage(
+                        0,
+                        pending,
+                        verify0,
+                        doorbell,
+                        versioned,
+                        trace,
+                        root,
+                        &mut resolved,
+                        &mut report,
+                        &mut failed,
+                        &mut demoted,
+                    )?;
+                    load_vt[0] = vt;
+                    loads[0] = stable;
+                }
+            }
+            if i + 1 < stages && !staged[i + 1].is_empty() {
+                // Double buffering: the next micro-batch's clusters go on
+                // the wire now, while this stage computes below.
+                let (stable, vt) = self.load_stage(
+                    i + 1,
+                    std::mem::take(&mut staged[i + 1]),
+                    Vec::new(),
+                    doorbell,
+                    versioned,
+                    trace,
+                    root,
+                    &mut resolved,
+                    &mut report,
+                    &mut failed,
+                    &mut demoted,
+                )?;
+                load_vt[i + 1] = vt;
+                loads[i + 1] = stable;
+            }
+
+            // Materialize this stage's loads (compute on loaded data) and
+            // cache them, pinned, at the version they were read.
+            // Deserialization fans out over the instance's worker
+            // threads, like the paper's per-instance OpenMP pool.
+            let stable = std::mem::take(&mut loads[i]);
+            let t_mat = Instant::now();
+            let s_mat = trace.begin_span("materialize", "engine", root);
+            let stable_parts: Vec<u32> = stable.iter().map(|(p, _, _)| *p).collect();
+            let stable_versions: Vec<u64> = stable.iter().map(|(_, v, _)| *v).collect();
+            let stable_bufs: Vec<Vec<u8>> = stable.into_iter().map(|(_, _, b)| b).collect();
+            let loaded =
+                materialize_parallel(&self.directory, &stable_parts, &stable_bufs, threads)?;
+            {
+                let _scope = trace.enter_scope(s_mat);
+                let mut cache = self.cache.lock();
+                for ((&p, cluster), version) in stable_parts
+                    .iter()
+                    .zip(&loaded)
+                    .zip(stable_versions.iter().copied())
+                {
+                    if let Some(victim) = cache.put(p, Arc::clone(cluster), version) {
+                        if heat {
+                            self.heatmap.record_eviction(victim);
+                        }
+                    }
+                    cache.pin(p);
+                    resolved.insert(p, Arc::clone(cluster));
+                }
+            }
+            trace.end_span_with(
+                s_mat,
+                &[
+                    ("clusters", ArgValue::U64(loaded.len() as u64)),
+                    ("stage", ArgValue::U64(i as u64)),
+                ],
+            );
+            loaded_total += loaded.len();
+            let mat_us = t_mat.elapsed().as_secs_f64() * 1e6;
+            mat_total += mat_us;
+
+            // Sub-HNSW search for this micro-batch's queries. A stage
+            // only ever routes to clusters first demanded at or before
+            // it, all of which were loaded (or recorded failed) above —
+            // so failures are always known before the search that must
+            // tolerate them, exactly as in the sequential path.
+            let (lo, hi) = bounds[i];
+            let s_search = trace.begin_span("sub_hnsw_search", "engine", root);
+            let t_sub = Instant::now();
+            let searched = search_over(
+                &routes[lo..hi],
+                queries,
+                lo,
+                &resolved,
+                k,
+                ef,
+                threads,
+                !failed.is_empty(),
+            )?;
+            let sub_us = t_sub.elapsed().as_secs_f64() * 1e6;
+            sub_total += sub_us;
+            trace.end_span_with(
+                s_search,
+                &[
+                    ("queries", ArgValue::U64((hi - lo) as u64)),
+                    ("ef", ArgValue::U64(ef as u64)),
+                    ("stage", ArgValue::U64(i as u64)),
+                ],
+            );
+            cpu_wall[i] = mat_us + sub_us;
+            searched_all.extend(searched);
+        }
+
+        report.cache_hits = plan.cached.len() - demoted;
+        report.clusters_loaded = loaded_total;
+        report.breakdown.materialize_us = mat_total;
+        report.breakdown.sub_hnsw_us = sub_total;
+        // Schedule composition over the two-clock model: the NIC
+        // serializes stage loads on the virtual clock while the worker
+        // pool consumes stages in order. The *exposed* network time is
+        // the total stall the compute timeline spends waiting on the NIC
+        // — with one stage exactly the whole virtual transfer time, with
+        // deeper pipelines whatever the overlap could not hide.
+        let mut nic_done = 0.0f64;
+        let mut cpu_done = 0.0f64;
+        let mut exposed = 0.0f64;
+        for i in 0..stages {
+            nic_done += load_vt[i];
+            let wait = (nic_done - cpu_done).max(0.0);
+            exposed += wait;
+            cpu_done += wait + cpu_wall[i];
+        }
+        report.breakdown.network_us = exposed;
+        let total_vt: f64 = load_vt.iter().sum();
+        let hidden = (total_vt - exposed).max(0.0);
+        if stages > 1 {
+            self.metrics.pipeline_hidden_us.add(hidden as u64);
+            trace.instant(
+                "pipeline_overlap",
+                "engine",
+                root,
+                &[
+                    ("stages", ArgValue::U64(stages as u64)),
+                    ("network_vt_us", ArgValue::F64(total_vt)),
+                    ("exposed_us", ArgValue::F64(exposed)),
+                    ("hidden_us", ArgValue::F64(hidden)),
+                ],
+            );
+        }
+        let stats_delta = self.qp.stats().snapshot() - stats0;
+        report.round_trips = stats_delta.round_trips;
+        report.bytes_read = stats_delta.bytes_read;
+
+        let mut results = Vec::with_capacity(searched_all.len());
+        if failed.is_empty() {
+            results.extend(searched_all.into_iter().map(|(r, _)| r));
+        } else {
+            let mut coverage = Vec::with_capacity(searched_all.len());
+            for (r, cov) in searched_all {
+                if cov < 1.0 {
+                    report.degraded_queries += 1;
+                }
+                coverage.push(cov);
+                results.push(r);
+            }
+            report.coverage = coverage;
+        }
+        Ok((results, report))
+    }
+
+    /// Loads one pipeline stage's pending clusters — plus any
+    /// piggybacked cached-pin version verifies — under the optimistic
+    /// version protocol: each span travels between two reads of its
+    /// partition's version slot; a mismatch means a writer committed
+    /// mid-read and the span is re-fetched. Cached pins whose verify
+    /// fails are demoted (invalidated and reloaded with this stage).
+    /// Substrate retransmission-budget errors are retried here too, with
+    /// exponential backoff charged to virtual time; past the engine
+    /// budget the stage's survivors land in `failed` when degraded
+    /// results are allowed, otherwise the batch errors.
+    ///
+    /// Returns the stabilized `(partition, version, span)` triples and
+    /// the stage's virtual network time.
+    #[allow(clippy::too_many_arguments)]
+    fn load_stage(
+        &self,
+        stage: usize,
+        mut pending: Vec<u32>,
+        mut verify: Vec<(u32, u64)>,
+        doorbell: bool,
+        versioned: bool,
+        trace: &BatchTrace,
+        root: SpanId,
+        resolved: &mut HashMap<u32, Arc<LoadedCluster>>,
+        report: &mut BatchReport,
+        failed: &mut Vec<u32>,
+        demoted: &mut usize,
+    ) -> Result<(StableLoads, f64)> {
+        let s_net = trace.begin_span("network", "engine", root);
+        trace.add_args(s_net, &[("stage", ArgValue::U64(stage as u64))]);
+        let clock0 = self.qp.clock().now_us();
+        let stats0 = self.qp.stats().snapshot();
         // (partition, version-at-load, span bytes) that passed the check.
         let mut stable: Vec<(u32, u64, Vec<u8>)> = Vec::new();
-        let mut failed: Vec<u32> = Vec::new();
-        let mut demoted = 0usize;
         let mut attempt: u32 = 0;
         while !pending.is_empty() || !verify.is_empty() {
             let mut reqs = Vec::with_capacity(verify.len() + 3 * pending.len());
@@ -968,11 +1327,11 @@ impl ComputeNode {
                 let now = read_version(&bufs.next().expect("one buffer per request"))?;
                 if now != pinned {
                     // A writer moved the cluster since we cached it:
-                    // drop the stale pin and reload it with this batch.
+                    // drop the stale pin and reload it with this stage.
                     self.cache.lock().invalidate(p);
                     resolved.remove(&p);
                     unstable.push(p);
-                    demoted += 1;
+                    *demoted += 1;
                 }
             }
             verify.clear();
@@ -997,7 +1356,7 @@ impl ComputeNode {
             report.read_retries += unstable.len() as u64;
             if attempt > self.config.read_retry_limit() {
                 if self.config.degraded_ok() {
-                    failed = unstable;
+                    failed.append(&mut unstable);
                     break;
                 }
                 trace.end_span(s_net);
@@ -1009,18 +1368,14 @@ impl ComputeNode {
             self.backoff(attempt, trace, s_net, unstable.len());
             pending = unstable;
         }
-        report.cache_hits = plan.cached.len() - demoted;
-        report.clusters_loaded = stable.len();
-        report.breakdown.network_us = self.qp.clock().now_us() - clock0;
+        let vt = self.qp.clock().now_us() - clock0;
         let stats_delta = self.qp.stats().snapshot() - stats0;
-        report.round_trips = stats_delta.round_trips;
-        report.bytes_read = stats_delta.bytes_read;
-        if heat {
+        if self.heatmap.is_enabled() {
             for (p, _, span) in &stable {
                 self.heatmap.record_load(*p, span.len() as u64);
             }
         }
-        trace.set_vt(s_net, clock0, report.breakdown.network_us);
+        trace.set_vt(s_net, clock0, vt);
         trace.end_span_with(
             s_net,
             &[
@@ -1033,66 +1388,203 @@ impl ComputeNode {
                 ("read_retries", ArgValue::U64(report.read_retries)),
             ],
         );
+        Ok((stable, vt))
+    }
 
-        // 4. Materialize loads (compute on loaded data) and cache them at
-        // the version they were read. Deserialization fans out over the
-        // instance's worker threads, like the paper's per-instance OpenMP
-        // pool.
-        let threads = self.config.effective_search_threads();
-        let t_sub = Instant::now();
-        let s_mat = trace.begin_span("materialize", "engine", root);
-        let stable_parts: Vec<u32> = stable.iter().map(|(p, _, _)| *p).collect();
-        let stable_versions: Vec<u64> = stable.iter().map(|(_, v, _)| *v).collect();
-        let stable_bufs: Vec<Vec<u8>> = stable.into_iter().map(|(_, _, b)| b).collect();
-        let loaded = materialize_parallel(&self.directory, &stable_parts, &stable_bufs, threads)?;
+    /// Heatmap-driven background prefetch: warms the LRU cache with the
+    /// hottest non-resident clusters (EWMA hotness from the partition
+    /// heatmap), bounded by the node's prefetch byte budget and the
+    /// cache capacity. Runs synchronously between batches — the
+    /// substrate's verb schedule is deterministic, and a detached thread
+    /// would race it — so `query_batch` invokes it *after* a batch's
+    /// accounting closes; prefetch traffic lands on the engine's
+    /// `dhnsw_prefetch_*` counters, never on a batch report.
+    ///
+    /// Best-effort by design: any substrate error or unresolved version
+    /// churn abandons the round silently. Returns the number of clusters
+    /// admitted to the cache.
+    pub fn prefetch_hot(&self) -> usize {
+        let budget = self.prefetch_budget_bytes();
+        if budget == 0 || self.mode == SearchMode::Naive || !self.heatmap.is_enabled() {
+            return 0;
+        }
+        let capacity = self.cache.lock().capacity();
+        if capacity == 0 {
+            return 0;
+        }
+        // Rank every partition by EWMA hotness (partition id as the
+        // deterministic tie-break) and aim the cache at the hottest
+        // `capacity` of them. Steering toward that *target set* — rather
+        // than a "hotter than the coldest resident" floor — makes
+        // repeated rounds converge: once the residents are exactly the
+        // target, no pick survives the resident filter and prefetch
+        // goes quiet instead of ping-ponging entries of equal heat.
+        let mut heat = self.heatmap.snapshot();
+        heat.sort_by(|a, b| {
+            b.hotness
+                .partial_cmp(&a.hotness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.partition.cmp(&b.partition))
+        });
+        let target: Vec<u32> = heat
+            .iter()
+            .filter(|h| h.hotness > 0.0)
+            .take(capacity)
+            .map(|h| h.partition)
+            .collect();
+        let mut picks: Vec<u32> = Vec::new();
+        let mut planned_bytes = 0u64;
         {
-            let _scope = trace.enter_scope(s_mat);
+            let cache = self.cache.lock();
+            for &p in &target {
+                if cache.contains(p) {
+                    continue;
+                }
+                let Ok(loc) = self.directory.location(p) else {
+                    continue;
+                };
+                let len = loc.read_span().1;
+                // Budget-gated picks are skipped, not queued: they fail
+                // the same gate every round, so a too-small budget never
+                // causes repeated load traffic for the same cluster.
+                if planned_bytes + len > budget {
+                    continue;
+                }
+                planned_bytes += len;
+                picks.push(p);
+            }
+        }
+        if picks.is_empty() {
+            return 0;
+        }
+
+        let trace = self.telemetry.spans().begin("prefetch");
+        let root = trace.begin_span("prefetch", "engine", SpanId::NONE);
+        let clock0 = self.qp.clock().now_us();
+        let stats0 = self.qp.stats().snapshot();
+        let versioned = self.directory.has_version_slots();
+        let doorbell = self.mode == SearchMode::Full;
+        let mut stable: Vec<(u32, u64, Vec<u8>)> = Vec::new();
+        let mut pending = picks.clone();
+        let mut attempt: u32 = 0;
+        'load: while !pending.is_empty() {
+            let mut reqs = Vec::with_capacity(3 * pending.len());
+            for &p in &pending {
+                let Ok(loc) = self.directory.location(p) else {
+                    break 'load;
+                };
+                let (off, len) = loc.read_span();
+                if versioned {
+                    let Ok(vs_off) = self.directory.version_slot_off(p) else {
+                        break 'load;
+                    };
+                    let vs = rdma_sim::ReadReq::new(self.rkey, vs_off, 8);
+                    reqs.push(vs);
+                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len));
+                    reqs.push(vs);
+                } else {
+                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len));
+                }
+            }
+            let outcome = {
+                let _scope = trace.enter_scope(root);
+                if doorbell {
+                    self.qp.read_doorbell(&reqs)
+                } else {
+                    reqs.iter()
+                        .map(|r| self.qp.read(r.rkey, r.offset, r.len))
+                        .collect::<std::result::Result<Vec<_>, _>>()
+                }
+            };
+            // Best effort: a fault or persistent version churn abandons
+            // the survivors rather than burning the batch path's budget.
+            let Ok(buffers) = outcome else {
+                break;
+            };
+            let mut bufs = buffers.into_iter();
+            let mut unstable: Vec<u32> = Vec::new();
+            for &p in &pending {
+                if versioned {
+                    let (Ok(before), Some(span)) =
+                        (read_version(&bufs.next().expect("version read")), bufs.next())
+                    else {
+                        break 'load;
+                    };
+                    let Ok(after) = read_version(&bufs.next().expect("version read")) else {
+                        break 'load;
+                    };
+                    if before == after {
+                        stable.push((p, after, span));
+                    } else {
+                        unstable.push(p);
+                    }
+                } else {
+                    stable.push((p, 0, bufs.next().expect("span read")));
+                }
+            }
+            if unstable.is_empty() {
+                break;
+            }
+            attempt += 1;
+            if attempt > self.config.read_retry_limit() {
+                break;
+            }
+            self.backoff(attempt, &trace, root, unstable.len());
+            pending = unstable;
+        }
+
+        let threads = self.config.effective_search_threads();
+        let parts: Vec<u32> = stable.iter().map(|(p, _, _)| *p).collect();
+        let versions: Vec<u64> = stable.iter().map(|(_, v, _)| *v).collect();
+        let bufs: Vec<Vec<u8>> = stable.into_iter().map(|(_, _, b)| b).collect();
+        let mut admitted = 0usize;
+        if let Ok(loaded) = materialize_parallel(&self.directory, &parts, &bufs, threads) {
             let mut cache = self.cache.lock();
-            for ((&p, cluster), version) in stable_parts
-                .iter()
-                .zip(&loaded)
-                .zip(stable_versions.iter().copied())
-            {
-                if let Some(victim) = cache.put(p, Arc::clone(cluster), version) {
-                    if heat {
-                        self.heatmap.record_eviction(victim);
+            // Make room by dropping the coldest residents *outside* the
+            // target set, so this round's admissions never LRU-evict each
+            // other or a resident hotter than what they replace.
+            let mut need = (cache.len() + parts.len()).saturating_sub(capacity);
+            if need > 0 {
+                let in_target: std::collections::HashSet<u32> = target.iter().copied().collect();
+                for h in heat.iter().rev() {
+                    if need == 0 {
+                        break;
+                    }
+                    if !in_target.contains(&h.partition) && cache.invalidate(h.partition) {
+                        self.heatmap.record_eviction(h.partition);
+                        need -= 1;
                     }
                 }
-                resolved.insert(p, Arc::clone(cluster));
+            }
+            for ((&p, cluster), version) in
+                parts.iter().zip(&loaded).zip(versions.iter().copied())
+            {
+                // Deliberately no `record_load` here: prefetch traffic
+                // must not feed back into the hotness signal it follows.
+                if let Some(victim) = cache.put(p, Arc::clone(cluster), version) {
+                    self.heatmap.record_eviction(victim);
+                }
+                admitted += 1;
             }
         }
-        trace.end_span_with(s_mat, &[("clusters", ArgValue::U64(loaded.len() as u64))]);
-
-        // 5. Sub-HNSW search per query over its b clusters. When reads
-        // ran out of retries and degradation is allowed, queries are
-        // answered from the clusters that did arrive and report their
-        // coverage.
-        let s_search = trace.begin_span("sub_hnsw_search", "engine", root);
-        let searched =
-            search_over(&routes, queries, &resolved, k, ef, threads, !failed.is_empty())?;
-        report.breakdown.sub_hnsw_us = t_sub.elapsed().as_secs_f64() * 1e6;
+        let delta = self.qp.stats().snapshot() - stats0;
+        self.metrics.prefetch_rounds.inc();
+        self.metrics.prefetch_clusters.add(admitted as u64);
+        self.metrics.prefetch_bytes.add(delta.bytes_read);
+        trace.set_vt(root, clock0, self.qp.clock().now_us() - clock0);
         trace.end_span_with(
-            s_search,
+            root,
             &[
-                ("queries", ArgValue::U64(routes.len() as u64)),
-                ("ef", ArgValue::U64(ef as u64)),
+                ("planned", ArgValue::U64(picks.len() as u64)),
+                ("admitted", ArgValue::U64(admitted as u64)),
+                ("bytes_read", ArgValue::U64(delta.bytes_read)),
+                ("round_trips", ArgValue::U64(delta.round_trips)),
+                ("budget_bytes", ArgValue::U64(budget)),
             ],
         );
-        let mut results = Vec::with_capacity(searched.len());
-        if failed.is_empty() {
-            results.extend(searched.into_iter().map(|(r, _)| r));
-        } else {
-            let mut coverage = Vec::with_capacity(searched.len());
-            for (r, cov) in searched {
-                if cov < 1.0 {
-                    report.degraded_queries += 1;
-                }
-                coverage.push(cov);
-                results.push(r);
-            }
-            report.coverage = coverage;
-        }
-        Ok((results, report))
+        self.telemetry.spans().finish(trace);
+        self.flush_telemetry();
+        admitted
     }
 
     /// Charges one exponential-backoff step to virtual time before an
@@ -1600,14 +2092,18 @@ fn read_version(buf: &[u8]) -> Result<u64> {
 
 /// Searches each query over its routed clusters (in parallel) and merges
 /// per-query top-k, deduplicating global ids — a forced representative
-/// can appear in two clusters. Returns each query's results with the
-/// fraction of its routed clusters that were actually searched; with
-/// `allow_missing` false an unresolved cluster is a corruption error
-/// (every planned load must have landed), with it true the cluster is
-/// skipped and the coverage dips below 1 (degraded mode).
+/// can appear in two clusters. `routes[i]` belongs to query `base + i`,
+/// so pipeline stages can pass a route sub-slice against the full query
+/// set. Returns each query's results with the fraction of its routed
+/// clusters that were actually searched; with `allow_missing` false an
+/// unresolved cluster is a corruption error (every planned load must
+/// have landed), with it true the cluster is skipped and the coverage
+/// dips below 1 (degraded mode).
+#[allow(clippy::too_many_arguments)]
 fn search_over(
     routes: &[Vec<u32>],
     queries: &Dataset,
+    base: usize,
     resolved: &HashMap<u32, Arc<LoadedCluster>>,
     k: usize,
     ef: usize,
@@ -1615,7 +2111,7 @@ fn search_over(
     allow_missing: bool,
 ) -> Result<Vec<(Vec<Neighbor>, f64)>> {
     run_indexed(routes.len(), threads, |i| {
-        let q = queries.get(i);
+        let q = queries.get(base + i);
         let mut top = TopK::new(k);
         let mut seen = std::collections::HashSet::new();
         let mut searched = 0usize;
@@ -2368,5 +2864,160 @@ mod tests {
             .unwrap();
         let err = node.health_report().unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn pipelined_execution_matches_sequential_exactly() {
+        // Two connections to the same store, one sequential and one
+        // deeply pipelined: across a cold batch, a warm repeat, and a
+        // fresh batch, every result and every deterministic counter must
+        // agree — pipelining may only change the schedule.
+        let (data, store) = setup(900);
+        let seq = store.connect(SearchMode::Full).unwrap();
+        let pipe = store.connect(SearchMode::Full).unwrap();
+        pipe.set_pipeline_depth(3);
+        for (i, seed) in [91u64, 91, 92].into_iter().enumerate() {
+            let queries = gen::perturbed_queries(&data, 13, 0.02, seed).unwrap();
+            let (ra, pa) = seq.query_batch(&queries, 10, 32).unwrap();
+            let (rb, pb) = pipe.query_batch(&queries, 10, 32).unwrap();
+            assert_eq!(ra, rb, "batch {i}: pipelining changed the results");
+            assert_eq!(pa.unique_clusters, pb.unique_clusters, "batch {i}");
+            assert_eq!(pa.cache_hits, pb.cache_hits, "batch {i}");
+            assert_eq!(pa.clusters_loaded, pb.clusters_loaded, "batch {i}");
+            assert_eq!(pa.bytes_read, pb.bytes_read, "batch {i}");
+            // Round trips may grow: each non-empty stage rings its own
+            // doorbell, but never shrink below the sequential schedule.
+            assert!(pb.round_trips >= pa.round_trips, "batch {i}");
+        }
+    }
+
+    #[test]
+    fn depth_one_pipeline_is_the_identity() {
+        // set_pipeline_depth(1) after a deeper setting restores the
+        // strict sequential execution (and 0 clamps to 1).
+        let (data, store) = setup(500);
+        let node = store.connect(SearchMode::Full).unwrap();
+        node.set_pipeline_depth(4);
+        node.set_pipeline_depth(0);
+        assert_eq!(node.pipeline_depth(), 1);
+        let queries = gen::perturbed_queries(&data, 6, 0.02, 93).unwrap();
+        let (_, report) = node.query_batch(&queries, 5, 32).unwrap();
+        // Depth 1 means one network stage: exposed time is the whole
+        // virtual transfer time, and one doorbell batch covers the loads.
+        assert!(report.breakdown.network_us > 0.0);
+        let delta = node.queue_pair().stats().snapshot();
+        assert_eq!(delta.doorbell_batches, 1);
+    }
+
+    #[test]
+    fn deeper_pipelines_hide_network_time_on_cold_batches() {
+        let data = gen::sift_like(2_000, 94).unwrap();
+        let cfg = DHnswConfig::small().with_representatives(48);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let queries = gen::perturbed_queries(&data, 24, 0.03, 95).unwrap();
+        let seq = store.connect(SearchMode::Full).unwrap();
+        let (rs_res, rs) = seq.query_batch(&queries, 10, 32).unwrap();
+        let pipe = store.connect(SearchMode::Full).unwrap();
+        pipe.set_pipeline_depth(4);
+        let (rp_res, rp) = pipe.query_batch(&queries, 10, 32).unwrap();
+        assert_eq!(rs_res, rp_res);
+        assert_eq!(rs.bytes_read, rp.bytes_read);
+        // Later stages' loads overlap earlier stages' compute, so the
+        // exposed network time strictly shrinks while the virtual bytes
+        // moved stay identical.
+        assert!(
+            rp.breakdown.network_us < rs.breakdown.network_us,
+            "pipelined exposed {} !< sequential {}",
+            rp.breakdown.network_us,
+            rs.breakdown.network_us
+        );
+    }
+
+    #[test]
+    fn a_failed_batch_leaves_the_node_consistent() {
+        // A mid-batch substrate failure must release the batch's cache
+        // pins and leave no other residue: afterwards the node behaves
+        // exactly like a control connection that never saw the fault.
+        let (data, store) = setup(600);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let control = store.connect(SearchMode::Full).unwrap();
+        let warm = gen::perturbed_queries(&data, 8, 0.02, 96).unwrap();
+        let probe = gen::perturbed_queries(&data, 8, 0.02, 97).unwrap();
+        node.query_batch(&warm, 5, 32).unwrap();
+        control.query_batch(&warm, 5, 32).unwrap();
+
+        node.queue_pair().set_retry_limit(0);
+        node.queue_pair().fail_next(u32::MAX);
+        assert!(node.query_batch(&probe, 5, 32).is_err());
+        node.queue_pair().fail_next(0);
+
+        let (rn, pn) = node.query_batch(&probe, 5, 32).unwrap();
+        let (rc, pc) = control.query_batch(&probe, 5, 32).unwrap();
+        assert_eq!(rn, rc);
+        assert_eq!(pn.cache_hits, pc.cache_hits);
+        assert_eq!(pn.bytes_read, pc.bytes_read);
+    }
+
+    #[test]
+    fn prefetch_warms_hot_clusters_within_budget() {
+        // A thrashing cache (capacity far below the hot set) leaves hot
+        // clusters non-resident; the prefetcher pulls them back in,
+        // bounded by the byte budget.
+        let data = gen::sift_like(1_500, 98).unwrap();
+        let cfg = DHnswConfig::small()
+            .with_representatives(24)
+            .with_cache_fraction(0.2);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let telemetry = Arc::new(Telemetry::new());
+        let node = store
+            .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+            .unwrap();
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 99).unwrap();
+        node.query_batch(&queries, 5, 32).unwrap();
+
+        // Budget 0 disables the prefetcher entirely.
+        assert_eq!(node.prefetch_hot(), 0);
+        // A budget smaller than any cluster span admits nothing.
+        node.set_prefetch_budget_bytes(1);
+        assert_eq!(node.prefetch_hot(), 0);
+        // A generous budget warms the hottest non-resident clusters.
+        node.set_prefetch_budget_bytes(u64::MAX);
+        let admitted = node.prefetch_hot();
+        assert!(admitted > 0, "nothing prefetched");
+        let bytes0 = node.queue_pair().stats().snapshot().bytes_read;
+        // The warmed clusters are resident now: an immediate re-run
+        // finds them cached and loads nothing new.
+        assert_eq!(node.prefetch_hot(), 0);
+        assert_eq!(node.queue_pair().stats().snapshot().bytes_read, bytes0);
+        let prom = telemetry.render_prometheus();
+        assert!(
+            prom.contains(&format!(
+                "dhnsw_prefetch_clusters_total{{mode=\"full\"}} {admitted}"
+            )),
+            "prefetch counters missing:\n{prom}"
+        );
+        assert!(prom.contains("dhnsw_prefetch_rounds_total{mode=\"full\"} 1"));
+    }
+
+    #[test]
+    fn prefetch_runs_automatically_after_batches_when_budgeted() {
+        let data = gen::sift_like(1_500, 100).unwrap();
+        let cfg = DHnswConfig::small()
+            .with_representatives(24)
+            .with_cache_fraction(0.2)
+            .with_prefetch_budget_bytes(u64::MAX);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let telemetry = Arc::new(Telemetry::new());
+        let node = store
+            .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+            .unwrap();
+        assert_eq!(node.prefetch_budget_bytes(), u64::MAX);
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 101).unwrap();
+        node.query_batch(&queries, 5, 32).unwrap();
+        let prom = telemetry.render_prometheus();
+        assert!(
+            prom.contains("dhnsw_prefetch_rounds_total{mode=\"full\"} 1"),
+            "query_batch did not trigger the prefetcher:\n{prom}"
+        );
     }
 }

@@ -286,6 +286,28 @@ impl ShardedSession {
         Ok((merged, reports))
     }
 
+    /// Sets the micro-batch pipeline depth on every shard connection
+    /// (values are clamped to at least 1 per node).
+    pub fn set_pipeline_depth(&self, depth: usize) {
+        for node in &self.nodes {
+            node.set_pipeline_depth(depth);
+        }
+    }
+
+    /// Sets the background-prefetch byte budget on every shard
+    /// connection; `0` disables prefetching.
+    pub fn set_prefetch_budget_bytes(&self, budget: u64) {
+        for node in &self.nodes {
+            node.set_prefetch_budget_bytes(budget);
+        }
+    }
+
+    /// Runs one heatmap-driven prefetch round on every shard, returning
+    /// the total clusters admitted across shards.
+    pub fn prefetch_hot(&self) -> usize {
+        self.nodes.iter().map(|n| n.prefetch_hot()).sum()
+    }
+
     /// Collects one [`HealthReport`] per shard, in shard order. Each
     /// shard is an independent memory node with its own layout and
     /// overflow areas, so the reports do not aggregate — rebalancing
@@ -486,6 +508,85 @@ mod tests {
         }
         // All-healthy reports keep the compact empty form.
         assert!(merged_coverage(&[reports[0].clone()], queries.len()).is_empty());
+    }
+
+    #[test]
+    fn shard_error_propagates_without_poisoning_metrics() {
+        // One shard's substrate fails hard with degraded mode OFF: the
+        // session must surface the first shard error, bump only the
+        // shards drained before it, and stay fully usable afterwards.
+        let data = gen::sift_like(400, 69).unwrap();
+        let cfg = DHnswConfig::small().with_read_retry_limit(0);
+        let store = ShardedStore::build(&data, &cfg, 2).unwrap();
+        let telemetry = Arc::new(Telemetry::new());
+        let session = store
+            .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+            .unwrap();
+        let queries = gen::perturbed_queries(&data, 3, 0.02, 70).unwrap();
+
+        session.node(1).queue_pair().set_retry_limit(0);
+        session.node(1).queue_pair().fail_next(u32::MAX);
+        let err = session.query_batch(&queries, 5, 16).unwrap_err();
+        assert!(
+            matches!(err, Error::ReadRetriesExhausted { .. }),
+            "unexpected error: {err:?}"
+        );
+        // Shard 0 was drained before the failure, shard 1 never counted.
+        let prom = telemetry.render_prometheus();
+        assert!(
+            prom.contains("dhnsw_shard_queries_total{shard=\"0\"} 3"),
+            "healthy shard counter missing:\n{prom}"
+        );
+        assert!(
+            prom.contains("dhnsw_shard_queries_total{shard=\"1\"} 0"),
+            "failed shard must not count the aborted batch:\n{prom}"
+        );
+
+        // Clear the fault: the same session answers and both shards count.
+        session.node(1).queue_pair().fail_next(0);
+        let (results, reports) = session.query_batch(&queries, 5, 16).unwrap();
+        assert_eq!(results.len(), queries.len());
+        assert_eq!(reports.len(), 2);
+        let prom = telemetry.render_prometheus();
+        assert!(prom.contains("dhnsw_shard_queries_total{shard=\"0\"} 6"));
+        assert!(prom.contains("dhnsw_shard_queries_total{shard=\"1\"} 3"));
+    }
+
+    #[test]
+    fn degraded_coverage_merges_per_query_means() {
+        // Pure merge semantics: one shard reports partial coverage, the
+        // other full (compact empty form); the merge is the per-query
+        // unweighted mean, expanded to explicit values.
+        let full = BatchReport {
+            queries: 3,
+            ..Default::default()
+        };
+        let degraded = BatchReport {
+            queries: 3,
+            degraded_queries: 2,
+            coverage: vec![0.5, 1.0, 0.0],
+            ..Default::default()
+        };
+        let merged = merged_coverage(&[full, degraded], 3);
+        assert_eq!(merged, vec![0.75, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn pipeline_knobs_fan_out_to_every_shard() {
+        let (data, store) = setup(400, 2);
+        let session = store.connect(SearchMode::Full).unwrap();
+        session.set_pipeline_depth(3);
+        session.set_prefetch_budget_bytes(1 << 20);
+        for s in 0..session.shards() {
+            assert_eq!(session.node(s).pipeline_depth(), 3);
+            assert_eq!(session.node(s).prefetch_budget_bytes(), 1 << 20);
+        }
+        // Pipelined sharded answers match the sequential session's.
+        let queries = gen::perturbed_queries(&data, 6, 0.02, 71).unwrap();
+        let seq = store.connect(SearchMode::Full).unwrap();
+        let (a, _) = session.query_batch(&queries, 5, 32).unwrap();
+        let (b, _) = seq.query_batch(&queries, 5, 32).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

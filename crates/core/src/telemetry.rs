@@ -315,6 +315,8 @@ pub struct QueryTrace {
     pub network_us: f64,
     /// Sub-HNSW search stage, microseconds.
     pub sub_us: f64,
+    /// Cluster materialization (decode) stage, microseconds.
+    pub materialize_us: f64,
     /// Whole call, wall clock, microseconds.
     pub total_us: f64,
 }
@@ -872,6 +874,7 @@ mod tests {
             meta_us: 1.0,
             network_us: 2.0,
             sub_us: 3.0,
+            materialize_us: 0.0,
             total_us: 6.0,
         };
 
@@ -917,6 +920,7 @@ mod tests {
             meta_us: 1.0,
             network_us: 2.0,
             sub_us: 3.0,
+            materialize_us: 0.0,
             total_us: 6.0,
         };
         // Wrap the ring two and a half times; after every record the

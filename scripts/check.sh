@@ -27,6 +27,22 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# The search-thread and pipeline-depth knobs must not change any
+# observable result: the whole suite runs across the matrix (the
+# baseline run above already covered threads=auto x depth=1).
+for threads in 1 4; do
+  for depth in 1 2; do
+    echo "==> cargo test --workspace --release (DHNSW_SEARCH_THREADS=$threads DHNSW_PIPELINE_DEPTH=$depth)"
+    DHNSW_SEARCH_THREADS=$threads DHNSW_PIPELINE_DEPTH=$depth \
+      cargo test --workspace --release -q
+  done
+done
+
+# Concurrency stress gate: 100 seeded iterations of readers + writer
+# under fault injection (plain `cargo test` runs a 4-iteration smoke).
+echo "==> stress gate (DHNSW_STRESS_ITERS=100)"
+DHNSW_STRESS_ITERS=100 cargo test --release -q --test stress
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
