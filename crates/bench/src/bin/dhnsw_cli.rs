@@ -22,6 +22,10 @@
 //! # Health check: probe the store, print the HealthReport JSON, and
 //! # exit non-zero when an SLO budget is violated:
 //! dhnsw_cli doctor --store store.dhnsw --check --slo-max-overflow 0.9
+//!
+//! # Serve the live telemetry plane (first stdout line is the URL):
+//! dhnsw_cli serve --store store.dhnsw --port 0
+//! curl http://127.0.0.1:<port>/metrics
 //! ```
 //!
 //! Every subcommand runs on the simulated RDMA fabric and reports what
@@ -80,6 +84,7 @@ fn run(args: &[String]) -> AnyResult<()> {
         "insert" => cmd_insert(&flags),
         "metrics" => cmd_metrics(&flags),
         "doctor" => cmd_doctor(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -93,12 +98,13 @@ fn run(args: &[String]) -> AnyResult<()> {
 
 fn print_usage() {
     eprintln!(
-        "usage: dhnsw_cli <build|info|query|insert|metrics|doctor> [flags]\n\
+        "usage: dhnsw_cli <build|info|query|insert|metrics|doctor|serve> [flags]\n\
          build:   --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
          info:    --store <snapshot>\n\
-         query:   --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--metrics-out <base>]\n\
+         query:   --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--metrics-out <base>] [--explain]\n\
          insert:  --store <snapshot> --input <fvecs> --out <snapshot> [--limit N] [--metrics-out <base>]\n\
          metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]\n\
+         serve:   --store <snapshot> [--queries <fvecs>] [--port P] [--k K] [--ef EF]\n\
          doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--out <path>] [--check]\n\
                   [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
                   [--slo-max-degraded-rate X]\n\
@@ -312,13 +318,14 @@ fn load_queries(flags: &HashMap<String, String>) -> AnyResult<Dataset> {
 }
 
 /// Dumps the process-wide telemetry registry to `<base>.prom` and
-/// `<base>.json`.
+/// `<base>.json`. Both files land via temp-file + rename so a scraper
+/// tailing them never reads a torn write.
 fn write_metrics(base: &str) -> AnyResult<()> {
     let telemetry = Telemetry::global();
     let prom = format!("{base}.prom");
-    std::fs::write(&prom, telemetry.render_prometheus())?;
+    dhnsw_bench::write_atomic(&prom, &telemetry.render_prometheus())?;
     let json = format!("{base}.json");
-    std::fs::write(&json, telemetry.snapshot_json())?;
+    dhnsw_bench::write_atomic(&json, &telemetry.snapshot_json())?;
     eprintln!("wrote metrics to {prom} and {json}");
     Ok(())
 }
@@ -357,6 +364,13 @@ fn cmd_query(flags: &HashMap<String, String>) -> AnyResult<()> {
             report.read_retries,
             report.coverage.iter().sum::<f64>() / report.coverage.len().max(1) as f64
         );
+    }
+    if flags.contains_key("explain") {
+        eprintln!("read-cost ledger (bytes by cause):");
+        eprint!("{}", report.ledger.render());
+        if let Some(dominant) = report.ledger.dominant_cause() {
+            eprintln!("dominant cause: {}", dominant.as_str());
+        }
     }
     if let Some(base) = flags.get("metrics-out") {
         write_metrics(base)?;
@@ -526,6 +540,84 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
     if flags.contains_key("check") && !health.violations.is_empty() {
         return Err(format!("{} SLO budget(s) violated", health.violations.len()).into());
     }
+    Ok(())
+}
+
+/// Serves the live telemetry plane over HTTP: `GET /metrics`
+/// (Prometheus text exposition), `/health` (a fresh [`dhnsw::HealthReport`]
+/// probed from the node per request), `/traces` (chrome-trace JSON of
+/// the recent span ring), `/explain/last` (the read-cost ledger of the
+/// last query batch), and `/shutdown` (graceful stop).
+///
+/// Binds `127.0.0.1:<--port>` (default 0 = ephemeral) and prints the
+/// resolved URL as the first stdout line so scripts can scrape it. A
+/// probe batch runs before serving (the given `--queries`, or the
+/// meta-HNSW representatives) so the ledger and latency series carry
+/// real traffic from the first scrape.
+fn cmd_serve(flags: &HashMap<String, String>) -> AnyResult<()> {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    let store = open_store(flags)?;
+    let k = flag_usize(flags, "k", 10)?;
+    let ef = flag_usize(flags, "ef", 48)?;
+
+    let telemetry = Telemetry::global();
+    telemetry.spans().set_enabled(true);
+    let node = Arc::new(store.connect(SearchMode::Full)?);
+    apply_trace_flags(flags, &telemetry)?;
+    apply_fault_flags(flags, &node)?;
+    apply_pipeline_flags(flags, &node)?;
+
+    let probes = if flags.contains_key("queries") {
+        load_queries(flags)?
+    } else {
+        let n = store.meta().partitions().min(256);
+        let rows: Vec<&[f32]> = (0..n as u32)
+            .map(|p| store.meta().representative(p))
+            .collect();
+        Dataset::from_rows(&rows)?
+    };
+    let (_, report) = node.query_batch(&probes, k, ef)?;
+    eprintln!(
+        "probed with {} queries (k={k}, ef={ef}); serving",
+        probes.len()
+    );
+    let last_explain = Arc::new(Mutex::new(format!(
+        "read-cost ledger, last batch ({} queries):\n{}",
+        report.queries,
+        report.ledger.render()
+    )));
+
+    let port = flag_usize(flags, "port", 0)?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port as u16))?;
+    let addr = listener.local_addr()?;
+    // First stdout line is the scrape URL; scripts depend on it.
+    println!("http://{addr}");
+    use std::io::Write;
+    std::io::stdout().flush()?;
+
+    let sources = dhnsw_bench::serve::ServeSources {
+        metrics: Box::new({
+            let t = Arc::clone(&telemetry);
+            move || t.render_prometheus()
+        }),
+        health: Box::new({
+            let node = Arc::clone(&node);
+            move || node.health_report().map(|h| h.to_json()).map_err(|e| e.to_string())
+        }),
+        traces: Box::new({
+            let t = Arc::clone(&telemetry);
+            move || dhnsw::chrome_trace_json(&t.spans().recent())
+        }),
+        explain: Box::new({
+            let last = Arc::clone(&last_explain);
+            move || last.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        }),
+    };
+    let shutdown = AtomicBool::new(false);
+    let served = dhnsw_bench::serve::serve_loop(listener, &sources, &shutdown)?;
+    eprintln!("served {served} requests; bye");
     Ok(())
 }
 

@@ -67,11 +67,13 @@ fn main() -> AnyResult {
     Telemetry::global().traces().set_enabled(true);
     run_cmd(&cmd)?;
     if let Some(base) = metrics_out {
+        // Temp-file + rename: a scraper tailing these paths mid-run
+        // sees the previous dump or this one, never a torn write.
         let telemetry = Telemetry::global();
         let prom = format!("{base}.prom");
-        std::fs::write(&prom, telemetry.render_prometheus())?;
+        dhnsw_bench::write_atomic(&prom, &telemetry.render_prometheus())?;
         let json = format!("{base}.json");
-        std::fs::write(&json, telemetry.snapshot_json())?;
+        dhnsw_bench::write_atomic(&json, &telemetry.snapshot_json())?;
         eprintln!("[metrics] {prom} {json}");
     }
     Ok(())

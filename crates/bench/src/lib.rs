@@ -27,9 +27,26 @@
 
 pub mod csv;
 pub mod regress;
+pub mod serve;
 pub mod trace;
 
 use std::time::Instant;
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first, then a `rename` swaps it into place, so a scraper
+/// or CI step reading `path` concurrently sees either the old file or
+/// the new one — never a torn half-write.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
 
 use dhnsw::{BatchReport, DHnswConfig, SearchMode, VectorStore};
 use vecsim::{gen, ground_truth, recall, Dataset, Metric, Neighbor};

@@ -186,6 +186,21 @@ impl PassStats {
                 .map(|t| t.network_us)
                 .sum::<f64>(),
         );
+        // Byte provenance: the pass's read bytes attributed by cause.
+        // The harness gates on these tiling `network_bytes` exactly, so
+        // a regression here means a read path lost its attribution.
+        let mut cause_bytes = [0u64; rdma_sim::READ_CAUSES];
+        for t in &self.report.batch_traces {
+            for (sum, &b) in cause_bytes.iter_mut().zip(&t.cause_bytes) {
+                *sum += b;
+            }
+        }
+        for (cause, &bytes) in dhnsw::ReadCause::ALL.iter().zip(&cause_bytes) {
+            metrics.insert(
+                format!("{scenario}.cause_bytes.{}", cause.as_str()),
+                bytes as f64,
+            );
+        }
     }
 }
 
@@ -230,6 +245,7 @@ fn run_node_passes(
                 sub_us: report.breakdown.sub_hnsw_us,
                 materialize_us: report.breakdown.materialize_us,
                 total_us: report.breakdown.total_us(),
+                cause_bytes: report.ledger.cause_bytes,
             });
         }
         stats.emit(scenario, metrics);
@@ -407,9 +423,71 @@ pub fn run_profile(
                     sub_us: slowest.breakdown.sub_hnsw_us,
                     materialize_us: slowest.breakdown.materialize_us,
                     total_us: slowest.breakdown.total_us(),
+                    cause_bytes: {
+                        let mut sum = [0u64; rdma_sim::READ_CAUSES];
+                        for r in &reports {
+                            for (s, &b) in sum.iter_mut().zip(&r.ledger.cause_bytes) {
+                                *s += b;
+                            }
+                        }
+                        sum
+                    },
                 });
             }
             stats.emit(scenario, &mut metrics);
+        }
+    }
+
+    // Provenance hard gates, independent of the committed baseline.
+    // First: on every scenario the per-cause bytes must tile the byte
+    // counter exactly — causes partition `bytes_read` by construction,
+    // so any daylight between the sums means a read path lost (or
+    // double-counted) its attribution.
+    let scenario_names = [
+        "single_cold",
+        "single_warm",
+        "pipeline_cold",
+        "pipeline_warm",
+        "sharded_cold",
+        "sharded_warm",
+    ];
+    for scenario in scenario_names {
+        let total = metrics[&format!("{scenario}.network_bytes")];
+        let tiled: f64 = dhnsw::ReadCause::ALL
+            .iter()
+            .map(|c| metrics[&format!("{scenario}.cause_bytes.{}", c.as_str())])
+            .sum();
+        if tiled != total {
+            return Err(format!(
+                "provenance gate: {scenario} cause bytes do not tile network_bytes \
+                 (sum of causes {tiled} vs total {total})"
+            )
+            .into());
+        }
+    }
+    // Second: shape checks on where the bytes land. A cold pass is
+    // stage-load work by definition; version-check traffic (the tiny
+    // per-cluster version slots) rides every Full-mode pass, warm or
+    // cold. (With the profile's partial cache the warm pass still
+    // reloads evicted clusters, so stage loads legitimately dominate
+    // there too — only a full-capacity cache shifts a warm pass to
+    // version checks.)
+    let cold_stage = metrics["single_cold.cause_bytes.stage_load"];
+    let cold_total = metrics["single_cold.network_bytes"];
+    if !(cold_stage > 0.0 && cold_stage >= 0.5 * cold_total) {
+        return Err(format!(
+            "provenance gate: cold pass not stage-load dominated \
+             ({cold_stage} of {cold_total} bytes)"
+        )
+        .into());
+    }
+    for scenario in ["single_cold", "single_warm"] {
+        let vc = metrics[&format!("{scenario}.cause_bytes.version_check")];
+        if vc <= 0.0 {
+            return Err(format!(
+                "provenance gate: {scenario} recorded no version-check bytes"
+            )
+            .into());
         }
     }
 
@@ -511,10 +589,12 @@ enum Json {
     Num(f64),
     Str(String),
     Obj(BTreeMap<String, Json>),
+    Arr(Vec<Json>),
 }
 
 /// A minimal recursive-descent parser covering the subset of JSON the
-/// bench envelope uses: objects, strings, and numbers.
+/// bench envelope and the telemetry snapshot use: objects, arrays,
+/// strings, and numbers.
 struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -568,12 +648,40 @@ impl<'a> JsonParser<'a> {
     fn parse_value(&mut self) -> Result<Json, String> {
         match self.peek()? {
             b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
             b'"' => Ok(Json::Str(self.parse_string()?)),
             b'-' | b'0'..=b'9' => self.parse_number(),
             c => Err(format!(
                 "unsupported JSON value starting with '{}' at offset {}",
                 c as char, self.pos
             )),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => {
+                    self.pos += 1;
+                }
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => {
+                    return Err(format!(
+                        "expected ',' or ']', got '{}' at offset {}",
+                        c as char, self.pos
+                    ))
+                }
+            }
         }
     }
 
@@ -681,6 +789,15 @@ pub struct Tolerance {
 /// with other work); virtual-clock byte/doorbell counts are deterministic
 /// and get tight bands; quality metrics use small absolute bands.
 pub fn tolerance_for(metric: &str) -> Tolerance {
+    // Per-cause byte counters are as deterministic as `network_bytes`
+    // (their suffix is the cause name, so they need their own match).
+    if metric.contains(".cause_bytes.") {
+        return Tolerance {
+            rel: 0.01,
+            abs: 1.0,
+            higher_is_worse: true,
+        };
+    }
     let suffix = metric.rsplit('.').next().unwrap_or(metric);
     match suffix {
         // `network_us` rides with the wall-clock band: at pipeline depth
@@ -901,6 +1018,60 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_snapshot_json_parses_back() {
+        // The registry's JSON snapshot — counters, gauges, and the
+        // histogram objects with their bucket arrays — must be real
+        // JSON: every registered series parses back, including the
+        // per-cause byte counters the provenance ledger feeds.
+        let data = gen::sift_like(600, 3).unwrap();
+        let config = DHnswConfig::small().with_representatives(8);
+        let store = VectorStore::build(data.clone(), &config).unwrap();
+        let telemetry = Arc::new(Telemetry::new());
+        let node = store
+            .connect_with_telemetry(SearchMode::Full, Arc::clone(&telemetry))
+            .unwrap();
+        let queries = gen::perturbed_queries(&data, 8, 0.03, 9).unwrap();
+        node.query_batch(&queries, 5, 16).unwrap();
+        node.health_report().unwrap();
+
+        let json = telemetry.snapshot_json();
+        let parsed = JsonParser::new(&json).parse_document().unwrap();
+        let Json::Obj(top) = parsed else {
+            panic!("snapshot is not a JSON object")
+        };
+        let section = |name: &str| match top.get(name) {
+            Some(Json::Obj(map)) => map.clone(),
+            other => panic!("\"{name}\" is not an object: {other:?}"),
+        };
+        let counters = section("counters");
+        let gauges = section("gauges");
+        let histograms = section("histograms");
+        assert!(!counters.is_empty() && !gauges.is_empty() && !histograms.is_empty());
+        for map in [&counters, &gauges] {
+            for (k, v) in map {
+                assert!(matches!(v, Json::Num(_)), "{k} is not a number");
+            }
+        }
+        for (k, v) in &histograms {
+            let Json::Obj(h) = v else {
+                panic!("histogram {k} is not an object")
+            };
+            assert!(matches!(h.get("buckets"), Some(Json::Arr(_))), "{k}");
+            assert!(matches!(h.get("p99"), Some(Json::Num(_) | Json::Str(_))), "{k}");
+        }
+        for cause in dhnsw::ReadCause::ALL {
+            let key = format!(
+                "dhnsw_rdma_read_bytes_by_cause_total{{cause=\"{}\"}}",
+                cause.as_str()
+            );
+            assert!(
+                matches!(counters.get(&key), Some(Json::Num(_))),
+                "missing per-cause series {key}"
+            );
+        }
+    }
+
+    #[test]
     fn tiny_profile_produces_the_full_metric_grid() {
         let profile = Profile {
             name: "smoke",
@@ -966,6 +1137,36 @@ mod tests {
                 );
             }
         }
+        // Byte provenance: every scenario carries the per-cause grid
+        // and the causes tile network_bytes exactly (run_profile hard-
+        // gates this too; re-check here so a gate edit can't silently
+        // weaken it).
+        for scenario in [
+            "single_cold",
+            "single_warm",
+            "pipeline_cold",
+            "pipeline_warm",
+            "sharded_cold",
+            "sharded_warm",
+        ] {
+            let tiled: f64 = dhnsw::ReadCause::ALL
+                .iter()
+                .map(|c| r.metrics[&format!("{scenario}.cause_bytes.{}", c.as_str())])
+                .sum();
+            assert_eq!(
+                tiled,
+                r.metrics[&format!("{scenario}.network_bytes")],
+                "{scenario}: causes do not tile network_bytes"
+            );
+            // Nothing in the bench path is unattributed.
+            assert_eq!(r.metrics[&format!("{scenario}.cause_bytes.other")], 0.0);
+        }
+        // The cold pass is stage-load work; version slots ride along.
+        assert!(
+            r.metrics["single_cold.cause_bytes.stage_load"]
+                >= 0.5 * r.metrics["single_cold.network_bytes"]
+        );
+        assert!(r.metrics["single_cold.cause_bytes.version_check"] > 0.0);
         // Span capture returned per-batch traces (2 batches x 2 passes).
         assert_eq!(out.traces.len(), 4);
         assert!(out.traces.iter().all(|t| !t.spans.is_empty()));

@@ -1,0 +1,290 @@
+//! Zero-dependency metrics serving plane for `dhnsw_cli serve`.
+//!
+//! A deliberately tiny HTTP/1.1 responder on `std::net::TcpListener` —
+//! no async runtime, no HTTP crate — good enough for a Prometheus
+//! scraper or a `curl` loop:
+//!
+//! | endpoint | payload |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition 0.0.4 |
+//! | `GET /health` | `HealthReport` JSON (probes the live node) |
+//! | `GET /traces` | chrome://tracing JSON of the recent span ring |
+//! | `GET /explain/last` | read-cost ledger of the last query batch |
+//! | `GET /shutdown` | acknowledges, then stops the accept loop |
+//!
+//! The accept loop is bounded by construction: connections are served
+//! one at a time, request heads are capped at [`MAX_REQUEST_BYTES`],
+//! and every socket gets a read/write timeout, so a stuck or malicious
+//! client can delay the next scrape but never wedge or exhaust the
+//! process. Shutdown is cooperative through an [`AtomicBool`] the
+//! caller shares with the loop (and that `/shutdown` sets).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Largest request head (request line + headers) the server reads.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// How long the accept loop sleeps when no connection is pending.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Content sources behind the endpoints. Boxed closures so the CLI can
+/// capture a live compute node while tests plug in canned strings.
+pub struct ServeSources {
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    pub metrics: Box<dyn Fn() -> String + Send>,
+    /// Body for `GET /health`; an `Err` renders as a 500 with the
+    /// message so a failed probe is visible to the scraper.
+    pub health: Box<dyn Fn() -> Result<String, String> + Send>,
+    /// Body for `GET /traces` (chrome trace-event JSON).
+    pub traces: Box<dyn Fn() -> String + Send>,
+    /// Body for `GET /explain/last` (read-cost ledger text).
+    pub explain: Box<dyn Fn() -> String + Send>,
+}
+
+/// A response ready to encode onto the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 404, 405, 500).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    fn new(status: u16, content_type: &'static str, body: String) -> Self {
+        Response {
+            status,
+            content_type,
+            body,
+        }
+    }
+
+    /// Serializes status line, headers, and body.
+    pub fn encode(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+const PROM_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+const JSON_TYPE: &str = "application/json; charset=utf-8";
+const TEXT_TYPE: &str = "text/plain; charset=utf-8";
+
+/// Routes one request. `/shutdown` flips `shutdown` before answering,
+/// so the caller's accept loop exits after this response is written.
+pub fn handle(method: &str, path: &str, sources: &ServeSources, shutdown: &AtomicBool) -> Response {
+    if method != "GET" {
+        return Response::new(405, TEXT_TYPE, "only GET is supported\n".to_string());
+    }
+    // Drop any query string: `/metrics?x=y` is `/metrics`.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => Response::new(200, PROM_TYPE, (sources.metrics)()),
+        "/health" => match (sources.health)() {
+            Ok(body) => Response::new(200, JSON_TYPE, body),
+            Err(e) => Response::new(500, TEXT_TYPE, format!("health probe failed: {e}\n")),
+        },
+        "/traces" => Response::new(200, JSON_TYPE, (sources.traces)()),
+        "/explain/last" => Response::new(200, TEXT_TYPE, (sources.explain)()),
+        "/shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::new(200, TEXT_TYPE, "shutting down\n".to_string())
+        }
+        _ => Response::new(
+            404,
+            TEXT_TYPE,
+            "try /metrics, /health, /traces, /explain/last, /shutdown\n".to_string(),
+        ),
+    }
+}
+
+/// Reads the request head (capped at [`MAX_REQUEST_BYTES`]) and returns
+/// `(method, path)` from the request line.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String)> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("/").to_string();
+    Ok((method, path))
+}
+
+/// Serves requests on `listener` until `shutdown` turns true (set
+/// externally or by `GET /shutdown`). Returns the number of requests
+/// answered. The listener is switched to non-blocking so the loop can
+/// observe an external shutdown signal even when no client connects.
+pub fn serve_loop(
+    listener: TcpListener,
+    sources: &ServeSources,
+    shutdown: &AtomicBool,
+) -> std::io::Result<u64> {
+    listener.set_nonblocking(true)?;
+    let mut served = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        // The accepted socket inherits non-blocking from the listener
+        // on some platforms; force blocking I/O with a timeout instead.
+        stream.set_nonblocking(false).ok();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+        stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+        let response = match read_request(&mut stream) {
+            Ok((method, path)) => handle(&method, &path, sources, shutdown),
+            // A client that hangs or sends garbage costs one timeout,
+            // nothing else: drop the connection and keep serving.
+            Err(_) => continue,
+        };
+        if stream.write_all(&response.encode()).is_ok() {
+            stream.flush().ok();
+        }
+        served += 1;
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn canned() -> ServeSources {
+        ServeSources {
+            metrics: Box::new(|| "# HELP dhnsw_up server liveness\ndhnsw_up 1\n".to_string()),
+            health: Box::new(|| Ok("{\"mode\": \"full\"}".to_string())),
+            traces: Box::new(|| "{\"traceEvents\": []}".to_string()),
+            explain: Box::new(|| "  stage_load  100 B\n".to_string()),
+        }
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn handle_routes_every_endpoint() {
+        let sources = canned();
+        let shutdown = AtomicBool::new(false);
+        let m = handle("GET", "/metrics", &sources, &shutdown);
+        assert_eq!(m.status, 200);
+        assert!(m.content_type.contains("version=0.0.4"));
+        assert!(m.body.contains("dhnsw_up 1"));
+        let h = handle("GET", "/health?verbose=1", &sources, &shutdown);
+        assert_eq!((h.status, h.body.as_str()), (200, "{\"mode\": \"full\"}"));
+        assert_eq!(handle("GET", "/traces", &sources, &shutdown).status, 200);
+        assert_eq!(
+            handle("GET", "/explain/last", &sources, &shutdown).status,
+            200
+        );
+        assert_eq!(handle("GET", "/nope", &sources, &shutdown).status, 404);
+        assert_eq!(handle("POST", "/metrics", &sources, &shutdown).status, 405);
+        assert!(!shutdown.load(Ordering::SeqCst));
+        let s = handle("GET", "/shutdown", &sources, &shutdown);
+        assert_eq!(s.status, 200);
+        assert!(shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn handle_surfaces_health_errors_as_500() {
+        let mut sources = canned();
+        sources.health = Box::new(|| Err("qp closed".to_string()));
+        let shutdown = AtomicBool::new(false);
+        let r = handle("GET", "/health", &sources, &shutdown);
+        assert_eq!(r.status, 500);
+        assert!(r.body.contains("qp closed"));
+    }
+
+    #[test]
+    fn response_encoding_carries_length_and_body() {
+        let r = Response::new(200, TEXT_TYPE, "hello\n".to_string());
+        let wire = String::from_utf8(r.encode()).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("Content-Length: 6\r\n"));
+        assert!(wire.ends_with("\r\n\r\nhello\n"));
+    }
+
+    #[test]
+    fn serve_loop_answers_scrapes_and_honors_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let server =
+            std::thread::spawn(move || serve_loop(listener, &canned(), &flag).unwrap());
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("dhnsw_up 1"));
+        let missing = get(addr, "/does-not-exist");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bye = get(addr, "/shutdown");
+        assert!(bye.starts_with("HTTP/1.1 200 OK"), "{bye}");
+        let served = server.join().unwrap();
+        assert_eq!(served, 3);
+        assert!(shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn serve_loop_survives_a_garbage_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let server =
+            std::thread::spawn(move || serve_loop(listener, &canned(), &flag).unwrap());
+
+        // A client that connects and immediately hangs up.
+        drop(TcpStream::connect(addr).unwrap());
+        // The next real request still gets served.
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        get(addr, "/shutdown");
+        server.join().unwrap();
+    }
+}

@@ -221,6 +221,7 @@ pub fn replay(node: &ComputeNode, ops: &[Op], k: usize, ef: usize) -> Result<Tra
                     sub_us: batch.breakdown.sub_hnsw_us,
                     materialize_us: batch.breakdown.materialize_us,
                     total_us: batch.breakdown.total_us(),
+                    cause_bytes: batch.ledger.cause_bytes,
                 });
                 report.queries += batch.queries;
                 report.round_trips += batch.round_trips;
@@ -325,6 +326,7 @@ mod tests {
             sub_us: 0.0,
             materialize_us: 0.0,
             total_us: us,
+            cause_bytes: [0; rdma_sim::READ_CAUSES],
         }
     }
 

@@ -1,6 +1,8 @@
 //! Latency breakdown and per-batch reports — the measurement plane behind
 //! the paper's Tables 1 and 2 and the Fig. 6 latency axes.
 
+use rdma_sim::{ReadCause, StatsSnapshot, READ_CAUSES};
+
 /// Latency of one batch split into its pipeline components.
 ///
 /// *Network* time is virtual (from the RDMA cost model); the compute
@@ -53,6 +55,112 @@ impl std::ops::AddAssign for LatencyBreakdown {
     }
 }
 
+/// Where a batch's bytes and round trips went, by [`ReadCause`].
+///
+/// Built from a [`StatsSnapshot`] delta bracketing the batch, so the
+/// per-cause byte counters tile the batch's `bytes_read` exactly: the
+/// substrate attributes every read byte to exactly one cause, and
+/// `record_read_cause` is the only path that moves `bytes_read`.
+/// Round trips are attributed to each doorbell chunk's dominant-bytes
+/// cause, so `total_trips()` covers *read* trips only (write and
+/// atomic trips carry no cause).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CostLedger {
+    /// Bytes read per cause, indexed by [`ReadCause::index`].
+    pub cause_bytes: [u64; READ_CAUSES],
+    /// Read work requests per cause, indexed by [`ReadCause::index`].
+    pub cause_wrs: [u64; READ_CAUSES],
+    /// Read round trips per cause (doorbell chunks count once, under
+    /// the chunk's dominant-bytes cause), indexed by
+    /// [`ReadCause::index`].
+    pub cause_trips: [u64; READ_CAUSES],
+}
+
+impl CostLedger {
+    /// Ledger from a substrate counter delta bracketing one batch.
+    pub fn from_delta(delta: &StatsSnapshot) -> Self {
+        CostLedger {
+            cause_bytes: delta.cause_bytes,
+            cause_wrs: delta.cause_wrs,
+            cause_trips: delta.cause_trips,
+        }
+    }
+
+    /// Bytes attributed to `cause`.
+    pub fn bytes_for(&self, cause: ReadCause) -> u64 {
+        self.cause_bytes[cause.index()]
+    }
+
+    /// Read round trips attributed to `cause`.
+    pub fn trips_for(&self, cause: ReadCause) -> u64 {
+        self.cause_trips[cause.index()]
+    }
+
+    /// Total bytes across all causes — equals the bracketing delta's
+    /// `bytes_read` by construction.
+    pub fn total_bytes(&self) -> u64 {
+        self.cause_bytes.iter().sum()
+    }
+
+    /// Total read round trips across all causes.
+    pub fn total_trips(&self) -> u64 {
+        self.cause_trips.iter().sum()
+    }
+
+    /// The cause that moved the most bytes, or `None` on an empty
+    /// ledger. Ties break toward the lowest cause index, matching the
+    /// substrate's doorbell-trip attribution.
+    pub fn dominant_cause(&self) -> Option<ReadCause> {
+        let (i, &max) = self
+            .cause_bytes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        if max == 0 {
+            None
+        } else {
+            Some(ReadCause::ALL[i])
+        }
+    }
+
+    /// Accumulates another ledger into this one, elementwise.
+    pub fn merge(&mut self, other: &CostLedger) {
+        for i in 0..READ_CAUSES {
+            self.cause_bytes[i] += other.cause_bytes[i];
+            self.cause_wrs[i] += other.cause_wrs[i];
+            self.cause_trips[i] += other.cause_trips[i];
+        }
+    }
+
+    /// Human-readable "where did the bytes go" table: one line per
+    /// nonzero cause with its byte share, work requests, and trips.
+    /// Used by the CLI `explain` report and the `/explain/last`
+    /// endpoint.
+    pub fn render(&self) -> String {
+        let total = self.total_bytes();
+        if total == 0 {
+            return "  (no read traffic)\n".to_string();
+        }
+        let mut out = String::new();
+        for cause in ReadCause::ALL {
+            let bytes = self.bytes_for(cause);
+            if bytes == 0 {
+                continue;
+            }
+            let i = cause.index();
+            out.push_str(&format!(
+                "  {:<14} {:>12} B ({:>5.1}%)  {:>6} wrs  {:>5} trips\n",
+                cause.as_str(),
+                bytes,
+                bytes as f64 / total as f64 * 100.0,
+                self.cause_wrs[i],
+                self.cause_trips[i],
+            ));
+        }
+        out
+    }
+}
+
 /// Everything one [`crate::ComputeNode::query_batch`] call did.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct BatchReport {
@@ -78,6 +186,9 @@ pub struct BatchReport {
     /// Engine-level read retries this batch performed (version-mismatch
     /// reloads plus post-retransmission verb retries).
     pub read_retries: u64,
+    /// Byte/trip provenance: where this batch's read traffic went, by
+    /// cause. `ledger.total_bytes() == bytes_read` on every batch.
+    pub ledger: CostLedger,
     /// Per-query coverage: the fraction of the query's routed clusters
     /// actually searched, in query order. `1.0` everywhere unless the
     /// batch degraded; empty when the engine skipped per-query
@@ -150,6 +261,7 @@ impl BatchReport {
         self.raw_cluster_demand += other.raw_cluster_demand;
         self.degraded_queries += other.degraded_queries;
         self.read_retries += other.read_retries;
+        self.ledger.merge(&other.ledger);
     }
 }
 
@@ -259,6 +371,64 @@ mod tests {
         assert_eq!(a.queries, 10);
         assert_eq!(a.round_trips, 5);
         assert_eq!(a.cache_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn ledger_totals_and_dominance() {
+        let mut l = CostLedger::default();
+        assert_eq!(l.total_bytes(), 0);
+        assert_eq!(l.dominant_cause(), None);
+        l.cause_bytes[ReadCause::StageLoad.index()] = 900;
+        l.cause_bytes[ReadCause::VersionCheck.index()] = 100;
+        l.cause_trips[ReadCause::StageLoad.index()] = 2;
+        assert_eq!(l.total_bytes(), 1000);
+        assert_eq!(l.total_trips(), 2);
+        assert_eq!(l.bytes_for(ReadCause::StageLoad), 900);
+        assert_eq!(l.dominant_cause(), Some(ReadCause::StageLoad));
+        // Ties break toward the lowest cause index, like doorbell-trip
+        // attribution in the substrate.
+        l.cause_bytes[ReadCause::VersionCheck.index()] = 900;
+        assert_eq!(l.dominant_cause(), Some(ReadCause::StageLoad));
+    }
+
+    #[test]
+    fn ledger_merge_accumulates_elementwise() {
+        let mut a = CostLedger::default();
+        a.cause_bytes[ReadCause::Prefetch.index()] = 10;
+        a.cause_wrs[ReadCause::Prefetch.index()] = 1;
+        let mut b = CostLedger::default();
+        b.cause_bytes[ReadCause::Prefetch.index()] = 5;
+        b.cause_bytes[ReadCause::Retry.index()] = 7;
+        b.cause_trips[ReadCause::Retry.index()] = 1;
+        a.merge(&b);
+        assert_eq!(a.bytes_for(ReadCause::Prefetch), 15);
+        assert_eq!(a.bytes_for(ReadCause::Retry), 7);
+        assert_eq!(a.total_trips(), 1);
+        assert_eq!(a.cause_wrs[ReadCause::Prefetch.index()], 1);
+    }
+
+    #[test]
+    fn ledger_render_lists_nonzero_causes_with_shares() {
+        let mut l = CostLedger::default();
+        assert!(l.render().contains("no read traffic"));
+        l.cause_bytes[ReadCause::StageLoad.index()] = 750;
+        l.cause_bytes[ReadCause::VersionCheck.index()] = 250;
+        let text = l.render();
+        assert!(text.contains("stage_load"));
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("version_check"));
+        assert!(text.contains("25.0%"));
+        assert!(!text.contains("naive"));
+    }
+
+    #[test]
+    fn report_merge_accumulates_ledgers() {
+        let mut a = BatchReport::default();
+        a.ledger.cause_bytes[ReadCause::StageLoad.index()] = 4;
+        let mut b = BatchReport::default();
+        b.ledger.cause_bytes[ReadCause::StageLoad.index()] = 6;
+        a.merge(&b);
+        assert_eq!(a.ledger.bytes_for(ReadCause::StageLoad), 10);
     }
 
     #[test]

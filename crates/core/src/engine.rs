@@ -26,10 +26,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use rdma_sim::{QueuePair, StatsSnapshot};
+use rdma_sim::{QueuePair, ReadCause, StatsSnapshot, READ_CAUSES};
 use vecsim::{Dataset, Neighbor, TopK};
 
-use crate::breakdown::BatchReport;
+use crate::breakdown::{BatchReport, CostLedger};
 use crate::cache::{CacheStats, ClusterCache};
 use crate::cluster::{LoadedCluster, OverflowRecord};
 use crate::health::heatmap::ClusterHeatmap;
@@ -38,16 +38,30 @@ use crate::health::report::{
 };
 use crate::health::skew::skew_of;
 use crate::layout::{Directory, ID_COUNTER_OFFSET};
-use crate::loader::{plan_batch, read_requests, stage_loads};
+use crate::loader::{plan_batch, read_requests_tagged, stage_loads};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
 use crate::telemetry::span::{ArgValue, BatchTrace, QpSpanSink, SpanId};
-use crate::telemetry::{Counter, Gauge, Histogram, QueryTrace, Telemetry};
+use crate::telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, QueryTrace, Telemetry};
 use crate::{DHnswConfig, Error, Result};
 
 /// `(partition, version-at-load, raw span bytes)` triples that passed a
 /// load stage's optimistic version check.
 type StableLoads = Vec<(u32, u64, Vec<u8>)>;
+
+/// Span-argument keys for per-cause byte counts, indexed by
+/// [`ReadCause::index`]. Span arg keys must be `'static`, so the
+/// prefix is baked in here instead of formatted at runtime.
+const CAUSE_BYTE_KEYS: [&str; READ_CAUSES] = [
+    "bytes_stage_load",
+    "bytes_prefetch",
+    "bytes_version_check",
+    "bytes_retry",
+    "bytes_health_probe",
+    "bytes_overflow_scan",
+    "bytes_naive",
+    "bytes_other",
+];
 
 /// Which of the paper's three evaluated schemes this compute node runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -160,6 +174,8 @@ struct EngineMetrics {
     rdma_work_requests: Arc<Counter>,
     rdma_doorbell_batches: Arc<Counter>,
     rdma_bytes_read: Arc<Counter>,
+    rdma_read_bytes_by_cause: [Arc<Counter>; READ_CAUSES],
+    rdma_read_trips_by_cause: [Arc<Counter>; READ_CAUSES],
     rdma_bytes_written: Arc<Counter>,
     rdma_atomics: Arc<Counter>,
     rdma_faults: Arc<Counter>,
@@ -283,6 +299,20 @@ impl EngineMetrics {
                 "Bytes read from remote memory",
                 &[],
             ),
+            rdma_read_bytes_by_cause: std::array::from_fn(|i| {
+                t.counter(
+                    "dhnsw_rdma_read_bytes_by_cause_total",
+                    "Bytes read from remote memory, by read cause; sums to dhnsw_rdma_bytes_read_total",
+                    &[("cause", ReadCause::ALL[i].as_str())],
+                )
+            }),
+            rdma_read_trips_by_cause: std::array::from_fn(|i| {
+                t.counter(
+                    "dhnsw_rdma_read_round_trips_by_cause_total",
+                    "Read round trips by dominant-bytes cause (write/atomic trips carry no cause)",
+                    &[("cause", ReadCause::ALL[i].as_str())],
+                )
+            }),
             rdma_bytes_written: t.counter(
                 "dhnsw_rdma_bytes_written_total",
                 "Bytes written to remote memory",
@@ -332,6 +362,18 @@ struct FlushState {
     cache: CacheStats,
 }
 
+/// Counter values captured at the previous health report, so the next
+/// report can evaluate a *window* (the interval since that report)
+/// instead of lifetime aggregates. A cold-start latency spike or miss
+/// burst therefore ages out after one report interval rather than
+/// pinning the SLO watchdog in violation forever.
+#[derive(Debug, Default)]
+struct WindowState {
+    latency: HistogramSnapshot,
+    hits: u64,
+    misses: u64,
+}
+
 /// One compute-pool instance.
 ///
 /// See the crate docs for an end-to-end example. Thread-safety: a
@@ -350,6 +392,7 @@ pub struct ComputeNode {
     metrics: EngineMetrics,
     heatmap: Arc<ClusterHeatmap>,
     flushed: Mutex<FlushState>,
+    window: Mutex<WindowState>,
     // Runtime-tunable execution knobs (see `set_pipeline_depth` /
     // `set_prefetch_budget_bytes`): initialized from the store config and
     // the environment, adjustable per node without reconnecting.
@@ -456,6 +499,7 @@ impl ComputeNode {
             metrics,
             heatmap,
             flushed,
+            window: Mutex::new(WindowState::default()),
             pipeline_depth,
             prefetch_budget,
         })
@@ -542,7 +586,10 @@ impl ComputeNode {
         let groups = self.directory.groups();
         let reqs: Vec<rdma_sim::ReadReq> = groups
             .iter()
-            .map(|g| rdma_sim::ReadReq::new(self.rkey, g.overflow_off, 8))
+            .map(|g| {
+                rdma_sim::ReadReq::new(self.rkey, g.overflow_off, 8)
+                    .with_cause(ReadCause::HealthProbe)
+            })
             .collect();
         let buffers = self.qp.read_doorbell(&reqs)?;
         let mut group_health = Vec::with_capacity(groups.len());
@@ -626,6 +673,26 @@ impl ComputeNode {
         // for partitions planning already proved resident, so the
         // cache's own lookup counters can never record a miss and
         // would report a vacuous 100% here.
+        // Window deltas: everything since the previous health report.
+        // The baseline advances here, so each report consumes its window
+        // exactly once and an idle interval yields an empty window (the
+        // watchdog skips empty windows rather than falling back to
+        // lifetime aggregates, which would re-fire stale violations).
+        let (window_lat, window_hits, window_misses) = {
+            let mut w = self.window.lock();
+            let lat_now = self.metrics.latency_us.snapshot();
+            let hits_now = self.metrics.cluster_cache_hits.get();
+            let misses_now = self.metrics.clusters_loaded.get();
+            let delta = (
+                lat_now - w.latency,
+                hits_now.saturating_sub(w.hits),
+                misses_now.saturating_sub(w.misses),
+            );
+            w.latency = lat_now;
+            w.hits = hits_now;
+            w.misses = misses_now;
+            delta
+        };
         let cache = {
             let c = self.cache.lock();
             let stats = c.stats();
@@ -643,6 +710,13 @@ impl ComputeNode {
                 } else {
                     hits as f64 / (hits + misses) as f64
                 },
+                window_hits,
+                window_misses,
+                window_hit_rate: if window_hits + window_misses == 0 {
+                    0.0
+                } else {
+                    window_hits as f64 / (window_hits + window_misses) as f64
+                },
             }
         };
         let latency = {
@@ -653,6 +727,10 @@ impl ComputeNode {
                 p95_us: h.quantile(0.95),
                 p99_us: h.quantile(0.99),
                 max_us: h.max(),
+                window_queries: window_lat.count(),
+                window_p50_us: window_lat.quantile(0.5),
+                window_p95_us: window_lat.quantile(0.95),
+                window_p99_us: window_lat.quantile(0.99),
             }
         };
         let reliability = {
@@ -717,6 +795,12 @@ impl ComputeNode {
         m.rdma_work_requests.add(rdma.work_requests);
         m.rdma_doorbell_batches.add(rdma.doorbell_batches);
         m.rdma_bytes_read.add(rdma.bytes_read);
+        for (i, c) in m.rdma_read_bytes_by_cause.iter().enumerate() {
+            c.add(rdma.cause_bytes[i]);
+        }
+        for (i, c) in m.rdma_read_trips_by_cause.iter().enumerate() {
+            c.add(rdma.cause_trips[i]);
+        }
         m.rdma_bytes_written.add(rdma.bytes_written);
         m.rdma_atomics.add(rdma.atomics);
         m.rdma_faults.add(rdma.faults);
@@ -850,6 +934,17 @@ impl ComputeNode {
             }
         };
         let total_us = t0.elapsed().as_secs_f64() * 1e6;
+        // Byte provenance on the root span: the slow-query log's explain
+        // data. Only nonzero causes are attached to keep spans small.
+        let cause_args: Vec<(&'static str, ArgValue)> = report
+            .ledger
+            .cause_bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, &b)| (CAUSE_BYTE_KEYS[i], ArgValue::U64(b)))
+            .collect();
+        trace.add_args(root, &cause_args);
         trace.end_span_with(
             root,
             &[
@@ -909,6 +1004,7 @@ impl ComputeNode {
                 sub_us: report.breakdown.sub_hnsw_us,
                 materialize_us: report.breakdown.materialize_us,
                 total_us,
+                cause_bytes: delta.cause_bytes,
             });
         }
         // Warm the cache for the next batch while the client digests this
@@ -1209,6 +1305,7 @@ impl ComputeNode {
         let stats_delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = stats_delta.round_trips;
         report.bytes_read = stats_delta.bytes_read;
+        report.ledger = CostLedger::from_delta(&stats_delta);
 
         let mut results = Vec::with_capacity(searched_all.len());
         if failed.is_empty() {
@@ -1263,13 +1360,21 @@ impl ComputeNode {
         let mut stable: Vec<(u32, u64, Vec<u8>)> = Vec::new();
         let mut attempt: u32 = 0;
         while !pending.is_empty() || !verify.is_empty() {
+            // Provenance: version-slot reads are version checks, cluster
+            // spans are stage loads on the first attempt and retries
+            // afterwards — so a retry storm shows up as `retry` bytes in
+            // the ledger, not inflated stage-load traffic.
+            let span_cause = if attempt == 0 {
+                ReadCause::StageLoad
+            } else {
+                ReadCause::Retry
+            };
             let mut reqs = Vec::with_capacity(verify.len() + 3 * pending.len());
             for &(p, _) in &verify {
-                reqs.push(rdma_sim::ReadReq::new(
-                    self.rkey,
-                    self.directory.version_slot_off(p)?,
-                    8,
-                ));
+                reqs.push(
+                    rdma_sim::ReadReq::new(self.rkey, self.directory.version_slot_off(p)?, 8)
+                        .with_cause(ReadCause::VersionCheck),
+                );
             }
             if versioned {
                 for &p in &pending {
@@ -1277,14 +1382,20 @@ impl ComputeNode {
                         self.rkey,
                         self.directory.version_slot_off(p)?,
                         8,
-                    );
+                    )
+                    .with_cause(ReadCause::VersionCheck);
                     let (off, len) = self.directory.location(p)?.read_span();
                     reqs.push(vs);
-                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len));
+                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len).with_cause(span_cause));
                     reqs.push(vs);
                 }
             } else {
-                reqs.extend(read_requests(&self.directory, self.rkey, &pending)?);
+                reqs.extend(read_requests_tagged(
+                    &self.directory,
+                    self.rkey,
+                    &pending,
+                    span_cause,
+                )?);
             }
             let outcome = {
                 let _scope = trace.enter_scope(s_net);
@@ -1292,7 +1403,7 @@ impl ComputeNode {
                     self.qp.read_doorbell(&reqs)
                 } else {
                     reqs.iter()
-                        .map(|r| self.qp.read(r.rkey, r.offset, r.len))
+                        .map(|r| self.qp.read_with_cause(r.rkey, r.offset, r.len, r.cause))
                         .collect::<std::result::Result<Vec<_>, _>>()
                 }
             };
@@ -1478,12 +1589,19 @@ impl ComputeNode {
                     let Ok(vs_off) = self.directory.version_slot_off(p) else {
                         break 'load;
                     };
-                    let vs = rdma_sim::ReadReq::new(self.rkey, vs_off, 8);
+                    let vs = rdma_sim::ReadReq::new(self.rkey, vs_off, 8)
+                        .with_cause(ReadCause::VersionCheck);
                     reqs.push(vs);
-                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len));
+                    reqs.push(
+                        rdma_sim::ReadReq::new(self.rkey, off, len)
+                            .with_cause(ReadCause::Prefetch),
+                    );
                     reqs.push(vs);
                 } else {
-                    reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len));
+                    reqs.push(
+                        rdma_sim::ReadReq::new(self.rkey, off, len)
+                            .with_cause(ReadCause::Prefetch),
+                    );
                 }
             }
             let outcome = {
@@ -1492,7 +1610,7 @@ impl ComputeNode {
                     self.qp.read_doorbell(&reqs)
                 } else {
                     reqs.iter()
-                        .map(|r| self.qp.read(r.rkey, r.offset, r.len))
+                        .map(|r| self.qp.read_with_cause(r.rkey, r.offset, r.len, r.cause))
                         .collect::<std::result::Result<Vec<_>, _>>()
                 }
             };
@@ -1679,7 +1797,8 @@ impl ComputeNode {
                 let _scope = trace.enter_scope(s_net);
                 for route in route_chunk {
                     report.raw_cluster_demand += route.len();
-                    let reqs = read_requests(&self.directory, self.rkey, route)?;
+                    let reqs =
+                        read_requests_tagged(&self.directory, self.rkey, route, ReadCause::Naive)?;
                     let mut per_query = Vec::with_capacity(reqs.len());
                     for (&p, r) in route.iter().zip(&reqs) {
                         match self.read_naive_with_retry(
@@ -1748,6 +1867,7 @@ impl ComputeNode {
         let delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = delta.round_trips;
         report.bytes_read = delta.bytes_read;
+        report.ledger = CostLedger::from_delta(&delta);
         if coverage.iter().any(|&c| c < 1.0) {
             report.degraded_queries = coverage.iter().filter(|&&c| c < 1.0).count();
             report.coverage = coverage;
@@ -1769,7 +1889,14 @@ impl ComputeNode {
     ) -> Result<Option<Vec<u8>>> {
         let mut attempt = 0u32;
         loop {
-            match self.qp.read(req.rkey, req.offset, req.len) {
+            // First attempt keeps the request's own cause (naive fetch);
+            // re-sends after a retransmission-budget failure are retries.
+            let cause = if attempt == 0 {
+                req.cause
+            } else {
+                ReadCause::Retry
+            };
+            match self.qp.read_with_cause(req.rkey, req.offset, req.len, cause) {
                 Ok(buf) => return Ok(Some(buf)),
                 Err(rdma_sim::Error::RetriesExhausted { .. }) => {
                     attempt += 1;
@@ -2205,6 +2332,97 @@ mod tests {
         let r8 = recall_with_b(8);
         assert!(r8 >= r1, "fanout 8 recall {r8} < fanout 1 recall {r1}");
         assert!(r8 > 0.8, "fanout-8 recall too low: {r8}");
+    }
+
+    #[test]
+    fn ledger_tiles_bytes_and_attributes_causes_per_mode() {
+        let (data, store) = setup(600);
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 88).unwrap();
+        for mode in [SearchMode::Full, SearchMode::NoDoorbell, SearchMode::Naive] {
+            let node = store.connect(mode).unwrap();
+
+            // Cold batch: every byte must be accounted to exactly one
+            // cause, and the traffic is dominated by first-time fetches.
+            let (_, cold) = node.query_batch(&queries, 5, 32).unwrap();
+            assert_eq!(
+                cold.ledger.total_bytes(),
+                cold.bytes_read,
+                "{mode}: cause bytes must tile bytes_read"
+            );
+            let expect = if mode == SearchMode::Naive {
+                ReadCause::Naive
+            } else {
+                ReadCause::StageLoad
+            };
+            assert_eq!(cold.ledger.dominant_cause(), Some(expect), "{mode}");
+            assert_eq!(cold.ledger.bytes_for(ReadCause::Other), 0, "{mode}");
+
+            // Warm batch: tiling must hold whatever mix of reloads and
+            // verifies the (fraction-sized) cache leaves behind.
+            let (_, warm) = node.query_batch(&queries, 5, 32).unwrap();
+            assert_eq!(warm.ledger.total_bytes(), warm.bytes_read, "{mode}");
+        }
+    }
+
+    #[test]
+    fn warm_full_cache_shifts_bytes_to_version_checks() {
+        // With the cache sized to hold everything, a repeat batch does no
+        // stage loads; after a writer bumps one partition's version the
+        // next batch mixes a single reload with 8-byte verifies of the
+        // surviving pins — both causes must show up, and tile.
+        let data = gen::sift_like(600, 90).unwrap();
+        let store = VectorStore::build(
+            data.clone(),
+            &DHnswConfig::small().with_cache_fraction(1.0),
+        )
+        .unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 91).unwrap();
+        node.query_batch(&queries, 5, 32).unwrap();
+
+        // Fully warm: nothing to load, so nothing to verify either.
+        let (_, warm) = node.query_batch(&queries, 5, 32).unwrap();
+        assert_eq!(warm.clusters_loaded, 0);
+        assert_eq!(warm.bytes_read, 0);
+        assert_eq!(warm.ledger.total_bytes(), 0);
+        assert_eq!(warm.ledger.dominant_cause(), None);
+
+        // One insert invalidates its cluster and bumps its version.
+        node.insert(data.get(0)).unwrap();
+        let (_, mixed) = node.query_batch(&queries, 5, 32).unwrap();
+        assert_eq!(mixed.ledger.total_bytes(), mixed.bytes_read);
+        if mixed.clusters_loaded > 0 {
+            assert!(mixed.ledger.bytes_for(ReadCause::StageLoad) > 0);
+            assert!(mixed.ledger.bytes_for(ReadCause::VersionCheck) > 0);
+            assert_eq!(mixed.ledger.bytes_for(ReadCause::Naive), 0);
+        }
+    }
+
+    #[test]
+    fn health_probe_and_prefetch_bytes_carry_their_causes() {
+        let (data, store) = setup(600);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let stats0 = node.queue_pair().stats().snapshot();
+        node.health_report().unwrap();
+        let probe = node.queue_pair().stats().snapshot() - stats0;
+        assert!(probe.bytes_for(ReadCause::HealthProbe) > 0);
+        assert_eq!(probe.bytes_for(ReadCause::HealthProbe), probe.bytes_read);
+
+        // Warm the heatmap, then force a prefetch round into an emptied
+        // cache: its traffic must land on the prefetch cause.
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 89).unwrap();
+        node.query_batch(&queries, 5, 32).unwrap();
+        node.drop_cache();
+        node.set_prefetch_budget_bytes(u64::MAX);
+        let stats1 = node.queue_pair().stats().snapshot();
+        let admitted = node.prefetch_hot();
+        assert!(admitted > 0);
+        let pf = node.queue_pair().stats().snapshot() - stats1;
+        assert!(pf.bytes_for(ReadCause::Prefetch) > 0);
+        assert_eq!(
+            pf.bytes_for(ReadCause::Prefetch) + pf.bytes_for(ReadCause::VersionCheck),
+            pf.bytes_read
+        );
     }
 
     #[test]

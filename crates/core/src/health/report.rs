@@ -85,6 +85,14 @@ pub struct CacheHealth {
     pub evictions: u64,
     /// `hits / (hits + misses)`, 0 with no lookups.
     pub hit_rate: f64,
+    /// Plan-time hits since the previous health report (the window).
+    pub window_hits: u64,
+    /// Plan-time misses since the previous health report.
+    pub window_misses: u64,
+    /// Hit rate over the window alone, 0 with an empty window. This —
+    /// not the lifetime `hit_rate` — is what the SLO watchdog checks,
+    /// so a cold-start miss burst ages out after one report interval.
+    pub window_hit_rate: f64,
 }
 
 /// Query-latency summary from the node's telemetry histogram.
@@ -100,6 +108,15 @@ pub struct LatencyHealth {
     pub p99_us: f64,
     /// Largest observed value, microseconds.
     pub max_us: u64,
+    /// Queries observed since the previous health report (the window).
+    pub window_queries: u64,
+    /// Median over the window alone, microseconds (0 when idle).
+    pub window_p50_us: f64,
+    /// 95th percentile over the window, microseconds.
+    pub window_p95_us: f64,
+    /// 99th percentile over the window, microseconds. This — not the
+    /// lifetime `p99_us` — is what the SLO watchdog checks.
+    pub window_p99_us: f64,
 }
 
 /// Degraded-service and retry accounting since connect.
@@ -231,17 +248,22 @@ impl HealthReport {
         }
         let c = &self.cache;
         out.push_str(&format!(
-            "  \"cache\": {{\"capacity\": {}, \"resident\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {}}},\n",
+            "  \"cache\": {{\"capacity\": {}, \"resident\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {}, \"window_hits\": {}, \"window_misses\": {}, \"window_hit_rate\": {}}},\n",
             c.capacity, c.resident, c.resident_bytes, c.hits, c.misses, c.evictions, num(c.hit_rate),
+            c.window_hits, c.window_misses, num(c.window_hit_rate),
         ));
         let t = &self.latency;
         out.push_str(&format!(
-            "  \"latency\": {{\"queries\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}},\n",
+            "  \"latency\": {{\"queries\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"window_queries\": {}, \"window_p50_us\": {}, \"window_p95_us\": {}, \"window_p99_us\": {}}},\n",
             t.queries,
             num(t.p50_us),
             num(t.p95_us),
             num(t.p99_us),
             t.max_us,
+            t.window_queries,
+            num(t.window_p50_us),
+            num(t.window_p95_us),
+            num(t.window_p99_us),
         ));
         let r = &self.reliability;
         out.push_str(&format!(
@@ -362,6 +384,27 @@ impl HealthReport {
             .set(self.latency.p99_us as u64);
         telemetry
             .gauge(
+                "dhnsw_health_window_cache_hit_rate_milli",
+                "Cluster-cache hit rate over the window since the previous report, milli-units",
+                &[],
+            )
+            .set_milli(self.cache.window_hit_rate);
+        telemetry
+            .gauge(
+                "dhnsw_health_window_p99_us",
+                "p99 per-query latency over the window since the previous report, microseconds",
+                &[],
+            )
+            .set(self.latency.window_p99_us as u64);
+        telemetry
+            .gauge(
+                "dhnsw_health_window_queries",
+                "Queries observed in the window since the previous report",
+                &[],
+            )
+            .set(self.latency.window_queries);
+        telemetry
+            .gauge(
                 "dhnsw_health_degraded_rate_milli",
                 "Fraction of queries answered degraded since connect, milli-units",
                 &[],
@@ -440,6 +483,9 @@ mod tests {
                 misses: 2,
                 evictions: 1,
                 hit_rate: 0.8,
+                window_hits: 8,
+                window_misses: 2,
+                window_hit_rate: 0.8,
             },
             latency: LatencyHealth {
                 queries: 10,
@@ -447,6 +493,10 @@ mod tests {
                 p95_us: 200.0,
                 p99_us: 250.0,
                 max_us: 300,
+                window_queries: 10,
+                window_p50_us: 100.0,
+                window_p95_us: 200.0,
+                window_p99_us: 250.0,
             },
             reliability: ReliabilityHealth {
                 queries: 10,
@@ -508,6 +558,9 @@ mod tests {
             "dhnsw_health_route_gini_milli 500",
             "dhnsw_health_cache_hit_rate_milli 800",
             "dhnsw_health_p99_us 250",
+            "dhnsw_health_window_cache_hit_rate_milli 800",
+            "dhnsw_health_window_p99_us 250",
+            "dhnsw_health_window_queries 10",
             "dhnsw_health_degraded_rate_milli 200",
             "dhnsw_health_read_retries 3",
         ] {

@@ -83,20 +83,28 @@ impl SloViolation {
 /// in a fixed order (latency, hit rate, occupancy, skew, degradation).
 pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation> {
     let mut out = Vec::new();
+    // Latency and hit rate are judged over the report's *window* (the
+    // interval since the previous health report), not lifetime
+    // aggregates: a cold-start spike must age out once recent traffic
+    // is healthy. An empty window (no queries / no cache activity since
+    // the last report) skips the check entirely rather than falling
+    // back to lifetime values, which would re-fire stale violations on
+    // every idle tick.
     if let Some(limit) = budgets.max_p99_us {
-        if report.latency.p99_us > limit {
+        if report.latency.window_queries > 0 && report.latency.window_p99_us > limit {
             out.push(SloViolation {
                 budget: "p99_latency_us",
-                actual: report.latency.p99_us,
+                actual: report.latency.window_p99_us,
                 limit,
             });
         }
     }
     if let Some(limit) = budgets.min_cache_hit_rate {
-        if report.cache.hit_rate < limit {
+        let observed = report.cache.window_hits + report.cache.window_misses;
+        if observed > 0 && report.cache.window_hit_rate < limit {
             out.push(SloViolation {
                 budget: "cache_hit_rate",
-                actual: report.cache.hit_rate,
+                actual: report.cache.window_hit_rate,
                 limit,
             });
         }
@@ -211,11 +219,16 @@ mod tests {
                 hit_rate: 0.5,
                 hits: 1,
                 misses: 1,
+                window_hit_rate: 0.5,
+                window_hits: 1,
+                window_misses: 1,
                 ..CacheHealth::default()
             },
             latency: LatencyHealth {
                 queries: 10,
                 p99_us: 900.0,
+                window_queries: 10,
+                window_p99_us: 900.0,
                 ..LatencyHealth::default()
             },
             reliability: ReliabilityHealth {
@@ -260,6 +273,40 @@ mod tests {
         );
         assert_eq!(v[0].actual, 900.0);
         assert_eq!(v[0].limit, 500.0);
+    }
+
+    #[test]
+    fn empty_window_skips_latency_and_hit_rate_checks() {
+        // Lifetime aggregates are terrible (cold-start spike) but the
+        // window since the last report saw no traffic: latency and
+        // hit-rate budgets must stay quiet instead of re-firing the
+        // stale violation on every idle report.
+        let mut r = report();
+        r.latency.window_queries = 0;
+        r.latency.window_p99_us = 0.0;
+        r.cache.window_hits = 0;
+        r.cache.window_misses = 0;
+        r.cache.window_hit_rate = 0.0;
+        let b = SloBudgets {
+            max_p99_us: Some(500.0),
+            min_cache_hit_rate: Some(0.8),
+            ..SloBudgets::default()
+        };
+        assert!(evaluate(&r, &b).is_empty());
+
+        // A healthy window clears a bad lifetime aggregate outright.
+        r.latency.window_queries = 5;
+        r.latency.window_p99_us = 100.0;
+        r.cache.window_hits = 9;
+        r.cache.window_misses = 1;
+        r.cache.window_hit_rate = 0.9;
+        assert!(evaluate(&r, &b).is_empty());
+
+        // And a bad window trips even though only the window is bad.
+        r.latency.window_p99_us = 900.0;
+        r.cache.window_hit_rate = 0.5;
+        let names: Vec<&str> = evaluate(&r, &b).iter().map(|x| x.budget).collect();
+        assert_eq!(names, vec!["p99_latency_us", "cache_hit_rate"]);
     }
 
     #[test]

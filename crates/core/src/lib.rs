@@ -64,7 +64,8 @@ mod store;
 pub mod telemetry;
 
 pub use balancer::{DispatchPolicy, LoadBalancer};
-pub use breakdown::{BatchReport, LatencyBreakdown};
+pub use breakdown::{BatchReport, CostLedger, LatencyBreakdown};
+pub use rdma_sim::{ReadCause, READ_CAUSES};
 pub use cache::CacheStats;
 pub use config::DHnswConfig;
 pub use engine::{ComputeNode, QueryOptions, SearchMode};
@@ -80,7 +81,7 @@ pub use telemetry::chrome::chrome_trace_json;
 pub use telemetry::span::{
     ArgValue, BatchTrace, FinishedTrace, QpSpanSink, SpanId, SpanKind, SpanRecord, SpanTracer,
 };
-pub use telemetry::{QueryTrace, Telemetry};
+pub use telemetry::{HistogramSnapshot, QueryTrace, Telemetry};
 
 /// Convenient result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -10,7 +10,7 @@
 //! The planner is pure — it performs no I/O — which keeps the dedup and
 //! cache-interaction logic independently testable.
 
-use rdma_sim::ReadReq;
+use rdma_sim::{ReadCause, ReadReq};
 
 use crate::layout::Directory;
 use crate::telemetry::span::ArgValue;
@@ -145,6 +145,26 @@ pub fn read_requests(
         .collect()
 }
 
+/// [`read_requests`] with every request tagged with a byte-provenance
+/// [`ReadCause`], so the substrate's per-cause counters attribute the
+/// span bytes to the right consumer (stage load, prefetch, naive fetch,
+/// …) even when requests from several consumers share one doorbell.
+///
+/// # Errors
+///
+/// Same as [`read_requests`].
+pub fn read_requests_tagged(
+    directory: &Directory,
+    rkey: u32,
+    partitions: &[u32],
+    cause: ReadCause,
+) -> Result<Vec<ReadReq>> {
+    Ok(read_requests(directory, rkey, partitions)?
+        .into_iter()
+        .map(|r| r.with_cause(cause))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +286,20 @@ mod tests {
         // Order follows the input partitions.
         let loc0 = dir.location(0).unwrap();
         assert_eq!(reqs[1].offset, loc0.read_span().0);
+    }
+
+    #[test]
+    fn read_requests_tagged_carry_their_cause() {
+        let dir = Directory::plan(&[64, 128], 4, 4).unwrap();
+        let reqs =
+            read_requests_tagged(&dir, 9, &[1, 0], ReadCause::StageLoad).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().all(|r| r.cause == ReadCause::StageLoad));
+        // Offsets and lengths are untouched by tagging.
+        let plain = read_requests(&dir, 9, &[1, 0]).unwrap();
+        for (t, p) in reqs.iter().zip(&plain) {
+            assert_eq!((t.rkey, t.offset, t.len), (p.rkey, p.offset, p.len));
+        }
     }
 
     #[test]

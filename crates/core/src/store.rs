@@ -209,7 +209,7 @@ impl VectorStore {
         let mut seen = std::collections::HashSet::new();
         for loc in self.directory.locations() {
             let (off, len) = loc.read_span();
-            let buf = qp.read(rkey, off, len)?;
+            let buf = qp.read_with_cause(rkey, off, len, rdma_sim::ReadCause::OverflowScan)?;
             let (cluster_bytes, overflow) = loc.split(&buf)?;
             let loaded = crate::cluster::LoadedCluster::from_remote(cluster_bytes, overflow)?;
             for (local, &gid) in loaded.sub().global_ids().iter().enumerate() {

@@ -234,6 +234,91 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// A point-in-time copy of the buckets, for windowed evaluation:
+    /// subtract an earlier snapshot from a later one and read
+    /// quantiles over just the samples recorded in between.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max(),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s buckets.
+///
+/// Subtraction yields the *window* between two snapshots, which is how
+/// the SLO watchdog and the health report evaluate recent p99 instead
+/// of lifetime aggregates: a cold-start latency spike ages out of the
+/// window as soon as a report interval passes without one, instead of
+/// pinning the lifetime quantile (and the watchdog) forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HIST_BUCKETS],
+    sum: u64,
+    /// Largest sample observed up to snapshot time. A window's exact
+    /// max is unknowable from bucket deltas; quantiles clamp to this
+    /// lifetime max, which can only overstate a window quantile within
+    /// its bucket, never past any observed sample.
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Samples in this snapshot (or window).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of samples in this snapshot (or window).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Quantile over this snapshot's (or window's) samples, with the
+    /// same bucket-upper-bound semantics as [`Histogram::quantile`].
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bound(i).min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+}
+
+impl std::ops::Sub for HistogramSnapshot {
+    type Output = HistogramSnapshot;
+
+    /// The window between two snapshots. Saturating per bucket so a
+    /// racing in-between reset yields an empty window rather than a
+    /// wrapped one; `max` keeps the later (lifetime) value.
+    fn sub(self, rhs: HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(rhs.buckets[i])),
+            sum: self.sum.saturating_sub(rhs.sum),
+            max: self.max,
+        }
+    }
 }
 
 /// What a registered metric is, for exposition.
@@ -319,6 +404,10 @@ pub struct QueryTrace {
     pub materialize_us: f64,
     /// Whole call, wall clock, microseconds.
     pub total_us: f64,
+    /// Bytes read per [`rdma_sim::ReadCause`], indexed by
+    /// `ReadCause::index()` — the batch's byte provenance. Sums to
+    /// `bytes_read`.
+    pub cause_bytes: [u64; rdma_sim::READ_CAUSES],
 }
 
 /// Bounded ring of the most recent [`QueryTrace`]s.
@@ -777,6 +866,51 @@ mod tests {
     }
 
     #[test]
+    fn histogram_snapshot_window_isolates_recent_samples() {
+        let h = Histogram::default();
+        // Cold start: 10 slow samples dominate lifetime quantiles.
+        h.observe_n(1000, 10);
+        let baseline = h.snapshot();
+        assert_eq!(baseline.count(), 10);
+        assert_eq!(baseline.quantile(0.99), 1000.0);
+        // Steady state: 90 fast samples arrive after the baseline.
+        h.observe_n(10, 90);
+        let window = h.snapshot() - baseline;
+        assert_eq!(window.count(), 90);
+        assert_eq!(window.sum(), 900);
+        // The window sees only fast traffic even though lifetime p99
+        // is still pinned by the cold spike.
+        assert_eq!(window.quantile(0.99), 16.0);
+        assert_eq!(h.quantile(0.99), 1000.0);
+    }
+
+    #[test]
+    fn histogram_snapshot_empty_window_reads_zero() {
+        let h = Histogram::default();
+        h.observe_n(500, 4);
+        let a = h.snapshot();
+        let window = h.snapshot() - a;
+        assert_eq!(window.count(), 0);
+        assert_eq!(window.sum(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(window.quantile(q), 0.0);
+        }
+        // Default snapshot is an empty window too.
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantile_clamps_to_lifetime_max() {
+        let h = Histogram::default();
+        h.observe(1000);
+        let snap = h.snapshot();
+        // Bucket upper bound is 1024; the snapshot clamps to the
+        // observed max like the live histogram does.
+        assert_eq!(snap.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
     fn histogram_overflow_bucket_catches_huge_samples() {
         let h = Histogram::default();
         h.observe(u64::MAX / 2);
@@ -839,6 +973,167 @@ mod tests {
         assert_eq!(text, t.render_prometheus());
     }
 
+    /// Prometheus metric/label name rule: `[a-zA-Z_:][a-zA-Z0-9_:]*`
+    /// (labels additionally may not use `:`).
+    fn valid_name(name: &str, allow_colon: bool) -> bool {
+        let mut chars = name.chars();
+        let head_ok = matches!(
+            chars.next(),
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || (allow_colon && c == ':')
+        );
+        head_ok
+            && name
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':'))
+    }
+
+    /// Walks a `{k="v",...}` label block, honoring `\"` escapes inside
+    /// values; panics on any malformation, returns the label names.
+    fn parse_label_block(block: &str) -> Vec<String> {
+        assert!(block.starts_with('{') && block.ends_with('}'), "{block}");
+        let mut names = Vec::new();
+        let mut rest = &block[1..block.len() - 1];
+        while !rest.is_empty() {
+            let eq = rest.find('=').expect("label missing '='");
+            let name = &rest[..eq];
+            assert!(valid_name(name, false), "bad label name {name:?}");
+            names.push(name.to_string());
+            rest = rest[eq + 1..].strip_prefix('"').expect("unquoted value");
+            // Find the closing quote, skipping escaped characters.
+            let mut end = None;
+            let mut skip = false;
+            for (i, c) in rest.char_indices() {
+                if skip {
+                    skip = false;
+                } else if c == '\\' {
+                    skip = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.expect("unterminated label value");
+            assert!(!rest[..end].contains('\n'), "raw newline in label value");
+            rest = &rest[end + 1..];
+            rest = rest.strip_prefix(',').unwrap_or(rest);
+        }
+        names
+    }
+
+    /// Asserts `text` is conformant Prometheus exposition 0.0.4: valid
+    /// metric and label names, every family introduced by a HELP line
+    /// immediately followed by its TYPE line, every sample belonging to
+    /// the family declared above it (histograms via `_bucket`/`_sum`/
+    /// `_count`), and parseable sample values.
+    fn assert_prometheus_conformant(text: &str) {
+        let mut declared: Option<(String, String)> = None;
+        let mut pending_help: Option<String> = None;
+        let mut families = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("HELP name");
+                assert!(valid_name(name, true), "bad family name {name:?}");
+                assert!(families.insert(name.to_string()), "duplicate HELP {name}");
+                pending_help = Some(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE name");
+                let kind = it.next().expect("TYPE kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE {kind}"
+                );
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(name),
+                    "TYPE {name} not immediately after its HELP"
+                );
+                declared = Some((name.to_string(), kind.to_string()));
+            } else if !line.is_empty() {
+                assert!(pending_help.is_none(), "HELP without TYPE before {line}");
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+                let name_end = series.find('{').unwrap_or(series.len());
+                let name = &series[..name_end];
+                assert!(valid_name(name, true), "bad metric name {name:?}");
+                let (family, kind) = declared.as_ref().expect("sample before any TYPE");
+                if kind == "histogram" {
+                    assert!(
+                        ["_bucket", "_sum", "_count"]
+                            .iter()
+                            .any(|s| name == format!("{family}{s}")),
+                        "{name} is not a series of histogram {family}"
+                    );
+                } else {
+                    assert_eq!(name, family, "sample under the wrong family");
+                }
+                if name_end < series.len() {
+                    parse_label_block(&series[name_end..]);
+                }
+            }
+        }
+        assert!(pending_help.is_none(), "trailing HELP without TYPE");
+        assert!(!families.is_empty(), "no families rendered");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let t = Telemetry::new();
+        // A representative registry: labeled counters (including the
+        // per-cause byte family), gauges, and a labeled histogram.
+        for cause in rdma_sim::ReadCause::ALL {
+            t.counter(
+                "dhnsw_rdma_read_bytes_by_cause_total",
+                "Bytes read, by cause",
+                &[("cause", cause.as_str())],
+            )
+            .add(1024);
+        }
+        t.gauge("dhnsw_health_p99_us", "p99 latency", &[]).set(250);
+        t.counter("dhnsw_queries_total", "Queries", &[("mode", "full")])
+            .add(7);
+        let h = t.histogram("dhnsw_query_latency_us", "latency", &[("mode", "full")]);
+        h.observe_n(8, 90);
+        h.observe_n(4096, 10);
+        assert_prometheus_conformant(&t.render_prometheus());
+    }
+
+    #[test]
+    fn prometheus_label_escaping_round_trips() {
+        let t = Telemetry::new();
+        let hairy = "a\\b\"c\nd";
+        t.counter("dhnsw_esc_total", "escape probe", &[("path", hairy)])
+            .add(5);
+        let text = t.render_prometheus();
+        assert_prometheus_conformant(&text);
+        // The escaped form on the wire...
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("dhnsw_esc_total{"))
+            .expect("escaped series rendered");
+        let start = line.find("path=\"").unwrap() + "path=\"".len();
+        let end = line.rfind('"').unwrap();
+        let wire = &line[start..end];
+        assert_eq!(wire, "a\\\\b\\\"c\\nd");
+        // ...un-escapes back to the original value.
+        let mut out = String::new();
+        let mut chars = wire.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    other => panic!("unknown escape \\{other:?}"),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        assert_eq!(out, hairy);
+    }
+
     #[test]
     fn json_snapshot_contains_quantiles() {
         let t = Telemetry::new();
@@ -876,6 +1171,7 @@ mod tests {
             sub_us: 3.0,
             materialize_us: 0.0,
             total_us: 6.0,
+            cause_bytes: [0; rdma_sim::READ_CAUSES],
         };
 
         // Disabled by default: nothing is recorded.
@@ -922,6 +1218,7 @@ mod tests {
             sub_us: 3.0,
             materialize_us: 0.0,
             total_us: 6.0,
+            cause_bytes: [0; rdma_sim::READ_CAUSES],
         };
         // Wrap the ring two and a half times; after every record the
         // retained window must be the most recent traces, strictly

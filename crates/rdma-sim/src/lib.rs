@@ -78,7 +78,7 @@ pub use fault::DEFAULT_RETRY_LIMIT;
 pub use model::NetworkModel;
 pub use node::{MemoryNode, RegionHandle};
 pub use qp::{QueuePair, ReadReq, WriteReq};
-pub use stats::{StatsSnapshot, TransferStats, DOORBELL_SIZE_BUCKETS};
+pub use stats::{ReadCause, StatsSnapshot, TransferStats, DOORBELL_SIZE_BUCKETS, READ_CAUSES};
 pub use trace::{FaultEvent, TraceSink, VerbSpan, WqeSpan};
 
 /// Convenient result alias used throughout this crate.

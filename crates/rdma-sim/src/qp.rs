@@ -6,10 +6,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::trace::{split_chunk_intervals, SharedSink, TraceSink, VerbSpan, WqeSpan};
-use crate::{Error, MemoryNode, NetworkModel, Result, TransferStats, VirtualClock};
+use crate::{Error, MemoryNode, NetworkModel, ReadCause, Result, TransferStats, VirtualClock};
 
 /// A read work request: fetch `len` bytes at `offset` within region
-/// `rkey`.
+/// `rkey`, attributed to a [`ReadCause`] for byte provenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadReq {
     /// Target region.
@@ -18,12 +18,25 @@ pub struct ReadReq {
     pub offset: u64,
     /// Bytes to fetch.
     pub len: u64,
+    /// Why this read happens (defaults to [`ReadCause::Other`]).
+    pub cause: ReadCause,
 }
 
 impl ReadReq {
-    /// Creates a read request.
+    /// Creates a read request attributed to [`ReadCause::Other`].
     pub fn new(rkey: u32, offset: u64, len: u64) -> Self {
-        ReadReq { rkey, offset, len }
+        ReadReq {
+            rkey,
+            offset,
+            len,
+            cause: ReadCause::Other,
+        }
+    }
+
+    /// Re-tags this request with `cause`.
+    pub fn with_cause(mut self, cause: ReadCause) -> Self {
+        self.cause = cause;
+        self
     }
 }
 
@@ -178,12 +191,30 @@ impl QueuePair {
         Ok(())
     }
 
-    /// One-sided `RDMA_READ`: one network round trip.
+    /// One-sided `RDMA_READ`: one network round trip, attributed to
+    /// [`ReadCause::Other`].
     ///
     /// # Errors
     ///
     /// [`Error::UnknownRegion`] or [`Error::OutOfBounds`].
     pub fn read(&self, rkey: u32, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.read_with_cause(rkey, offset, len, ReadCause::Other)
+    }
+
+    /// One-sided `RDMA_READ` with explicit byte provenance: identical
+    /// cost and semantics to [`QueuePair::read`], but the bytes and the
+    /// round trip are attributed to `cause` in [`TransferStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRegion`] or [`Error::OutOfBounds`].
+    pub fn read_with_cause(
+        &self,
+        rkey: u32,
+        offset: u64,
+        len: u64,
+        cause: ReadCause,
+    ) -> Result<Vec<u8>> {
         self.check_bounds(rkey, offset, len)?;
         self.admit("read")?;
         let region = self.node.region(rkey)?;
@@ -193,10 +224,10 @@ impl QueuePair {
         let vt0 = self.clock.now_us();
         self.clock
             .advance_us(self.model.round_trip_cost_us(1, len as usize));
-        self.stats.record_round_trips(1);
-        self.stats.record_read(1, len);
-        self.node.service_stats().record_round_trips(1);
-        self.node.service_stats().record_read(1, len);
+        self.stats.record_read_round_trip(cause);
+        self.stats.record_read_cause(cause, 1, len);
+        self.node.service_stats().record_read_round_trip(cause);
+        self.node.service_stats().record_read_cause(cause, 1, len);
         self.emit_plain("read", offset, len, vt0);
         Ok(out)
     }
@@ -255,13 +286,31 @@ impl QueuePair {
             let vt0 = self.clock.now_us();
             self.clock
                 .advance_us(self.model.round_trip_cost_us(chunk.len(), bytes));
-            self.stats.record_round_trips(1);
-            self.stats
-                .record_read(chunk.len() as u64, bytes as u64);
-            self.node.service_stats().record_round_trips(1);
-            self.node
-                .service_stats()
-                .record_read(chunk.len() as u64, bytes as u64);
+            // Bytes and WQEs are attributed per cause exactly; the
+            // chunk's single round trip goes to the cause carrying the
+            // most bytes in it (ties break to the lowest cause index).
+            let mut per_cause = [(0u64, 0u64); crate::READ_CAUSES];
+            for r in chunk {
+                let slot = &mut per_cause[r.cause.index()];
+                slot.0 += 1;
+                slot.1 += r.len;
+            }
+            let dominant = ReadCause::ALL[per_cause
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.cmp(&b.1 .1).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .unwrap_or(ReadCause::Other.index())];
+            for (i, &(wrs, cbytes)) in per_cause.iter().enumerate() {
+                if wrs == 0 {
+                    continue;
+                }
+                let cause = ReadCause::ALL[i];
+                self.stats.record_read_cause(cause, wrs, cbytes);
+                self.node.service_stats().record_read_cause(cause, wrs, cbytes);
+            }
+            self.stats.record_read_round_trip(dominant);
+            self.node.service_stats().record_read_round_trip(dominant);
             if self.has_sink.load(Ordering::Relaxed) {
                 let vt1 = self.clock.now_us();
                 let sizes: Vec<(u64, u64)> = chunk.iter().map(|r| (r.offset, r.len)).collect();
@@ -606,6 +655,43 @@ mod tests {
         // Per-QP views stay isolated.
         assert_eq!(a.stats().round_trips(), 1);
         assert_eq!(b.stats().round_trips(), 2);
+    }
+
+    #[test]
+    fn mixed_cause_doorbell_tiles_bytes_and_attributes_the_trip() {
+        let (_n, r, qp) = setup(1024);
+        // One big stage-load span plus two tiny version checks in one
+        // doorbell: bytes tile per cause, the chunk's single trip goes
+        // to the dominant-bytes cause.
+        let reqs = [
+            ReadReq::new(r.rkey(), 0, 512).with_cause(ReadCause::StageLoad),
+            ReadReq::new(r.rkey(), 512, 8).with_cause(ReadCause::VersionCheck),
+            ReadReq::new(r.rkey(), 520, 8).with_cause(ReadCause::VersionCheck),
+        ];
+        qp.read_doorbell(&reqs).unwrap();
+        let snap = qp.stats().snapshot();
+        assert_eq!(snap.bytes_for(ReadCause::StageLoad), 512);
+        assert_eq!(snap.bytes_for(ReadCause::VersionCheck), 16);
+        assert_eq!(snap.cause_bytes.iter().sum::<u64>(), snap.bytes_read);
+        assert_eq!(snap.round_trips, 1);
+        assert_eq!(snap.trips_for(ReadCause::StageLoad), 1);
+        assert_eq!(snap.trips_for(ReadCause::VersionCheck), 0);
+        // Service-side mirror agrees.
+        let svc = _n.service_stats().snapshot();
+        assert_eq!(svc.cause_bytes, snap.cause_bytes);
+        assert_eq!(svc.cause_trips, snap.cause_trips);
+    }
+
+    #[test]
+    fn plain_read_attributes_to_its_cause() {
+        let (_n, r, qp) = setup(64);
+        qp.read_with_cause(r.rkey(), 0, 32, ReadCause::Naive).unwrap();
+        qp.read(r.rkey(), 0, 8).unwrap();
+        let snap = qp.stats().snapshot();
+        assert_eq!(snap.bytes_for(ReadCause::Naive), 32);
+        assert_eq!(snap.bytes_for(ReadCause::Other), 8);
+        assert_eq!(snap.trips_for(ReadCause::Naive), 1);
+        assert_eq!(snap.cause_bytes.iter().sum::<u64>(), snap.bytes_read);
     }
 
     #[test]

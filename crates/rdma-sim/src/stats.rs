@@ -2,6 +2,89 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Why a read crossed the network: the provenance tag the engine threads
+/// down to the verb layer so every inbound byte can be attributed to the
+/// subsystem that demanded it (the paper's bottleneck currency is bytes;
+/// this names them).
+///
+/// The per-cause byte counters tile exactly: summing
+/// [`StatsSnapshot::cause_bytes`] over all causes reproduces
+/// [`StatsSnapshot::bytes_read`], because every byte-read recording path
+/// goes through [`TransferStats::record_read_cause`] (plain
+/// [`TransferStats::record_read`] attributes to [`ReadCause::Other`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReadCause {
+    /// Batch-planned sub-HNSW cluster load (the §3.3 staged fetch).
+    StageLoad,
+    /// Heatmap-driven background prefetch between batches.
+    Prefetch,
+    /// Directory version-slot read (cache-pin verify or load piggyback).
+    VersionCheck,
+    /// Engine-level retry after substrate retransmission exhaustion or a
+    /// version-churn reload.
+    Retry,
+    /// Health-report probe (overflow occupancy counters).
+    HealthProbe,
+    /// Full cluster-plus-overflow sweep (rebuild / compaction).
+    OverflowScan,
+    /// Naive per-query fetch (the no-batching baseline mode).
+    Naive,
+    /// Untagged reads: directory bootstrap, snapshots, ad-hoc callers.
+    #[default]
+    Other,
+}
+
+/// Number of [`ReadCause`] variants (length of the per-cause arrays).
+pub const READ_CAUSES: usize = 8;
+
+impl ReadCause {
+    /// Every cause, in per-cause array-index order.
+    pub const ALL: [ReadCause; READ_CAUSES] = [
+        ReadCause::StageLoad,
+        ReadCause::Prefetch,
+        ReadCause::VersionCheck,
+        ReadCause::Retry,
+        ReadCause::HealthProbe,
+        ReadCause::OverflowScan,
+        ReadCause::Naive,
+        ReadCause::Other,
+    ];
+
+    /// This cause's slot in the per-cause arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ReadCause::StageLoad => 0,
+            ReadCause::Prefetch => 1,
+            ReadCause::VersionCheck => 2,
+            ReadCause::Retry => 3,
+            ReadCause::HealthProbe => 4,
+            ReadCause::OverflowScan => 5,
+            ReadCause::Naive => 6,
+            ReadCause::Other => 7,
+        }
+    }
+
+    /// Stable snake_case name (telemetry label / report key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReadCause::StageLoad => "stage_load",
+            ReadCause::Prefetch => "prefetch",
+            ReadCause::VersionCheck => "version_check",
+            ReadCause::Retry => "retry",
+            ReadCause::HealthProbe => "health_probe",
+            ReadCause::OverflowScan => "overflow_scan",
+            ReadCause::Naive => "naive",
+            ReadCause::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for ReadCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Atomic counters describing everything a queue pair moved.
 ///
 /// These are the quantities the paper reports directly (round trips per
@@ -30,6 +113,29 @@ pub struct TransferStats {
     bytes_written: AtomicU64,
     atomics: AtomicU64,
     faults: AtomicU64,
+    cause_bytes: CauseArray,
+    cause_wrs: CauseArray,
+    cause_trips: CauseArray,
+}
+
+/// One `u64` counter per [`ReadCause`].
+#[derive(Debug, Default)]
+struct CauseArray([AtomicU64; READ_CAUSES]);
+
+impl CauseArray {
+    fn add(&self, cause: ReadCause, n: u64) {
+        self.0[cause.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> [u64; READ_CAUSES] {
+        std::array::from_fn(|i| self.0[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for c in &self.0 {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Number of doorbell batch-size buckets: sizes `1, 2, 4, …, 2^14`,
@@ -74,10 +180,27 @@ impl TransferStats {
         self.round_trips.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Records read work: `wrs` work requests totalling `bytes` inbound.
+    /// Records read work: `wrs` work requests totalling `bytes` inbound,
+    /// attributed to [`ReadCause::Other`].
     pub fn record_read(&self, wrs: u64, bytes: u64) {
+        self.record_read_cause(ReadCause::Other, wrs, bytes);
+    }
+
+    /// Records read work attributed to `cause`. This is the only path
+    /// that bumps `bytes_read`, so per-cause bytes tile the total by
+    /// construction.
+    pub fn record_read_cause(&self, cause: ReadCause, wrs: u64, bytes: u64) {
         self.work_requests.fetch_add(wrs, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.cause_wrs.add(cause, wrs);
+        self.cause_bytes.add(cause, bytes);
+    }
+
+    /// Records one read round trip attributed to `cause` (a doorbell
+    /// chunk's trip goes to the cause carrying the most bytes in it).
+    pub fn record_read_round_trip(&self, cause: ReadCause) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.cause_trips.add(cause, 1);
     }
 
     /// Records write work: `wrs` work requests totalling `bytes` outbound.
@@ -148,6 +271,9 @@ impl TransferStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.atomics.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
+        self.cause_bytes.reset();
+        self.cause_wrs.reset();
+        self.cause_trips.reset();
     }
 
     /// A point-in-time copy of all counters.
@@ -161,6 +287,9 @@ impl TransferStats {
             bytes_written: self.bytes_written(),
             atomics: self.atomics(),
             faults: self.faults(),
+            cause_bytes: self.cause_bytes.load(),
+            cause_wrs: self.cause_wrs.load(),
+            cause_trips: self.cause_trips.load(),
         }
     }
 }
@@ -187,6 +316,26 @@ pub struct StatsSnapshot {
     pub atomics: u64,
     /// Total faulted (dropped and retransmitted) verb attempts.
     pub faults: u64,
+    /// Bytes read per [`ReadCause`] (indexed by [`ReadCause::index`]);
+    /// sums to `bytes_read`.
+    pub cause_bytes: [u64; READ_CAUSES],
+    /// Read work requests per [`ReadCause`].
+    pub cause_wrs: [u64; READ_CAUSES],
+    /// Read round trips per [`ReadCause`] (a mixed-cause doorbell chunk's
+    /// single trip is attributed to its dominant-bytes cause).
+    pub cause_trips: [u64; READ_CAUSES],
+}
+
+impl StatsSnapshot {
+    /// Bytes read attributed to `cause`.
+    pub fn bytes_for(&self, cause: ReadCause) -> u64 {
+        self.cause_bytes[cause.index()]
+    }
+
+    /// Read round trips attributed to `cause`.
+    pub fn trips_for(&self, cause: ReadCause) -> u64 {
+        self.cause_trips[cause.index()]
+    }
 }
 
 impl std::ops::Sub for StatsSnapshot {
@@ -204,6 +353,9 @@ impl std::ops::Sub for StatsSnapshot {
             bytes_written: self.bytes_written - rhs.bytes_written,
             atomics: self.atomics - rhs.atomics,
             faults: self.faults - rhs.faults,
+            cause_bytes: std::array::from_fn(|i| self.cause_bytes[i] - rhs.cause_bytes[i]),
+            cause_wrs: std::array::from_fn(|i| self.cause_wrs[i] - rhs.cause_wrs[i]),
+            cause_trips: std::array::from_fn(|i| self.cause_trips[i] - rhs.cause_trips[i]),
         }
     }
 }
@@ -283,6 +435,55 @@ mod tests {
         let delta = s.snapshot() - before;
         assert_eq!(delta.round_trips, 3);
         assert_eq!(delta.bytes_read, 10);
+    }
+
+    #[test]
+    fn cause_bytes_tile_total_bytes_read() {
+        let s = TransferStats::new();
+        s.record_read_cause(ReadCause::StageLoad, 4, 4096);
+        s.record_read_cause(ReadCause::VersionCheck, 2, 16);
+        s.record_read(1, 100); // attributed to Other
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_for(ReadCause::StageLoad), 4096);
+        assert_eq!(snap.bytes_for(ReadCause::VersionCheck), 16);
+        assert_eq!(snap.bytes_for(ReadCause::Other), 100);
+        assert_eq!(snap.cause_bytes.iter().sum::<u64>(), snap.bytes_read);
+        assert_eq!(snap.cause_wrs.iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn read_round_trips_carry_their_cause() {
+        let s = TransferStats::new();
+        s.record_read_round_trip(ReadCause::Prefetch);
+        s.record_read_round_trip(ReadCause::Prefetch);
+        s.record_round_trips(1); // e.g. a write: uncaused
+        let snap = s.snapshot();
+        assert_eq!(snap.round_trips, 3);
+        assert_eq!(snap.trips_for(ReadCause::Prefetch), 2);
+        assert_eq!(snap.cause_trips.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn cause_index_and_names_are_stable() {
+        for (i, cause) in ReadCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i);
+        }
+        assert_eq!(ReadCause::default(), ReadCause::Other);
+        let names: std::collections::HashSet<&str> =
+            ReadCause::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names.len(), READ_CAUSES, "cause names must be unique");
+    }
+
+    #[test]
+    fn cause_counters_reset_and_subtract() {
+        let s = TransferStats::new();
+        s.record_read_cause(ReadCause::Retry, 1, 10);
+        let before = s.snapshot();
+        s.record_read_cause(ReadCause::Retry, 1, 30);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.bytes_for(ReadCause::Retry), 30);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

@@ -59,4 +59,39 @@ target/release/bench_regress --profile smoke --label check \
 echo "==> repro faults (fault-injection smoke gate)"
 DHNSW_ABLATION_N=4000 DHNSW_ABLATION_Q=100 target/release/repro faults
 
-echo "OK: build, tests, clippy, bench and fault smoke gates all green."
+# Serving-plane smoke gate: build a tiny store, serve it on an
+# ephemeral port, scrape the live endpoints over bash's /dev/tcp (no
+# curl dependency in CI), and shut the server down gracefully. Gates
+# that /metrics carries the per-cause byte provenance and /health the
+# windowed SLO fields end to end.
+echo "==> dhnsw_cli serve (metrics serving-plane smoke gate)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+target/release/dhnsw_cli build --synthetic sift:3000 \
+  --out "$SMOKE_DIR/store.dhnsw" 2>/dev/null
+target/release/dhnsw_cli serve --store "$SMOKE_DIR/store.dhnsw" \
+  > "$SMOKE_DIR/serve.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE_DIR/serve.out" ]] && break
+  sleep 0.1
+done
+URL=$(head -n1 "$SMOKE_DIR/serve.out")   # first stdout line is the URL
+HOSTPORT=${URL#http://}
+HOST=${HOSTPORT%:*}
+PORT=${HOSTPORT##*:}
+scrape() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf 'GET %s HTTP/1.1\r\nHost: smoke\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&-
+}
+scrape /metrics > "$SMOKE_DIR/metrics.prom"
+grep -q '^# TYPE dhnsw_rdma_read_bytes_by_cause_total counter' "$SMOKE_DIR/metrics.prom"
+grep -q '^dhnsw_rdma_read_bytes_by_cause_total{cause="stage_load"} [1-9]' "$SMOKE_DIR/metrics.prom"
+scrape /health | grep -q '"window_p99_us"'
+scrape /explain/last | grep -q 'stage_load'
+scrape /shutdown > /dev/null
+wait "$SERVE_PID"
+
+echo "OK: build, tests, clippy, bench, fault, and serve smoke gates all green."
