@@ -105,11 +105,12 @@ fn print_usage() {
          insert:  --store <snapshot> --input <fvecs> --out <snapshot> [--limit N] [--metrics-out <base>]\n\
          metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]\n\
          serve:   --store <snapshot> [--queries <fvecs>] [--port P] [--k K] [--ef EF]\n\
-         doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--out <path>] [--check]\n\
+                  (endpoints: /metrics /health /traces /explain/last /profile/folded /exemplars /whyslow/<id> /shutdown)\n\
+         doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--warmup-passes N] [--out <path>] [--check] [--why-slow]\n\
                   [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
                   [--slo-max-degraded-rate X]\n\
          all workload commands: [--trace-spans] [--slow-query-us N]\n\
-                  [--fault-rate P] [--fault-seed S] [--read-retry-limit N] [--degraded-ok]\n\
+                  [--fault-rate P] [--fault-seed S] [--retrans-budget N] [--read-retry-limit N] [--degraded-ok]\n\
                   [--pipeline-depth D] [--prefetch-budget-bytes B]"
     );
 }
@@ -175,6 +176,13 @@ fn apply_fault_flags(
         let seed = flag_usize(flags, "fault-seed", 42)? as u64;
         node.queue_pair().set_fault_rate(rate, seed);
         eprintln!("fault injection armed: rate {rate}, seed {seed}");
+    }
+    // Mirrors the RC QP `retry_cnt` attribute (0–7 on real NICs): a
+    // smaller budget surfaces drops to the engine's own retry loop
+    // instead of absorbing them in silent retransmissions.
+    if let Some(n) = flags.get("retrans-budget") {
+        node.queue_pair().set_retry_limit(n.parse()?);
+        eprintln!("retransmission budget set to {n}");
     }
     Ok(())
 }
@@ -484,7 +492,19 @@ fn budgets_from(flags: &HashMap<String, String>) -> AnyResult<SloBudgets> {
 /// routing skew, cache and latency health), and evaluates it against
 /// the SLO budgets. With `--check`, any violated budget makes the
 /// process exit non-zero; violations are also published to telemetry as
-/// counters and structured span-trace warning events.
+/// counters and structured span-trace warning events. With
+/// `--why-slow`, the probe's slowest retained batch is diffed against
+/// the reservoir baseline and the ranked diagnosis (retry-storm,
+/// cache-cold, network-bound, …) prints as JSON on stdout after the
+/// report.
+///
+/// The first `--warmup-passes` passes (default 1) run before fault
+/// injection is armed and are discarded from the tail-exemplar store
+/// and profile: doctor diagnoses steady-state behavior, and the
+/// one-off cold batch (cache fill + first materialization) would
+/// otherwise sit at the top of the K-slowest set forever, masking the
+/// tail the probe is trying to explain. `--warmup-passes 0` keeps the
+/// cold batch in the measurement.
 fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
     let store = open_store(flags)?;
     let k = flag_usize(flags, "k", 10)?;
@@ -493,7 +513,6 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
     let telemetry = Telemetry::global();
     let node = store.connect(SearchMode::Full)?;
     apply_trace_flags(flags, &telemetry)?;
-    apply_fault_flags(flags, &node)?;
     apply_pipeline_flags(flags, &node)?;
     // The watchdog reports through the span ring; doctor always listens.
     telemetry.spans().set_enabled(true);
@@ -509,14 +528,34 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
             .collect();
         Dataset::from_rows(&rows)?
     };
+    let warmup = flag_usize(flags, "warmup-passes", 1)?;
+    for _ in 0..warmup {
+        node.query_batch(&probes, k, ef)?;
+    }
+    if warmup > 0 {
+        // Drop the cold-start batches from the tail plane so the
+        // measured passes below define both exemplars and baseline.
+        telemetry.exemplars().clear();
+        telemetry.profile().clear();
+    }
+    // Faults arm only for the measured passes: the warm-up must fill
+    // the cache deterministically, not fight the injected drops.
+    apply_fault_flags(flags, &node)?;
     let passes = flag_usize(flags, "passes", 2)?.max(1);
     for _ in 0..passes {
         node.query_batch(&probes, k, ef)?;
     }
     eprintln!(
-        "probed with {} queries x {passes} passes (k={k}, ef={ef})",
+        "probed with {} queries x {passes} passes (+{warmup} warm-up) (k={k}, ef={ef})",
         probes.len()
     );
+    // The report's own counter probe is measurement infrastructure,
+    // not the data path under test: disarm injected faults so the
+    // diagnosis always lands even after a destructive fault sweep.
+    if flags.contains_key("fault-rate") || flags.contains_key("retrans-budget") {
+        node.queue_pair().set_fault_rate(0.0, 1);
+        node.queue_pair().set_retry_limit(rdma_sim::DEFAULT_RETRY_LIMIT);
+    }
 
     let mut health = node.health_report()?;
     let budgets = budgets_from(flags)?;
@@ -532,10 +571,25 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
         None => println!("{text}"),
     }
     for v in &health.violations {
-        eprintln!(
-            "SLO violation: {} = {:.6} (limit {:.6})",
-            v.budget, v.actual, v.limit
-        );
+        match v.exemplar {
+            Some(id) => eprintln!(
+                "SLO violation: {} = {:.6} (limit {:.6}; exemplar trace_id={id})",
+                v.budget, v.actual, v.limit
+            ),
+            None => eprintln!(
+                "SLO violation: {} = {:.6} (limit {:.6})",
+                v.budget, v.actual, v.limit
+            ),
+        }
+    }
+    if flags.contains_key("why-slow") {
+        match telemetry.exemplars().diagnose_slowest() {
+            Some((id, verdict, json)) => {
+                eprintln!("why-slow: trace_id={id} verdict={verdict}");
+                println!("{json}");
+            }
+            None => println!("{{\"verdict\": \"no_exemplars\"}}"),
+        }
     }
     if flags.contains_key("check") && !health.violations.is_empty() {
         return Err(format!("{} SLO budget(s) violated", health.violations.len()).into());
@@ -547,7 +601,10 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
 /// (Prometheus text exposition), `/health` (a fresh [`dhnsw::HealthReport`]
 /// probed from the node per request), `/traces` (chrome-trace JSON of
 /// the recent span ring), `/explain/last` (the read-cost ledger of the
-/// last query batch), and `/shutdown` (graceful stop).
+/// last query batch), `/profile/folded` (the always-on collapsed-stack
+/// profile), `/exemplars` (the tail exemplar store), `/whyslow/<id>`
+/// (ranked diagnosis of a retained exemplar), and `/shutdown`
+/// (graceful stop).
 ///
 /// Binds `127.0.0.1:<--port>` (default 0 = ephemeral) and prints the
 /// resolved URL as the first stdout line so scripts can scrape it. A
@@ -613,6 +670,22 @@ fn cmd_serve(flags: &HashMap<String, String>) -> AnyResult<()> {
         explain: Box::new({
             let last = Arc::clone(&last_explain);
             move || last.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        }),
+        profile: Box::new({
+            let t = Arc::clone(&telemetry);
+            move || t.profile().render_folded()
+        }),
+        exemplars: Box::new({
+            let t = Arc::clone(&telemetry);
+            move || t.exemplars().render_json()
+        }),
+        whyslow: Box::new({
+            let t = Arc::clone(&telemetry);
+            move |id: &str| {
+                id.parse::<u64>()
+                    .ok()
+                    .and_then(|id| t.exemplars().whyslow_json(id))
+            }
         }),
     };
     let shutdown = AtomicBool::new(false);

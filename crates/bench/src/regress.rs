@@ -253,6 +253,54 @@ fn run_node_passes(
     Ok(())
 }
 
+/// Emits `{prefix}.tail_*` metrics from one hub's tail-anatomy state
+/// and enforces the bucket-exemplar invariant: every latency-histogram
+/// bucket that counted a sample must carry an exemplar. Both are filed
+/// under the same sample value by construction, so a hole means the
+/// exemplar path dropped a batch the histogram saw.
+fn emit_tail_metrics(
+    telemetry: &Telemetry,
+    prefix: &str,
+    metrics: &mut BTreeMap<String, f64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let ex = telemetry.exemplars();
+    // Verdict of the slowest retained batch vs the reservoir baseline,
+    // as a stable index (0 = nominal ... 6 = compute_bound). The index
+    // is wall-clock sensitive, so the comparison band is wide; what the
+    // gate actually pins down is that a verdict exists at all.
+    let verdict = ex
+        .diagnose_slowest()
+        .map_or(99, |(_, v, _)| dhnsw::verdict_index(v));
+    metrics.insert(format!("{prefix}.tail_verdict"), verdict as f64);
+    metrics.insert(
+        format!("{prefix}.tail_exemplars_recorded"),
+        ex.recorded() as f64,
+    );
+    metrics.insert(
+        format!("{prefix}.tail_exemplar_occupancy"),
+        ex.occupancy() as f64,
+    );
+    let hist = telemetry.histogram(
+        "dhnsw_query_latency_us",
+        "Per-query latency in microseconds (CPU wall + exposed network stall, batch time / batch size)",
+        &[("mode", "full")],
+    );
+    let buckets = ex.bucket_exemplars();
+    let mut prev = 0u64;
+    for (i, (bound, cum)) in hist.cumulative_buckets().iter().enumerate() {
+        let count = cum - prev;
+        prev = *cum;
+        if count > 0 && buckets[i].is_none() {
+            return Err(format!(
+                "tail gate: {prefix} latency bucket le={bound} holds {count} sample(s) \
+                 but no exemplar"
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
 /// Runs the full scenario grid for `profile`.
 ///
 /// When `capture_spans` is set, span tracing is enabled on the
@@ -314,6 +362,9 @@ pub fn run_profile(
         metrics.insert("health.partition_gini".into(), health.partition_skew.gini);
         metrics.insert("health.route_gini".into(), health.route_skew.gini);
         metrics.insert("health.cache_hit_rate".into(), health.cache.hit_rate);
+        // Tail anatomy of the single-node grid, read from the block's
+        // isolated hub so other scenarios cannot pollute the store.
+        emit_tail_metrics(&telemetry, "single", &mut metrics)?;
         if capture_spans {
             traces = telemetry.spans().recent();
         }
@@ -326,7 +377,11 @@ pub fn run_profile(
     // percentiles are what the pipeline label is gated on.
     {
         let store = VectorStore::build(data.clone(), &config)?;
-        let node = store.connect(SearchMode::Full)?;
+        // Own hub for the same isolation reason as the single-node pass:
+        // the tail metrics below must describe only this scenario.
+        let pipe_telemetry = Arc::new(Telemetry::with_trace_capacity(64));
+        let node =
+            store.connect_with_telemetry(SearchMode::Full, Arc::clone(&pipe_telemetry))?;
         node.set_pipeline_depth(2);
         run_node_passes(
             &node,
@@ -362,6 +417,7 @@ pub fn run_profile(
             )
             .into());
         }
+        emit_tail_metrics(&pipe_telemetry, "pipeline", &mut metrics)?;
     }
 
     // Sharded scenarios: one session over `shards` shards; per-batch
@@ -824,6 +880,22 @@ pub fn tolerance_for(metric: &str) -> Tolerance {
             abs: 0.02,
             higher_is_worse: false,
         },
+        // The verdict index ranks wall-clock excess, so legitimate runs
+        // can land on any of the six verdicts (indices 0–6); what the
+        // band rejects is the `unknown` sentinel (99) — a run whose
+        // exemplar store produced no diagnosis at all.
+        "tail_verdict" => Tolerance {
+            rel: 0.0,
+            abs: 6.0,
+            higher_is_worse: true,
+        },
+        // One exemplar per batch, exactly reproducible: losing any means
+        // the engine stopped offering batches to the store.
+        "tail_exemplars_recorded" | "tail_exemplar_occupancy" => Tolerance {
+            rel: 0.0,
+            abs: 0.0,
+            higher_is_worse: false,
+        },
         _ => Tolerance {
             rel: 0.25,
             abs: 0.0,
@@ -1117,6 +1189,21 @@ mod tests {
             "health.cache_hit_rate",
         ] {
             assert!(r.metrics.contains_key(metric), "missing {metric}");
+        }
+        // Tail anatomy rides the single and pipelined scenarios: one
+        // exemplar per batch (2 batches x 2 passes on each hub), and a
+        // real verdict (the unknown sentinel 99 means no diagnosis).
+        for prefix in ["single", "pipeline"] {
+            assert_eq!(
+                r.metrics[&format!("{prefix}.tail_exemplars_recorded")],
+                4.0,
+                "{prefix}: every batch must land an exemplar"
+            );
+            assert!(r.metrics[&format!("{prefix}.tail_exemplar_occupancy")] > 0.0);
+            assert!(
+                r.metrics[&format!("{prefix}.tail_verdict")] <= 6.0,
+                "{prefix}: diagnosis missing"
+            );
         }
         // Warm passes reuse the cache: strictly fewer bytes than cold.
         assert!(

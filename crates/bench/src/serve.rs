@@ -10,6 +10,9 @@
 //! | `GET /health` | `HealthReport` JSON (probes the live node) |
 //! | `GET /traces` | chrome://tracing JSON of the recent span ring |
 //! | `GET /explain/last` | read-cost ledger of the last query batch |
+//! | `GET /profile/folded` | collapsed-stack profile (flamegraph.pl / inferno / speedscope) |
+//! | `GET /exemplars` | tail exemplar store JSON (reservoir, K-slowest, bucket exemplars) |
+//! | `GET /whyslow/<trace-id>` | ranked why-slow diagnosis for a retained exemplar |
 //! | `GET /shutdown` | acknowledges, then stops the accept loop |
 //!
 //! The accept loop is bounded by construction: connections are served
@@ -33,6 +36,10 @@ const IO_TIMEOUT: Duration = Duration::from_millis(1_000);
 /// How long the accept loop sleeps when no connection is pending.
 const IDLE_POLL: Duration = Duration::from_millis(5);
 
+/// A keyed lookup source: `Some(body)` when the key resolves,
+/// `None` renders as a 404.
+pub type LookupSource = Box<dyn Fn(&str) -> Option<String> + Send>;
+
 /// Content sources behind the endpoints. Boxed closures so the CLI can
 /// capture a live compute node while tests plug in canned strings.
 pub struct ServeSources {
@@ -45,6 +52,13 @@ pub struct ServeSources {
     pub traces: Box<dyn Fn() -> String + Send>,
     /// Body for `GET /explain/last` (read-cost ledger text).
     pub explain: Box<dyn Fn() -> String + Send>,
+    /// Body for `GET /profile/folded` (collapsed-stack profile text).
+    pub profile: Box<dyn Fn() -> String + Send>,
+    /// Body for `GET /exemplars` (tail exemplar store JSON).
+    pub exemplars: Box<dyn Fn() -> String + Send>,
+    /// Body for `GET /whyslow/<trace-id>`: `Some(json)` when the id
+    /// parses and resolves to a retained exemplar, `None` renders 404.
+    pub whyslow: LookupSource,
 }
 
 /// A response ready to encode onto the wire.
@@ -109,16 +123,44 @@ pub fn handle(method: &str, path: &str, sources: &ServeSources, shutdown: &Atomi
         },
         "/traces" => Response::new(200, JSON_TYPE, (sources.traces)()),
         "/explain/last" => Response::new(200, TEXT_TYPE, (sources.explain)()),
+        "/profile/folded" => Response::new(200, TEXT_TYPE, (sources.profile)()),
+        "/exemplars" => Response::new(200, JSON_TYPE, (sources.exemplars)()),
         "/shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
             Response::new(200, TEXT_TYPE, "shutting down\n".to_string())
         }
-        _ => Response::new(
-            404,
-            TEXT_TYPE,
-            "try /metrics, /health, /traces, /explain/last, /shutdown\n".to_string(),
-        ),
+        _ => {
+            if let Some(id) = path.strip_prefix("/whyslow/") {
+                if let Some(body) = (sources.whyslow)(id) {
+                    return Response::new(200, JSON_TYPE, body);
+                }
+            }
+            not_found(path)
+        }
     }
+}
+
+/// The 404 response: a JSON body naming the endpoints, so a scraper
+/// that typos a path gets a machine-readable hint rather than prose.
+fn not_found(path: &str) -> Response {
+    // The offending path is echoed with quotes/backslashes escaped so
+    // the body stays valid JSON whatever the client sent.
+    let escaped: String = path
+        .chars()
+        .filter(|c| !c.is_control())
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    Response::new(
+        404,
+        JSON_TYPE,
+        format!(
+            "{{\"error\": \"not found\", \"path\": \"{escaped}\", \"endpoints\": [\"/metrics\", \"/health\", \"/traces\", \"/explain/last\", \"/profile/folded\", \"/exemplars\", \"/whyslow/<trace-id>\", \"/shutdown\"]}}\n",
+        ),
+    )
 }
 
 /// Reads the request head (capped at [`MAX_REQUEST_BYTES`]) and returns
@@ -194,6 +236,11 @@ mod tests {
             health: Box::new(|| Ok("{\"mode\": \"full\"}".to_string())),
             traces: Box::new(|| "{\"traceEvents\": []}".to_string()),
             explain: Box::new(|| "  stage_load  100 B\n".to_string()),
+            profile: Box::new(|| "query_batch;network 120\n".to_string()),
+            exemplars: Box::new(|| "{\"occupancy\": 1}".to_string()),
+            whyslow: Box::new(|id| {
+                (id == "7").then(|| "{\"verdict\": \"retry_storm\"}".to_string())
+            }),
         }
     }
 
@@ -222,7 +269,21 @@ mod tests {
             handle("GET", "/explain/last", &sources, &shutdown).status,
             200
         );
-        assert_eq!(handle("GET", "/nope", &sources, &shutdown).status, 404);
+        let p = handle("GET", "/profile/folded", &sources, &shutdown);
+        assert_eq!(p.status, 200);
+        assert!(p.body.contains("query_batch;network 120"));
+        let e = handle("GET", "/exemplars", &sources, &shutdown);
+        assert_eq!((e.status, e.content_type), (200, JSON_TYPE));
+        let w = handle("GET", "/whyslow/7", &sources, &shutdown);
+        assert_eq!(w.status, 200);
+        assert!(w.body.contains("retry_storm"));
+        // An unretained or malformed id is a 404, not a 500.
+        assert_eq!(handle("GET", "/whyslow/99", &sources, &shutdown).status, 404);
+        assert_eq!(handle("GET", "/whyslow/", &sources, &shutdown).status, 404);
+        let nope = handle("GET", "/nope", &sources, &shutdown);
+        assert_eq!((nope.status, nope.content_type), (404, JSON_TYPE));
+        assert!(nope.body.contains("\"path\": \"/nope\""));
+        assert!(nope.body.contains("/profile/folded"));
         assert_eq!(handle("POST", "/metrics", &sources, &shutdown).status, 405);
         assert!(!shutdown.load(Ordering::SeqCst));
         let s = handle("GET", "/shutdown", &sources, &shutdown);
@@ -247,6 +308,23 @@ mod tests {
         assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(wire.contains("Content-Length: 6\r\n"));
         assert!(wire.ends_with("\r\n\r\nhello\n"));
+        // Content-Length counts bytes, not chars: "µs" is 3 bytes.
+        let r = Response::new(200, TEXT_TYPE, "µs\n".to_string());
+        let wire = r.encode();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("Content-Length: 4\r\n"), "{text}");
+        let body_start = text.find("\r\n\r\n").unwrap() + 4;
+        assert_eq!(wire.len() - body_start, 4);
+    }
+
+    #[test]
+    fn not_found_body_is_json_even_for_hostile_paths() {
+        let r = not_found("/a\"b\\c\u{7}");
+        assert_eq!(r.status, 404);
+        assert!(r.body.contains("\"path\": \"/a\\\"b\\\\c\""), "{}", r.body);
+        // Body parses as the JSON it claims to be: balanced quotes,
+        // no raw control bytes.
+        assert!(!r.body.bytes().any(|b| b < 0x20 && b != b'\n'));
     }
 
     #[test]
@@ -263,10 +341,15 @@ mod tests {
         assert!(metrics.contains("dhnsw_up 1"));
         let missing = get(addr, "/does-not-exist");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert!(missing.contains("\"error\": \"not found\""), "{missing}");
+        let folded = get(addr, "/profile/folded");
+        assert!(folded.contains("query_batch;network 120"), "{folded}");
+        let why = get(addr, "/whyslow/7");
+        assert!(why.contains("retry_storm"), "{why}");
         let bye = get(addr, "/shutdown");
         assert!(bye.starts_with("HTTP/1.1 200 OK"), "{bye}");
         let served = server.join().unwrap();
-        assert_eq!(served, 3);
+        assert_eq!(served, 5);
         assert!(shutdown.load(Ordering::SeqCst));
     }
 

@@ -35,12 +35,14 @@ use crate::cluster::{LoadedCluster, OverflowRecord};
 use crate::health::heatmap::ClusterHeatmap;
 use crate::health::report::{
     CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary, ReliabilityHealth,
+    TailHealth,
 };
 use crate::health::skew::skew_of;
 use crate::layout::{Directory, ID_COUNTER_OFFSET};
 use crate::loader::{plan_batch, read_requests_tagged, stage_loads};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
+use crate::telemetry::exemplar::TailRecord;
 use crate::telemetry::span::{ArgValue, BatchTrace, QpSpanSink, SpanId};
 use crate::telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, QueryTrace, Telemetry};
 use crate::{DHnswConfig, Error, Result};
@@ -185,6 +187,10 @@ struct EngineMetrics {
     inserts: Arc<Counter>,
     insert_overflow: Arc<Counter>,
     deletes: Arc<Counter>,
+    tail_exemplar_occupancy: Arc<Gauge>,
+    tail_profile_paths: Arc<Gauge>,
+    tail_exemplars_recorded: Arc<Counter>,
+    tail_exemplars_dropped: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -195,7 +201,7 @@ impl EngineMetrics {
             batches: t.counter("dhnsw_query_batches_total", "Query batches answered", m),
             latency_us: t.histogram(
                 "dhnsw_query_latency_us",
-                "Per-query wall latency in microseconds (batch time / batch size)",
+                "Per-query latency in microseconds (CPU wall + exposed network stall, batch time / batch size)",
                 m,
             ),
             stage_meta_us: t.counter(
@@ -350,6 +356,26 @@ impl EngineMetrics {
                 &[],
             ),
             deletes: t.counter("dhnsw_deletes_total", "Delete attempts", &[]),
+            tail_exemplar_occupancy: t.gauge(
+                "dhnsw_tail_exemplar_occupancy",
+                "Tail exemplars currently retained (reservoir + K-slowest)",
+                &[],
+            ),
+            tail_profile_paths: t.gauge(
+                "dhnsw_tail_profile_paths",
+                "Distinct span paths accumulated in the always-on folded profile",
+                &[],
+            ),
+            tail_exemplars_recorded: t.counter(
+                "dhnsw_tail_exemplars_recorded_total",
+                "Batch exemplars offered to the tail exemplar store",
+                &[],
+            ),
+            tail_exemplars_dropped: t.counter(
+                "dhnsw_tail_exemplars_dropped_total",
+                "Batch exemplars evicted or rejected by the bounded exemplar store",
+                &[],
+            ),
         }
     }
 }
@@ -748,6 +774,19 @@ impl ComputeNode {
             }
         };
 
+        let tail = {
+            let ex = self.telemetry.exemplars();
+            let slowest = ex.slowest();
+            TailHealth {
+                exemplar_occupancy: ex.occupancy(),
+                exemplars_recorded: ex.recorded(),
+                exemplars_dropped: ex.dropped(),
+                profile_paths: self.telemetry.profile().len() as u64,
+                slowest_trace_id: slowest.first().map(|r| r.trace_id),
+                slowest_total_us: slowest.first().map_or(0.0, |r| r.total_us),
+            }
+        };
+
         let report = HealthReport {
             mode: self.mode.label(),
             partitions,
@@ -760,6 +799,7 @@ impl ComputeNode {
             cache,
             latency,
             reliability,
+            tail,
             violations: Vec::new(),
         };
         report.publish(&self.telemetry);
@@ -815,6 +855,13 @@ impl ComputeNode {
             .add(cache_now.evictions - flushed.cache.evictions);
         m.cache_occupancy.set(cache_len as u64);
         m.cache_resident_bytes.set(cache_bytes as u64);
+        let ex = self.telemetry.exemplars();
+        let (tail_recorded, tail_dropped) = ex.take_flush_delta();
+        m.tail_exemplars_recorded.add(tail_recorded);
+        m.tail_exemplars_dropped.add(tail_dropped);
+        m.tail_exemplar_occupancy.set(ex.occupancy());
+        m.tail_profile_paths
+            .set(self.telemetry.profile().len() as u64);
         flushed.rdma = rdma_now;
         flushed.cache = cache_now;
     }
@@ -933,7 +980,13 @@ impl ComputeNode {
                 return Err(e);
             }
         };
-        let total_us = t0.elapsed().as_secs_f64() * 1e6;
+        // Simulated batch latency: CPU wall time plus the *exposed*
+        // network stall from the virtual clock. The process never
+        // actually sleeps on the simulated NIC, so wall time alone
+        // would undercount the one component this system is about —
+        // a retry storm or a lost pipeline overlap would be invisible
+        // in the latency series and in the tail exemplars.
+        let total_us = t0.elapsed().as_secs_f64() * 1e6 + report.breakdown.network_us;
         // Byte provenance on the root span: the slow-query log's explain
         // data. Only nonzero causes are attached to keep spans small.
         let cause_args: Vec<(&'static str, ArgValue)> = report
@@ -962,13 +1015,17 @@ impl ComputeNode {
                 ),
             ],
         );
-        self.telemetry.spans().finish(trace);
+        let trace_id = trace.seq();
+        let finished = self.telemetry.spans().finish_trace(trace);
 
         let m = &self.metrics;
         let n = report.queries.max(1) as u64;
         m.queries.add(report.queries as u64);
         m.batches.inc();
-        m.latency_us.observe_n((total_us / n as f64) as u64, n);
+        // The exemplar keeps this exact sample so bucket exemplars line
+        // up with the latency histogram by construction.
+        let latency_sample_us = (total_us / n as f64) as u64;
+        m.latency_us.observe_n(latency_sample_us, n);
         m.stage_meta_us.add(report.breakdown.meta_hnsw_us as u64);
         m.stage_network_us.add(report.breakdown.network_us as u64);
         m.stage_sub_us.add(report.breakdown.sub_hnsw_us as u64);
@@ -981,6 +1038,37 @@ impl ComputeNode {
         m.read_retries.add(report.read_retries);
         m.transfers_saved.add(
             (report.raw_cluster_demand.saturating_sub(report.clusters_loaded)) as u64,
+        );
+
+        // Tail anatomy: fold this batch into the always-on profile (at
+        // span resolution when tracing is live, phase resolution
+        // otherwise) and offer it to the exemplar store, which retains
+        // the full span tree only while the batch ranks in the
+        // K-slowest set.
+        match &finished {
+            Some(ft) => self.telemetry.profile().fold_trace(ft),
+            None => self
+                .telemetry
+                .profile()
+                .fold_phases(&report.breakdown, total_us),
+        }
+        self.telemetry.exemplars().record(
+            TailRecord {
+                trace_id,
+                mode: self.mode.label(),
+                queries: report.queries as u32,
+                total_us,
+                per_query_us: total_us / n as f64,
+                latency_sample_us,
+                meta_us: report.breakdown.meta_hnsw_us,
+                network_us: report.breakdown.network_us,
+                sub_us: report.breakdown.sub_hnsw_us,
+                materialize_us: report.breakdown.materialize_us,
+                ledger: report.ledger,
+                degraded_queries: report.degraded_queries as u32,
+                read_retries: report.read_retries,
+            },
+            finished,
         );
         self.flush_telemetry();
 

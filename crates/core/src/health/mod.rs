@@ -35,6 +35,6 @@ pub mod skew;
 pub mod watchdog;
 
 pub use heatmap::{ClusterHeatmap, PartitionHeat};
-pub use report::{CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary};
+pub use report::{CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary, TailHealth};
 pub use skew::{skew_of, SkewStats};
 pub use watchdog::{evaluate, SloBudgets, SloViolation};

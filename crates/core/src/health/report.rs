@@ -134,6 +134,25 @@ pub struct ReliabilityHealth {
     pub degraded_rate: f64,
 }
 
+/// Tail-anatomy summary: the exemplar store and folded profile that
+/// back `/profile/folded`, `/exemplars`, and `doctor --why-slow`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TailHealth {
+    /// Exemplars currently retained (reservoir + K-slowest slots).
+    pub exemplar_occupancy: u64,
+    /// Batches offered to the exemplar store since connect.
+    pub exemplars_recorded: u64,
+    /// Exemplars evicted or not retained by the bounded store.
+    pub exemplars_dropped: u64,
+    /// Distinct span paths in the always-on folded profile.
+    pub profile_paths: u64,
+    /// Trace id of the slowest retained batch, if any. SLO violations
+    /// link here so `/whyslow/<id>` can explain the breach.
+    pub slowest_trace_id: Option<u64>,
+    /// Wall time of that slowest batch, microseconds (0 when empty).
+    pub slowest_total_us: f64,
+}
+
 /// A point-in-time health summary of one compute node's memory pool.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthReport {
@@ -159,6 +178,8 @@ pub struct HealthReport {
     pub latency: LatencyHealth,
     /// Degraded-service and retry accounting.
     pub reliability: ReliabilityHealth,
+    /// Tail-anatomy summary (exemplar store + folded profile).
+    pub tail: TailHealth,
     /// SLO budget violations (empty until a watchdog evaluates the
     /// report).
     pub violations: Vec<SloViolation>,
@@ -272,6 +293,19 @@ impl HealthReport {
             r.degraded_queries,
             r.read_retries,
             num(r.degraded_rate),
+        ));
+        let tl = &self.tail;
+        let slowest_id = tl
+            .slowest_trace_id
+            .map_or("null".to_string(), |id| id.to_string());
+        out.push_str(&format!(
+            "  \"tail\": {{\"exemplar_occupancy\": {}, \"exemplars_recorded\": {}, \"exemplars_dropped\": {}, \"profile_paths\": {}, \"slowest_trace_id\": {}, \"slowest_total_us\": {}}},\n",
+            tl.exemplar_occupancy,
+            tl.exemplars_recorded,
+            tl.exemplars_dropped,
+            tl.profile_paths,
+            slowest_id,
+            num(tl.slowest_total_us),
         ));
         out.push_str("  \"violations\": [\n");
         for (i, v) in self.violations.iter().enumerate() {
@@ -417,6 +451,20 @@ impl HealthReport {
                 &[],
             )
             .set(self.reliability.read_retries);
+        telemetry
+            .gauge(
+                "dhnsw_health_tail_slowest_us",
+                "Wall time of the slowest retained tail exemplar, microseconds",
+                &[],
+            )
+            .set(self.tail.slowest_total_us as u64);
+        telemetry
+            .gauge(
+                "dhnsw_health_tail_slowest_trace_id",
+                "Trace id of the slowest retained tail exemplar (0 when empty)",
+                &[],
+            )
+            .set(self.tail.slowest_trace_id.unwrap_or(0));
     }
 }
 
@@ -504,6 +552,14 @@ mod tests {
                 read_retries: 3,
                 degraded_rate: 0.2,
             },
+            tail: TailHealth {
+                exemplar_occupancy: 5,
+                exemplars_recorded: 12,
+                exemplars_dropped: 7,
+                profile_paths: 9,
+                slowest_trace_id: Some(42),
+                slowest_total_us: 900.0,
+            },
             violations: Vec::new(),
         }
     }
@@ -526,6 +582,8 @@ mod tests {
             "\"latency\":",
             "\"reliability\":",
             "\"degraded_rate\": 0.200000",
+            "\"tail\":",
+            "\"slowest_trace_id\": 42",
             "\"violations\":",
             "\"occupancy\": 0.250000",
             "\"hotness\": 1.500000",
@@ -540,6 +598,8 @@ mod tests {
         let mut r = sample();
         r.groups[0].back = None;
         assert!(r.to_json().contains("\"back\": null"));
+        r.tail.slowest_trace_id = None;
+        assert!(r.to_json().contains("\"slowest_trace_id\": null"));
     }
 
     #[test]
@@ -563,6 +623,8 @@ mod tests {
             "dhnsw_health_window_queries 10",
             "dhnsw_health_degraded_rate_milli 200",
             "dhnsw_health_read_retries 3",
+            "dhnsw_health_tail_slowest_us 900",
+            "dhnsw_health_tail_slowest_trace_id 42",
         ] {
             assert!(prom.contains(series), "missing {series} in:\n{prom}");
         }

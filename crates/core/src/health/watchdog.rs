@@ -67,13 +67,20 @@ pub struct SloViolation {
     pub actual: f64,
     /// Configured limit.
     pub limit: f64,
+    /// Trace id of the slowest retained tail exemplar at evaluation
+    /// time — feed it to `/whyslow/<id>` for a ranked diagnosis of
+    /// the breach. `None` when the node has answered no batches.
+    pub exemplar: Option<u64>,
 }
 
 impl SloViolation {
     /// Renders the violation as a JSON object fragment.
     pub fn to_json(&self) -> String {
+        let exemplar = self
+            .exemplar
+            .map_or("null".to_string(), |id| id.to_string());
         format!(
-            "{{\"budget\": \"{}\", \"actual\": {:.6}, \"limit\": {:.6}}}",
+            "{{\"budget\": \"{}\", \"actual\": {:.6}, \"limit\": {:.6}, \"exemplar\": {exemplar}}}",
             self.budget, self.actual, self.limit
         )
     }
@@ -83,6 +90,10 @@ impl SloViolation {
 /// in a fixed order (latency, hit rate, occupancy, skew, degradation).
 pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation> {
     let mut out = Vec::new();
+    // Every violation links to the slowest retained exemplar so a
+    // breach comes with a concrete batch to interrogate via
+    // `/whyslow/<id>` rather than just a number over a limit.
+    let exemplar = report.tail.slowest_trace_id;
     // Latency and hit rate are judged over the report's *window* (the
     // interval since the previous health report), not lifetime
     // aggregates: a cold-start spike must age out once recent traffic
@@ -96,6 +107,7 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
                 budget: "p99_latency_us",
                 actual: report.latency.window_p99_us,
                 limit,
+                exemplar,
             });
         }
     }
@@ -106,6 +118,7 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
                 budget: "cache_hit_rate",
                 actual: report.cache.window_hit_rate,
                 limit,
+                exemplar,
             });
         }
     }
@@ -115,6 +128,7 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
                 budget: "overflow_occupancy",
                 actual: report.layout.max_group_occupancy,
                 limit,
+                exemplar,
             });
         }
     }
@@ -124,6 +138,7 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
                 budget: "route_gini",
                 actual: report.route_skew.gini,
                 limit,
+                exemplar,
             });
         }
     }
@@ -133,6 +148,7 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
                 budget: "degraded_rate",
                 actual: report.reliability.degraded_rate,
                 limit,
+                exemplar,
             });
         }
     }
@@ -159,16 +175,15 @@ pub fn emit(telemetry: &Telemetry, violations: &[SloViolation]) {
     if trace.is_enabled() {
         let root = trace.begin_span("slo_watchdog", "health", SpanId::NONE);
         for v in violations {
-            trace.instant(
-                "slo_violation",
-                "health",
-                root,
-                &[
-                    ("budget", ArgValue::Str(v.budget)),
-                    ("actual", ArgValue::F64(v.actual)),
-                    ("limit", ArgValue::F64(v.limit)),
-                ],
-            );
+            let mut args = vec![
+                ("budget", ArgValue::Str(v.budget)),
+                ("actual", ArgValue::F64(v.actual)),
+                ("limit", ArgValue::F64(v.limit)),
+            ];
+            if let Some(id) = v.exemplar {
+                args.push(("exemplar", ArgValue::U64(id)));
+            }
+            trace.instant("slo_violation", "health", root, &args);
         }
         trace.end_span(root);
     }
@@ -180,7 +195,7 @@ mod tests {
     use super::*;
     use crate::health::heatmap::PartitionHeat;
     use crate::health::report::{
-        CacheHealth, GroupHealth, LatencyHealth, LayoutSummary, ReliabilityHealth,
+        CacheHealth, GroupHealth, LatencyHealth, LayoutSummary, ReliabilityHealth, TailHealth,
     };
     use crate::health::skew::skew_of;
 
@@ -237,6 +252,11 @@ mod tests {
                 read_retries: 3,
                 degraded_rate: 0.2,
             },
+            tail: TailHealth {
+                slowest_trace_id: Some(7),
+                slowest_total_us: 900.0,
+                ..TailHealth::default()
+            },
             violations: Vec::new(),
         }
     }
@@ -273,6 +293,9 @@ mod tests {
         );
         assert_eq!(v[0].actual, 900.0);
         assert_eq!(v[0].limit, 500.0);
+        // Every breach carries the slowest exemplar's trace id so the
+        // violation can be interrogated through `/whyslow/<id>`.
+        assert!(v.iter().all(|x| x.exemplar == Some(7)));
     }
 
     #[test]
@@ -329,6 +352,7 @@ mod tests {
             budget: "overflow_occupancy",
             actual: 0.9,
             limit: 0.75,
+            exemplar: Some(31),
         }];
         emit(&telemetry, &violations);
         assert!(telemetry
@@ -346,6 +370,7 @@ mod tests {
             .args
             .contains(&("budget", ArgValue::Str("overflow_occupancy"))));
         assert!(instant.args.contains(&("limit", ArgValue::F64(0.75))));
+        assert!(instant.args.contains(&("exemplar", ArgValue::U64(31))));
     }
 
     #[test]
@@ -361,14 +386,20 @@ mod tests {
 
     #[test]
     fn violation_json_is_structured() {
-        let v = SloViolation {
+        let mut v = SloViolation {
             budget: "route_gini",
             actual: 0.5,
             limit: 0.25,
+            exemplar: None,
         };
         assert_eq!(
             v.to_json(),
-            "{\"budget\": \"route_gini\", \"actual\": 0.500000, \"limit\": 0.250000}"
+            "{\"budget\": \"route_gini\", \"actual\": 0.500000, \"limit\": 0.250000, \"exemplar\": null}"
+        );
+        v.exemplar = Some(12);
+        assert_eq!(
+            v.to_json(),
+            "{\"budget\": \"route_gini\", \"actual\": 0.500000, \"limit\": 0.250000, \"exemplar\": 12}"
         );
     }
 }

@@ -27,6 +27,8 @@
 //! `shard`) and become part of the handle, never a per-sample cost.
 
 pub mod chrome;
+pub mod exemplar;
+pub mod profile;
 pub mod span;
 
 use parking_lot::Mutex;
@@ -34,10 +36,14 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use exemplar::ExemplarStore;
+use profile::ProfileAccumulator;
 use span::{SpanTracer, DEFAULT_SPAN_TRACE_CAPACITY};
 
 /// Number of histogram buckets: upper bounds `2^0 .. 2^31`, then +Inf.
-const HIST_BUCKETS: usize = 33;
+/// Shared with the exemplar store, whose per-bucket exemplars mirror
+/// the latency histogram's bucket layout.
+pub const HIST_BUCKETS: usize = 33;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -135,8 +141,11 @@ impl Default for Histogram {
     }
 }
 
-/// Index of the first bucket whose upper bound is `>= v`.
-fn bucket_index(v: u64) -> usize {
+/// Index of the first bucket whose upper bound is `>= v` — the
+/// bucket a sample of value `v` lands in. Public so histogram
+/// exemplars (and gates over them) can be filed under exactly the
+/// bucket the histogram counted.
+pub fn bucket_index(v: u64) -> usize {
     if v <= 1 {
         0
     } else {
@@ -146,7 +155,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Upper bound of bucket `i` (`f64::INFINITY` for the last).
-fn bucket_bound(i: usize) -> f64 {
+pub fn bucket_bound(i: usize) -> f64 {
     if i + 1 == HIST_BUCKETS {
         f64::INFINITY
     } else {
@@ -515,13 +524,16 @@ impl TraceRing {
 /// Default number of traces the ring retains.
 pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
-/// The telemetry hub: a metrics registry, a trace ring, and a span
-/// tracer.
+/// The telemetry hub: a metrics registry, a trace ring, a span
+/// tracer, the always-on flame-profile accumulator, and the bounded
+/// tail-exemplar store.
 #[derive(Debug)]
 pub struct Telemetry {
     families: Mutex<BTreeMap<&'static str, Family>>,
     traces: TraceRing,
     spans: SpanTracer,
+    profile: ProfileAccumulator,
+    exemplars: ExemplarStore,
 }
 
 impl Default for Telemetry {
@@ -542,6 +554,8 @@ impl Telemetry {
             families: Mutex::new(BTreeMap::new()),
             traces: TraceRing::new(capacity),
             spans: SpanTracer::new(DEFAULT_SPAN_TRACE_CAPACITY),
+            profile: ProfileAccumulator::new(),
+            exemplars: ExemplarStore::default(),
         }
     }
 
@@ -559,6 +573,18 @@ impl Telemetry {
     /// The span tracer (per-batch span trees, slow-query log).
     pub fn spans(&self) -> &SpanTracer {
         &self.spans
+    }
+
+    /// The cumulative flame-profile accumulator (always on: every
+    /// batch folds either its span tree or its phase breakdown).
+    pub fn profile(&self) -> &ProfileAccumulator {
+        &self.profile
+    }
+
+    /// The bounded tail-exemplar store behind `/exemplars`,
+    /// `/whyslow/<id>`, and the histogram bucket exemplars.
+    pub fn exemplars(&self) -> &ExemplarStore {
+        &self.exemplars
     }
 
     /// Gets or registers the counter `name{labels}`.

@@ -1,0 +1,791 @@
+//! Bounded tail-exemplar store and the why-slow diagnoser.
+//!
+//! Aggregate histograms say *that* p99 moved; exemplars say *which
+//! query* and *why*. Every finished batch records a [`TailRecord`]
+//! here, and the store retains three bounded views:
+//!
+//! 1. **Bucket exemplars** — for each latency-histogram bucket, the
+//!    trace id and dominant [`ReadCause`] of the most recent batch
+//!    whose per-query latency landed in it, so any populated bucket
+//!    (p50, p99, the overflow bucket) is clickable back to a concrete
+//!    query via `/whyslow/<trace-id>`.
+//! 2. **Reservoir** — a uniform sample over *all* batches (Algorithm
+//!    R under a seeded [SplitMix64] generator, so runs are
+//!    deterministic). This is the diagnoser's picture of "normal".
+//! 3. **K-slowest** — the exact top-K batches by wall latency, the
+//!    only entries that retain their full span trees.
+//!
+//! The **why-slow diagnoser** diffs an exemplar's per-query phase
+//! breakdown and per-cause byte ledger against the reservoir medians
+//! and emits a ranked verdict: `network_bound`, `retry_storm`,
+//! `cache_cold`, `overflow_heavy`, `pipeline_stall`, `compute_bound`,
+//! or `nominal` when the exemplar does not exceed the baseline. The
+//! byte-share scores tile the network excess exactly (plus the
+//! compute share they sum to 1), so the ranking is a decomposition,
+//! not a heuristic grab-bag.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use rdma_sim::{ReadCause, READ_CAUSES};
+
+use crate::breakdown::CostLedger;
+use crate::telemetry::span::FinishedTrace;
+use crate::telemetry::{bucket_bound, bucket_index, HIST_BUCKETS};
+
+/// Default reservoir capacity (uniform sample over all batches).
+pub const RESERVOIR_CAPACITY: usize = 64;
+
+/// Default number of slowest batches retained exactly (with spans).
+pub const SLOWEST_CAPACITY: usize = 8;
+
+/// Default reservoir seed; fixed so two identical runs retain
+/// identical exemplar sets.
+const DEFAULT_SEED: u64 = 0x5EED_7A11_D0A7_F00D;
+
+/// Verdicts the diagnoser can emit, in ranking-tie precedence order
+/// (`nominal` is the no-excess fallback and not listed).
+pub const VERDICTS: [&str; 6] = [
+    "network_bound",
+    "retry_storm",
+    "cache_cold",
+    "overflow_heavy",
+    "pipeline_stall",
+    "compute_bound",
+];
+
+/// Stable numeric code for a verdict (for metric exposition):
+/// `nominal`=0, then [`VERDICTS`] in order from 1. Unknown strings
+/// map to 99.
+pub fn verdict_index(verdict: &str) -> u64 {
+    if verdict == "nominal" {
+        return 0;
+    }
+    VERDICTS
+        .iter()
+        .position(|v| *v == verdict)
+        .map_or(99, |i| i as u64 + 1)
+}
+
+/// Everything the tail-anatomy layer keeps about one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailRecord {
+    /// Trace id: the span tracer's batch sequence number (assigned
+    /// even when span capture is disabled).
+    pub trace_id: u64,
+    /// Search-mode label (`full`, `no_doorbell`, `naive`).
+    pub mode: &'static str,
+    /// Queries in the batch.
+    pub queries: u32,
+    /// Whole-batch wall latency, microseconds.
+    pub total_us: f64,
+    /// Mean per-query wall latency, microseconds.
+    pub per_query_us: f64,
+    /// The integer per-query sample the latency histogram observed —
+    /// bucket exemplars are filed under `bucket_index` of exactly
+    /// this value, so every populated bucket carries an exemplar by
+    /// construction.
+    pub latency_sample_us: u64,
+    /// Meta-HNSW routing time, microseconds.
+    pub meta_us: f64,
+    /// Exposed network time, microseconds.
+    pub network_us: f64,
+    /// Sub-HNSW search time, microseconds.
+    pub sub_us: f64,
+    /// Cluster materialization time, microseconds.
+    pub materialize_us: f64,
+    /// Byte/trip provenance of the batch, by [`ReadCause`].
+    pub ledger: CostLedger,
+    /// Queries answered with incomplete cluster coverage.
+    pub degraded_queries: u32,
+    /// Engine-level read retries the batch performed.
+    pub read_retries: u64,
+}
+
+/// The exemplar a histogram bucket points at: the most recent batch
+/// whose per-query latency sample landed in that bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketExemplar {
+    /// Trace id of the exemplar batch.
+    pub trace_id: u64,
+    /// Its mean per-query latency, microseconds.
+    pub per_query_us: f64,
+    /// Its dominant read cause (`None` when the batch read nothing).
+    pub cause: Option<ReadCause>,
+}
+
+#[derive(Debug)]
+struct SlowEntry {
+    rec: TailRecord,
+    spans: Option<FinishedTrace>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    reservoir: Vec<TailRecord>,
+    /// Batches offered to the reservoir so far (Algorithm R's `n`).
+    seen: u64,
+    rng: u64,
+    /// Exact K-slowest, sorted slowest-first (ties: lower trace id).
+    slowest: Vec<SlowEntry>,
+    buckets: [Option<BucketExemplar>; HIST_BUCKETS],
+}
+
+/// The bounded tail-exemplar store. All three views update under one
+/// short lock per batch; counters are atomics readable without it.
+#[derive(Debug)]
+pub struct ExemplarStore {
+    reservoir_capacity: usize,
+    slowest_capacity: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    flushed_recorded: AtomicU64,
+    flushed_dropped: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        Self::with_config(RESERVOIR_CAPACITY, SLOWEST_CAPACITY, DEFAULT_SEED)
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `true` when `a` ranks strictly slower than `b` (ties break toward
+/// the earlier batch so the K-slowest set is total-ordered and exact).
+fn slower(a: &TailRecord, b: &TailRecord) -> bool {
+    a.total_us > b.total_us || (a.total_us == b.total_us && a.trace_id < b.trace_id)
+}
+
+impl ExemplarStore {
+    /// A store with explicit capacities and reservoir seed (tests and
+    /// benchmarks; production uses `Default`).
+    pub fn with_config(reservoir_capacity: usize, slowest_capacity: usize, seed: u64) -> Self {
+        ExemplarStore {
+            reservoir_capacity: reservoir_capacity.max(1),
+            slowest_capacity: slowest_capacity.max(1),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            flushed_recorded: AtomicU64::new(0),
+            flushed_dropped: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                reservoir: Vec::new(),
+                seen: 0,
+                rng: seed,
+                slowest: Vec::new(),
+                buckets: [None; HIST_BUCKETS],
+            }),
+        }
+    }
+
+    /// Records one batch. The bucket exemplar always updates; the
+    /// span tree (if any) is retained only while the batch sits in
+    /// the K-slowest set; the reservoir keeps a uniform sample.
+    pub fn record(&self, rec: TailRecord, spans: Option<FinishedTrace>) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.inner.lock();
+        let g = &mut *guard;
+
+        g.buckets[bucket_index(rec.latency_sample_us)] = Some(BucketExemplar {
+            trace_id: rec.trace_id,
+            per_query_us: rec.per_query_us,
+            cause: rec.ledger.dominant_cause(),
+        });
+
+        let pos = g.slowest.partition_point(|e| slower(&e.rec, &rec));
+        if pos < self.slowest_capacity {
+            g.slowest.insert(
+                pos,
+                SlowEntry {
+                    rec: rec.clone(),
+                    spans,
+                },
+            );
+            if g.slowest.len() > self.slowest_capacity {
+                g.slowest.pop();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        g.seen += 1;
+        if g.reservoir.len() < self.reservoir_capacity {
+            g.reservoir.push(rec);
+        } else {
+            let j = splitmix(&mut g.rng) % g.seen;
+            if (j as usize) < self.reservoir_capacity {
+                g.reservoir[j as usize] = rec;
+            }
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Batches recorded over the store's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Exemplars evicted or not retained: reservoir losses once full
+    /// plus K-slowest displacements.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// `(recorded, dropped)` growth since the last call, claiming the
+    /// interval atomically so several nodes flushing one shared store
+    /// into counters never double count the same increment.
+    pub fn take_flush_delta(&self) -> (u64, u64) {
+        let rec = self.recorded();
+        let dr = self.dropped();
+        let prev_rec = self.flushed_recorded.swap(rec, Ordering::Relaxed);
+        let prev_dr = self.flushed_dropped.swap(dr, Ordering::Relaxed);
+        (rec.saturating_sub(prev_rec), dr.saturating_sub(prev_dr))
+    }
+
+    /// Records currently held (reservoir + K-slowest slots).
+    pub fn occupancy(&self) -> u64 {
+        let g = self.inner.lock();
+        (g.reservoir.len() + g.slowest.len()) as u64
+    }
+
+    /// The K-slowest records, slowest first.
+    pub fn slowest(&self) -> Vec<TailRecord> {
+        self.inner.lock().slowest.iter().map(|e| e.rec.clone()).collect()
+    }
+
+    /// The current reservoir sample, in slot order.
+    pub fn reservoir(&self) -> Vec<TailRecord> {
+        self.inner.lock().reservoir.clone()
+    }
+
+    /// The per-bucket exemplars, indexed like the latency histogram's
+    /// buckets.
+    pub fn bucket_exemplars(&self) -> [Option<BucketExemplar>; HIST_BUCKETS] {
+        self.inner.lock().buckets
+    }
+
+    /// Finds a retained record by trace id (K-slowest first, since
+    /// those carry spans, then the reservoir).
+    pub fn lookup(&self, trace_id: u64) -> Option<(TailRecord, Option<FinishedTrace>)> {
+        let g = self.inner.lock();
+        if let Some(e) = g.slowest.iter().find(|e| e.rec.trace_id == trace_id) {
+            return Some((e.rec.clone(), e.spans.clone()));
+        }
+        g.reservoir
+            .iter()
+            .find(|r| r.trace_id == trace_id)
+            .map(|r| (r.clone(), None))
+    }
+
+    /// Drops every retained exemplar and resets the counters (the
+    /// reservoir seed is preserved mid-stream; determinism holds for
+    /// a fixed record sequence from construction).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.reservoir.clear();
+        g.slowest.clear();
+        g.seen = 0;
+        g.buckets = [None; HIST_BUCKETS];
+        self.recorded.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.flushed_recorded.store(0, Ordering::Relaxed);
+        self.flushed_dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Renders the whole store as deterministic JSON (the
+    /// `/exemplars` endpoint body).
+    pub fn render_json(&self) -> String {
+        let g = self.inner.lock();
+        let rec_json = |r: &TailRecord, has_spans: Option<bool>| {
+            let cause = r
+                .ledger
+                .dominant_cause()
+                .map_or("none", |c| c.as_str());
+            let spans = match has_spans {
+                Some(b) => format!(", \"has_spans\": {b}"),
+                None => String::new(),
+            };
+            format!(
+                "{{\"trace_id\": {}, \"mode\": \"{}\", \"queries\": {}, \
+                 \"total_us\": {}, \"per_query_us\": {}, \"dominant_cause\": \"{}\", \
+                 \"degraded_queries\": {}, \"read_retries\": {}{}}}",
+                r.trace_id,
+                r.mode,
+                r.queries,
+                num3(r.total_us),
+                num3(r.per_query_us),
+                cause,
+                r.degraded_queries,
+                r.read_retries,
+                spans
+            )
+        };
+        let slowest: Vec<String> = g
+            .slowest
+            .iter()
+            .map(|e| rec_json(&e.rec, Some(e.spans.is_some())))
+            .collect();
+        let reservoir: Vec<String> = g.reservoir.iter().map(|r| rec_json(r, None)).collect();
+        let buckets: Vec<String> = g
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|b| (i, b)))
+            .map(|(i, b)| {
+                let bound = bucket_bound(i);
+                let le = if bound.is_infinite() {
+                    "\"+Inf\"".to_string()
+                } else {
+                    format!("{bound}")
+                };
+                format!(
+                    "{{\"le\": {le}, \"trace_id\": {}, \"per_query_us\": {}, \"cause\": \"{}\"}}",
+                    b.trace_id,
+                    num3(b.per_query_us),
+                    b.cause.map_or("none", |c| c.as_str())
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"occupancy\": {},\n  \"recorded\": {},\n  \"dropped\": {},\n  \
+             \"slowest\": [{}],\n  \"reservoir\": [{}],\n  \"buckets\": [{}]\n}}\n",
+            (g.reservoir.len() + g.slowest.len()) as u64,
+            self.recorded(),
+            self.dropped(),
+            slowest.join(", "),
+            reservoir.join(", "),
+            buckets.join(", ")
+        )
+    }
+
+    /// Diagnoses why `trace_id` was slow relative to the reservoir
+    /// median (the `/whyslow/<id>` endpoint body). `None` when no
+    /// retained record has that id.
+    pub fn whyslow_json(&self, trace_id: u64) -> Option<String> {
+        let (rec, spans) = self.lookup(trace_id)?;
+        let baseline = self.reservoir();
+        Some(diagnose(&rec, spans.is_some(), &baseline).render_json())
+    }
+
+    /// Diagnoses the single slowest retained batch. Returns
+    /// `(trace_id, verdict, json)`; `None` while the store is empty.
+    pub fn diagnose_slowest(&self) -> Option<(u64, &'static str, String)> {
+        let (rec, has_spans) = {
+            let g = self.inner.lock();
+            let e = g.slowest.first()?;
+            (e.rec.clone(), e.spans.is_some())
+        };
+        let d = diagnose(&rec, has_spans, &self.reservoir());
+        Some((rec.trace_id, d.verdict, d.render_json()))
+    }
+}
+
+/// A ranked why-slow verdict for one exemplar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Trace id of the diagnosed batch.
+    pub trace_id: u64,
+    /// Top-ranked verdict (a [`VERDICTS`] entry, or `nominal`).
+    pub verdict: &'static str,
+    /// Score per verdict, [`VERDICTS`] order. Scores sum to 1 when
+    /// any excess exists (byte shares tile the network excess).
+    pub scores: [f64; 6],
+    /// Per-query phase excess over the baseline median, µs:
+    /// `[meta, network, sub_hnsw, materialize]`.
+    pub excess_us: [f64; 4],
+    /// Per-query byte excess over the baseline median, by cause.
+    pub excess_bytes: [f64; READ_CAUSES],
+    /// The exemplar's mean per-query latency, µs.
+    pub per_query_us: f64,
+    /// The baseline (reservoir median) per-query latency, µs.
+    pub baseline_per_query_us: f64,
+    /// Queries in the diagnosed batch.
+    pub queries: u32,
+    /// Search-mode label of the batch.
+    pub mode: &'static str,
+    /// Degraded queries in the batch.
+    pub degraded_queries: u32,
+    /// Engine-level read retries the batch performed.
+    pub read_retries: u64,
+    /// Whether the full span tree is retained for this batch.
+    pub has_spans: bool,
+}
+
+/// Median of `values` (upper median; 0 when empty). Deterministic:
+/// total order via `f64::total_cmp`.
+fn median(mut values: Vec<f64>) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+/// Formats a float with three decimals, clamping non-finite to 0.
+fn num3(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+/// Diffs `rec` against the reservoir medians and ranks the verdicts.
+///
+/// The decomposition: the four per-query phase excesses (clamped at
+/// zero) split the total excess into a network share and a compute
+/// share; the network share is then subdivided by per-cause byte
+/// excess — retry and half the version-check churn score
+/// `retry_storm`, stage loads score `cache_cold`, overflow scans
+/// score `overflow_heavy`, and the rest scores `network_bound`. A
+/// network excess with *no* byte excess means the transfer overlap
+/// was lost, not that more data moved: `pipeline_stall`. With no
+/// meaningful excess at all the verdict is `nominal`.
+pub fn diagnose(rec: &TailRecord, has_spans: bool, baseline: &[TailRecord]) -> Diagnosis {
+    let per_query = |r: &TailRecord| {
+        let q = f64::from(r.queries.max(1));
+        (
+            [
+                r.meta_us / q,
+                r.network_us / q,
+                r.sub_us / q,
+                r.materialize_us / q,
+            ],
+            std::array::from_fn::<f64, READ_CAUSES, _>(|i| r.ledger.cause_bytes[i] as f64 / q),
+        )
+    };
+    let (phases, bytes) = per_query(rec);
+    let base_phases: [f64; 4] = std::array::from_fn(|i| {
+        median(baseline.iter().map(|r| per_query(r).0[i]).collect())
+    });
+    let base_bytes: [f64; READ_CAUSES] = std::array::from_fn(|i| {
+        median(baseline.iter().map(|r| per_query(r).1[i]).collect())
+    });
+    let baseline_per_query_us = median(baseline.iter().map(|r| r.per_query_us).collect());
+
+    let excess_us: [f64; 4] = std::array::from_fn(|i| (phases[i] - base_phases[i]).max(0.0));
+    let excess_bytes: [f64; READ_CAUSES] =
+        std::array::from_fn(|i| (bytes[i] - base_bytes[i]).max(0.0));
+    let u_total: f64 = excess_us.iter().sum();
+
+    let mut scores = [0.0f64; 6];
+    // Under half a microsecond of per-query excess is noise, not a
+    // tail: the batch is within its window's normal behavior.
+    if u_total >= 0.5 {
+        let net_share = excess_us[1] / u_total;
+        let compute = (excess_us[0] + excess_us[2] + excess_us[3]) / u_total;
+        let byte_total: f64 = excess_bytes.iter().sum();
+        if byte_total > 0.0 {
+            let b = |c: ReadCause| excess_bytes[c.index()];
+            let retry = b(ReadCause::Retry) + 0.5 * b(ReadCause::VersionCheck);
+            let cold = b(ReadCause::StageLoad);
+            let overflow = b(ReadCause::OverflowScan);
+            let rest = (byte_total - retry - cold - overflow).max(0.0);
+            scores[0] = net_share * rest / byte_total; // network_bound
+            scores[1] = net_share * retry / byte_total; // retry_storm
+            scores[2] = net_share * cold / byte_total; // cache_cold
+            scores[3] = net_share * overflow / byte_total; // overflow_heavy
+        } else {
+            scores[4] = net_share; // pipeline_stall
+        }
+        scores[5] = compute; // compute_bound
+    }
+    let mut verdict = "nominal";
+    let mut best = 0.0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > best {
+            best = s;
+            verdict = VERDICTS[i];
+        }
+    }
+    Diagnosis {
+        trace_id: rec.trace_id,
+        verdict,
+        scores,
+        excess_us,
+        excess_bytes,
+        per_query_us: rec.per_query_us,
+        baseline_per_query_us,
+        queries: rec.queries,
+        mode: rec.mode,
+        degraded_queries: rec.degraded_queries,
+        read_retries: rec.read_retries,
+        has_spans,
+    }
+}
+
+impl Diagnosis {
+    /// Deterministic JSON rendering of the ranked verdict.
+    pub fn render_json(&self) -> String {
+        let scores: Vec<String> = VERDICTS
+            .iter()
+            .zip(self.scores.iter())
+            .map(|(v, s)| format!("\"{v}\": {}", num3(*s)))
+            .collect();
+        let phases = ["meta_route", "network", "sub_hnsw", "materialize"];
+        let excess_us: Vec<String> = phases
+            .iter()
+            .zip(self.excess_us.iter())
+            .map(|(p, v)| format!("\"{p}\": {}", num3(*v)))
+            .collect();
+        let excess_bytes: Vec<String> = ReadCause::ALL
+            .iter()
+            .map(|c| {
+                format!(
+                    "\"{}\": {}",
+                    c.as_str(),
+                    num3(self.excess_bytes[c.index()])
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"trace_id\": {},\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \
+             \"verdict\": \"{}\",\n  \"per_query_us\": {},\n  \
+             \"baseline_per_query_us\": {},\n  \"degraded_queries\": {},\n  \
+             \"read_retries\": {},\n  \"has_spans\": {},\n  \
+             \"scores\": {{{}}},\n  \"excess_us_per_query\": {{{}}},\n  \
+             \"excess_bytes_per_query\": {{{}}}\n}}\n",
+            self.trace_id,
+            self.mode,
+            self.queries,
+            self.verdict,
+            num3(self.per_query_us),
+            num3(self.baseline_per_query_us),
+            self.degraded_queries,
+            self.read_retries,
+            self.has_spans,
+            scores.join(", "),
+            excess_us.join(", "),
+            excess_bytes.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(trace_id: u64, total_us: f64, queries: u32) -> TailRecord {
+        let q = queries.max(1);
+        let per = total_us / f64::from(q);
+        TailRecord {
+            trace_id,
+            mode: "full",
+            queries,
+            total_us,
+            per_query_us: per,
+            latency_sample_us: per as u64,
+            meta_us: 0.05 * total_us,
+            network_us: 0.6 * total_us,
+            sub_us: 0.25 * total_us,
+            materialize_us: 0.1 * total_us,
+            ledger: CostLedger::default(),
+            degraded_queries: 0,
+            read_retries: 0,
+        }
+    }
+
+    fn with_bytes(mut r: TailRecord, cause: ReadCause, bytes: u64) -> TailRecord {
+        r.ledger.cause_bytes[cause.index()] = bytes;
+        r
+    }
+
+    #[test]
+    fn bucket_exemplars_track_the_latest_batch_per_bucket() {
+        let s = ExemplarStore::default();
+        s.record(rec(1, 320.0, 32), None); // per-query 10 → bucket of 10
+        s.record(rec(2, 3200.0, 32), None); // per-query 100
+        s.record(rec(3, 352.0, 32), None); // per-query 11 → same bucket as 10
+        let ex = s.bucket_exemplars();
+        let b10 = ex[bucket_index(10)].expect("bucket for 10µs");
+        assert_eq!(b10.trace_id, 3, "most recent batch wins the bucket");
+        let b100 = ex[bucket_index(100)].expect("bucket for 100µs");
+        assert_eq!(b100.trace_id, 2);
+        assert_eq!(ex.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn slowest_set_is_exact_and_keeps_spans_only_there() {
+        let s = ExemplarStore::with_config(4, 2, 7);
+        let spans_of = |seq| FinishedTrace {
+            label: "full",
+            seq,
+            total_us: 1.0,
+            spans: Vec::new(),
+        };
+        for (id, total) in [(1u64, 50.0), (2, 400.0), (3, 100.0), (4, 300.0)] {
+            s.record(rec(id, total, 16), Some(spans_of(id)));
+        }
+        let slow: Vec<u64> = s.slowest().iter().map(|r| r.trace_id).collect();
+        assert_eq!(slow, vec![2, 4], "exact top-2 by latency, slowest first");
+        // Spans survive only for the K-slowest entries.
+        assert!(s.lookup(2).unwrap().1.is_some());
+        assert!(s.lookup(1).unwrap().1.is_none(), "reservoir keeps no spans");
+        // Displacements counted as drops: ids 1 and 3 left the set.
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.recorded(), 4);
+    }
+
+    #[test]
+    fn eviction_wraps_around_bounded_capacity() {
+        let s = ExemplarStore::with_config(4, 2, 99);
+        for i in 0..20u64 {
+            // Latencies cycle so every bucket keeps being rewritten.
+            let total = 100.0 + (i % 5) as f64 * 50.0;
+            s.record(rec(i, total, 1), None);
+        }
+        assert_eq!(s.recorded(), 20);
+        assert_eq!(s.occupancy(), 6, "4 reservoir slots + 2 slowest");
+        // Once the reservoir is full every further record drops one
+        // (itself or a displaced entry), plus slowest displacements.
+        assert!(s.dropped() >= 16, "dropped={}", s.dropped());
+        // The slowest pair is exactly the ties-broken top-2 of the
+        // 300µs batches: ids 4 and 9 (lowest ids at the max latency).
+        let slow: Vec<u64> = s.slowest().iter().map(|r| r.trace_id).collect();
+        assert_eq!(slow, vec![4, 9]);
+        // Bucket exemplars always reflect the most recent batch.
+        let ex = s.bucket_exemplars();
+        let b = ex[bucket_index(250)].expect("250µs bucket");
+        assert_eq!(b.trace_id, 18, "last id with 250µs is 18");
+        // Lifetime counters survive clear() only as zeros.
+        s.clear();
+        assert_eq!((s.occupancy(), s.recorded(), s.dropped()), (0, 0, 0));
+        assert!(s.bucket_exemplars().iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    fn diagnoser_labels_a_retry_storm() {
+        // Baseline: cheap batches whose bytes are all stage loads.
+        let baseline: Vec<TailRecord> = (0..9)
+            .map(|i| with_bytes(rec(i, 160.0, 16), ReadCause::StageLoad, 4096))
+            .collect();
+        // The tail batch: network exploded, and the byte excess is
+        // dominated by retry traffic.
+        let mut slow = with_bytes(rec(99, 1600.0, 16), ReadCause::StageLoad, 4096);
+        slow.ledger.cause_bytes[ReadCause::Retry.index()] = 65536;
+        slow.read_retries = 9;
+        let d = diagnose(&slow, true, &baseline);
+        assert_eq!(d.verdict, "retry_storm");
+        assert!(d.scores[1] > d.scores[0], "retry beats generic network");
+        assert!(d.scores[1] > d.scores[5], "retry beats compute");
+        // Scores tile: network byte shares + compute sum to 1.
+        let sum: f64 = d.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        let json = d.render_json();
+        assert!(json.contains("\"verdict\": \"retry_storm\""));
+        assert!(json.contains("\"read_retries\": 9"));
+    }
+
+    #[test]
+    fn diagnoser_separates_the_other_verdicts() {
+        let baseline: Vec<TailRecord> = (0..9).map(|i| rec(i, 160.0, 16)).collect();
+        // Cold batch: network excess carried by stage-load bytes.
+        let cold = with_bytes(rec(90, 1600.0, 16), ReadCause::StageLoad, 1 << 20);
+        assert_eq!(diagnose(&cold, false, &baseline).verdict, "cache_cold");
+        // Overflow-heavy batch.
+        let ovf = with_bytes(rec(91, 1600.0, 16), ReadCause::OverflowScan, 1 << 20);
+        assert_eq!(diagnose(&ovf, false, &baseline).verdict, "overflow_heavy");
+        // Network grew with no byte excess: the overlap stalled.
+        let stall = rec(92, 1600.0, 16);
+        assert_eq!(diagnose(&stall, false, &baseline).verdict, "pipeline_stall");
+        // Compute-bound batch: sub-HNSW search dominates the excess.
+        let mut cpu = rec(93, 1600.0, 16);
+        cpu.network_us = 0.6 * 160.0; // baseline network
+        cpu.sub_us = 1600.0 - cpu.network_us - cpu.meta_us - cpu.materialize_us;
+        assert_eq!(diagnose(&cpu, false, &baseline).verdict, "compute_bound");
+        // A batch at the baseline is nominal.
+        assert_eq!(diagnose(&rec(94, 160.0, 16), false, &baseline).verdict, "nominal");
+        // Prefetch-carried excess is generic network-bound.
+        let net = with_bytes(rec(95, 1600.0, 16), ReadCause::Prefetch, 1 << 20);
+        assert_eq!(diagnose(&net, false, &baseline).verdict, "network_bound");
+    }
+
+    #[test]
+    fn whyslow_resolves_retained_ids_only() {
+        let s = ExemplarStore::with_config(8, 2, 1);
+        for i in 0..6u64 {
+            s.record(rec(i, 100.0 + i as f64, 8), None);
+        }
+        let json = s.whyslow_json(5).expect("retained id resolves");
+        assert!(json.contains("\"trace_id\": 5"));
+        assert!(s.whyslow_json(777).is_none());
+        let (id, verdict, json) = s.diagnose_slowest().expect("store non-empty");
+        assert_eq!(id, 5, "slowest batch");
+        assert!(json.contains(&format!("\"verdict\": \"{verdict}\"")));
+    }
+
+    #[test]
+    fn verdict_indices_are_stable() {
+        assert_eq!(verdict_index("nominal"), 0);
+        assert_eq!(verdict_index("network_bound"), 1);
+        assert_eq!(verdict_index("retry_storm"), 2);
+        assert_eq!(verdict_index("cache_cold"), 3);
+        assert_eq!(verdict_index("overflow_heavy"), 4);
+        assert_eq!(verdict_index("pipeline_stall"), 5);
+        assert_eq!(verdict_index("compute_bound"), 6);
+        assert_eq!(verdict_index("??"), 99);
+    }
+
+    #[test]
+    fn render_json_is_deterministic_and_structured() {
+        let s = ExemplarStore::with_config(4, 2, 3);
+        s.record(
+            with_bytes(rec(1, 500.0, 10), ReadCause::StageLoad, 2048),
+            None,
+        );
+        s.record(rec(2, 90.0, 10), None);
+        let a = s.render_json();
+        assert_eq!(a, s.render_json(), "rendering is a pure read");
+        assert!(a.contains("\"occupancy\": 4"), "{a}");
+        assert!(a.contains("\"recorded\": 2"));
+        assert!(a.contains("\"dominant_cause\": \"stage_load\""));
+        assert!(a.contains("\"le\": "));
+        // Empty store renders empty arrays, not broken JSON.
+        let empty = ExemplarStore::default().render_json();
+        assert!(empty.contains("\"slowest\": []"));
+        assert!(empty.contains("\"buckets\": []"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn reservoir_is_seed_deterministic_and_k_slowest_exact(
+            totals in prop::collection::vec(1u32..1_000_000, 1..120)
+        ) {
+            let a = ExemplarStore::with_config(8, 4, 0xABCD);
+            let b = ExemplarStore::with_config(8, 4, 0xABCD);
+            for (i, &t) in totals.iter().enumerate() {
+                a.record(rec(i as u64, f64::from(t), 4), None);
+                b.record(rec(i as u64, f64::from(t), 4), None);
+            }
+            // Same seed + same stream → identical reservoirs.
+            prop_assert_eq!(a.reservoir(), b.reservoir());
+            prop_assert_eq!(a.dropped(), b.dropped());
+            // The K-slowest set is exact: matches a full sort.
+            let mut want: Vec<(f64, u64)> = totals
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (f64::from(t), i as u64))
+                .collect();
+            want.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+            let want_ids: Vec<u64> =
+                want.iter().take(4).map(|&(_, id)| id).collect();
+            let got_ids: Vec<u64> =
+                a.slowest().iter().map(|r| r.trace_id).collect();
+            prop_assert_eq!(got_ids, want_ids);
+            prop_assert!(a.occupancy() <= 12);
+            prop_assert_eq!(a.recorded(), totals.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Always-on cumulative flame profile of the batch read path.
+//!
+//! Every finished batch folds its span tree into a [`ProfileAccumulator`]:
+//! a weighted call-tree keyed by the `;`-joined span-name path
+//! (`query_batch;network;read_doorbell`), accumulating call counts,
+//! inclusive wall and virtual-clock microseconds, and *self* wall time
+//! (inclusive minus children). The accumulated tree exports in the
+//! collapsed-stack ("folded") format that `flamegraph.pl`, inferno, and
+//! speedscope all ingest directly:
+//!
+//! ```text
+//! query_batch;network;read_doorbell 1724
+//! query_batch;sub_hnsw_search 9310
+//! ```
+//!
+//! one line per distinct path, weight = cumulative self wall µs.
+//!
+//! When span tracing is disabled the engine still folds each batch's
+//! coarse [`crate::breakdown::LatencyBreakdown`] through
+//! [`ProfileAccumulator::fold_phases`], so `/profile/folded` is never
+//! empty on a serving node: the profile degrades from verb-level to
+//! phase-level resolution instead of disappearing.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::breakdown::LatencyBreakdown;
+use crate::telemetry::span::{FinishedTrace, SpanKind};
+
+/// Cumulative weight of one span-name path across all folded batches.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PathStats {
+    /// Number of spans folded into this path.
+    pub calls: u64,
+    /// Inclusive wall-clock microseconds (span durations summed).
+    pub wall_us: f64,
+    /// Inclusive virtual-clock microseconds (the RDMA cost model).
+    pub vt_us: f64,
+    /// Self wall-clock microseconds: inclusive time minus the wall
+    /// time of direct children, clamped at zero per span. This is the
+    /// folded-stack weight.
+    pub self_us: f64,
+}
+
+/// The cumulative weighted call-tree. Cheap to fold into (one lock
+/// acquisition and a handful of `BTreeMap` upserts per batch) and
+/// deterministic to render (paths export in lexicographic order).
+#[derive(Debug, Default)]
+pub struct ProfileAccumulator {
+    paths: Mutex<BTreeMap<String, PathStats>>,
+}
+
+impl ProfileAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished batch trace into the call-tree. Instant
+    /// markers carry no duration and are skipped; duration spans key
+    /// on the `;`-joined name path from the root (recording order
+    /// guarantees parents precede children).
+    pub fn fold_trace(&self, ft: &FinishedTrace) {
+        let n = ft.spans.len();
+        let mut paths: Vec<Option<String>> = vec![None; n];
+        let mut child_wall = vec![0.0f64; n];
+        for (i, rec) in ft.spans.iter().enumerate() {
+            if rec.kind == SpanKind::Instant {
+                continue;
+            }
+            let path = match rec.parent as usize {
+                0 => rec.name.to_string(),
+                p => match &paths[p - 1] {
+                    Some(parent) => format!("{parent};{}", rec.name),
+                    // Parent was skipped (instant) — treat as a root.
+                    None => rec.name.to_string(),
+                },
+            };
+            if rec.parent != 0 {
+                child_wall[rec.parent as usize - 1] += rec.wall_dur_us.max(0.0);
+            }
+            paths[i] = Some(path);
+        }
+        let mut map = self.paths.lock();
+        for (i, rec) in ft.spans.iter().enumerate() {
+            let Some(path) = paths[i].take() else { continue };
+            let wall = rec.wall_dur_us.max(0.0);
+            let s = map.entry(path).or_default();
+            s.calls += 1;
+            s.wall_us += wall;
+            s.vt_us += rec.vt_dur_us.max(0.0);
+            s.self_us += (wall - child_wall[i]).max(0.0);
+        }
+    }
+
+    /// Folds one batch's coarse phase breakdown — the always-on path
+    /// used when span tracing is off. Synthesizes the same top-level
+    /// paths the real span tree would produce (`query_batch;network`,
+    /// `query_batch;sub_hnsw_search`, …) so the folded export stays
+    /// loadable and comparable; the root's self time absorbs whatever
+    /// `total_us` the four phases do not cover.
+    pub fn fold_phases(&self, breakdown: &LatencyBreakdown, total_us: f64) {
+        let phases = [
+            ("query_batch;meta_route", breakdown.meta_hnsw_us, 0.0),
+            ("query_batch;network", breakdown.network_us, breakdown.network_us),
+            ("query_batch;sub_hnsw_search", breakdown.sub_hnsw_us, 0.0),
+            ("query_batch;materialize", breakdown.materialize_us, 0.0),
+        ];
+        let mut map = self.paths.lock();
+        let mut covered = 0.0;
+        for (path, wall, vt) in phases {
+            let wall = wall.max(0.0);
+            covered += wall;
+            let s = map.entry(path.to_string()).or_default();
+            s.calls += 1;
+            s.wall_us += wall;
+            s.vt_us += vt.max(0.0);
+            s.self_us += wall;
+        }
+        let total = total_us.max(0.0);
+        let root = map.entry("query_batch".to_string()).or_default();
+        root.calls += 1;
+        root.wall_us += total;
+        root.self_us += (total - covered).max(0.0);
+    }
+
+    /// Renders the accumulated tree in collapsed-stack format: one
+    /// `path <self-µs>` line per distinct path, lexicographic order,
+    /// integer weights (rounded). Loadable by `flamegraph.pl`,
+    /// inferno, and speedscope.
+    pub fn render_folded(&self) -> String {
+        let map = self.paths.lock();
+        let mut out = String::new();
+        for (path, s) in map.iter() {
+            out.push_str(&format!("{path} {}\n", s.self_us.round() as u64));
+        }
+        out
+    }
+
+    /// A copy of the accumulated paths and their stats, lexicographic
+    /// by path. Exposition/test path — allocates.
+    pub fn snapshot(&self) -> Vec<(String, PathStats)> {
+        self.paths
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Number of distinct paths accumulated so far.
+    pub fn len(&self) -> usize {
+        self.paths.lock().len()
+    }
+
+    /// Whether nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every accumulated path.
+    pub fn clear(&self) {
+        self.paths.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::span::{SpanId, SpanRecord, SpanTracer};
+
+    fn span(
+        name: &'static str,
+        parent: u32,
+        start: f64,
+        dur: f64,
+        vt: f64,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat: "engine",
+            parent,
+            kind: SpanKind::Span,
+            wall_start_us: start,
+            wall_dur_us: dur,
+            vt_start_us: 0.0,
+            vt_dur_us: vt,
+            args: Vec::new(),
+        }
+    }
+
+    fn sample_trace() -> FinishedTrace {
+        FinishedTrace {
+            label: "full",
+            seq: 0,
+            total_us: 100.0,
+            spans: vec![
+                span("query_batch", 0, 0.0, 100.0, 0.0),
+                span("meta_route", 1, 0.0, 10.0, 0.0),
+                span("network", 1, 10.0, 50.0, 40.0),
+                span("read_doorbell", 3, 10.0, 50.0, 40.0),
+                span("sub_hnsw_search", 1, 60.0, 30.0, 0.0),
+                SpanRecord {
+                    name: "cache_hit",
+                    cat: "cache",
+                    parent: 1,
+                    kind: SpanKind::Instant,
+                    wall_start_us: 5.0,
+                    wall_dur_us: 0.0,
+                    vt_start_us: 0.0,
+                    vt_dur_us: 0.0,
+                    args: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fold_trace_accumulates_self_time_per_path() {
+        let p = ProfileAccumulator::new();
+        p.fold_trace(&sample_trace());
+        p.fold_trace(&sample_trace());
+        let snap: std::collections::BTreeMap<_, _> = p.snapshot().into_iter().collect();
+        let root = snap.get("query_batch").unwrap();
+        assert_eq!(root.calls, 2);
+        assert!((root.wall_us - 200.0).abs() < 1e-9);
+        // Root self = 100 - (10 + 50 + 30) = 10 per fold.
+        assert!((root.self_us - 20.0).abs() < 1e-9);
+        let net = snap.get("query_batch;network").unwrap();
+        // Network's only child (the doorbell) covers it fully.
+        assert!((net.self_us - 0.0).abs() < 1e-9);
+        assert!((net.vt_us - 80.0).abs() < 1e-9);
+        let db = snap.get("query_batch;network;read_doorbell").unwrap();
+        assert!((db.self_us - 100.0).abs() < 1e-9);
+        // The instant marker contributes no path.
+        assert!(!snap.contains_key("query_batch;cache_hit"));
+        assert_eq!(snap.len(), 5);
+    }
+
+    #[test]
+    fn fold_phases_synthesizes_the_coarse_tree() {
+        let p = ProfileAccumulator::new();
+        let b = LatencyBreakdown {
+            network_us: 40.0,
+            sub_hnsw_us: 25.0,
+            meta_hnsw_us: 5.0,
+            materialize_us: 10.0,
+        };
+        p.fold_phases(&b, 90.0);
+        let snap: std::collections::BTreeMap<_, _> = p.snapshot().into_iter().collect();
+        assert_eq!(snap.len(), 5);
+        assert!((snap["query_batch;network"].self_us - 40.0).abs() < 1e-9);
+        assert!((snap["query_batch;network"].vt_us - 40.0).abs() < 1e-9);
+        assert!((snap["query_batch;sub_hnsw_search"].self_us - 25.0).abs() < 1e-9);
+        // Root self absorbs the uncovered 10µs.
+        assert!((snap["query_batch"].self_us - 10.0).abs() < 1e-9);
+        // Folding both resolutions lands in the same tree.
+        p.fold_trace(&sample_trace());
+        assert_eq!(p.len(), 6, "doorbell path joins the phase paths");
+    }
+
+    #[test]
+    fn folded_render_is_sorted_and_parseable() {
+        let p = ProfileAccumulator::new();
+        p.fold_trace(&sample_trace());
+        let text = p.render_folded();
+        assert!(!text.is_empty());
+        let mut last = String::new();
+        for line in text.lines() {
+            let (path, weight) = line.rsplit_once(' ').expect("`path weight` shape");
+            assert!(!path.is_empty());
+            weight.parse::<u64>().expect("integer weight");
+            assert!(path > last.as_str(), "lexicographic order");
+            last = path.to_string();
+        }
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn live_traces_fold_cleanly() {
+        let t = SpanTracer::new(4);
+        t.set_enabled(true);
+        let p = ProfileAccumulator::new();
+        let trace = t.begin("full");
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        let child = trace.begin_span("meta_route", "engine", root);
+        trace.end_span(child);
+        trace.end_span(root);
+        let ft = t.finish_trace(trace).unwrap();
+        p.fold_trace(&ft);
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "query_batch");
+        assert_eq!(snap[1].0, "query_batch;meta_route");
+        p.clear();
+        assert!(p.is_empty());
+    }
+}

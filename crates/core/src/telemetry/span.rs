@@ -149,25 +149,38 @@ struct BatchInner {
 /// Handle to an in-flight batch trace.
 ///
 /// Cloneable — clones share the same span tree (the thread-local scope
-/// holds one). When tracing is disabled the handle is empty and every
-/// method is a no-op, so call sites never branch on enablement.
+/// holds one). When tracing is disabled the handle carries only the
+/// batch's trace id and every recording method is a no-op, so call
+/// sites never branch on enablement. The trace id (sequence number) is
+/// assigned by [`SpanTracer::begin`] whether or not spans are being
+/// recorded, so histogram exemplars and the slow-query log can name a
+/// batch even when full span capture is off.
 #[derive(Debug, Clone, Default)]
-pub struct BatchTrace(Option<Arc<BatchInner>>);
+pub struct BatchTrace {
+    seq: u64,
+    inner: Option<Arc<BatchInner>>,
+}
 
 impl BatchTrace {
-    /// An empty, always-no-op handle.
+    /// An empty, always-no-op handle (trace id 0).
     pub fn disabled() -> Self {
-        BatchTrace(None)
+        BatchTrace::default()
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.inner.is_some()
+    }
+
+    /// The batch's trace id — the tracer-wide monotonic sequence
+    /// number, assigned even when span recording is disabled.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Microseconds elapsed since the batch epoch (0 when disabled).
     pub fn elapsed_us(&self) -> f64 {
-        match &self.0 {
+        match &self.inner {
             None => 0.0,
             Some(inner) => inner.epoch.elapsed().as_secs_f64() * 1e6,
         }
@@ -176,7 +189,7 @@ impl BatchTrace {
     /// Opens a span starting now. Returns [`SpanId::NONE`] when
     /// disabled.
     pub fn begin_span(&self, name: &'static str, cat: &'static str, parent: SpanId) -> SpanId {
-        let Some(inner) = &self.0 else {
+        let Some(inner) = &self.inner else {
             return SpanId::NONE;
         };
         let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
@@ -202,7 +215,7 @@ impl BatchTrace {
 
     /// Closes a span and attaches arguments.
     pub fn end_span_with(&self, id: SpanId, args: &[(&'static str, ArgValue)]) {
-        let Some(inner) = &self.0 else { return };
+        let Some(inner) = &self.inner else { return };
         if id.0 == 0 {
             return;
         }
@@ -216,7 +229,7 @@ impl BatchTrace {
 
     /// Attaches arguments to an open or closed span.
     pub fn add_args(&self, id: SpanId, args: &[(&'static str, ArgValue)]) {
-        let Some(inner) = &self.0 else { return };
+        let Some(inner) = &self.inner else { return };
         if id.0 == 0 {
             return;
         }
@@ -228,7 +241,7 @@ impl BatchTrace {
 
     /// Sets the virtual-clock interval of a span.
     pub fn set_vt(&self, id: SpanId, vt_start_us: f64, vt_dur_us: f64) {
-        let Some(inner) = &self.0 else { return };
+        let Some(inner) = &self.inner else { return };
         if id.0 == 0 {
             return;
         }
@@ -247,7 +260,7 @@ impl BatchTrace {
         parent: SpanId,
         args: &[(&'static str, ArgValue)],
     ) {
-        let Some(inner) = &self.0 else { return };
+        let Some(inner) = &self.inner else { return };
         let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
         inner.spans.lock().push(SpanRecord {
             name,
@@ -266,7 +279,7 @@ impl BatchTrace {
     /// place verb spans at explicit wall intervals). Returns the new
     /// span's id.
     pub fn push_span(&self, rec: SpanRecord) -> SpanId {
-        let Some(inner) = &self.0 else {
+        let Some(inner) = &self.inner else {
             return SpanId::NONE;
         };
         let mut spans = inner.spans.lock();
@@ -471,25 +484,40 @@ impl SpanTracer {
         self.slow_threshold_us.load(Ordering::Relaxed)
     }
 
-    /// Starts a trace for one batch, or a no-op handle when disabled.
+    /// Starts a trace for one batch. The trace id (sequence number)
+    /// is assigned unconditionally so exemplars and slow-query log
+    /// lines can reference the batch; span recording itself only
+    /// happens while the tracer is enabled.
     pub fn begin(&self, label: &'static str) -> BatchTrace {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         if !self.is_enabled() {
-            return BatchTrace(None);
+            return BatchTrace { seq, inner: None };
         }
-        BatchTrace(Some(Arc::new(BatchInner {
-            epoch: Instant::now(),
-            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
-            label,
-            spans: Mutex::new(Vec::new()),
-        })))
+        BatchTrace {
+            seq,
+            inner: Some(Arc::new(BatchInner {
+                epoch: Instant::now(),
+                seq,
+                label,
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Finishes a trace, discarding the finished tree (see
+    /// [`SpanTracer::finish_trace`]).
+    pub fn finish(&self, trace: BatchTrace) {
+        let _ = self.finish_trace(trace);
     }
 
     /// Finishes a trace: closes any still-open spans, retains the
     /// result (evicting the oldest at capacity), and renders a
-    /// slow-query report if over threshold. No-op for disabled
-    /// handles.
-    pub fn finish(&self, trace: BatchTrace) {
-        let Some(inner) = trace.0 else { return };
+    /// slow-query report if over threshold. Returns a copy of the
+    /// finished trace so the caller can fold it into the profile
+    /// accumulator or retain it as a tail exemplar; `None` for
+    /// disabled handles.
+    pub fn finish_trace(&self, trace: BatchTrace) -> Option<FinishedTrace> {
+        let inner = trace.inner?;
         let now = inner.epoch.elapsed().as_secs_f64() * 1e6;
         let spans = {
             let mut guard = inner.spans.lock();
@@ -521,7 +549,8 @@ impl SpanTracer {
         if finished.len() == self.capacity {
             finished.pop_front();
         }
-        finished.push_back(ft);
+        finished.push_back(ft.clone());
+        Some(ft)
     }
 
     /// The retained finished traces, oldest first.
@@ -551,14 +580,42 @@ impl SpanTracer {
     }
 }
 
+/// Dominant read cause of a finished trace, derived from the root
+/// span's `bytes_<cause>` arguments (the engine attaches one per
+/// nonzero [`rdma_sim::ReadCause`], in cause-index order, so ties
+/// break toward the lowest index like `CostLedger::dominant_cause`).
+fn dominant_cause_label(ft: &FinishedTrace) -> &'static str {
+    let Some(root) = ft.spans.first() else {
+        return "none";
+    };
+    let mut best: Option<(&'static str, u64)> = None;
+    for (k, v) in &root.args {
+        let Some(cause) = (*k).strip_prefix("bytes_") else {
+            continue;
+        };
+        let ArgValue::U64(b) = v else { continue };
+        if *b == 0 {
+            continue;
+        }
+        match best {
+            Some((_, bb)) if bb >= *b => {}
+            _ => best = Some((cause, *b)),
+        }
+    }
+    best.map_or("none", |(c, _)| c)
+}
+
 /// Renders a finished trace as an indented span tree for the
-/// slow-query log.
+/// slow-query log. The header carries the batch's trace id and its
+/// dominant read cause so a log line joins directly against the
+/// exemplar store (`/whyslow/<trace-id>`).
 fn render_tree(ft: &FinishedTrace) -> String {
     let mut out = format!(
-        "slow query batch: seq={} mode={} total={:.1}us ({} spans)",
+        "slow query batch: trace_id={} mode={} total={:.1}us cause={} ({} spans)",
         ft.seq,
         ft.label,
         ft.total_us,
+        dominant_cause_label(ft),
         ft.spans.len()
     );
     // Children of span `p` (0 = roots), preserving recording order.
@@ -620,8 +677,25 @@ mod tests {
         let id = trace.begin_span("x", "engine", SpanId::NONE);
         assert_eq!(id, SpanId::NONE);
         trace.end_span(id);
-        t.finish(trace);
+        assert!(t.finish_trace(trace).is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trace_ids_advance_even_while_disabled() {
+        // Exemplars and slow-log lines key on the trace id, so every
+        // batch gets a unique one whether or not spans are captured.
+        let t = SpanTracer::new(4);
+        assert_eq!(t.begin("full").seq(), 0);
+        assert_eq!(t.begin("full").seq(), 1);
+        t.set_enabled(true);
+        let enabled = t.begin("full");
+        assert_eq!(enabled.seq(), 2);
+        let ft = t.finish_trace(enabled).expect("enabled trace finishes");
+        assert_eq!(ft.seq, 2);
+        t.set_enabled(false);
+        assert_eq!(t.begin("full").seq(), 3);
+        assert_eq!(BatchTrace::disabled().seq(), 0, "no-op handle id");
     }
 
     #[test]
@@ -682,17 +756,49 @@ mod tests {
         assert!(t.slow_log().is_empty());
         // Slow batch: sleep past the threshold.
         let slow = t.begin("full");
+        let seq = slow.seq();
         let root = slow.begin_span("query_batch", "engine", SpanId::NONE);
         let child = slow.begin_span("sub_hnsw_search", "engine", root);
         std::thread::sleep(std::time::Duration::from_millis(2));
         slow.end_span(child);
-        slow.end_span(root);
+        slow.end_span_with(
+            root,
+            &[
+                ("bytes_stage_load", ArgValue::U64(100)),
+                ("bytes_retry", ArgValue::U64(700)),
+            ],
+        );
         t.finish(slow);
         let log = t.slow_log();
         assert_eq!(log.len(), 1);
         assert!(log[0].contains("slow query batch"));
         assert!(log[0].contains("sub_hnsw_search"));
         assert!(log[0].contains("mode=full"));
+        // The header joins against the exemplar store: trace id plus
+        // the dominant read cause from the root span's byte args.
+        assert!(log[0].contains(&format!("trace_id={seq}")));
+        assert!(log[0].contains("cause=retry"));
+    }
+
+    #[test]
+    fn dominant_cause_falls_back_to_none() {
+        let t = tracer();
+        let trace = t.begin("full");
+        trace.begin_span("query_batch", "engine", SpanId::NONE);
+        let ft = t.finish_trace(trace).unwrap();
+        assert_eq!(dominant_cause_label(&ft), "none");
+        // Ties break toward the first (lowest-index) cause argument.
+        let trace = t.begin("full");
+        let root = trace.begin_span("query_batch", "engine", SpanId::NONE);
+        trace.end_span_with(
+            root,
+            &[
+                ("bytes_stage_load", ArgValue::U64(500)),
+                ("bytes_version_check", ArgValue::U64(500)),
+            ],
+        );
+        let ft = t.finish_trace(trace).unwrap();
+        assert_eq!(dominant_cause_label(&ft), "stage_load");
     }
 
     #[test]

@@ -91,6 +91,10 @@ grep -q '^# TYPE dhnsw_rdma_read_bytes_by_cause_total counter' "$SMOKE_DIR/metri
 grep -q '^dhnsw_rdma_read_bytes_by_cause_total{cause="stage_load"} [1-9]' "$SMOKE_DIR/metrics.prom"
 scrape /health | grep -q '"window_p99_us"'
 scrape /explain/last | grep -q 'stage_load'
+# Tail-anatomy plane: the folded profile must carry at least one batch
+# root frame and the exemplar store must report its occupancy.
+scrape /profile/folded | grep -q '^query_batch'
+scrape /exemplars | grep -q '"occupancy"'
 scrape /shutdown > /dev/null
 wait "$SERVE_PID"
 
