@@ -1,9 +1,12 @@
 //! Benchmark-regression gate.
 //!
 //! Runs the pinned-seed workload grid ({single-node, sharded} × {cold,
-//! warm cache}), writes a schema-versioned `BENCH_<label>.json`, and —
-//! when a baseline exists — compares against it with per-metric
-//! tolerances, exiting non-zero on any regression.
+//! warm cache}), writes a schema-versioned `BENCH_<label>.json` plus a
+//! per-scenario time-series artifact `series_<label>.json`, and — when
+//! a baseline exists — compares against it with per-metric tolerances,
+//! exiting non-zero on any regression. The run itself hard-gates the
+//! deterministic-series anomaly count at zero: under a pinned seed the
+//! online detector firing means the workload changed shape.
 //!
 //! ```text
 //! bench_regress [--profile smoke|full] [--label NAME] [--out DIR]
@@ -22,7 +25,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dhnsw::chrome_trace_json;
-use dhnsw_bench::regress::{compare, render_comparison, BenchResult, Profile};
+use dhnsw_bench::regress::{compare, render_comparison, series_json, BenchResult, Profile};
+use dhnsw_bench::write_atomic;
 
 struct Args {
     profile: Profile,
@@ -111,7 +115,7 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.trace_out {
         let json = chrome_trace_json(&run.traces);
-        if let Err(e) = std::fs::write(path, json) {
+        if let Err(e) = write_atomic(path, &json) {
             eprintln!("[bench_regress] cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -122,22 +126,25 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
-        eprintln!(
-            "[bench_regress] cannot create {}: {e}",
-            args.out_dir.display()
-        );
-        return ExitCode::from(2);
-    }
     let out_path = args.out_dir.join(format!("BENCH_{}.json", args.label));
-    if let Err(e) = std::fs::write(&out_path, run.result.to_json()) {
+    if let Err(e) = write_atomic(&out_path, &run.result.to_json()) {
         eprintln!("[bench_regress] cannot write {}: {e}", out_path.display());
         return ExitCode::from(2);
     }
     eprintln!("[bench_regress] wrote {}", out_path.display());
 
+    // Per-scenario time-series artifact: points and anomaly records for
+    // each node scenario (the in-run gate already pinned deterministic
+    // anomalies to zero, or we would not be here).
+    let series_path = args.out_dir.join(format!("series_{}.json", args.label));
+    if let Err(e) = write_atomic(&series_path, &series_json(&run.result, &run.series)) {
+        eprintln!("[bench_regress] cannot write {}: {e}", series_path.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("[bench_regress] wrote {}", series_path.display());
+
     if args.write_baseline {
-        if let Err(e) = std::fs::write(&args.baseline, run.result.to_json()) {
+        if let Err(e) = write_atomic(&args.baseline, &run.result.to_json()) {
             eprintln!(
                 "[bench_regress] cannot write baseline {}: {e}",
                 args.baseline.display()

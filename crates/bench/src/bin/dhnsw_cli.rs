@@ -26,6 +26,10 @@
 //! # Serve the live telemetry plane (first stdout line is the URL):
 //! dhnsw_cli serve --store store.dhnsw --port 0
 //! curl http://127.0.0.1:<port>/metrics
+//!
+//! # Watch a serving node live (sparklines + anomaly banner):
+//! dhnsw_cli top --url http://127.0.0.1:<port>
+//! dhnsw_cli top --url http://127.0.0.1:<port> --once
 //! ```
 //!
 //! Every subcommand runs on the simulated RDMA fabric and reports what
@@ -85,6 +89,7 @@ fn run(args: &[String]) -> AnyResult<()> {
         "metrics" => cmd_metrics(&flags),
         "doctor" => cmd_doctor(&flags),
         "serve" => cmd_serve(&flags),
+        "top" => cmd_top(&flags),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -98,14 +103,16 @@ fn run(args: &[String]) -> AnyResult<()> {
 
 fn print_usage() {
     eprintln!(
-        "usage: dhnsw_cli <build|info|query|insert|metrics|doctor|serve> [flags]\n\
+        "usage: dhnsw_cli <build|info|query|insert|metrics|doctor|serve|top> [flags]\n\
          build:   --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
          info:    --store <snapshot>\n\
          query:   --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--metrics-out <base>] [--explain]\n\
          insert:  --store <snapshot> --input <fvecs> --out <snapshot> [--limit N] [--metrics-out <base>]\n\
          metrics: --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--format prom|json] [--out <path>]\n\
-         serve:   --store <snapshot> [--queries <fvecs>] [--port P] [--k K] [--ef EF]\n\
-                  (endpoints: /metrics /health /traces /explain/last /profile/folded /exemplars /whyslow/<id> /shutdown)\n\
+         serve:   --store <snapshot> [--queries <fvecs>] [--port P] [--k K] [--ef EF] [--series-tick-ms N]\n\
+                  (endpoints: /metrics /health /traces /explain/last /profile/folded /exemplars /whyslow/<id>\n\
+                   /timeseries?window=S&step=N /anomalies /shutdown)\n\
+         top:     --url http://host:port [--once] [--interval-ms N]\n\
          doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--warmup-passes N] [--out <path>] [--check] [--why-slow]\n\
                   [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
                   [--slo-max-degraded-rate X]\n\
@@ -603,16 +610,23 @@ fn cmd_doctor(flags: &HashMap<String, String>) -> AnyResult<()> {
 /// the recent span ring), `/explain/last` (the read-cost ledger of the
 /// last query batch), `/profile/folded` (the always-on collapsed-stack
 /// profile), `/exemplars` (the tail exemplar store), `/whyslow/<id>`
-/// (ranked diagnosis of a retained exemplar), and `/shutdown`
-/// (graceful stop).
+/// (ranked diagnosis of a retained exemplar), `/timeseries` (the
+/// recorder's derived per-window points), `/anomalies` (online-detector
+/// records), and `/shutdown` (graceful stop).
 ///
 /// Binds `127.0.0.1:<--port>` (default 0 = ephemeral) and prints the
 /// resolved URL as the first stdout line so scripts can scrape it. A
 /// probe batch runs before serving (the given `--queries`, or the
 /// meta-HNSW representatives) so the ledger and latency series carry
 /// real traffic from the first scrape.
+///
+/// A background sampler thread ticks the time-series recorder every
+/// `--series-tick-ms` (default 1000) — the only place in the system
+/// that feeds the recorder from the wall clock — and evaluates each
+/// derived window against the SLO budgets (`--slo-*` / `DHNSW_SLO_*`),
+/// publishing violations through the watchdog.
 fn cmd_serve(flags: &HashMap<String, String>) -> AnyResult<()> {
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Mutex};
 
     let store = open_store(flags)?;
@@ -687,11 +701,92 @@ fn cmd_serve(flags: &HashMap<String, String>) -> AnyResult<()> {
                     .and_then(|id| t.exemplars().whyslow_json(id))
             }
         }),
+        timeseries: Box::new({
+            let t = Arc::clone(&telemetry);
+            move |query: &str| {
+                let window = dhnsw_bench::serve::query_param(query, "window")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                let step = dhnsw_bench::serve::query_param(query, "step")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1);
+                t.series().render_json(window, step)
+            }
+        }),
+        anomalies: Box::new({
+            let t = Arc::clone(&telemetry);
+            move || t.series().anomalies_json()
+        }),
     };
-    let shutdown = AtomicBool::new(false);
+
+    // The sampler is the only wall-clock feeder the recorder has: the
+    // core's tick() is timestamp-driven so every other caller stays
+    // deterministic. Each derived window is also checked against the
+    // SLO budgets, so a p99 or hit-rate breach shows up in the span
+    // ring and the violation counters without waiting for a /health
+    // probe.
+    let tick_ms = flag_usize(flags, "series-tick-ms", 1_000)? as u64;
+    let budgets = budgets_from(flags)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let sampler = std::thread::spawn({
+        let node = Arc::clone(&node);
+        let t = Arc::clone(&telemetry);
+        let shutdown = Arc::clone(&shutdown);
+        let start = std::time::Instant::now();
+        move || {
+            while !shutdown.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(tick_ms));
+                let now_us = start.elapsed().as_micros() as u64;
+                if let Some(point) = node.sample_series(now_us) {
+                    let exemplar = t.exemplars().slowest().first().map(|r| r.trace_id);
+                    let violations = dhnsw::evaluate_slo_point(&point, &budgets, exemplar);
+                    if !violations.is_empty() {
+                        dhnsw::health::watchdog::emit(&t, &violations);
+                    }
+                }
+            }
+        }
+    });
     let served = dhnsw_bench::serve::serve_loop(listener, &sources, &shutdown)?;
+    shutdown.store(true, Ordering::Relaxed);
+    sampler.join().map_err(|_| "series sampler panicked")?;
     eprintln!("served {served} requests; bye");
     Ok(())
+}
+
+/// Live `top`-style dashboard against a serving node: fetches
+/// `/timeseries` and `/anomalies` from `--url`, renders sparklines for
+/// QPS, windowed p99, bytes/s (total and by read cause), cache hit
+/// rate, and pipeline hidden ratio, plus an anomaly banner, then
+/// refreshes every `--interval-ms` (default 1000). With `--once` it
+/// prints a single frame without clearing the screen and exits — the
+/// form `scripts/check.sh` smoke-tests.
+fn cmd_top(flags: &HashMap<String, String>) -> AnyResult<()> {
+    use dhnsw_bench::top;
+
+    let url = flags
+        .get("url")
+        .ok_or("--url http://host:port required")?
+        .trim_end_matches('/')
+        .to_string();
+    let once = flags.contains_key("once");
+    let interval = std::time::Duration::from_millis(flag_usize(flags, "interval-ms", 1_000)? as u64);
+    let timeout = std::time::Duration::from_secs(5);
+    loop {
+        let ts = top::http_get(&format!("{url}/timeseries"), timeout)?;
+        let an = top::http_get(&format!("{url}/anomalies"), timeout)?;
+        let snap = top::parse_snapshot(&ts, &an)?;
+        let frame = top::render_dashboard(&snap, &url, 48);
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // ANSI clear + home, then the fresh frame.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write;
+        std::io::stdout().flush()?;
+        std::thread::sleep(interval);
+    }
 }
 
 #[cfg(test)]

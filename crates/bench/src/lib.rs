@@ -28,6 +28,7 @@
 pub mod csv;
 pub mod regress;
 pub mod serve;
+pub mod top;
 pub mod trace;
 
 use std::time::Instant;
@@ -35,9 +36,19 @@ use std::time::Instant;
 /// Writes `contents` to `path` atomically: the bytes land in a sibling
 /// temp file first, then a `rename` swaps it into place, so a scraper
 /// or CI step reading `path` concurrently sees either the old file or
-/// the new one — never a torn half-write.
-pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
-    let tmp = format!("{path}.tmp.{}", std::process::id());
+/// the new one — never a torn half-write. Missing parent directories
+/// are created first, so `--metrics-out nested/dir/run.prom` works
+/// without a separate `mkdir`.
+pub fn write_atomic<P: AsRef<std::path::Path>>(path: P, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
     std::fs::write(&tmp, contents)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),

@@ -18,7 +18,8 @@ use std::sync::Arc;
 
 use dhnsw::telemetry::Telemetry;
 use dhnsw::{
-    DHnswConfig, FinishedTrace, QueryTrace, SearchMode, ShardedStore, VectorStore,
+    AnomalyRecord, DHnswConfig, FinishedTrace, QueryTrace, SearchMode, SeriesPoint, ShardedStore,
+    VectorStore,
 };
 use vecsim::{gen, ground_truth, recall, Dataset, Metric};
 
@@ -115,6 +116,52 @@ pub struct RunOutput {
     /// Finished span traces from the single-node scenario (empty unless
     /// span capture was requested).
     pub traces: Vec<FinishedTrace>,
+    /// Per-scenario time series (one recorder tick per batch, synthetic
+    /// one-second timestamps) for the node scenarios. Sharded scenarios
+    /// have no entry: their shards share the global hub, so a
+    /// per-scenario recorder cannot be isolated there.
+    pub series: BTreeMap<String, ScenarioSeries>,
+}
+
+/// One scenario's recorded time series: the derived points plus any
+/// anomaly records the online detector fired during the pass.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSeries {
+    /// Derived per-batch points, oldest first.
+    pub points: Vec<SeriesPoint>,
+    /// Anomaly records fired during the pass.
+    pub anomalies: Vec<AnomalyRecord>,
+}
+
+/// Renders the per-scenario series of a run as the
+/// `results/series_<label>.json` artifact.
+pub fn series_json(result: &BenchResult, series: &BTreeMap<String, ScenarioSeries>) -> String {
+    let scenarios = series
+        .iter()
+        .map(|(name, s)| {
+            let points = s
+                .points
+                .iter()
+                .map(|p| p.to_json())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let anomalies = s
+                .anomalies
+                .iter()
+                .map(|a| a.to_json())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("\"{name}\": {{\"points\": [{points}], \"anomalies\": [{anomalies}]}}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"label\": \"{}\", \"profile\": \"{}\", \
+         \"seed\": {}, \"scenarios\": {{{scenarios}}}}}\n",
+        escape_json(&result.label),
+        escape_json(&result.profile),
+        result.seed,
+    )
 }
 
 fn batch_queries(data: &Dataset, profile: &Profile) -> Result<Vec<Dataset>, vecsim::Error> {
@@ -204,20 +251,41 @@ impl PassStats {
     }
 }
 
+/// The shared workload grid one node scenario runs against: query
+/// batches, their exact ground truth, and the profile knobs.
+struct PassGrid<'a> {
+    batches: &'a [Dataset],
+    truths: &'a [Vec<Vec<vecsim::Neighbor>>],
+    profile: &'a Profile,
+    fanout: u32,
+}
+
 /// Runs consecutive passes of the whole batch grid against one node
 /// (first pass cold, later passes warm), emitting one scenario label per
 /// pass.
 fn run_node_passes(
     node: &dhnsw::ComputeNode,
-    batches: &[Dataset],
-    truths: &[Vec<Vec<vecsim::Neighbor>>],
-    profile: &Profile,
-    fanout: u32,
+    grid: &PassGrid<'_>,
     scenarios: &[&str],
+    telemetry: &Telemetry,
     metrics: &mut BTreeMap<String, f64>,
+    series_out: &mut BTreeMap<String, ScenarioSeries>,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let PassGrid {
+        batches,
+        truths,
+        profile,
+        fanout,
+    } = *grid;
     for scenario in scenarios {
         let mut stats = PassStats::new();
+        // Each pass gets a fresh recorder window: clear, baseline tick,
+        // then one tick per batch, one virtual second apart. Timestamps
+        // are synthetic so the recorded rates (and the zero-anomaly
+        // gate below) are exactly reproducible under a pinned seed.
+        telemetry.series().clear();
+        let mut t_us = 0u64;
+        node.sample_series(t_us);
         for (b, queries) in batches.iter().enumerate() {
             let stats0 = node.queue_pair().stats().snapshot();
             let (results, report) = node.query_batch(queries, profile.k, profile.ef)?;
@@ -247,9 +315,75 @@ fn run_node_passes(
                 total_us: report.breakdown.total_us(),
                 cause_bytes: report.ledger.cause_bytes,
             });
+            t_us += 1_000_000;
+            node.sample_series(t_us);
         }
         stats.emit(scenario, metrics);
+        let pass = ScenarioSeries {
+            points: telemetry.series().points(),
+            anomalies: telemetry.series().anomalies(),
+        };
+        emit_series_metrics(scenario, &pass, metrics)?;
+        series_out.insert(scenario.to_string(), pass);
     }
+    Ok(())
+}
+
+/// Emits `{scenario}.series_*` stability metrics from one pass's
+/// recorded series and hard-gates the deterministic anomaly count at
+/// zero: under a pinned seed with no fault injection, the online
+/// detector firing on a count-derived series means the workload itself
+/// changed shape, not that the machine was noisy.
+fn emit_series_metrics(
+    scenario: &str,
+    pass: &ScenarioSeries,
+    metrics: &mut BTreeMap<String, f64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let deterministic = pass
+        .anomalies
+        .iter()
+        .filter(|a| a.deterministic)
+        .count();
+    if deterministic > 0 {
+        let offenders: Vec<&str> = pass
+            .anomalies
+            .iter()
+            .filter(|a| a.deterministic)
+            .map(|a| a.series)
+            .collect();
+        return Err(format!(
+            "series gate: scenario {scenario} fired {deterministic} deterministic \
+             anomalies under a pinned seed ({offenders:?})"
+        )
+        .into());
+    }
+    metrics.insert(
+        format!("{scenario}.series_points"),
+        pass.points.len() as f64,
+    );
+    metrics.insert(format!("{scenario}.series_anomalies"), 0.0);
+    metrics.insert(
+        format!("{scenario}.series_anomalies_wallclock"),
+        (pass.anomalies.len() - deterministic) as f64,
+    );
+    // Relative spread of windowed p99 across active points. Wall-clock
+    // derived, so the comparison band is wide; the gate pins down gross
+    // instability (e.g. one batch 10x slower than its siblings), not
+    // scheduler jitter.
+    let p99s: Vec<f64> = pass
+        .points
+        .iter()
+        .filter(|p| p.window_queries > 0)
+        .map(|p| p.p99_us)
+        .collect();
+    let drift = match (
+        p99s.iter().cloned().fold(f64::INFINITY, f64::min),
+        p99s.iter().cloned().fold(0.0f64, f64::max),
+    ) {
+        (min, max) if max > 0.0 => (max - min) / max,
+        _ => 0.0,
+    };
+    metrics.insert(format!("{scenario}.series_p99_drift"), drift);
     Ok(())
 }
 
@@ -324,6 +458,7 @@ pub fn run_profile(
     let config = profile.config();
     let mut metrics = BTreeMap::new();
     let mut traces = Vec::new();
+    let mut series = BTreeMap::new();
 
     // Single-node scenarios: one connection, pass 1 cold, pass 2 warm.
     {
@@ -339,12 +474,16 @@ pub fn run_profile(
         node.set_pipeline_depth(1);
         run_node_passes(
             &node,
-            &batches,
-            &truths,
-            profile,
-            config.fanout() as u32,
+            &PassGrid {
+                batches: &batches,
+                truths: &truths,
+                profile,
+                fanout: config.fanout() as u32,
+            },
             &["single_cold", "single_warm"],
+            &telemetry,
             &mut metrics,
+            &mut series,
         )?;
         // Health snapshot of the warmed single node. Keys absent from a
         // baseline are never treated as regressions, so adding these is
@@ -385,12 +524,16 @@ pub fn run_profile(
         node.set_pipeline_depth(2);
         run_node_passes(
             &node,
-            &batches,
-            &truths,
-            profile,
-            config.fanout() as u32,
+            &PassGrid {
+                batches: &batches,
+                truths: &truths,
+                profile,
+                fanout: config.fanout() as u32,
+            },
             &["pipeline_cold", "pipeline_warm"],
+            &pipe_telemetry,
             &mut metrics,
+            &mut series,
         )?;
         // Hard gate, independent of the committed baseline: on the cold
         // grid the pipelined schedule must expose strictly less virtual
@@ -555,6 +698,7 @@ pub fn run_profile(
             metrics,
         },
         traces,
+        series,
     })
 }
 
@@ -640,31 +784,88 @@ impl BenchResult {
     }
 }
 
+/// A parsed JSON value, covering the subset the bench envelope and the
+/// telemetry endpoints emit.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// A number (all JSON numbers are parsed as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An object, keyed by member name.
     Obj(BTreeMap<String, Json>),
+    /// An array.
     Arr(Vec<Json>),
+    /// A boolean.
+    Bool(bool),
+    /// The `null` literal.
+    Null,
+}
+
+impl Json {
+    /// Looks up a member of an object; `None` for non-objects or
+    /// missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
 }
 
 /// A minimal recursive-descent parser covering the subset of JSON the
 /// bench envelope and the telemetry snapshot use: objects, arrays,
-/// strings, and numbers.
-struct JsonParser<'a> {
+/// strings, numbers, booleans, and `null`.
+pub struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> Self {
+    /// Wraps `text` for parsing.
+    #[must_use]
+    pub fn new(text: &'a str) -> Self {
         JsonParser {
             bytes: text.as_bytes(),
             pos: 0,
         }
     }
 
-    fn parse_document(&mut self) -> Result<Json, String> {
+    /// Parses the wrapped text as a single JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on malformed input or trailing
+    /// bytes.
+    pub fn parse_document(&mut self) -> Result<Json, String> {
         let v = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
@@ -707,10 +908,23 @@ impl<'a> JsonParser<'a> {
             b'[' => self.parse_array(),
             b'"' => Ok(Json::Str(self.parse_string()?)),
             b'-' | b'0'..=b'9' => self.parse_number(),
+            b't' => self.parse_literal("true", Json::Bool(true)),
+            b'f' => self.parse_literal("false", Json::Bool(false)),
+            b'n' => self.parse_literal("null", Json::Null),
             c => Err(format!(
                 "unsupported JSON value starting with '{}' at offset {}",
                 c as char, self.pos
             )),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at offset {}", self.pos))
         }
     }
 
@@ -895,6 +1109,35 @@ pub fn tolerance_for(metric: &str) -> Tolerance {
             rel: 0.0,
             abs: 0.0,
             higher_is_worse: false,
+        },
+        // One recorder point per batch, exactly reproducible: losing
+        // any means the tick path stopped deriving windows.
+        "series_points" => Tolerance {
+            rel: 0.0,
+            abs: 0.0,
+            higher_is_worse: false,
+        },
+        // Deterministic anomalies are hard-gated to zero inside the
+        // run; the band re-pins that in baseline comparisons too.
+        "series_anomalies" => Tolerance {
+            rel: 0.0,
+            abs: 0.0,
+            higher_is_worse: true,
+        },
+        // Wall-clock-derived anomalies (p99) may fire on a loaded box;
+        // allow a few before calling it a regression.
+        "series_anomalies_wallclock" => Tolerance {
+            rel: 0.0,
+            abs: 4.0,
+            higher_is_worse: true,
+        },
+        // Relative p99 spread across a pass's windows is a ratio in
+        // [0, 1] derived from the wall clock; only gross instability
+        // (the whole band plus scale) should trip it.
+        "series_p99_drift" => Tolerance {
+            rel: 0.5,
+            abs: 0.5,
+            higher_is_worse: true,
         },
         _ => Tolerance {
             rel: 0.25,
@@ -1257,6 +1500,40 @@ mod tests {
         // Span capture returned per-batch traces (2 batches x 2 passes).
         assert_eq!(out.traces.len(), 4);
         assert!(out.traces.iter().all(|t| !t.spans.is_empty()));
+        // Time series ride every node scenario: one point per batch,
+        // and the zero-anomaly hard gate held (run_profile would have
+        // errored otherwise — re-pin the emitted metric here).
+        for scenario in [
+            "single_cold",
+            "single_warm",
+            "pipeline_cold",
+            "pipeline_warm",
+        ] {
+            let pass = &out.series[scenario];
+            assert_eq!(
+                pass.points.len(),
+                2,
+                "{scenario}: expected one series point per batch"
+            );
+            assert!(
+                pass.points.iter().all(|p| p.window_queries == 8),
+                "{scenario}: each window covers one 8-query batch"
+            );
+            assert_eq!(r.metrics[&format!("{scenario}.series_points")], 2.0);
+            assert_eq!(r.metrics[&format!("{scenario}.series_anomalies")], 0.0);
+            assert!(r.metrics.contains_key(&format!("{scenario}.series_p99_drift")));
+        }
+        // Sharded scenarios share the global hub, so no series entry.
+        assert!(!out.series.contains_key("sharded_cold"));
+        // The artifact renderer round-trips through the JSON parser.
+        let artifact = series_json(r, &out.series);
+        let doc = JsonParser::new(artifact.trim()).parse_document().unwrap();
+        assert_eq!(
+            doc.get("scenarios")
+                .and_then(|s| s.get("single_cold"))
+                .map(|s| s.get("points").map(|p| p.items().len())),
+            Some(Some(2))
+        );
         // A self-comparison has zero regressions.
         assert!(!compare(r, r, 1.0).iter().any(|d| d.regressed));
     }

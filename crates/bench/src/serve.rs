@@ -13,6 +13,8 @@
 //! | `GET /profile/folded` | collapsed-stack profile (flamegraph.pl / inferno / speedscope) |
 //! | `GET /exemplars` | tail exemplar store JSON (reservoir, K-slowest, bucket exemplars) |
 //! | `GET /whyslow/<trace-id>` | ranked why-slow diagnosis for a retained exemplar |
+//! | `GET /timeseries?window=<s>&step=<n>` | series-recorder history JSON (rates + windowed quantiles) |
+//! | `GET /anomalies` | anomaly records fired by the series recorder |
 //! | `GET /shutdown` | acknowledges, then stops the accept loop |
 //!
 //! The accept loop is bounded by construction: connections are served
@@ -20,7 +22,10 @@
 //! and every socket gets a read/write timeout, so a stuck or malicious
 //! client can delay the next scrape but never wedge or exhaust the
 //! process. Shutdown is cooperative through an [`AtomicBool`] the
-//! caller shares with the loop (and that `/shutdown` sets).
+//! caller shares with the loop (and that `/shutdown` sets). Every
+//! response carries `Cache-Control: no-store`: all payloads are live
+//! state, and a cached `/timeseries` frame would silently freeze a
+//! dashboard.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -59,6 +64,22 @@ pub struct ServeSources {
     /// Body for `GET /whyslow/<trace-id>`: `Some(json)` when the id
     /// parses and resolves to a retained exemplar, `None` renders 404.
     pub whyslow: LookupSource,
+    /// Body for `GET /timeseries`; receives the raw query string
+    /// (`window=30&step=2`, possibly empty) so the source controls
+    /// parameter parsing.
+    pub timeseries: Box<dyn Fn(&str) -> String + Send>,
+    /// Body for `GET /anomalies` (series-recorder anomaly records).
+    pub anomalies: Box<dyn Fn() -> String + Send>,
+}
+
+/// Extracts the value of `key` from a raw query string
+/// (`a=1&b=2`). Returns `None` when the key is absent; an empty value
+/// (`a=`) returns `Some("")`.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
 }
 
 /// A response ready to encode onto the wire.
@@ -91,7 +112,7 @@ impl Response {
             _ => "Unknown",
         };
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
             self.status,
             reason,
             self.content_type,
@@ -113,8 +134,9 @@ pub fn handle(method: &str, path: &str, sources: &ServeSources, shutdown: &Atomi
     if method != "GET" {
         return Response::new(405, TEXT_TYPE, "only GET is supported\n".to_string());
     }
-    // Drop any query string: `/metrics?x=y` is `/metrics`.
-    let path = path.split('?').next().unwrap_or(path);
+    // Split the query string off the route: `/metrics?x=y` routes as
+    // `/metrics`; `/timeseries` receives its parameters.
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     match path {
         "/metrics" => Response::new(200, PROM_TYPE, (sources.metrics)()),
         "/health" => match (sources.health)() {
@@ -125,6 +147,8 @@ pub fn handle(method: &str, path: &str, sources: &ServeSources, shutdown: &Atomi
         "/explain/last" => Response::new(200, TEXT_TYPE, (sources.explain)()),
         "/profile/folded" => Response::new(200, TEXT_TYPE, (sources.profile)()),
         "/exemplars" => Response::new(200, JSON_TYPE, (sources.exemplars)()),
+        "/timeseries" => Response::new(200, JSON_TYPE, (sources.timeseries)(query)),
+        "/anomalies" => Response::new(200, JSON_TYPE, (sources.anomalies)()),
         "/shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
             Response::new(200, TEXT_TYPE, "shutting down\n".to_string())
@@ -158,7 +182,7 @@ fn not_found(path: &str) -> Response {
         404,
         JSON_TYPE,
         format!(
-            "{{\"error\": \"not found\", \"path\": \"{escaped}\", \"endpoints\": [\"/metrics\", \"/health\", \"/traces\", \"/explain/last\", \"/profile/folded\", \"/exemplars\", \"/whyslow/<trace-id>\", \"/shutdown\"]}}\n",
+            "{{\"error\": \"not found\", \"path\": \"{escaped}\", \"endpoints\": [\"/metrics\", \"/health\", \"/traces\", \"/explain/last\", \"/profile/folded\", \"/exemplars\", \"/whyslow/<trace-id>\", \"/timeseries\", \"/anomalies\", \"/shutdown\"]}}\n",
         ),
     )
 }
@@ -241,6 +265,10 @@ mod tests {
             whyslow: Box::new(|id| {
                 (id == "7").then(|| "{\"verdict\": \"retry_storm\"}".to_string())
             }),
+            timeseries: Box::new(|query| {
+                format!("{{\"echo\": \"{query}\", \"points\": []}}")
+            }),
+            anomalies: Box::new(|| "{\"fired\": 0, \"records\": []}".to_string()),
         }
     }
 
@@ -277,6 +305,15 @@ mod tests {
         let w = handle("GET", "/whyslow/7", &sources, &shutdown);
         assert_eq!(w.status, 200);
         assert!(w.body.contains("retry_storm"));
+        // /timeseries keeps its query string; /anomalies is plain.
+        let ts = handle("GET", "/timeseries?window=30&step=2", &sources, &shutdown);
+        assert_eq!((ts.status, ts.content_type), (200, JSON_TYPE));
+        assert!(ts.body.contains("\"echo\": \"window=30&step=2\""), "{}", ts.body);
+        let ts_bare = handle("GET", "/timeseries", &sources, &shutdown);
+        assert!(ts_bare.body.contains("\"echo\": \"\""), "{}", ts_bare.body);
+        let an = handle("GET", "/anomalies", &sources, &shutdown);
+        assert_eq!((an.status, an.content_type), (200, JSON_TYPE));
+        assert!(an.body.contains("\"records\": []"));
         // An unretained or malformed id is a 404, not a 500.
         assert_eq!(handle("GET", "/whyslow/99", &sources, &shutdown).status, 404);
         assert_eq!(handle("GET", "/whyslow/", &sources, &shutdown).status, 404);
@@ -284,11 +321,23 @@ mod tests {
         assert_eq!((nope.status, nope.content_type), (404, JSON_TYPE));
         assert!(nope.body.contains("\"path\": \"/nope\""));
         assert!(nope.body.contains("/profile/folded"));
+        assert!(nope.body.contains("/timeseries"));
+        assert!(nope.body.contains("/anomalies"));
         assert_eq!(handle("POST", "/metrics", &sources, &shutdown).status, 405);
         assert!(!shutdown.load(Ordering::SeqCst));
         let s = handle("GET", "/shutdown", &sources, &shutdown);
         assert_eq!(s.status, 200);
         assert!(shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn query_param_parses_raw_query_strings() {
+        assert_eq!(query_param("window=30&step=2", "window"), Some("30"));
+        assert_eq!(query_param("window=30&step=2", "step"), Some("2"));
+        assert_eq!(query_param("window=30&step=2", "missing"), None);
+        assert_eq!(query_param("", "window"), None);
+        assert_eq!(query_param("window=", "window"), Some(""));
+        assert_eq!(query_param("window", "window"), Some(""));
     }
 
     #[test]
@@ -307,6 +356,8 @@ mod tests {
         let wire = String::from_utf8(r.encode()).unwrap();
         assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(wire.contains("Content-Length: 6\r\n"));
+        // Live state must never be cached by an intermediary.
+        assert!(wire.contains("Cache-Control: no-store\r\n"));
         assert!(wire.ends_with("\r\n\r\nhello\n"));
         // Content-Length counts bytes, not chars: "µs" is 3 bytes.
         let r = Response::new(200, TEXT_TYPE, "µs\n".to_string());
@@ -346,10 +397,15 @@ mod tests {
         assert!(folded.contains("query_batch;network 120"), "{folded}");
         let why = get(addr, "/whyslow/7");
         assert!(why.contains("retry_storm"), "{why}");
+        let ts = get(addr, "/timeseries?window=5");
+        assert!(ts.contains("\"points\": []"), "{ts}");
+        assert!(ts.contains("Cache-Control: no-store"), "{ts}");
+        let an = get(addr, "/anomalies");
+        assert!(an.contains("\"records\": []"), "{an}");
         let bye = get(addr, "/shutdown");
         assert!(bye.starts_with("HTTP/1.1 200 OK"), "{bye}");
         let served = server.join().unwrap();
-        assert_eq!(served, 5);
+        assert_eq!(served, 7);
         assert!(shutdown.load(Ordering::SeqCst));
     }
 

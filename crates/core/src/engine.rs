@@ -866,6 +866,21 @@ impl ComputeNode {
         flushed.cache = cache_now;
     }
 
+    /// Takes one time-series sample at `now_us` (caller-supplied —
+    /// synthetic in tests and benchmarks, wall-clock only in the
+    /// serving plane's sampler thread).
+    ///
+    /// Substrate and cache counters are normally flushed to the
+    /// telemetry registry on the query path, so a sampler ticking
+    /// *between* batches would read stale values; this flushes first
+    /// and then ticks the hub's [`crate::telemetry::series::SeriesRecorder`],
+    /// returning the derived point (see
+    /// [`crate::telemetry::Telemetry::tick_series`]).
+    pub fn sample_series(&self, now_us: u64) -> Option<crate::telemetry::series::SeriesPoint> {
+        self.flush_telemetry();
+        self.telemetry.tick_series(now_us)
+    }
+
     /// Empties the LRU cluster cache (cold-start benchmarks).
     pub fn drop_cache(&self) {
         self.cache.lock().clear();

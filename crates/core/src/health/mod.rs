@@ -37,4 +37,4 @@ pub mod watchdog;
 pub use heatmap::{ClusterHeatmap, PartitionHeat};
 pub use report::{CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary, TailHealth};
 pub use skew::{skew_of, SkewStats};
-pub use watchdog::{evaluate, SloBudgets, SloViolation};
+pub use watchdog::{evaluate, evaluate_point, SloBudgets, SloViolation};

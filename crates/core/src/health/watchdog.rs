@@ -11,6 +11,7 @@
 //! sees the same verdict.
 
 use crate::health::report::HealthReport;
+use crate::telemetry::series::SeriesPoint;
 use crate::telemetry::span::{ArgValue, SpanId};
 use crate::telemetry::Telemetry;
 
@@ -147,6 +148,44 @@ pub fn evaluate(report: &HealthReport, budgets: &SloBudgets) -> Vec<SloViolation
             out.push(SloViolation {
                 budget: "degraded_rate",
                 actual: report.reliability.degraded_rate,
+                limit,
+                exemplar,
+            });
+        }
+    }
+    out
+}
+
+/// Checks one recorder-derived [`SeriesPoint`] against the windowed
+/// budgets (latency p99 and cache hit rate — the two that are
+/// meaningful per sampling window). This lets a continuously ticking
+/// sampler evaluate SLOs over every recorder window instead of the
+/// one-off baseline a [`HealthReport`] advances: same empty-window
+/// semantics (an idle window skips the check), same budget names, so
+/// `dhnsw_slo_violations_total{budget=…}` aggregates across both
+/// paths. `exemplar` should be the slowest retained tail exemplar's
+/// trace id at evaluation time, if any.
+pub fn evaluate_point(
+    point: &SeriesPoint,
+    budgets: &SloBudgets,
+    exemplar: Option<u64>,
+) -> Vec<SloViolation> {
+    let mut out = Vec::new();
+    if let Some(limit) = budgets.max_p99_us {
+        if point.window_queries > 0 && point.p99_us > limit {
+            out.push(SloViolation {
+                budget: "p99_latency_us",
+                actual: point.p99_us,
+                limit,
+                exemplar,
+            });
+        }
+    }
+    if let Some(limit) = budgets.min_cache_hit_rate {
+        if point.window_cache_ops > 0 && point.hit_rate < limit {
+            out.push(SloViolation {
+                budget: "cache_hit_rate",
+                actual: point.hit_rate,
                 limit,
                 exemplar,
             });

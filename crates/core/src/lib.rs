@@ -71,8 +71,8 @@ pub use config::DHnswConfig;
 pub use engine::{ComputeNode, QueryOptions, SearchMode};
 pub use error::Error;
 pub use health::{
-    evaluate as evaluate_slo, skew_of, ClusterHeatmap, HealthReport, PartitionHeat, SkewStats,
-    SloBudgets, SloViolation,
+    evaluate as evaluate_slo, evaluate_point as evaluate_slo_point, skew_of, ClusterHeatmap,
+    HealthReport, PartitionHeat, SkewStats, SloBudgets, SloViolation,
 };
 pub use meta::MetaIndex;
 pub use sharded::{merged_coverage, ShardedSession, ShardedStore};
@@ -82,6 +82,10 @@ pub use telemetry::exemplar::{
     diagnose, verdict_index, BucketExemplar, Diagnosis, ExemplarStore, TailRecord, VERDICTS,
 };
 pub use telemetry::profile::{PathStats, ProfileAccumulator};
+pub use telemetry::series::{
+    AnomalyConfig, AnomalyRecord, Sample, SeriesPoint, SeriesRecorder, TrackedSeries, TRACKED,
+    TRACKED_SERIES,
+};
 pub use telemetry::span::{
     ArgValue, BatchTrace, FinishedTrace, QpSpanSink, SpanId, SpanKind, SpanRecord, SpanTracer,
 };

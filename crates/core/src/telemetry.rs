@@ -29,6 +29,7 @@
 pub mod chrome;
 pub mod exemplar;
 pub mod profile;
+pub mod series;
 pub mod span;
 
 use parking_lot::Mutex;
@@ -38,6 +39,7 @@ use std::sync::{Arc, OnceLock};
 
 use exemplar::ExemplarStore;
 use profile::ProfileAccumulator;
+use series::{SeriesPoint, SeriesRecorder};
 use span::{SpanTracer, DEFAULT_SPAN_TRACE_CAPACITY};
 
 /// Number of histogram buckets: upper bounds `2^0 .. 2^31`, then +Inf.
@@ -534,6 +536,7 @@ pub struct Telemetry {
     spans: SpanTracer,
     profile: ProfileAccumulator,
     exemplars: ExemplarStore,
+    series: SeriesRecorder,
 }
 
 impl Default for Telemetry {
@@ -556,6 +559,7 @@ impl Telemetry {
             spans: SpanTracer::new(DEFAULT_SPAN_TRACE_CAPACITY),
             profile: ProfileAccumulator::new(),
             exemplars: ExemplarStore::default(),
+            series: SeriesRecorder::new(),
         }
     }
 
@@ -585,6 +589,20 @@ impl Telemetry {
     /// `/whyslow/<id>`, and the histogram bucket exemplars.
     pub fn exemplars(&self) -> &ExemplarStore {
         &self.exemplars
+    }
+
+    /// The time-series recorder behind `/timeseries`, `/anomalies`,
+    /// and `dhnsw_cli top`.
+    pub fn series(&self) -> &SeriesRecorder {
+        &self.series
+    }
+
+    /// Ticks the embedded series recorder against this hub at
+    /// `now_us` (caller-supplied; the recorder never reads the wall
+    /// clock). Prefer [`crate::ComputeNode::sample_series`], which
+    /// flushes the engine's substrate counters first.
+    pub fn tick_series(&self, now_us: u64) -> Option<SeriesPoint> {
+        self.series.tick(self, now_us)
     }
 
     /// Gets or registers the counter `name{labels}`.
@@ -783,7 +801,7 @@ fn merge_label(labels: &str, extra: &str) -> String {
 }
 
 /// Formats an f64 as JSON (no NaN/Inf — clamp to a string if ever hit).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -934,6 +952,43 @@ mod tests {
         // observed max like the live histogram does.
         assert_eq!(snap.quantile(1.0), 1000.0);
         assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn histogram_snapshot_sub_saturates_across_a_reset() {
+        // A racing reset between two snapshots makes the "later"
+        // snapshot smaller than the baseline in some buckets. The
+        // window must saturate to empty, never wrap.
+        let before = Histogram::default();
+        before.observe_n(100, 8);
+        before.observe_n(10_000, 2);
+        let baseline = before.snapshot();
+        let after_reset = Histogram::default();
+        after_reset.observe_n(100, 3);
+        let window = after_reset.snapshot() - baseline;
+        assert_eq!(window.count(), 0, "every bucket saturated to zero");
+        assert_eq!(window.sum(), 0);
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(window.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_sub_partial_wrap_keeps_surviving_buckets() {
+        // Only one bucket wraps (the reset lost the slow samples);
+        // the fast bucket's surviving delta must still be exact and
+        // the window quantile clamps to the later lifetime max.
+        let before = Histogram::default();
+        before.observe_n(10_000, 5);
+        let baseline = before.snapshot();
+        let after_reset = Histogram::default();
+        after_reset.observe_n(100, 7);
+        let window = after_reset.snapshot() - baseline;
+        assert_eq!(window.count(), 7, "fast bucket survives the wrap");
+        // `max` keeps the later snapshot's lifetime value (100), so
+        // the quantile clamp cannot resurrect the lost 10k samples.
+        assert_eq!(window.quantile(1.0), 100.0);
+        assert!(window.quantile(0.99) <= 128.0);
     }
 
     #[test]

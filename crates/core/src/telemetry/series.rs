@@ -1,0 +1,914 @@
+//! Time-series telemetry: history ring, rate derivation, and online
+//! anomaly detection.
+//!
+//! Every other observability surface (`/metrics`, `/health`,
+//! `/profile/folded`, `/exemplars`) is a point-in-time snapshot. The
+//! [`SeriesRecorder`] adds the *time axis*: a bounded ring of
+//! timestamped [`Sample`]s of the hub's query-path instruments, from
+//! which consecutive pairs derive a [`SeriesPoint`] of per-second
+//! rates (QPS, bytes/s by [`ReadCause`], retries/s, evictions/s) and
+//! *windowed* latency quantiles — the saturating
+//! [`HistogramSnapshot`] subtraction gives the exact histogram of
+//! queries that landed between two ticks, so p99 here is the p99 *of
+//! that window*, not a lifetime aggregate.
+//!
+//! **Determinism contract.** Sampling is driven by an explicit
+//! [`SeriesRecorder::tick`] carrying the caller's timestamp; this
+//! module never reads the wall clock. Tests and `bench_regress` tick
+//! with synthetic timestamps (one tick per batch, one virtual second
+//! apart), making every derived rate — and therefore every anomaly
+//! verdict on a deterministic series — reproducible bit-for-bit under
+//! pinned seeds. Only the serving plane (`dhnsw_cli serve`) runs a
+//! background sampler thread that ticks from the wall clock.
+//!
+//! **Anomaly scoring.** Each tracked series (see [`TRACKED_SERIES`])
+//! feeds an online detector keeping an EWMA mean and an EWMA absolute
+//! deviation (a streaming stand-in for the MAD). A point scores
+//! `z = |x - mean| / max(1.4826·dev, rel_floor·|mean|, abs_floor)`;
+//! the `1.4826` factor rescales the MAD to a standard-deviation
+//! equivalent under a normal baseline, and the two floors keep a
+//! near-constant series (dev → 0) from turning measurement dust into
+//! infinite z-scores. Detection fires on `z ≥ enter_z` and re-arms
+//! only once `z ≤ exit_z` (hysteresis), warm-up points are never
+//! scored, idle windows (zero queries) are never scored, and
+//! anomalous points update the baseline with a strongly reduced
+//! weight so a level shift is flagged instead of silently absorbed.
+//! A firing bumps `dhnsw_anomaly_total{series=…}`, drops a structured
+//! `anomaly` instant in the span ring (watchdog-style), and appends
+//! an [`AnomalyRecord`] linking the slowest retained exemplar's trace
+//! id — closing the loop from "p99 jumped at t=14s" to a concrete
+//! `/whyslow/<id>` diagnosis.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rdma_sim::{ReadCause, READ_CAUSES};
+
+use super::span::{ArgValue, SpanId};
+use super::{json_f64, Counter, Histogram, HistogramSnapshot, Telemetry};
+
+/// Default number of derived points the ring retains (at the serving
+/// plane's 1 Hz sampler: ten minutes of history).
+pub const DEFAULT_SERIES_CAPACITY: usize = 600;
+
+/// Default number of anomaly records retained.
+pub const DEFAULT_ANOMALY_CAPACITY: usize = 256;
+
+/// Tuning for the online anomaly detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyConfig {
+    /// Points a detector consumes before it starts scoring; the
+    /// warm-up also uses a faster EWMA weight so the baseline locks
+    /// on quickly.
+    pub warmup: u32,
+    /// z-score at or above which an anomaly fires.
+    pub enter_z: f64,
+    /// z-score at or below which a fired detector re-arms
+    /// (hysteresis: between `exit_z` and `enter_z` the episode is
+    /// considered ongoing and no new record is emitted).
+    pub exit_z: f64,
+    /// EWMA weight of the newest point for both mean and deviation.
+    pub alpha: f64,
+    /// Deviation floor as a fraction of `|mean|`, so a jitter-free
+    /// series still needs a materially different value to fire.
+    pub rel_floor: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            warmup: 5,
+            enter_z: 6.0,
+            exit_z: 3.0,
+            alpha: 0.3,
+            rel_floor: 0.05,
+        }
+    }
+}
+
+/// One series the anomaly detector watches.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackedSeries {
+    /// Stable series name (`qps`, `p99_us`, …) — becomes the `series`
+    /// label on `dhnsw_anomaly_total` and the key in anomaly records.
+    pub name: &'static str,
+    /// Whether the series is a pure function of the workload and the
+    /// caller-supplied tick timestamps (true), or contaminated by
+    /// wall-clock measurement (false, e.g. latency quantiles).
+    /// `bench_regress` hard-gates *deterministic* anomalies to zero;
+    /// wall-clock series are band-gated instead.
+    pub deterministic: bool,
+    /// Absolute deviation floor in the series' own unit.
+    pub abs_floor: f64,
+}
+
+/// Number of tracked series.
+pub const TRACKED: usize = 6;
+
+/// The series the detector watches, in [`SeriesPoint::tracked_value`]
+/// index order.
+pub const TRACKED_SERIES: [TrackedSeries; TRACKED] = [
+    TrackedSeries {
+        name: "qps",
+        deterministic: true,
+        abs_floor: 1.0,
+    },
+    TrackedSeries {
+        name: "p99_us",
+        deterministic: false,
+        abs_floor: 50.0,
+    },
+    TrackedSeries {
+        name: "bytes_per_s",
+        deterministic: true,
+        abs_floor: 1024.0,
+    },
+    TrackedSeries {
+        name: "retries_per_s",
+        deterministic: true,
+        abs_floor: 0.5,
+    },
+    TrackedSeries {
+        name: "evictions_per_s",
+        deterministic: true,
+        abs_floor: 0.5,
+    },
+    TrackedSeries {
+        name: "hit_rate",
+        deterministic: true,
+        abs_floor: 0.05,
+    },
+];
+
+/// One raw observation of the hub's query-path instruments at a tick.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Caller-supplied timestamp, microseconds.
+    pub t_us: u64,
+    /// Lifetime full-mode queries answered.
+    pub queries: u64,
+    /// Lifetime bytes read from remote memory.
+    pub bytes_read: u64,
+    /// Lifetime bytes read, by [`ReadCause`] index.
+    pub cause_bytes: [u64; READ_CAUSES],
+    /// Lifetime engine-level read retries.
+    pub read_retries: u64,
+    /// Lifetime cache evictions.
+    pub evictions: u64,
+    /// Lifetime cluster-cache lookup hits.
+    pub cache_hits: u64,
+    /// Lifetime cluster-cache lookup misses.
+    pub cache_misses: u64,
+    /// Lifetime pipeline-hidden virtual network microseconds.
+    pub hidden_us: u64,
+    /// Lifetime network-stage microseconds.
+    pub network_us: u64,
+    /// Lifetime latency histogram snapshot.
+    pub latency: HistogramSnapshot,
+}
+
+/// Rates and windowed quantiles derived from two consecutive samples.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesPoint {
+    /// Timestamp of the newer sample, microseconds.
+    pub t_us: u64,
+    /// Width of the window, microseconds.
+    pub dt_us: u64,
+    /// Queries answered inside the window.
+    pub window_queries: u64,
+    /// Queries per second over the window.
+    pub qps: f64,
+    /// Windowed p50 latency, microseconds.
+    pub p50_us: f64,
+    /// Windowed p95 latency, microseconds.
+    pub p95_us: f64,
+    /// Windowed p99 latency, microseconds.
+    pub p99_us: f64,
+    /// Remote-read bytes per second over the window.
+    pub bytes_per_s: f64,
+    /// Remote-read bytes per second by [`ReadCause`] index.
+    pub cause_bytes_per_s: [f64; READ_CAUSES],
+    /// Engine read retries per second over the window.
+    pub retries_per_s: f64,
+    /// Cache evictions per second over the window.
+    pub evictions_per_s: f64,
+    /// Cluster-cache hit rate inside the window (`0` when the window
+    /// saw no cache activity).
+    pub hit_rate: f64,
+    /// Cache lookups (hits + misses) inside the window.
+    pub window_cache_ops: u64,
+    /// Fraction of window network time hidden behind compute by
+    /// pipelining (`hidden / (hidden + exposed network)`, `0` when
+    /// the window moved no bytes).
+    pub hidden_ratio: f64,
+}
+
+impl SeriesPoint {
+    /// Value of tracked series `idx` (index into [`TRACKED_SERIES`]).
+    pub fn tracked_value(&self, idx: usize) -> f64 {
+        match idx {
+            0 => self.qps,
+            1 => self.p99_us,
+            2 => self.bytes_per_s,
+            3 => self.retries_per_s,
+            4 => self.evictions_per_s,
+            5 => self.hit_rate,
+            _ => 0.0,
+        }
+    }
+
+    /// Renders the point as a JSON object.
+    pub fn to_json(&self) -> String {
+        let causes = ReadCause::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("\"{}\": {}", c.as_str(), json_f64(self.cause_bytes_per_s[i])))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"t_us\": {}, \"dt_us\": {}, \"window_queries\": {}, \"qps\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"bytes_per_s\": {}, \
+             \"retries_per_s\": {}, \"evictions_per_s\": {}, \"hit_rate\": {}, \
+             \"window_cache_ops\": {}, \"hidden_ratio\": {}, \"cause_bytes_per_s\": {{{causes}}}}}",
+            self.t_us,
+            self.dt_us,
+            self.window_queries,
+            json_f64(self.qps),
+            json_f64(self.p50_us),
+            json_f64(self.p95_us),
+            json_f64(self.p99_us),
+            json_f64(self.bytes_per_s),
+            json_f64(self.retries_per_s),
+            json_f64(self.evictions_per_s),
+            json_f64(self.hit_rate),
+            self.window_cache_ops,
+            json_f64(self.hidden_ratio),
+        )
+    }
+}
+
+/// One anomaly the detector fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyRecord {
+    /// Timestamp of the offending point, microseconds.
+    pub t_us: u64,
+    /// Which tracked series fired.
+    pub series: &'static str,
+    /// The offending value.
+    pub value: f64,
+    /// The detector's EWMA baseline at fire time.
+    pub mean: f64,
+    /// The robust z-score that crossed `enter_z`.
+    pub zscore: f64,
+    /// Whether the series is deterministic under pinned seeds and
+    /// synthetic ticks (see [`TrackedSeries::deterministic`]).
+    pub deterministic: bool,
+    /// Trace id of the slowest retained tail exemplar at fire time —
+    /// feed it to `/whyslow/<id>` for a ranked diagnosis. `None` when
+    /// no exemplars are retained yet.
+    pub exemplar: Option<u64>,
+}
+
+impl AnomalyRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let exemplar = self
+            .exemplar
+            .map_or("null".to_string(), |id| id.to_string());
+        format!(
+            "{{\"t_us\": {}, \"series\": \"{}\", \"value\": {}, \"mean\": {}, \
+             \"zscore\": {}, \"deterministic\": {}, \"exemplar\": {exemplar}}}",
+            self.t_us,
+            self.series,
+            json_f64(self.value),
+            json_f64(self.mean),
+            json_f64(self.zscore),
+            self.deterministic,
+        )
+    }
+}
+
+/// Online EWMA mean + EWMA absolute-deviation detector for one series.
+#[derive(Debug, Clone, Copy, Default)]
+struct Detector {
+    /// Points consumed.
+    n: u32,
+    /// EWMA mean.
+    mean: f64,
+    /// EWMA absolute deviation from the running mean.
+    dev: f64,
+    /// Hysteresis state: inside an anomaly episode.
+    active: bool,
+}
+
+impl Detector {
+    /// Feeds one point; returns `Some((baseline_mean, z))` when a new
+    /// anomaly episode starts.
+    fn update(&mut self, x: f64, cfg: &AnomalyConfig, abs_floor: f64) -> Option<(f64, f64)> {
+        if self.n == 0 {
+            self.n = 1;
+            self.mean = x;
+            self.dev = 0.0;
+            return None;
+        }
+        let scale = (1.4826 * self.dev)
+            .max(cfg.rel_floor * self.mean.abs())
+            .max(abs_floor);
+        let z = (x - self.mean).abs() / scale;
+        self.n += 1;
+        let warming = self.n <= cfg.warmup;
+        let mut fired = None;
+        if !warming {
+            if !self.active && z >= cfg.enter_z {
+                self.active = true;
+                fired = Some((self.mean, z));
+            } else if self.active && z <= cfg.exit_z {
+                self.active = false;
+            }
+        }
+        // Anomalous points barely move the baseline (a level shift is
+        // flagged, not absorbed); warm-up converges fast.
+        let a = if warming {
+            cfg.alpha.max(0.5)
+        } else if z >= cfg.enter_z {
+            cfg.alpha * 0.1
+        } else {
+            cfg.alpha
+        };
+        self.dev = (1.0 - a) * self.dev + a * (x - self.mean).abs();
+        self.mean = (1.0 - a) * self.mean + a * x;
+        fired
+    }
+}
+
+/// Pre-resolved instrument handles the recorder samples. Resolution
+/// re-registers the same names the engine registers (get-or-register
+/// returns the existing `Arc`), so the recorder observes the live
+/// counters of the hub it is embedded in.
+#[derive(Debug)]
+struct Handles {
+    queries: Arc<Counter>,
+    latency: Arc<Histogram>,
+    bytes_read: Arc<Counter>,
+    cause_bytes: [Arc<Counter>; READ_CAUSES],
+    read_retries: Arc<Counter>,
+    evictions: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    hidden_us: Arc<Counter>,
+    network_us: Arc<Counter>,
+}
+
+impl Handles {
+    /// Resolves the full-mode query-path instruments on `t`. The
+    /// recorder watches `mode="full"` — the mode the serving plane
+    /// and the regression harness run; the other modes exist only as
+    /// bench comparison baselines.
+    fn resolve(t: &Telemetry) -> Handles {
+        let m: &[(&str, &str)] = &[("mode", "full")];
+        Handles {
+            queries: t.counter("dhnsw_queries_total", "Queries answered", m),
+            latency: t.histogram(
+                "dhnsw_query_latency_us",
+                "Per-query latency in microseconds (CPU wall + exposed network stall, batch time / batch size)",
+                m,
+            ),
+            bytes_read: t.counter(
+                "dhnsw_rdma_bytes_read_total",
+                "Bytes read from remote memory",
+                &[],
+            ),
+            cause_bytes: std::array::from_fn(|i| {
+                t.counter(
+                    "dhnsw_rdma_read_bytes_by_cause_total",
+                    "Bytes read from remote memory, by read cause; sums to dhnsw_rdma_bytes_read_total",
+                    &[("cause", ReadCause::ALL[i].as_str())],
+                )
+            }),
+            read_retries: t.counter(
+                "dhnsw_read_retries_total",
+                "Engine-level cluster read retries (version mismatch or exhausted retransmissions)",
+                m,
+            ),
+            evictions: t.counter(
+                "dhnsw_cache_evictions_total",
+                "Clusters evicted by LRU pressure",
+                &[],
+            ),
+            cache_hits: t.counter("dhnsw_cache_hits_total", "Cluster cache lookup hits", &[]),
+            cache_misses: t.counter(
+                "dhnsw_cache_misses_total",
+                "Cluster cache lookup misses",
+                &[],
+            ),
+            hidden_us: t.counter(
+                "dhnsw_pipeline_hidden_us_total",
+                "Virtual network time hidden behind compute by micro-batch pipelining",
+                m,
+            ),
+            network_us: t.counter(
+                "dhnsw_stage_us_total",
+                "Cumulative stage time in microseconds",
+                &[("mode", "full"), ("stage", "network")],
+            ),
+        }
+    }
+
+    /// Reads every instrument at `t_us`.
+    fn sample(&self, t_us: u64) -> Sample {
+        Sample {
+            t_us,
+            queries: self.queries.get(),
+            bytes_read: self.bytes_read.get(),
+            cause_bytes: std::array::from_fn(|i| self.cause_bytes[i].get()),
+            read_retries: self.read_retries.get(),
+            evictions: self.evictions.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            hidden_us: self.hidden_us.get(),
+            network_us: self.network_us.get(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Derives a point from two consecutive samples (`cur.t_us` strictly
+/// after `prev.t_us`).
+fn derive(prev: &Sample, cur: &Sample) -> SeriesPoint {
+    let dt_us = cur.t_us.saturating_sub(prev.t_us);
+    let secs = dt_us as f64 / 1e6;
+    let window = cur.latency - prev.latency;
+    let dq = cur.queries.saturating_sub(prev.queries);
+    let dbytes = cur.bytes_read.saturating_sub(prev.bytes_read);
+    let dhits = cur.cache_hits.saturating_sub(prev.cache_hits);
+    let dmisses = cur.cache_misses.saturating_sub(prev.cache_misses);
+    let dhidden = cur.hidden_us.saturating_sub(prev.hidden_us);
+    let dnetwork = cur.network_us.saturating_sub(prev.network_us);
+    let cache_ops = dhits + dmisses;
+    SeriesPoint {
+        t_us: cur.t_us,
+        dt_us,
+        window_queries: dq,
+        qps: dq as f64 / secs,
+        p50_us: window.quantile(0.50),
+        p95_us: window.quantile(0.95),
+        p99_us: window.quantile(0.99),
+        bytes_per_s: dbytes as f64 / secs,
+        cause_bytes_per_s: std::array::from_fn(|i| {
+            cur.cause_bytes[i].saturating_sub(prev.cause_bytes[i]) as f64 / secs
+        }),
+        retries_per_s: cur.read_retries.saturating_sub(prev.read_retries) as f64 / secs,
+        evictions_per_s: cur.evictions.saturating_sub(prev.evictions) as f64 / secs,
+        hit_rate: if cache_ops > 0 {
+            dhits as f64 / cache_ops as f64
+        } else {
+            0.0
+        },
+        window_cache_ops: cache_ops,
+        hidden_ratio: if dhidden + dnetwork > 0 {
+            dhidden as f64 / (dhidden + dnetwork) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    handles: Option<Handles>,
+    last: Option<Sample>,
+    points: VecDeque<SeriesPoint>,
+    anomalies: VecDeque<AnomalyRecord>,
+    fired: u64,
+    detectors: [Detector; TRACKED],
+}
+
+/// Bounded ring of derived series points plus the online anomaly
+/// detectors over them. See the module docs for the scoring math and
+/// the determinism contract.
+#[derive(Debug)]
+pub struct SeriesRecorder {
+    capacity: usize,
+    anomaly_capacity: usize,
+    config: AnomalyConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for SeriesRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeriesRecorder {
+    /// A recorder with the default point capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// A recorder retaining up to `points` derived points.
+    pub fn with_capacity(points: usize) -> Self {
+        SeriesRecorder {
+            capacity: points.max(1),
+            anomaly_capacity: DEFAULT_ANOMALY_CAPACITY,
+            config: AnomalyConfig::default(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Replaces the anomaly-detector tuning (builder style; intended
+    /// for tests and standalone recorders — the hub-embedded recorder
+    /// keeps the defaults).
+    pub fn with_config(mut self, config: AnomalyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The detector tuning in effect.
+    pub fn config(&self) -> AnomalyConfig {
+        self.config
+    }
+
+    /// Takes one sample of `telemetry`'s query-path instruments at
+    /// `now_us` and, from the second tick on, derives and retains a
+    /// [`SeriesPoint`], feeding the anomaly detectors.
+    ///
+    /// Returns `None` for the baseline (first) tick and for ticks
+    /// whose timestamp does not advance past the previous sample
+    /// (which simply re-baseline). Never reads the wall clock.
+    pub fn tick(&self, telemetry: &Telemetry, now_us: u64) -> Option<SeriesPoint> {
+        let mut inner = self.inner.lock();
+        if inner.handles.is_none() {
+            inner.handles = Some(Handles::resolve(telemetry));
+        }
+        let cur = inner.handles.as_ref().expect("resolved above").sample(now_us);
+        let Some(prev) = inner.last else {
+            inner.last = Some(cur);
+            return None;
+        };
+        if now_us <= prev.t_us {
+            inner.last = Some(cur);
+            return None;
+        }
+        let point = derive(&prev, &cur);
+        inner.last = Some(cur);
+        let mut new_records = Vec::new();
+        // Idle windows are not scored: an idle gap must neither look
+        // like an anomaly nor dilute the traffic baseline, and the
+        // determinism contract wants scoring to depend only on active
+        // windows.
+        if point.window_queries > 0 {
+            for (i, tracked) in TRACKED_SERIES.iter().enumerate() {
+                let x = point.tracked_value(i);
+                if let Some((mean, z)) =
+                    inner.detectors[i].update(x, &self.config, tracked.abs_floor)
+                {
+                    let exemplar = telemetry
+                        .exemplars()
+                        .slowest()
+                        .first()
+                        .map(|rec| rec.trace_id);
+                    let record = AnomalyRecord {
+                        t_us: point.t_us,
+                        series: tracked.name,
+                        value: x,
+                        mean,
+                        zscore: z,
+                        deterministic: tracked.deterministic,
+                        exemplar,
+                    };
+                    inner.fired += 1;
+                    if inner.anomalies.len() == self.anomaly_capacity {
+                        inner.anomalies.pop_front();
+                    }
+                    inner.anomalies.push_back(record);
+                    new_records.push(record);
+                }
+            }
+        }
+        if inner.points.len() == self.capacity {
+            inner.points.pop_front();
+        }
+        inner.points.push_back(point);
+        drop(inner);
+        // Counter and span emission take the registry/span locks;
+        // keep them outside the recorder lock.
+        for record in &new_records {
+            emit_anomaly(telemetry, record);
+        }
+        Some(point)
+    }
+
+    /// Every retained point, oldest first.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        self.inner.lock().points.iter().copied().collect()
+    }
+
+    /// Every retained anomaly record, oldest first.
+    pub fn anomalies(&self) -> Vec<AnomalyRecord> {
+        self.inner.lock().anomalies.iter().copied().collect()
+    }
+
+    /// Lifetime count of anomalies fired (not bounded by the record
+    /// ring).
+    pub fn anomaly_count(&self) -> u64 {
+        self.inner.lock().fired
+    }
+
+    /// Drops all samples, points, records, and detector state. The
+    /// next tick is a fresh baseline.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.last = None;
+        inner.points.clear();
+        inner.anomalies.clear();
+        inner.fired = 0;
+        inner.detectors = [Detector::default(); TRACKED];
+    }
+
+    /// Renders the retained points as the `/timeseries` JSON document.
+    ///
+    /// `window_s` keeps only points within that many seconds of the
+    /// newest point (`0` = everything retained); `step` then thins to
+    /// every `step`-th point, anchored so the newest point is always
+    /// included.
+    pub fn render_json(&self, window_s: u64, step: usize) -> String {
+        let inner = self.inner.lock();
+        let step = step.max(1);
+        let cutoff = match (window_s, inner.points.back()) {
+            (0, _) | (_, None) => 0,
+            (w, Some(newest)) => newest.t_us.saturating_sub(w.saturating_mul(1_000_000)),
+        };
+        let kept: Vec<&SeriesPoint> = inner
+            .points
+            .iter()
+            .filter(|p| p.t_us >= cutoff)
+            .collect();
+        // Anchor stepping at the newest point and walk backwards.
+        let mut picked: Vec<&SeriesPoint> = Vec::new();
+        let mut i = kept.len();
+        while i > 0 {
+            picked.push(kept[i - 1]);
+            i = i.saturating_sub(step);
+        }
+        picked.reverse();
+        let body = picked
+            .iter()
+            .map(|p| p.to_json())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"window_s\": {window_s}, \"step\": {step}, \"retained\": {}, \
+             \"anomaly_total\": {}, \"points\": [{body}]}}",
+            inner.points.len(),
+            inner.fired,
+        )
+    }
+
+    /// Renders the retained anomaly records as the `/anomalies` JSON
+    /// document.
+    pub fn anomalies_json(&self) -> String {
+        let inner = self.inner.lock();
+        let body = inner
+            .anomalies
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"fired\": {}, \"retained\": {}, \"records\": [{body}]}}",
+            inner.fired,
+            inner.anomalies.len(),
+        )
+    }
+}
+
+/// Publishes one anomaly: bumps `dhnsw_anomaly_total{series=…}` and,
+/// when span capture is enabled, records an `anomaly_detector` trace
+/// with a structured `anomaly` instant (mirroring the SLO watchdog's
+/// emission shape).
+fn emit_anomaly(telemetry: &Telemetry, record: &AnomalyRecord) {
+    telemetry
+        .counter(
+            "dhnsw_anomaly_total",
+            "Anomalies flagged by the series recorder (EWMA mean + MAD z-score)",
+            &[("series", record.series)],
+        )
+        .inc();
+    let trace = telemetry.spans().begin("anomaly");
+    if trace.is_enabled() {
+        let root = trace.begin_span("anomaly_detector", "health", SpanId::NONE);
+        let mut args = vec![
+            ("series", ArgValue::Str(record.series)),
+            ("value", ArgValue::F64(record.value)),
+            ("mean", ArgValue::F64(record.mean)),
+            ("zscore", ArgValue::F64(record.zscore)),
+        ];
+        if let Some(id) = record.exemplar {
+            args.push(("exemplar", ArgValue::U64(id)));
+        }
+        trace.instant("anomaly", "health", root, &args);
+        trace.end_span(root);
+    }
+    telemetry.spans().finish(trace);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hub plus the handles tests use to drive the instruments the
+    /// recorder watches.
+    fn hub() -> (Telemetry, Handles) {
+        let t = Telemetry::with_trace_capacity(8);
+        let h = Handles::resolve(&t);
+        (t, h)
+    }
+
+    /// Drives one synthetic traffic window: `q` queries of `lat_us`
+    /// each, `bytes` stage-load bytes, `retries` retries.
+    fn drive(h: &Handles, q: u64, lat_us: u64, bytes: u64, retries: u64) {
+        h.queries.add(q);
+        h.latency.observe_n(lat_us, q);
+        h.bytes_read.add(bytes);
+        h.cause_bytes[ReadCause::StageLoad.index()].add(bytes);
+        h.read_retries.add(retries);
+        h.cache_hits.add(3 * q);
+        h.cache_misses.add(q);
+    }
+
+    #[test]
+    fn first_tick_is_baseline_and_rates_are_exact() {
+        let (t, h) = hub();
+        let rec = SeriesRecorder::with_capacity(16);
+        assert!(rec.tick(&t, 0).is_none(), "first tick is the baseline");
+        drive(&h, 50, 400, 2_000_000, 0);
+        let p = rec.tick(&t, 2_000_000).expect("second tick derives");
+        assert_eq!(p.window_queries, 50);
+        assert!((p.qps - 25.0).abs() < 1e-9, "50 q / 2 s, got {}", p.qps);
+        assert!(
+            (p.bytes_per_s - 1_000_000.0).abs() < 1e-6,
+            "2 MB / 2 s, got {}",
+            p.bytes_per_s
+        );
+        assert!(
+            (p.cause_bytes_per_s[ReadCause::StageLoad.index()] - 1_000_000.0).abs() < 1e-6
+        );
+        assert!((p.hit_rate - 0.75).abs() < 1e-9);
+        // Windowed quantile sees only this window's 400 us samples.
+        assert!(p.p99_us >= 400.0 && p.p99_us <= 512.0, "p99 {}", p.p99_us);
+        assert_eq!(rec.points().len(), 1);
+    }
+
+    #[test]
+    fn non_advancing_tick_rebaselines_instead_of_dividing_by_zero() {
+        let (t, h) = hub();
+        let rec = SeriesRecorder::with_capacity(16);
+        assert!(rec.tick(&t, 1_000).is_none());
+        drive(&h, 10, 100, 1000, 0);
+        assert!(rec.tick(&t, 1_000).is_none(), "same timestamp re-baselines");
+        assert!(rec.tick(&t, 500).is_none(), "regressing timestamp too");
+        drive(&h, 10, 100, 1000, 0);
+        let p = rec.tick(&t, 1_000_500).expect("clock advanced");
+        // The re-baseline consumed the first burst; only the second
+        // burst lands in this window.
+        assert_eq!(p.window_queries, 10);
+    }
+
+    #[test]
+    fn ring_capacity_is_bounded() {
+        let (t, h) = hub();
+        let rec = SeriesRecorder::with_capacity(4);
+        rec.tick(&t, 0);
+        for i in 1..=20u64 {
+            drive(&h, 5, 100, 100, 0);
+            rec.tick(&t, i * 1_000_000);
+        }
+        let points = rec.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points.last().expect("non-empty").t_us, 20_000_000);
+        assert_eq!(points[0].t_us, 17_000_000);
+    }
+
+    #[test]
+    fn steady_traffic_fires_no_anomaly_and_a_spike_fires_once() {
+        let (t, h) = hub();
+        let rec = SeriesRecorder::with_capacity(64);
+        rec.tick(&t, 0);
+        // 12 identical windows: warm-up plus a long steady baseline.
+        for i in 1..=12u64 {
+            drive(&h, 40, 300, 100_000, 0);
+            rec.tick(&t, i * 1_000_000);
+        }
+        assert_eq!(rec.anomaly_count(), 0, "steady traffic is not anomalous");
+        // Retry storm: retries jump from 0/s to 80/s.
+        drive(&h, 40, 300, 100_000, 80);
+        rec.tick(&t, 13_000_000);
+        let records = rec.anomalies();
+        assert_eq!(rec.anomaly_count(), 1, "records: {records:?}");
+        assert_eq!(records[0].series, "retries_per_s");
+        assert!(records[0].deterministic);
+        assert!(records[0].zscore >= rec.config().enter_z);
+        // Hysteresis: the storm continuing is the same episode.
+        drive(&h, 40, 300, 100_000, 85);
+        rec.tick(&t, 14_000_000);
+        assert_eq!(rec.anomaly_count(), 1, "ongoing episode does not re-fire");
+        // The counter surfaced in the registry.
+        let prom = t.render_prometheus();
+        assert!(
+            prom.contains("dhnsw_anomaly_total{series=\"retries_per_s\"} 1"),
+            "prometheus exposition missing anomaly counter:\n{prom}"
+        );
+    }
+
+    #[test]
+    fn warmup_suppresses_scoring_and_idle_windows_are_skipped() {
+        let (t, h) = hub();
+        let cfg = AnomalyConfig {
+            warmup: 3,
+            ..AnomalyConfig::default()
+        };
+        let rec = SeriesRecorder::with_capacity(64).with_config(cfg);
+        rec.tick(&t, 0);
+        // Wildly different windows inside warm-up: no anomalies.
+        drive(&h, 10, 100, 1_000, 0);
+        rec.tick(&t, 1_000_000);
+        drive(&h, 500, 100, 9_000_000, 40);
+        rec.tick(&t, 2_000_000);
+        assert_eq!(rec.anomaly_count(), 0, "warm-up must not score");
+        // Idle windows (no queries) never feed the detectors.
+        for i in 3..=30u64 {
+            rec.tick(&t, i * 1_000_000);
+        }
+        assert_eq!(rec.anomaly_count(), 0, "idle windows must not score");
+        let points = rec.points();
+        assert_eq!(points.last().expect("non-empty").window_queries, 0);
+    }
+
+    #[test]
+    fn clear_resets_baseline_points_and_detectors() {
+        let (t, h) = hub();
+        let rec = SeriesRecorder::with_capacity(8);
+        rec.tick(&t, 0);
+        drive(&h, 10, 100, 1_000, 0);
+        rec.tick(&t, 1_000_000);
+        assert_eq!(rec.points().len(), 1);
+        rec.clear();
+        assert!(rec.points().is_empty());
+        assert!(rec.anomalies().is_empty());
+        assert_eq!(rec.anomaly_count(), 0);
+        assert!(
+            rec.tick(&t, 2_000_000).is_none(),
+            "tick after clear is a fresh baseline"
+        );
+    }
+
+    #[test]
+    fn render_json_windows_and_steps_anchor_on_newest() {
+        let (t, h) = hub();
+        let rec = SeriesRecorder::with_capacity(32);
+        rec.tick(&t, 0);
+        for i in 1..=10u64 {
+            drive(&h, 8, 200, 4_000, 0);
+            rec.tick(&t, i * 1_000_000);
+        }
+        let all = rec.render_json(0, 1);
+        assert!(all.contains("\"retained\": 10"));
+        assert!(all.contains("\"t_us\": 1000000"));
+        assert!(all.contains("\"t_us\": 10000000"));
+        // 3-second window keeps t = 7, 8, 9, 10 s.
+        let windowed = rec.render_json(3, 1);
+        assert!(!windowed.contains("\"t_us\": 6000000"));
+        assert!(windowed.contains("\"t_us\": 7000000"));
+        assert!(windowed.contains("\"t_us\": 10000000"));
+        // Stepping by 4 anchors on the newest point.
+        let stepped = rec.render_json(0, 4);
+        assert!(stepped.contains("\"t_us\": 10000000"));
+        assert!(stepped.contains("\"t_us\": 6000000"));
+        assert!(stepped.contains("\"t_us\": 2000000"));
+        assert!(!stepped.contains("\"t_us\": 9000000"));
+        // Anomalies document is well-formed even when empty.
+        let anomalies = rec.anomalies_json();
+        assert!(anomalies.contains("\"fired\": 0"));
+        assert!(anomalies.contains("\"records\": []"));
+    }
+
+    #[test]
+    fn detector_hysteresis_rearms_after_recovery() {
+        let cfg = AnomalyConfig::default();
+        let mut d = Detector::default();
+        for _ in 0..10 {
+            assert!(d.update(100.0, &cfg, 1.0).is_none());
+        }
+        assert!(d.update(1_000.0, &cfg, 1.0).is_some(), "spike fires");
+        assert!(d.update(1_000.0, &cfg, 1.0).is_none(), "episode continues");
+        // Recovery to baseline re-arms…
+        for _ in 0..5 {
+            assert!(d.update(100.0, &cfg, 1.0).is_none());
+        }
+        assert!(!d.active, "recovered below exit_z");
+        // …and a second spike fires a new episode.
+        assert!(d.update(1_000.0, &cfg, 1.0).is_some());
+    }
+}

@@ -95,6 +95,16 @@ scrape /explain/last | grep -q 'stage_load'
 # root frame and the exemplar store must report its occupancy.
 scrape /profile/folded | grep -q '^query_batch'
 scrape /exemplars | grep -q '"occupancy"'
+# Time-series plane: every response is marked no-store, the ring serves
+# (window, step)-thinned points, the anomaly log answers, and the live
+# `top` dashboard renders a frame against the node. Give the background
+# sampler a bit over two ticks so at least one derived window exists.
+scrape /metrics | grep -q 'Cache-Control: no-store'
+sleep 2.5
+scrape '/timeseries?window=60&step=1' | grep -q '"points"'
+scrape /anomalies | grep -q '"records"'
+target/release/dhnsw_cli top --once --url "$URL" > "$SMOKE_DIR/top.out"
+grep -q 'dhnsw top' "$SMOKE_DIR/top.out"
 scrape /shutdown > /dev/null
 wait "$SERVE_PID"
 

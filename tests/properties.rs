@@ -261,6 +261,42 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Snapshot subtraction is exact set difference for monotone
+    /// histograms: for an arbitrary sample stream split at an
+    /// arbitrary point, the window between the two snapshots accounts
+    /// for exactly the samples after the split —
+    /// `a.sub(b).count + b.count == a.count` (and the same for sums).
+    /// The series recorder's windowed quantiles lean on this.
+    #[test]
+    fn histogram_snapshot_sub_is_exact_for_monotone_histograms(
+        samples in prop::collection::vec(0u64..5_000_000, 1..120),
+        split_at in any::<usize>(),
+    ) {
+        use dhnsw_repro::dhnsw::telemetry::Histogram;
+        let split = split_at % (samples.len() + 1);
+        let h = Histogram::default();
+        for &s in &samples[..split] {
+            h.observe(s);
+        }
+        let b = h.snapshot();
+        for &s in &samples[split..] {
+            h.observe(s);
+        }
+        let a = h.snapshot();
+        let window = a - b;
+        prop_assert_eq!(window.count() + b.count(), a.count());
+        prop_assert_eq!(window.sum() + b.sum(), a.sum());
+        prop_assert_eq!(window.count() as usize, samples.len() - split);
+        // A window quantile never exceeds the lifetime maximum.
+        if window.count() > 0 {
+            prop_assert!(window.quantile(1.0) <= a.quantile(1.0));
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// End-to-end: for arbitrary clustered datasets the full d-HNSW stack
