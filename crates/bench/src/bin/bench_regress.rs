@@ -113,6 +113,43 @@ fn main() -> ExitCode {
         }
     };
 
+    // Opt-in large-scale SQ8 smoke: 1M vectors is minutes of build
+    // time, so it only runs when explicitly requested. Its gates
+    // (compressed bytes < 0.30x, recall within 0.005) are enforced
+    // inside run_scale_smoke. `=1` means the canonical 1M; any larger
+    // value is taken as a vector count for intermediate scales.
+    let scale_n = match std::env::var("DHNSW_BENCH_1M")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(1) => Some(1_000_000),
+        Some(n) if n > 1 => Some(n),
+        _ => None,
+    };
+    if let Some(n) = scale_n {
+        eprintln!("[bench_regress] DHNSW_BENCH_1M set: running {n}-vector sq8 smoke");
+        match dhnsw_bench::regress::run_scale_smoke(n) {
+            Ok(smoke) => {
+                eprintln!(
+                    "[bench_regress] scale smoke @{}: full {} bytes recall {:.4} (build {:.0}s) | \
+                     sq8 {} bytes recall {:.4} (build {:.0}s) | ratio {:.3}",
+                    smoke.n,
+                    smoke.full.network_bytes,
+                    smoke.full.recall_at_10,
+                    smoke.full.build_secs,
+                    smoke.sq8.network_bytes,
+                    smoke.sq8.recall_at_10,
+                    smoke.sq8.build_secs,
+                    smoke.sq8.network_bytes as f64 / smoke.full.network_bytes as f64,
+                );
+            }
+            Err(e) => {
+                eprintln!("[bench_regress] scale smoke failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     if let Some(path) = &args.trace_out {
         let json = chrome_trace_json(&run.traces);
         if let Err(e) = write_atomic(path, &json) {

@@ -58,7 +58,7 @@
 
 use std::collections::HashMap;
 
-use dhnsw::{snapshot, DHnswConfig, SearchMode, SloBudgets, Telemetry, VectorStore};
+use dhnsw::{snapshot, DHnswConfig, QuantizeMode, SearchMode, SloBudgets, Telemetry, VectorStore};
 use vecsim::Dataset;
 
 type AnyResult<T> = Result<T, Box<dyn std::error::Error>>;
@@ -105,6 +105,7 @@ fn print_usage() {
     eprintln!(
         "usage: dhnsw_cli <build|info|query|insert|metrics|doctor|serve|top> [flags]\n\
          build:   --input <fvecs> | --synthetic <sift|gist>:<n>   --out <snapshot> [--reps N] [--fanout B] [--seed S]\n\
+                  [--quantize off|sq8] [--rerank-k N]\n\
          info:    --store <snapshot>\n\
          query:   --store <snapshot> --queries <fvecs> [--k K] [--ef EF] [--limit N] [--metrics-out <base>] [--explain]\n\
          insert:  --store <snapshot> --input <fvecs> --out <snapshot> [--limit N] [--metrics-out <base>]\n\
@@ -116,7 +117,7 @@ fn print_usage() {
          doctor:  --store <snapshot> [--queries <fvecs>] [--passes N] [--warmup-passes N] [--out <path>] [--check] [--why-slow]\n\
                   [--slo-p99-us X] [--slo-min-hit-rate X] [--slo-max-overflow X] [--slo-max-route-gini X]\n\
                   [--slo-max-degraded-rate X]\n\
-         all workload commands: [--trace-spans] [--slow-query-us N]\n\
+         all workload commands: [--quantize off|sq8] [--rerank-k N] [--trace-spans] [--slow-query-us N]\n\
                   [--fault-rate P] [--fault-seed S] [--retrans-budget N] [--read-retry-limit N] [--degraded-ok]\n\
                   [--pipeline-depth D] [--prefetch-budget-bytes B]"
     );
@@ -234,15 +235,38 @@ fn load_vectors(flags: &HashMap<String, String>) -> AnyResult<Dataset> {
     Err("need --input <fvecs> or --synthetic <kind>:<n>".into())
 }
 
+/// Applies the wire-format knobs (`--quantize`, `--rerank-k`). SQ8 is
+/// the default: builds emit the layout-v3 compressed copies and opened
+/// stores prefer them on the wire when the snapshot carries them (a v2
+/// snapshot without SQ spans falls back to full precision untouched).
+/// `--quantize off` restores the uncompressed wire format.
+fn apply_quantize_flags(
+    flags: &HashMap<String, String>,
+    config: DHnswConfig,
+) -> AnyResult<DHnswConfig> {
+    let mode = match flags.get("quantize") {
+        Some(v) => QuantizeMode::parse(v)?,
+        None => QuantizeMode::Sq8,
+    };
+    let mut config = config.with_quantize_mode(mode);
+    if let Some(v) = flags.get("rerank-k") {
+        config = config.with_rerank_k(v.parse()?);
+    }
+    Ok(config)
+}
+
 fn config_from(flags: &HashMap<String, String>, n: usize) -> AnyResult<DHnswConfig> {
     let reps = flag_usize(flags, "reps", (n / 2_000).clamp(32, 500))?;
     let fanout = flag_usize(flags, "fanout", 4)?;
     let slots = (n / reps / 8).max(16);
-    Ok(DHnswConfig::paper()
-        .with_representatives(reps)
-        .with_fanout(fanout)
-        .with_overflow_slots(slots)
-        .with_seed(flag_usize(flags, "seed", 0x5EED)? as u64))
+    apply_quantize_flags(
+        flags,
+        DHnswConfig::paper()
+            .with_representatives(reps)
+            .with_fanout(fanout)
+            .with_overflow_slots(slots)
+            .with_seed(flag_usize(flags, "seed", 0x5EED)? as u64),
+    )
 }
 
 fn open_store(flags: &HashMap<String, String>) -> AnyResult<VectorStore> {
@@ -258,6 +282,7 @@ fn open_store(flags: &HashMap<String, String>) -> AnyResult<VectorStore> {
     if flags.contains_key("degraded-ok") {
         config = config.with_degraded_ok(true);
     }
+    config = apply_quantize_flags(flags, config)?;
     let store = snapshot::read_snapshot(std::io::BufReader::new(file), &config)?;
     eprintln!(
         "restored store: {} base vectors, {} partitions, {:.1} MB remote",

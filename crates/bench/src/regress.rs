@@ -18,8 +18,8 @@ use std::sync::Arc;
 
 use dhnsw::telemetry::Telemetry;
 use dhnsw::{
-    AnomalyRecord, DHnswConfig, FinishedTrace, QueryTrace, SearchMode, SeriesPoint, ShardedStore,
-    VectorStore,
+    AnomalyRecord, DHnswConfig, FinishedTrace, QuantizeMode, QueryTrace, SearchMode, SeriesPoint,
+    ShardedStore, VectorStore,
 };
 use vecsim::{gen, ground_truth, recall, Dataset, Metric};
 
@@ -563,6 +563,63 @@ pub fn run_profile(
         emit_tail_metrics(&pipe_telemetry, "pipeline", &mut metrics)?;
     }
 
+    // Quantized scenarios: the same grid against a store whose clusters
+    // also carry an SQ8 copy, which the engine then prefers on the wire
+    // (compressed sub-search + targeted exact rerank of the survivors).
+    {
+        let sq_config = config.clone().with_quantize_mode(QuantizeMode::Sq8);
+        let store = VectorStore::build(data.clone(), &sq_config)?;
+        let sq_telemetry = Arc::new(Telemetry::with_trace_capacity(64));
+        let node =
+            store.connect_with_telemetry(SearchMode::Full, Arc::clone(&sq_telemetry))?;
+        node.set_pipeline_depth(1);
+        run_node_passes(
+            &node,
+            &PassGrid {
+                batches: &batches,
+                truths: &truths,
+                profile,
+                fanout: sq_config.fanout() as u32,
+            },
+            &["sq8_cold", "sq8_warm"],
+            &sq_telemetry,
+            &mut metrics,
+            &mut series,
+        )?;
+        // Hard gates, independent of the committed baseline. First the
+        // whole point of the compressed wire format: the cold grid must
+        // move less than 0.30x the uncompressed cold pass's bytes —
+        // u8 codes are exactly 4x smaller than f32 rows, and the rerank
+        // reads plus quantization params must not eat the win.
+        let sq_bytes = metrics["sq8_cold.network_bytes"];
+        let full_bytes = metrics["single_cold.network_bytes"];
+        if sq_bytes >= 0.30 * full_bytes {
+            return Err(format!(
+                "sq8 gate: compressed cold pass moved {sq_bytes} bytes, \
+                 not under 0.30x of the uncompressed {full_bytes}"
+            )
+            .into());
+        }
+        // Second, exact rerank must close the quality gap: recall@10
+        // after rerank stays within 0.005 of full precision.
+        let sq_recall = metrics["sq8_cold.recall_at_10"];
+        let full_recall = metrics["single_cold.recall_at_10"];
+        if sq_recall + 0.005 < full_recall {
+            return Err(format!(
+                "sq8 gate: recall after rerank {sq_recall} fell more than \
+                 0.005 below the uncompressed pass's {full_recall}"
+            )
+            .into());
+        }
+        // Third, the rerank reads must exist and carry their own cause:
+        // zero rerank bytes means the engine silently answered from
+        // quantized distances alone.
+        if metrics["sq8_cold.cause_bytes.rerank"] <= 0.0 {
+            return Err("sq8 gate: cold pass recorded no rerank bytes".into());
+        }
+        emit_tail_metrics(&sq_telemetry, "sq8", &mut metrics)?;
+    }
+
     // Sharded scenarios: one session over `shards` shards; per-batch
     // latency is the slowest shard (shards overlap in a real deployment),
     // volume metrics are summed across shards.
@@ -647,6 +704,8 @@ pub fn run_profile(
         "single_warm",
         "pipeline_cold",
         "pipeline_warm",
+        "sq8_cold",
+        "sq8_warm",
         "sharded_cold",
         "sharded_warm",
     ];
@@ -700,6 +759,99 @@ pub fn run_profile(
         traces,
         series,
     })
+}
+
+/// One wire format's measurements in a [`run_scale_smoke`] pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePass {
+    /// Bytes the cold batch grid moved.
+    pub network_bytes: u64,
+    /// Mean recall@10 over the grid.
+    pub recall_at_10: f64,
+    /// Wall-clock seconds spent building the store.
+    pub build_secs: f64,
+}
+
+/// Result of the large-scale compressed-vs-uncompressed smoke.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleSmoke {
+    /// Base vectors in the store.
+    pub n: usize,
+    /// Uncompressed (full-precision wire) pass.
+    pub full: ScalePass,
+    /// SQ8 wire pass (compressed sub-search + exact rerank).
+    pub sq8: ScalePass,
+}
+
+/// Runs the large-scale SQ8 smoke: builds an uncompressed and a
+/// quantized store over `n` vectors (sequentially, so only one layout
+/// is resident at a time), runs the same cold batch grid against each,
+/// and hard-gates the same two invariants as the smoke profile —
+/// compressed bytes under 0.30x and recall within 0.005.
+///
+/// This is deliberately not part of [`run_profile`]: at 1M vectors the
+/// build alone takes minutes, so `bench_regress` only calls it when
+/// `DHNSW_BENCH_1M=1` is set.
+///
+/// # Errors
+///
+/// Propagates build and query errors, and fails when either gate trips.
+pub fn run_scale_smoke(n: usize) -> Result<ScaleSmoke, Box<dyn std::error::Error>> {
+    let seed = 0xBE7C;
+    let data = gen::sift_like(n, seed)?;
+    let batches: Vec<Dataset> = (0..4)
+        .map(|b| gen::perturbed_queries(&data, 32, 0.03, seed + 100 + b))
+        .collect::<Result<_, _>>()?;
+    let truths: Vec<_> = batches
+        .iter()
+        .map(|q| ground_truth::exact_batch(&data, q, 10, Metric::L2))
+        .collect();
+    let reps = (n / 150).clamp(8, 4_096);
+    let base_config = DHnswConfig::small().with_representatives(reps);
+
+    let run = |config: &DHnswConfig| -> Result<ScalePass, Box<dyn std::error::Error>> {
+        let t0 = std::time::Instant::now();
+        let store = VectorStore::build(data.clone(), config)?;
+        let build_secs = t0.elapsed().as_secs_f64();
+        let node = store.connect(SearchMode::Full)?;
+        let mut bytes = 0u64;
+        let mut recall_sum = 0.0;
+        for (b, queries) in batches.iter().enumerate() {
+            let (results, report) = node.query_batch(queries, 10, 48)?;
+            bytes += report.bytes_read;
+            let ids: Vec<Vec<u32>> = results
+                .iter()
+                .map(|r| r.iter().map(|nb| nb.id).collect())
+                .collect();
+            recall_sum += recall::mean_recall(&ids, &truths[b]);
+        }
+        Ok(ScalePass {
+            network_bytes: bytes,
+            recall_at_10: recall_sum / batches.len() as f64,
+            build_secs,
+        })
+    };
+
+    let full = run(&base_config)?;
+    let sq8 = run(&base_config.clone().with_quantize_mode(QuantizeMode::Sq8))?;
+
+    if sq8.network_bytes as f64 >= 0.30 * full.network_bytes as f64 {
+        return Err(format!(
+            "scale smoke: sq8 moved {} bytes, not under 0.30x of the \
+             uncompressed {}",
+            sq8.network_bytes, full.network_bytes
+        )
+        .into());
+    }
+    if sq8.recall_at_10 + 0.005 < full.recall_at_10 {
+        return Err(format!(
+            "scale smoke: sq8 recall {} fell more than 0.005 below the \
+             uncompressed {}",
+            sq8.recall_at_10, full.recall_at_10
+        )
+        .into());
+    }
+    Ok(ScaleSmoke { n, full, sq8 })
 }
 
 // ---------------------------------------------------------------------
@@ -1406,6 +1558,8 @@ mod tests {
             "single_warm",
             "pipeline_cold",
             "pipeline_warm",
+            "sq8_cold",
+            "sq8_warm",
             "sharded_cold",
             "sharded_warm",
         ] {
@@ -1436,7 +1590,7 @@ mod tests {
         // Tail anatomy rides the single and pipelined scenarios: one
         // exemplar per batch (2 batches x 2 passes on each hub), and a
         // real verdict (the unknown sentinel 99 means no diagnosis).
-        for prefix in ["single", "pipeline"] {
+        for prefix in ["single", "pipeline", "sq8"] {
             assert_eq!(
                 r.metrics[&format!("{prefix}.tail_exemplars_recorded")],
                 4.0,
@@ -1476,6 +1630,8 @@ mod tests {
             "single_warm",
             "pipeline_cold",
             "pipeline_warm",
+            "sq8_cold",
+            "sq8_warm",
             "sharded_cold",
             "sharded_warm",
         ] {
@@ -1508,6 +1664,8 @@ mod tests {
             "single_warm",
             "pipeline_cold",
             "pipeline_warm",
+            "sq8_cold",
+            "sq8_warm",
         ] {
             let pass = &out.series[scenario];
             assert_eq!(

@@ -106,6 +106,7 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let reason = match self.status {
             200 => "OK",
+            400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
@@ -147,7 +148,21 @@ pub fn handle(method: &str, path: &str, sources: &ServeSources, shutdown: &Atomi
         "/explain/last" => Response::new(200, TEXT_TYPE, (sources.explain)()),
         "/profile/folded" => Response::new(200, TEXT_TYPE, (sources.profile)()),
         "/exemplars" => Response::new(200, JSON_TYPE, (sources.exemplars)()),
-        "/timeseries" => Response::new(200, JSON_TYPE, (sources.timeseries)(query)),
+        "/timeseries" => match timeseries_zero_param(query) {
+            // An explicit zero is a client error, not an empty result:
+            // `step=0` selects no samples (a divide-by-zero in
+            // disguise) and `window=0` is an empty window. Absent
+            // parameters keep their defaults.
+            Some(key) => Response::new(
+                400,
+                JSON_TYPE,
+                format!(
+                    "{{\"error\": \"bad parameter\", \"param\": \"{key}\", \
+                     \"hint\": \"{key} must be >= 1 when given\"}}\n"
+                ),
+            ),
+            None => Response::new(200, JSON_TYPE, (sources.timeseries)(query)),
+        },
         "/anomalies" => Response::new(200, JSON_TYPE, (sources.anomalies)()),
         "/shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
@@ -162,6 +177,14 @@ pub fn handle(method: &str, path: &str, sources: &ServeSources, shutdown: &Atomi
             not_found(path)
         }
     }
+}
+
+/// Returns the name of the first `/timeseries` parameter the client
+/// set to an explicit zero, or `None` when the query is acceptable.
+fn timeseries_zero_param(query: &str) -> Option<&'static str> {
+    ["window", "step"]
+        .into_iter()
+        .find(|key| query_param(query, key).and_then(|v| v.parse::<u64>().ok()) == Some(0))
 }
 
 /// The 404 response: a JSON body naming the endpoints, so a scraper
@@ -311,6 +334,33 @@ mod tests {
         assert!(ts.body.contains("\"echo\": \"window=30&step=2\""), "{}", ts.body);
         let ts_bare = handle("GET", "/timeseries", &sources, &shutdown);
         assert!(ts_bare.body.contains("\"echo\": \"\""), "{}", ts_bare.body);
+        // Explicit zeros are client errors: a 400 JSON body naming the
+        // offending parameter, and the source is never consulted.
+        for (query, param) in [
+            ("step=0", "step"),
+            ("window=0", "window"),
+            ("window=0&step=2", "window"),
+            ("window=30&step=0", "step"),
+        ] {
+            let bad = handle(
+                "GET",
+                &format!("/timeseries?{query}"),
+                &sources,
+                &shutdown,
+            );
+            assert_eq!((bad.status, bad.content_type), (400, JSON_TYPE), "{query}");
+            assert!(
+                bad.body.contains(&format!("\"param\": \"{param}\"")),
+                "{query}: {}",
+                bad.body
+            );
+            assert!(!bad.body.contains("echo"), "{query} reached the source");
+        }
+        // Nonzero and absent parameters still pass through untouched.
+        assert_eq!(
+            handle("GET", "/timeseries?window=1&step=1", &sources, &shutdown).status,
+            200
+        );
         let an = handle("GET", "/anomalies", &sources, &shutdown);
         assert_eq!((an.status, an.content_type), (200, JSON_TYPE));
         assert!(an.body.contains("\"records\": []"));
@@ -400,12 +450,15 @@ mod tests {
         let ts = get(addr, "/timeseries?window=5");
         assert!(ts.contains("\"points\": []"), "{ts}");
         assert!(ts.contains("Cache-Control: no-store"), "{ts}");
+        let ts_zero = get(addr, "/timeseries?step=0");
+        assert!(ts_zero.starts_with("HTTP/1.1 400 Bad Request"), "{ts_zero}");
+        assert!(ts_zero.contains("\"param\": \"step\""), "{ts_zero}");
         let an = get(addr, "/anomalies");
         assert!(an.contains("\"records\": []"), "{an}");
         let bye = get(addr, "/shutdown");
         assert!(bye.starts_with("HTTP/1.1 200 OK"), "{bye}");
         let served = server.join().unwrap();
-        assert_eq!(served, 7);
+        assert_eq!(served, 8);
         assert!(shutdown.load(Ordering::SeqCst));
     }
 

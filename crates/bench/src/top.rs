@@ -24,26 +24,40 @@ use crate::regress::{Json, JsonParser};
 /// Glyph ramp used by [`sparkline`], lowest to highest.
 pub const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
+/// Glyph a constant nonzero window renders at: a flat mid-height bar,
+/// visually distinct from both "empty" and "at the window minimum".
+pub const SPARK_FLAT: char = SPARK_GLYPHS[3];
+
 /// Renders the last `width` values as a unicode sparkline, scaled to
-/// the min..max of the visible window. A constant (or single-value)
-/// window renders at the lowest glyph; an empty input renders empty.
+/// the min..max of the visible window. An empty input renders empty; a
+/// constant window has no shape to scale, so it renders as a flat bar
+/// ([`SPARK_FLAT`], or the bottom glyph when the constant is zero)
+/// instead of dividing by the zero span. Non-finite samples pin to the
+/// bottom glyph.
 #[must_use]
 pub fn sparkline(values: &[f64], width: usize) -> String {
     let tail = &values[values.len().saturating_sub(width)..];
     if tail.is_empty() {
         return String::new();
     }
-    let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let finite = tail.iter().cloned().filter(|v| v.is_finite());
+    let min = finite.clone().fold(f64::INFINITY, f64::min);
+    let max = finite.fold(f64::NEG_INFINITY, f64::max);
     let span = max - min;
     tail.iter()
         .map(|&v| {
-            let idx = if span > 0.0 && v.is_finite() {
-                (((v - min) / span) * (SPARK_GLYPHS.len() - 1) as f64).round() as usize
+            if !v.is_finite() || !span.is_finite() {
+                SPARK_GLYPHS[0]
+            } else if span > 0.0 {
+                let idx =
+                    (((v - min) / span) * (SPARK_GLYPHS.len() - 1) as f64).round() as usize;
+                SPARK_GLYPHS[idx.min(SPARK_GLYPHS.len() - 1)]
+            } else if v == 0.0 {
+                // A flat zero line genuinely sits at the bottom.
+                SPARK_GLYPHS[0]
             } else {
-                0
-            };
-            SPARK_GLYPHS[idx.min(SPARK_GLYPHS.len() - 1)]
+                SPARK_FLAT
+            }
         })
         .collect()
 }
@@ -264,14 +278,34 @@ mod tests {
 
     #[test]
     fn sparkline_scales_to_the_visible_window() {
-        assert_eq!(sparkline(&[], 10), "");
-        assert_eq!(sparkline(&[5.0], 10), "▁");
-        assert_eq!(sparkline(&[3.0, 3.0, 3.0], 10), "▁▁▁");
         let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
         assert_eq!(sparkline(&ramp, 10), "▁▂▃▄▅▆▇█");
         // Width clips to the newest values, and the scale follows the
         // clipped window (the dropped 0.0 no longer anchors the min).
         assert_eq!(sparkline(&[0.0, 6.0, 7.0], 2), "▁█");
+    }
+
+    #[test]
+    fn sparkline_renders_empty_series_as_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[], 1), "");
+        // Clipping to a zero-width window is also empty, not a panic.
+        assert_eq!(sparkline(&[1.0, 2.0], 0), "");
+    }
+
+    #[test]
+    fn sparkline_renders_constant_series_as_a_flat_bar() {
+        // No spread means no shape: a flat mid-height bar, never a
+        // divide-by-zero collapse into garbage glyphs.
+        assert_eq!(sparkline(&[5.0], 10), SPARK_FLAT.to_string());
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0], 10), "▄▄▄");
+        // A constant zero line sits at the bottom, so an idle series
+        // still reads as idle.
+        assert_eq!(sparkline(&[0.0, 0.0], 10), "▁▁");
+        // Non-finite samples pin to the bottom instead of poisoning
+        // the scale for their neighbors.
+        assert_eq!(sparkline(&[f64::NAN, 1.0, 2.0], 10), "▁▁█");
+        assert_eq!(sparkline(&[f64::NAN, f64::INFINITY], 10), "▁▁");
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //! tail, merged into one result.
 
 use hnsw::{HnswIndex, HnswParams, SearchStats};
+use vecsim::quantize::SqParams;
 use vecsim::{Dataset, Neighbor, TopK};
 
 use crate::{Error, Result};
 
 /// Magic tag of a serialized cluster.
 pub const CLUSTER_MAGIC: u32 = 0x3143_4844; // "DHC1"
+/// Magic tag of a serialized SQ8 cluster blob.
+pub const SQ_CLUSTER_MAGIC: u32 = 0x3243_4844; // "DHC2"
 
 /// A sub-HNSW over one partition.
 ///
@@ -188,6 +191,211 @@ impl SubCluster {
             partition,
             hnsw,
             global_ids,
+        })
+    }
+}
+
+/// The scalar-quantized copy of one partition's base vectors, as written
+/// into the layout-v3 tail region and fetched by quantized queries.
+///
+/// Unlike [`SubCluster`] this blob carries **no graph**: at SQ8 rates
+/// the cluster is small enough that an exhaustive asymmetric scan over
+/// the codes is cheaper than shipping the adjacency lists, and the scan
+/// result is a superset of what a graph search over the same codes
+/// could return. Exact distances for the survivors come from the
+/// engine's targeted full-vector rerank reads against the
+/// full-precision cluster.
+///
+/// # Wire format
+///
+/// ```text
+/// magic u32 | partition u32 | n u32 | dim u32
+/// min   dim × f32
+/// scale dim × f32
+/// ids   n × u32
+/// codes n × dim × u8
+/// ```
+#[derive(Debug)]
+pub struct SqCluster {
+    partition: u32,
+    params: SqParams,
+    global_ids: Vec<u32>,
+    codes: Vec<u8>,
+    index: std::collections::HashMap<u32, u32>,
+}
+
+impl SqCluster {
+    /// Trains per-cluster quantization parameters over `vectors` and
+    /// encodes every row. `global_ids` maps rows to dataset ids, as in
+    /// [`SubCluster::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on an empty partition or a
+    /// row-count/id-count mismatch.
+    pub fn build(partition: u32, vectors: &Dataset, global_ids: Vec<u32>) -> Result<Self> {
+        if vectors.len() != global_ids.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} vectors but {} global ids",
+                vectors.len(),
+                global_ids.len()
+            )));
+        }
+        if vectors.is_empty() {
+            return Err(Error::InvalidParameter(format!(
+                "partition {partition} is empty"
+            )));
+        }
+        let params = SqParams::train(vectors.dim(), vectors.iter())
+            .map_err(|e| Error::InvalidParameter(format!("sq train: {e}")))?;
+        let mut codes = Vec::with_capacity(vectors.len() * vectors.dim());
+        for row in vectors.iter() {
+            codes.extend_from_slice(&params.encode(row));
+        }
+        let index = global_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &gid)| (gid, i as u32))
+            .collect();
+        Ok(SqCluster {
+            partition,
+            params,
+            global_ids,
+            codes,
+            index,
+        })
+    }
+
+    /// The partition this blob serves.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// Number of encoded base vectors.
+    pub fn len(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Whether the blob holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.params.dim()
+    }
+
+    /// The per-cluster quantization parameters.
+    pub fn params(&self) -> &SqParams {
+        &self.params
+    }
+
+    /// The global ids of the encoded vectors, indexed by local row.
+    pub fn global_ids(&self) -> &[u32] {
+        &self.global_ids
+    }
+
+    /// The local row index of global id `gid`, if it is a base vector
+    /// of this cluster — what the rerank read path uses to address the
+    /// full-precision vector inside the uncompressed cluster blob.
+    pub fn local_of(&self, gid: u32) -> Option<u32> {
+        self.index.get(&gid).copied()
+    }
+
+    /// The codes of local row `local`.
+    pub fn codes_of(&self, local: u32) -> &[u8] {
+        let dim = self.dim();
+        let start = local as usize * dim;
+        &self.codes[start..start + dim]
+    }
+
+    /// Asymmetric squared-L2 distance between `query` and row `local`.
+    pub fn distance_to(&self, query: &[f32], local: u32) -> f32 {
+        self.params.asymmetric_l2(query, self.codes_of(local))
+    }
+
+    /// Serializes into the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_size());
+        out.extend_from_slice(&SQ_CLUSTER_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.partition.to_le_bytes());
+        out.extend_from_slice(&(self.global_ids.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
+        for &m in self.params.min() {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in self.params.scale() {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for &id in &self.global_ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(&self.codes);
+        out
+    }
+
+    /// Exact size [`SqCluster::to_bytes`] produces.
+    pub fn serialized_size(&self) -> usize {
+        Self::wire_size(self.global_ids.len(), self.dim())
+    }
+
+    /// Wire size of an SQ8 blob over `n` vectors of dimensionality
+    /// `dim`.
+    pub fn wire_size(n: usize, dim: usize) -> usize {
+        4 + 4 + 4 + 4 + 8 * dim + 4 * n + n * dim
+    }
+
+    /// Deserializes a blob produced by [`SqCluster::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on bad magic or truncation.
+    pub fn from_bytes(blob: &[u8]) -> Result<Self> {
+        let take = |off: usize, n: usize| -> Result<&[u8]> {
+            blob.get(off..off + n)
+                .ok_or_else(|| Error::Corrupt("truncated sq cluster blob".into()))
+        };
+        let u32_at = |off: usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(take(off, 4)?.try_into().expect("4")))
+        };
+        if u32_at(0)? != SQ_CLUSTER_MAGIC {
+            return Err(Error::Corrupt("bad sq cluster magic".into()));
+        }
+        let partition = u32_at(4)?;
+        let n = u32_at(8)? as usize;
+        let dim = u32_at(12)? as usize;
+        if n == 0 || dim == 0 {
+            return Err(Error::Corrupt("empty sq cluster blob".into()));
+        }
+        let f32s_at = |off: usize, count: usize| -> Result<Vec<f32>> {
+            let raw = take(off, 4 * count)?;
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+                .collect())
+        };
+        let min = f32s_at(16, dim)?;
+        let scale = f32s_at(16 + 4 * dim, dim)?;
+        let params = SqParams::from_parts(min, scale)
+            .map_err(|e| Error::Corrupt(format!("sq params: {e}")))?;
+        let ids_off = 16 + 8 * dim;
+        let mut global_ids = Vec::with_capacity(n);
+        for i in 0..n {
+            global_ids.push(u32_at(ids_off + 4 * i)?);
+        }
+        let codes = take(ids_off + 4 * n, n * dim)?.to_vec();
+        let index = global_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &gid)| (gid, i as u32))
+            .collect();
+        Ok(SqCluster {
+            partition,
+            params,
+            global_ids,
+            codes,
+            index,
         })
     }
 }
@@ -454,15 +662,64 @@ pub fn parse_overflow_legacy(area: &[u8], dim: usize) -> Result<Vec<OverflowReco
     Ok(out)
 }
 
+/// The searchable body of a [`LoadedCluster`]: the full-precision
+/// sub-HNSW, or its scalar-quantized copy when the engine fetched the
+/// compressed wire format.
+#[derive(Debug)]
+enum Payload {
+    Full(SubCluster),
+    Sq(SqCluster),
+}
+
+/// One approximate hit from a quantized cluster scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqHit {
+    /// Global id of the candidate.
+    pub id: u32,
+    /// Asymmetric squared-L2 distance for base vectors; exact distance
+    /// for overflow inserts.
+    pub dist: f32,
+    /// Local base row (for rerank addressing into the full-precision
+    /// cluster blob), or `None` for an overflow insert, whose distance
+    /// is already exact.
+    pub local: Option<u32>,
+}
+
 /// A cluster as materialized on a compute node: the deserialized base
 /// sub-HNSW plus the overflow inserts belonging to its partition, minus
 /// anything its tombstones deleted.
+///
+/// When the engine runs in SQ8 mode the base payload is the compressed
+/// [`SqCluster`] instead; searches then return asymmetric distances
+/// and the engine reranks the survivors with exact reads.
 #[derive(Debug)]
 pub struct LoadedCluster {
-    sub: SubCluster,
+    payload: Payload,
     extra: Vec<(u32, Vec<f32>)>,
     deleted: std::collections::HashSet<u32>,
     skipped_slots: usize,
+}
+
+/// Splits a parsed overflow area into this partition's inserts and
+/// tombstones, dropping inserts that a later tombstone killed.
+fn fold_overflow(
+    partition: u32,
+    records: Vec<OverflowRecord>,
+) -> (Vec<(u32, Vec<f32>)>, std::collections::HashSet<u32>) {
+    let mut extra: Vec<(u32, Vec<f32>)> = Vec::new();
+    let mut deleted = std::collections::HashSet::new();
+    for r in records {
+        if r.partition != partition {
+            continue;
+        }
+        if r.tombstone {
+            deleted.insert(r.global_id);
+        } else {
+            extra.push((r.global_id, r.vector));
+        }
+    }
+    extra.retain(|(gid, _)| !deleted.contains(gid));
+    (extra, deleted)
 }
 
 impl LoadedCluster {
@@ -477,22 +734,35 @@ impl LoadedCluster {
     pub fn from_remote(cluster_bytes: &[u8], overflow_area: &[u8]) -> Result<Self> {
         let sub = SubCluster::from_bytes(cluster_bytes)?;
         let (records, skipped_slots) = parse_overflow_detailed(overflow_area, sub.dim())?;
-        let mut extra: Vec<(u32, Vec<f32>)> = Vec::new();
-        let mut deleted = std::collections::HashSet::new();
-        for r in records {
-            if r.partition != sub.partition() {
-                continue;
-            }
-            if r.tombstone {
-                deleted.insert(r.global_id);
-            } else {
-                extra.push((r.global_id, r.vector));
-            }
-        }
-        // A tombstone also kills an earlier overflow insert of that id.
-        extra.retain(|(gid, _)| !deleted.contains(gid));
+        let (extra, deleted) = fold_overflow(sub.partition(), records);
         Ok(LoadedCluster {
-            sub,
+            payload: Payload::Full(sub),
+            extra,
+            deleted,
+            skipped_slots,
+        })
+    }
+
+    /// Materializes a cluster from its SQ8 blob. `overflow_area` is the
+    /// group's raw overflow area when one was read; `None` means the
+    /// cluster's version slot proved the overflow pristine (version 0,
+    /// nothing ever inserted), so no overflow bytes were fetched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Corrupt`] from either parse.
+    pub fn from_remote_sq(sq_bytes: &[u8], overflow_area: Option<&[u8]>) -> Result<Self> {
+        let sq = SqCluster::from_bytes(sq_bytes)?;
+        let (extra, deleted, skipped_slots) = match overflow_area {
+            Some(area) => {
+                let (records, skipped) = parse_overflow_detailed(area, sq.dim())?;
+                let (extra, deleted) = fold_overflow(sq.partition(), records);
+                (extra, deleted, skipped)
+            }
+            None => (Vec::new(), std::collections::HashSet::new(), 0),
+        };
+        Ok(LoadedCluster {
+            payload: Payload::Sq(sq),
             extra,
             deleted,
             skipped_slots,
@@ -503,7 +773,7 @@ impl LoadedCluster {
     /// time and in tests).
     pub fn from_sub(sub: SubCluster) -> Self {
         LoadedCluster {
-            sub,
+            payload: Payload::Full(sub),
             extra: Vec::new(),
             deleted: std::collections::HashSet::new(),
             skipped_slots: 0,
@@ -522,18 +792,56 @@ impl LoadedCluster {
     }
 
     /// The base sub-cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cluster was materialized from its SQ8 blob — a
+    /// compressed load carries no graph. Callers on the full-precision
+    /// path (store rebuild, uncompressed query flow) are the only ones
+    /// that reach this.
     pub fn sub(&self) -> &SubCluster {
-        &self.sub
+        match &self.payload {
+            Payload::Full(sub) => sub,
+            Payload::Sq(_) => panic!("sq-loaded cluster has no sub-HNSW"),
+        }
+    }
+
+    /// The SQ8 payload, when this cluster was loaded compressed.
+    pub fn sq(&self) -> Option<&SqCluster> {
+        match &self.payload {
+            Payload::Sq(sq) => Some(sq),
+            Payload::Full(_) => None,
+        }
+    }
+
+    /// Whether the base payload is the compressed (SQ8) form.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self.payload, Payload::Sq(_))
     }
 
     /// The partition this cluster serves.
     pub fn partition(&self) -> u32 {
-        self.sub.partition()
+        match &self.payload {
+            Payload::Full(sub) => sub.partition(),
+            Payload::Sq(sq) => sq.partition(),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        match &self.payload {
+            Payload::Full(sub) => sub.dim(),
+            Payload::Sq(sq) => sq.dim(),
+        }
     }
 
     /// Base vectors plus overflow inserts.
     pub fn total_vectors(&self) -> usize {
-        self.sub.len() + self.extra.len()
+        let base = match &self.payload {
+            Payload::Full(sub) => sub.len(),
+            Payload::Sq(sq) => sq.len(),
+        };
+        base + self.extra.len()
     }
 
     /// Number of overflow inserts materialized.
@@ -557,7 +865,17 @@ impl LoadedCluster {
         ef: usize,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        let metric = self.sub.hnsw().params().metric_kind();
+        let sub = match &self.payload {
+            Payload::Full(sub) => sub,
+            Payload::Sq(_) => {
+                return self
+                    .search_sq_with_stats(query, k, stats)
+                    .into_iter()
+                    .map(|h| Neighbor::new(h.id, h.dist))
+                    .collect();
+            }
+        };
+        let metric = sub.hnsw().params().metric_kind();
         let mut top = TopK::new(k);
         // When tombstones exist, ask the base graph for that many extra
         // candidates (and widen the beam accordingly) so filtering the
@@ -565,7 +883,7 @@ impl LoadedCluster {
         let extra_needed = self.deleted.len().min(k);
         let want = k + extra_needed;
         let ef_eff = if extra_needed == 0 { ef } else { ef + extra_needed };
-        for n in self.sub.search_with_stats(query, want, ef_eff, stats) {
+        for n in sub.search_with_stats(query, want, ef_eff, stats) {
             if !self.deleted.contains(&n.id) {
                 top.push(n.id, n.dist);
             }
@@ -577,14 +895,77 @@ impl LoadedCluster {
         top.into_sorted_vec()
     }
 
+    /// Top-`k` scan of a quantized cluster: exhaustive asymmetric L2
+    /// over the codes plus an exact scan of the overflow tail, with
+    /// tombstone filtering. Hits keep enough addressing information for
+    /// the exact-rerank read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cluster was loaded full-precision; callers
+    /// dispatch on [`LoadedCluster::is_quantized`].
+    pub fn search_sq(&self, query: &[f32], k: usize) -> Vec<SqHit> {
+        let mut stats = SearchStats::default();
+        self.search_sq_with_stats(query, k, &mut stats)
+    }
+
+    /// Like [`LoadedCluster::search_sq`], accumulating work counters.
+    pub fn search_sq_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<SqHit> {
+        let sq = match &self.payload {
+            Payload::Sq(sq) => sq,
+            Payload::Full(_) => panic!("full-precision cluster has no sq payload"),
+        };
+        // TopK carries plain (id, dist), so select over pseudo-ids:
+        // base row i -> i, overflow insert j -> n + j.
+        let n = sq.len() as u32;
+        let mut top = TopK::new(k);
+        for local in 0..n {
+            if self.deleted.contains(&sq.global_ids()[local as usize]) {
+                continue;
+            }
+            stats.dist_evals += 1;
+            top.push(local, sq.distance_to(query, local));
+        }
+        for (j, (_, v)) in self.extra.iter().enumerate() {
+            stats.dist_evals += 1;
+            top.push(n + j as u32, vecsim::l2_sq(query, v));
+        }
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|h| {
+                if h.id < n {
+                    SqHit {
+                        id: sq.global_ids()[h.id as usize],
+                        dist: h.dist,
+                        local: Some(h.id),
+                    }
+                } else {
+                    SqHit {
+                        id: self.extra[(h.id - n) as usize].0,
+                        dist: h.dist,
+                        local: None,
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// Approximate resident size in bytes (for cache accounting).
     pub fn resident_bytes(&self) -> usize {
-        self.sub.serialized_size()
-            + self
-                .extra
-                .iter()
-                .map(|(_, v)| 8 + 4 * v.len())
-                .sum::<usize>()
+        let base = match &self.payload {
+            Payload::Full(sub) => sub.serialized_size(),
+            Payload::Sq(sq) => sq.serialized_size(),
+        };
+        base + self
+            .extra
+            .iter()
+            .map(|(_, v)| 8 + 4 * v.len())
+            .sum::<usize>()
     }
 }
 
@@ -803,6 +1184,111 @@ mod tests {
         // The inserted vector is findable.
         let out = loaded.search(&vec![0.5; dim], 1, 16);
         assert_eq!(out[0].id, 7_000);
+    }
+
+    fn build_sq(n: usize) -> (Dataset, SqCluster) {
+        let data = gen::uniform(8, n, 0.0, 1.0, 9).unwrap();
+        let ids: Vec<u32> = (0..n as u32).map(|i| i * 10 + 1).collect();
+        let sq = SqCluster::build(3, &data, ids).unwrap();
+        (data, sq)
+    }
+
+    #[test]
+    fn sq_cluster_round_trips_through_bytes() {
+        let (_, sq) = build_sq(40);
+        let blob = sq.to_bytes();
+        assert_eq!(blob.len(), sq.serialized_size());
+        assert_eq!(blob.len(), SqCluster::wire_size(40, 8));
+        let back = SqCluster::from_bytes(&blob).unwrap();
+        assert_eq!(back.partition(), 3);
+        assert_eq!(back.global_ids(), sq.global_ids());
+        assert_eq!(back.params(), sq.params());
+        assert_eq!(back.codes_of(17), sq.codes_of(17));
+        assert_eq!(back.local_of(171), Some(17));
+        assert_eq!(back.local_of(9999), None);
+    }
+
+    #[test]
+    fn corrupt_sq_blobs_are_rejected() {
+        let (_, sq) = build_sq(10);
+        let blob = sq.to_bytes();
+        assert!(SqCluster::from_bytes(&blob[..10]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(SqCluster::from_bytes(&bad).is_err());
+        assert!(SqCluster::from_bytes(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn sq_blob_is_roughly_a_quarter_of_f32_payload() {
+        let (_, sq) = build_sq(200);
+        // 200 vectors at dim 8: f32 payload alone is 6400 bytes; the sq
+        // blob (codes + ids + params) must come in well under half.
+        assert!(sq.serialized_size() < 200 * 8 * 4 / 2);
+    }
+
+    #[test]
+    fn sq_scan_finds_the_encoded_vector_and_orders_like_exact_l2() {
+        let (data, sq) = build_sq(60);
+        let loaded = LoadedCluster::from_remote_sq(&sq.to_bytes(), None).unwrap();
+        assert!(loaded.is_quantized());
+        assert!(loaded.sq().is_some());
+        assert_eq!(loaded.dim(), 8);
+        let q = data.get(7);
+        let hits = loaded.search_sq(q, 5);
+        // The query is itself a member: the asymmetric distance to its
+        // own codes is bounded by the quantization error, far below the
+        // distance to any other uniform random vector.
+        assert_eq!(hits[0].id, 71);
+        assert_eq!(hits[0].local, Some(7));
+        assert!(hits[0].dist < 0.01, "self distance {}", hits[0].dist);
+        // Hits come back ascending.
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        // And the generic search() entry point agrees.
+        let plain = loaded.search(q, 5, 16);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        let plain_ids: Vec<u32> = plain.iter().map(|n| n.id).collect();
+        assert_eq!(ids, plain_ids);
+    }
+
+    #[test]
+    fn sq_scan_merges_overflow_exactly_and_respects_tombstones() {
+        let (data, sq) = build_sq(20);
+        let dim = 8;
+        let rec = OverflowRecord::wire_size(dim);
+        let mut area = vec![0u8; 8 + 3 * rec];
+        // An insert right on top of the query, an insert for the other
+        // partition, and a tombstone killing base id 51 (local 5).
+        let q = data.get(5).to_vec();
+        let mine = OverflowRecord::insert(3, 7_000, q.clone());
+        let other = OverflowRecord::insert(4, 8_000, q.clone());
+        let kill = OverflowRecord::tombstone(3, 51, dim);
+        area[8..8 + rec].copy_from_slice(&mine.to_bytes());
+        area[8 + rec..8 + 2 * rec].copy_from_slice(&other.to_bytes());
+        area[8 + 2 * rec..8 + 3 * rec].copy_from_slice(&kill.to_bytes());
+        area[0..8].copy_from_slice(&((3 * rec) as u64).to_le_bytes());
+
+        let loaded = LoadedCluster::from_remote_sq(&sq.to_bytes(), Some(&area)).unwrap();
+        assert_eq!(loaded.overflow_len(), 1);
+        assert!(loaded.deleted().contains(&51));
+        let hits = loaded.search_sq(&q, 3);
+        // The overflow insert sits at distance exactly 0 (exact scan)
+        // and carries no local row; the tombstoned base id is gone.
+        assert_eq!(hits[0].id, 7_000);
+        assert_eq!(hits[0].dist, 0.0);
+        assert_eq!(hits[0].local, None);
+        assert!(hits.iter().all(|h| h.id != 51));
+        assert!(hits.iter().all(|h| h.id != 8_000));
+    }
+
+    #[test]
+    fn sq_build_rejects_degenerate_partitions() {
+        let data = Dataset::new(4);
+        assert!(SqCluster::build(0, &data, vec![]).is_err());
+        let data = gen::uniform(4, 3, 0.0, 1.0, 1).unwrap();
+        assert!(SqCluster::build(0, &data, vec![1]).is_err());
     }
 
     #[test]

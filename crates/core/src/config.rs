@@ -6,6 +6,45 @@ use vecsim::Metric;
 
 use crate::{Error, Result};
 
+/// Wire format for cluster payloads fetched from the memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantizeMode {
+    /// Full-precision f32 clusters (the original wire format).
+    #[default]
+    Off,
+    /// Scalar-quantized (SQ8) cluster payloads: the store writes a
+    /// compressed copy of every cluster into the layout-v3 tail
+    /// region, queries search over codes with asymmetric L2, and exact
+    /// distances come from a targeted full-vector rerank read.
+    Sq8,
+}
+
+impl QuantizeMode {
+    /// Parses the CLI/env spelling: `off` or `sq8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on any other string.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "full" => Ok(QuantizeMode::Off),
+            "sq8" => Ok(QuantizeMode::Sq8),
+            other => Err(Error::InvalidParameter(format!(
+                "unknown quantize mode {other:?} (expected off|sq8)"
+            ))),
+        }
+    }
+
+    /// The canonical spelling, matching what [`QuantizeMode::parse`]
+    /// accepts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuantizeMode::Off => "off",
+            QuantizeMode::Sq8 => "sq8",
+        }
+    }
+}
+
 /// Configuration for building and querying a d-HNSW store.
 ///
 /// The defaults mirror the paper's setup ([`DHnswConfig::paper`]): 500
@@ -39,6 +78,8 @@ pub struct DHnswConfig {
     degraded_ok: bool,
     pipeline_depth: usize,
     prefetch_budget_bytes: u64,
+    quantize_mode: QuantizeMode,
+    rerank_k: usize,
 }
 
 impl DHnswConfig {
@@ -61,6 +102,8 @@ impl DHnswConfig {
             degraded_ok: false,
             pipeline_depth: 1,
             prefetch_budget_bytes: 0,
+            quantize_mode: QuantizeMode::Off,
+            rerank_k: 32,
         }
     }
 
@@ -83,6 +126,8 @@ impl DHnswConfig {
             degraded_ok: false,
             pipeline_depth: 1,
             prefetch_budget_bytes: 0,
+            quantize_mode: QuantizeMode::Off,
+            rerank_k: 16,
         }
     }
 
@@ -197,6 +242,32 @@ impl DHnswConfig {
     /// Sets the between-batch prefetch byte budget (`0` = disabled).
     pub fn with_prefetch_budget_bytes(mut self, bytes: u64) -> Self {
         self.prefetch_budget_bytes = bytes;
+        self
+    }
+
+    /// Cluster wire format: full-precision or SQ8-compressed.
+    pub fn quantize_mode(&self) -> QuantizeMode {
+        self.quantize_mode
+    }
+
+    /// Sets the cluster wire format. [`QuantizeMode::Sq8`] makes the
+    /// store write a compressed copy of every cluster (layout v3) and
+    /// the engine fetch codes instead of f32 vectors.
+    pub fn with_quantize_mode(mut self, mode: QuantizeMode) -> Self {
+        self.quantize_mode = mode;
+        self
+    }
+
+    /// Extra candidates (beyond `k`) a quantized search keeps per query
+    /// as the exact-rerank pool. Ignored when quantization is off.
+    pub fn rerank_k(&self) -> usize {
+        self.rerank_k
+    }
+
+    /// Sets the rerank candidate pool size (must be `>= 1` when
+    /// quantization is on).
+    pub fn with_rerank_k(mut self, k: usize) -> Self {
+        self.rerank_k = k;
         self
     }
 
@@ -324,6 +395,11 @@ impl DHnswConfig {
                 "pipeline_depth must be >= 1 (1 = sequential execution)".into(),
             ));
         }
+        if self.quantize_mode != QuantizeMode::Off && self.rerank_k == 0 {
+            return Err(Error::InvalidParameter(
+                "rerank_k must be >= 1 when quantization is on".into(),
+            ));
+        }
         if !self.retry_backoff_us.is_finite() || self.retry_backoff_us < 0.0 {
             return Err(Error::InvalidParameter(format!(
                 "retry_backoff_us must be finite and >= 0, got {}",
@@ -438,6 +514,30 @@ mod tests {
             .with_pipeline_depth(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn quantize_knobs_default_parse_and_validate() {
+        let c = DHnswConfig::paper();
+        assert_eq!(c.quantize_mode(), QuantizeMode::Off);
+        assert_eq!(c.rerank_k(), 32);
+        let c = c
+            .with_quantize_mode(QuantizeMode::Sq8)
+            .with_rerank_k(48);
+        assert_eq!(c.quantize_mode(), QuantizeMode::Sq8);
+        assert_eq!(c.rerank_k(), 48);
+        c.validate().unwrap();
+        // rerank_k 0 is only illegal when quantization is on.
+        assert!(DHnswConfig::paper()
+            .with_quantize_mode(QuantizeMode::Sq8)
+            .with_rerank_k(0)
+            .validate()
+            .is_err());
+        DHnswConfig::paper().with_rerank_k(0).validate().unwrap();
+        assert_eq!(QuantizeMode::parse("sq8").unwrap(), QuantizeMode::Sq8);
+        assert_eq!(QuantizeMode::parse(" OFF ").unwrap(), QuantizeMode::Off);
+        assert!(QuantizeMode::parse("pq").is_err());
+        assert_eq!(QuantizeMode::Sq8.as_str(), "sq8");
     }
 
     #[test]

@@ -32,13 +32,14 @@ use vecsim::{Dataset, Neighbor, TopK};
 use crate::breakdown::{BatchReport, CostLedger};
 use crate::cache::{CacheStats, ClusterCache};
 use crate::cluster::{LoadedCluster, OverflowRecord};
+use crate::config::QuantizeMode;
 use crate::health::heatmap::ClusterHeatmap;
 use crate::health::report::{
     CacheHealth, GroupHealth, HealthReport, LatencyHealth, LayoutSummary, ReliabilityHealth,
     TailHealth,
 };
 use crate::health::skew::skew_of;
-use crate::layout::{Directory, ID_COUNTER_OFFSET};
+use crate::layout::{Directory, DIRECTORY_PEEK_BYTES, ID_COUNTER_OFFSET};
 use crate::loader::{plan_batch, read_requests_tagged, stage_loads};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
@@ -48,8 +49,29 @@ use crate::telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, QueryTrace,
 use crate::{DHnswConfig, Error, Result};
 
 /// `(partition, version-at-load, raw span bytes)` triples that passed a
-/// load stage's optimistic version check.
+/// load stage's optimistic version check. In SQ8 mode the span bytes are
+/// the compressed blob, optionally followed by the group's raw overflow
+/// area (present exactly when the partition's version was nonzero).
 type StableLoads = Vec<(u32, u64, Vec<u8>)>;
+
+/// One quantized-search candidate, carrying enough addressing to rerank
+/// it with an exact full-precision read.
+#[derive(Debug, Clone, Copy)]
+struct SqCand {
+    id: u32,
+    dist: f32,
+    partition: u32,
+    /// Base row inside the uncompressed cluster blob; `None` means the
+    /// distance is already exact (overflow insert or full-precision
+    /// fallback).
+    local: Option<u32>,
+    /// Worst-case quantization error of `dist` (zero when exact).
+    err: f32,
+}
+
+/// Entries the node-level exact-vector cache may hold before it is
+/// cleared wholesale; bounds rerank memory at ~`cap × dim × 4` bytes.
+const RERANK_CACHE_CAP: usize = 8_192;
 
 /// Span-argument keys for per-cause byte counts, indexed by
 /// [`ReadCause::index`]. Span arg keys must be `'static`, so the
@@ -62,6 +84,7 @@ const CAUSE_BYTE_KEYS: [&str; READ_CAUSES] = [
     "bytes_health_probe",
     "bytes_overflow_scan",
     "bytes_naive",
+    "bytes_rerank",
     "bytes_other",
 ];
 
@@ -424,6 +447,15 @@ pub struct ComputeNode {
     // the environment, adjustable per node without reconnecting.
     pipeline_depth: AtomicUsize,
     prefetch_budget: AtomicU64,
+    // SQ8 wire format in force: the directory carries compressed blobs
+    // *and* this node's config asks for them (naive mode always reads
+    // full precision — it is the paper's uncompressed baseline).
+    use_sq: bool,
+    // Exact full-precision vectors fetched for rerank, keyed by
+    // (partition, base row). Base vectors are immutable, so entries
+    // never go stale; the map is cleared wholesale past
+    // `RERANK_CACHE_CAP` to bound memory.
+    rerank_cache: Mutex<HashMap<(u32, u32), Vec<f32>>>,
 }
 
 impl ComputeNode {
@@ -477,9 +509,28 @@ impl ComputeNode {
         {
             config = config.with_search_threads(t);
         }
+        // Wire-format knobs: DHNSW_QUANTIZE_MODE=off|sq8 selects the
+        // cluster payload fetched by queries (sq8 only takes effect when
+        // the store was built quantized), DHNSW_RERANK_K sizes the
+        // exact-rerank candidate pool.
+        if let Some(m) = std::env::var("DHNSW_QUANTIZE_MODE")
+            .ok()
+            .and_then(|v| QuantizeMode::parse(&v).ok())
+        {
+            config = config.with_quantize_mode(m);
+        }
+        if let Some(rk) = std::env::var("DHNSW_RERANK_K")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config = config.with_rerank_k(rk.max(1));
+        }
         let qp = QueuePair::connect(store.memory_node(), config.network());
         let rkey = store.region().rkey();
-        let dir_len = Directory::byte_size(store.partitions()) as u64;
+        // Peek the header first: a v3 (quantized) store carries an SQ
+        // span table whose size the connect path cannot know up front.
+        let head = qp.read(rkey, 0, DIRECTORY_PEEK_BYTES as u64)?;
+        let dir_len = Directory::peek_size(&head)? as u64;
         let dir_bytes = qp.read(rkey, 0, dir_len)?;
         let directory = Directory::from_bytes(&dir_bytes)?;
         let capacity = config.cache_capacity(directory.partitions());
@@ -513,6 +564,9 @@ impl ComputeNode {
         let heatmap = Arc::new(ClusterHeatmap::new(directory.partitions()));
         let pipeline_depth = AtomicUsize::new(config.pipeline_depth().max(1));
         let prefetch_budget = AtomicU64::new(config.prefetch_budget_bytes());
+        let use_sq = directory.has_sq_spans()
+            && config.quantize_mode() != QuantizeMode::Off
+            && mode != SearchMode::Naive;
         Ok(ComputeNode {
             qp,
             rkey,
@@ -528,7 +582,16 @@ impl ComputeNode {
             window: Mutex::new(WindowState::default()),
             pipeline_depth,
             prefetch_budget,
+            use_sq,
+            rerank_cache: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Whether this node fetches clusters in the compressed SQ8 wire
+    /// format (directory is layout v3 *and* quantization is enabled for
+    /// this node; naive mode always reads full precision).
+    pub fn is_quantized(&self) -> bool {
+        self.use_sq
     }
 
     /// The micro-batch pipeline depth in force (`1` = sequential).
@@ -560,6 +623,19 @@ impl ComputeNode {
     /// The search mode this node runs.
     pub fn mode(&self) -> SearchMode {
         self.mode
+    }
+
+    /// The `(offset, len)` span one stage load of partition `p` reads:
+    /// the contiguous cluster+overflow group span, or just the
+    /// compressed blob when this node uses the SQ8 wire format.
+    fn load_span(&self, p: u32) -> Result<(u64, u64)> {
+        if self.use_sq {
+            self.directory
+                .sq_span(p)?
+                .ok_or_else(|| Error::Corrupt(format!("partition {p} has no sq span")))
+        } else {
+            Ok(self.directory.location(p)?.read_span())
+        }
     }
 
     /// The configuration in force.
@@ -622,7 +698,10 @@ impl ComputeNode {
         let mut layout = LayoutSummary {
             total_bytes: self.directory.total_len(),
             directory_bytes: self.directory.directory_bytes(),
-            padding_bytes: self.directory.directory_padding(),
+            // Alignment padding starts with the directory's own, plus
+            // the SQ tail region's (zero on pre-v3 layouts).
+            padding_bytes: self.directory.directory_padding() + self.directory.sq_padding_bytes(),
+            sq_bytes: self.directory.sq_live_bytes(),
             ..LayoutSummary::default()
         };
         for (g, buf) in groups.iter().zip(&buffers) {
@@ -668,11 +747,12 @@ impl ComputeNode {
         }
         if layout.total_bytes > 0 {
             let total = layout.total_bytes as f64;
-            // Live bytes: directory, clusters, the 8-byte counters, and
-            // overflow records already written. Dead bytes: alignment
-            // padding plus unused overflow slack.
+            // Live bytes: directory, clusters, the SQ8 tail (layout v3),
+            // the 8-byte counters, and overflow records already written.
+            // Dead bytes: alignment padding plus unused overflow slack.
             let live = layout.directory_bytes
                 + layout.cluster_bytes
+                + layout.sq_bytes
                 + 8 * group_health.len() as u64
                 + layout.overflow_used_bytes;
             let dead = layout.padding_bytes
@@ -1254,6 +1334,11 @@ impl ComputeNode {
         let mut sub_total = 0.0f64;
         let mut loaded_total = 0usize;
         let mut searched_all: Vec<(Vec<Neighbor>, f64)> = Vec::with_capacity(queries.len());
+        // Quantized flow: stages accumulate per-query candidate *pools*
+        // (approximate distances plus rerank addresses); the exact
+        // rerank below turns them into final results.
+        let pool_k = k + self.config.rerank_k().max(1);
+        let mut pools_all: Vec<(Vec<SqCand>, f64)> = Vec::new();
 
         for i in 0..stages {
             if i == 0 {
@@ -1307,8 +1392,11 @@ impl ComputeNode {
             let stable_parts: Vec<u32> = stable.iter().map(|(p, _, _)| *p).collect();
             let stable_versions: Vec<u64> = stable.iter().map(|(_, v, _)| *v).collect();
             let stable_bufs: Vec<Vec<u8>> = stable.into_iter().map(|(_, _, b)| b).collect();
-            let loaded =
-                materialize_parallel(&self.directory, &stable_parts, &stable_bufs, threads)?;
+            let loaded = if self.use_sq {
+                materialize_sq_parallel(&self.directory, &stable_parts, &stable_bufs, threads)?
+            } else {
+                materialize_parallel(&self.directory, &stable_parts, &stable_bufs, threads)?
+            };
             {
                 let _scope = trace.enter_scope(s_mat);
                 let mut cache = self.cache.lock();
@@ -1345,16 +1433,30 @@ impl ComputeNode {
             let (lo, hi) = bounds[i];
             let s_search = trace.begin_span("sub_hnsw_search", "engine", root);
             let t_sub = Instant::now();
-            let searched = search_over(
-                &routes[lo..hi],
-                queries,
-                lo,
-                &resolved,
-                k,
-                ef,
-                threads,
-                !failed.is_empty(),
-            )?;
+            if self.use_sq {
+                let pools = search_over_sq(
+                    &routes[lo..hi],
+                    queries,
+                    lo,
+                    &resolved,
+                    pool_k,
+                    threads,
+                    !failed.is_empty(),
+                )?;
+                pools_all.extend(pools);
+            } else {
+                let searched = search_over(
+                    &routes[lo..hi],
+                    queries,
+                    lo,
+                    &resolved,
+                    k,
+                    ef,
+                    threads,
+                    !failed.is_empty(),
+                )?;
+                searched_all.extend(searched);
+            }
             let sub_us = t_sub.elapsed().as_secs_f64() * 1e6;
             sub_total += sub_us;
             trace.end_span_with(
@@ -1366,7 +1468,6 @@ impl ComputeNode {
                 ],
             );
             cpu_wall[i] = mat_us + sub_us;
-            searched_all.extend(searched);
         }
 
         report.cache_hits = plan.cached.len() - demoted;
@@ -1404,6 +1505,28 @@ impl ComputeNode {
                     ("hidden_us", ArgValue::F64(hidden)),
                 ],
             );
+        }
+        // Exact rerank (quantized flow only): one targeted doorbell
+        // fetches the full-precision vectors of every candidate that
+        // could still enter its query's top-k, then the pools collapse
+        // into final results. Runs before the stats delta so rerank
+        // bytes land in this batch's ledger.
+        if self.use_sq {
+            let t_rr = Instant::now();
+            let rr_vt =
+                self.rerank_exact(queries, k, &mut pools_all, &resolved, doorbell, trace, root, &mut report)?;
+            report.breakdown.network_us += rr_vt;
+            report.breakdown.sub_hnsw_us += t_rr.elapsed().as_secs_f64() * 1e6;
+            searched_all = std::mem::take(&mut pools_all)
+                .into_iter()
+                .map(|(pool, cov)| {
+                    let mut top = TopK::new(k);
+                    for c in &pool {
+                        top.push(c.id, c.dist);
+                    }
+                    (top.into_sorted_vec(), cov)
+                })
+                .collect();
         }
         let stats_delta = self.qp.stats().snapshot() - stats0;
         report.round_trips = stats_delta.round_trips;
@@ -1487,7 +1610,7 @@ impl ComputeNode {
                         8,
                     )
                     .with_cause(ReadCause::VersionCheck);
-                    let (off, len) = self.directory.location(p)?.read_span();
+                    let (off, len) = self.load_span(p)?;
                     reqs.push(vs);
                     reqs.push(rdma_sim::ReadReq::new(self.rkey, off, len).with_cause(span_cause));
                     reqs.push(vs);
@@ -1549,18 +1672,88 @@ impl ComputeNode {
                 }
             }
             verify.clear();
+            let mut needs_overflow: Vec<(u32, Vec<u8>)> = Vec::new();
             for &p in &pending {
                 if versioned {
                     let before = read_version(&bufs.next().expect("version read"))?;
                     let span = bufs.next().expect("span read");
                     let after = read_version(&bufs.next().expect("version read"))?;
                     if before == after {
-                        stable.push((p, after, span));
+                        if self.use_sq && after != 0 {
+                            // The compressed blob carries no overflow
+                            // records; a nonzero version proves some
+                            // exist, so a follow-up read is required.
+                            needs_overflow.push((p, span));
+                        } else {
+                            stable.push((p, after, span));
+                        }
                     } else {
                         unstable.push(p);
                     }
                 } else {
                     stable.push((p, 0, bufs.next().expect("span read")));
+                }
+            }
+            // SQ8 follow-up: fetch the mutated partitions' overflow
+            // areas (bracketed again) and append each to its blob for
+            // materialization. The blob itself is immutable, so a
+            // version moving *between* the two rounds is harmless — the
+            // newer overflow strictly supersedes the older; only a torn
+            // overflow read (bracket mismatch) sends the partition
+            // around again.
+            if !needs_overflow.is_empty() {
+                let mut oreqs = Vec::with_capacity(3 * needs_overflow.len());
+                for &(p, _) in &needs_overflow {
+                    let vs = rdma_sim::ReadReq::new(
+                        self.rkey,
+                        self.directory.version_slot_off(p)?,
+                        8,
+                    )
+                    .with_cause(ReadCause::VersionCheck);
+                    let loc = self.directory.location(p)?;
+                    oreqs.push(vs);
+                    oreqs.push(
+                        rdma_sim::ReadReq::new(self.rkey, loc.overflow_off, loc.overflow_len)
+                            .with_cause(ReadCause::OverflowScan),
+                    );
+                    oreqs.push(vs);
+                }
+                let outcome = {
+                    let _scope = trace.enter_scope(s_net);
+                    if doorbell {
+                        self.qp.read_doorbell(&oreqs)
+                    } else {
+                        oreqs
+                            .iter()
+                            .map(|r| self.qp.read_with_cause(r.rkey, r.offset, r.len, r.cause))
+                            .collect::<std::result::Result<Vec<_>, _>>()
+                    }
+                };
+                match outcome {
+                    Ok(buffers) => {
+                        let mut obufs = buffers.into_iter();
+                        for (p, mut span) in needs_overflow {
+                            let before = read_version(&obufs.next().expect("version read"))?;
+                            let area = obufs.next().expect("overflow read");
+                            let after = read_version(&obufs.next().expect("version read"))?;
+                            if before == after {
+                                span.extend_from_slice(&area);
+                                stable.push((p, after, span));
+                            } else {
+                                unstable.push(p);
+                            }
+                        }
+                    }
+                    Err(rdma_sim::Error::RetriesExhausted { .. }) => {
+                        // Send them back through the shared retry budget
+                        // (blob and overflow are re-read together).
+                        report.read_retries += 1;
+                        unstable.extend(needs_overflow.into_iter().map(|(p, _)| p));
+                    }
+                    Err(e) => {
+                        trace.end_span(s_net);
+                        return Err(e.into());
+                    }
                 }
             }
             if unstable.is_empty() {
@@ -1603,6 +1796,170 @@ impl ComputeNode {
             ],
         );
         Ok((stable, vt))
+    }
+
+    /// Exact-rerank pass for quantized batches. Decides which pool
+    /// candidates could still enter their query's top-`k` — those whose
+    /// error interval reaches below the k-th smallest upper bound —
+    /// fetches the missing full-precision vectors with one
+    /// [`ReadCause::Rerank`]-tagged doorbell (deduplicated across the
+    /// batch and against the node-level exact-vector cache), and swaps
+    /// exact distances in. Candidates provably outside the top-k keep
+    /// their asymmetric distance: they cannot displace a reranked
+    /// survivor, so the final top-k id set equals a full rerank's.
+    ///
+    /// Base vectors are immutable (mutations live in overflow areas),
+    /// so the reads need no version brackets and cache entries never go
+    /// stale. Returns the fetch's virtual network time.
+    #[allow(clippy::too_many_arguments)]
+    fn rerank_exact(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        pools: &mut [(Vec<SqCand>, f64)],
+        resolved: &HashMap<u32, Arc<LoadedCluster>>,
+        doorbell: bool,
+        trace: &BatchTrace,
+        root: SpanId,
+        report: &mut BatchReport,
+    ) -> Result<f64> {
+        // Per query: pool indices to exactify, with the (partition, row)
+        // address of each full vector.
+        let mut plan: Vec<Vec<(usize, (u32, u32))>> = Vec::with_capacity(pools.len());
+        let mut need: Vec<(u32, u32)> = Vec::new();
+        let mut queued: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        {
+            let cache = self.rerank_cache.lock();
+            for (pool, _) in pools.iter() {
+                let mut wanted = Vec::new();
+                if !pool.is_empty() && k > 0 {
+                    let mut uppers: Vec<f32> = pool.iter().map(|c| c.dist + c.err).collect();
+                    uppers.sort_by(f32::total_cmp);
+                    let thresh = uppers[k.min(uppers.len()) - 1];
+                    for (i, c) in pool.iter().enumerate() {
+                        let Some(local) = c.local else { continue };
+                        if c.dist - c.err <= thresh {
+                            let key = (c.partition, local);
+                            wanted.push((i, key));
+                            if !cache.contains_key(&key) && queued.insert(key) {
+                                need.push(key);
+                            }
+                        }
+                    }
+                }
+                plan.push(wanted);
+            }
+        }
+        if plan.iter().all(|w| w.is_empty()) {
+            return Ok(0.0);
+        }
+
+        let dim = self.directory.dim();
+        let vec_bytes = (dim * 4) as u64;
+        let s_rr = trace.begin_span("rerank", "engine", root);
+        let clock0 = self.qp.clock().now_us();
+        let candidates: u64 = plan.iter().map(|w| w.len() as u64).sum();
+        let mut fetched: Vec<((u32, u32), Vec<f32>)> = Vec::with_capacity(need.len());
+        let mut pending = need;
+        let mut attempt = 0u32;
+        while !pending.is_empty() {
+            let mut reqs = Vec::with_capacity(pending.len());
+            for &(p, local) in &pending {
+                let loc = self.directory.location(p)?;
+                let rows = resolved
+                    .get(&p)
+                    .and_then(|c| c.sq())
+                    .map(|sq| sq.len())
+                    .ok_or_else(|| {
+                        Error::Corrupt(format!("rerank candidate in unresolved cluster {p}"))
+                    })?;
+                // Serialized clusters end with the raw row-major f32
+                // vectors, so row `local` sits a fixed distance from
+                // the blob's tail.
+                let off = loc.cluster_off + loc.cluster_len
+                    - (rows as u64 - u64::from(local)) * vec_bytes;
+                reqs.push(
+                    rdma_sim::ReadReq::new(self.rkey, off, vec_bytes)
+                        .with_cause(ReadCause::Rerank),
+                );
+            }
+            let outcome = {
+                let _scope = trace.enter_scope(s_rr);
+                if doorbell {
+                    self.qp.read_doorbell(&reqs)
+                } else {
+                    reqs.iter()
+                        .map(|r| self.qp.read_with_cause(r.rkey, r.offset, r.len, r.cause))
+                        .collect::<std::result::Result<Vec<_>, _>>()
+                }
+            };
+            match outcome {
+                Ok(buffers) => {
+                    for (&key, buf) in pending.iter().zip(&buffers) {
+                        let mut v = Vec::with_capacity(dim);
+                        for ch in buf.chunks_exact(4) {
+                            v.push(f32::from_le_bytes(ch.try_into().expect("4 bytes")));
+                        }
+                        fetched.push((key, v));
+                    }
+                    pending.clear();
+                }
+                Err(rdma_sim::Error::RetriesExhausted { .. }) => {
+                    attempt += 1;
+                    report.read_retries += 1;
+                    if attempt > self.config.read_retry_limit() {
+                        if self.config.degraded_ok() {
+                            // Unfetched candidates keep their asymmetric
+                            // distances: the answer degrades gracefully
+                            // instead of failing the batch.
+                            break;
+                        }
+                        trace.end_span(s_rr);
+                        return Err(Error::ReadRetriesExhausted {
+                            partition: pending[0].0,
+                            attempts: attempt,
+                        });
+                    }
+                    self.backoff(attempt, trace, s_rr, pending.len());
+                }
+                Err(e) => {
+                    trace.end_span(s_rr);
+                    return Err(e.into());
+                }
+            }
+        }
+        let vt = self.qp.clock().now_us() - clock0;
+        let fetched_n = fetched.len() as u64;
+        let mut exacted = 0u64;
+        {
+            let mut cache = self.rerank_cache.lock();
+            if cache.len() + fetched.len() > RERANK_CACHE_CAP {
+                cache.clear();
+            }
+            for (key, v) in fetched {
+                cache.insert(key, v);
+            }
+            for (qi, (pool, _)) in pools.iter_mut().enumerate() {
+                let q = queries.get(qi);
+                for &(ci, key) in &plan[qi] {
+                    if let Some(v) = cache.get(&key) {
+                        pool[ci].dist = vecsim::l2_sq(q, v);
+                        pool[ci].err = 0.0;
+                        exacted += 1;
+                    }
+                }
+            }
+        }
+        trace.set_vt(s_rr, clock0, vt);
+        trace.end_span_with(
+            s_rr,
+            &[
+                ("candidates", ArgValue::U64(candidates)),
+                ("fetched", ArgValue::U64(fetched_n)),
+                ("exacted", ArgValue::U64(exacted)),
+            ],
+        );
+        Ok(vt)
     }
 
     /// Heatmap-driven background prefetch: warms the LRU cache with the
@@ -1654,10 +2011,9 @@ impl ComputeNode {
                 if cache.contains(p) {
                     continue;
                 }
-                let Ok(loc) = self.directory.location(p) else {
+                let Ok((_, len)) = self.load_span(p) else {
                     continue;
                 };
-                let len = loc.read_span().1;
                 // Budget-gated picks are skipped, not queued: they fail
                 // the same gate every round, so a too-small budget never
                 // causes repeated load traffic for the same cluster.
@@ -1684,10 +2040,9 @@ impl ComputeNode {
         'load: while !pending.is_empty() {
             let mut reqs = Vec::with_capacity(3 * pending.len());
             for &p in &pending {
-                let Ok(loc) = self.directory.location(p) else {
+                let Ok((off, len)) = self.load_span(p) else {
                     break 'load;
                 };
-                let (off, len) = loc.read_span();
                 if versioned {
                     let Ok(vs_off) = self.directory.version_slot_off(p) else {
                         break 'load;
@@ -1735,7 +2090,13 @@ impl ComputeNode {
                         break 'load;
                     };
                     if before == after {
-                        stable.push((p, after, span));
+                        if self.use_sq && after != 0 {
+                            // A mutated partition would need an overflow
+                            // follow-up read; prefetch is best-effort,
+                            // so leave it to the query path.
+                        } else {
+                            stable.push((p, after, span));
+                        }
                     } else {
                         unstable.push(p);
                     }
@@ -1759,7 +2120,12 @@ impl ComputeNode {
         let versions: Vec<u64> = stable.iter().map(|(_, v, _)| *v).collect();
         let bufs: Vec<Vec<u8>> = stable.into_iter().map(|(_, _, b)| b).collect();
         let mut admitted = 0usize;
-        if let Ok(loaded) = materialize_parallel(&self.directory, &parts, &bufs, threads) {
+        let materialized = if self.use_sq {
+            materialize_sq_parallel(&self.directory, &parts, &bufs, threads)
+        } else {
+            materialize_parallel(&self.directory, &parts, &bufs, threads)
+        };
+        if let Ok(loaded) = materialized {
             let mut cache = self.cache.lock();
             // Make room by dropping the coldest residents *outside* the
             // target set, so this round's admissions never LRU-evict each
@@ -2312,6 +2678,35 @@ fn materialize_parallel(
     })
 }
 
+/// Deserializes freshly fetched compressed (SQ8) cluster buffers in
+/// parallel. Each buffer is the compressed blob, optionally followed by
+/// the group's raw overflow area (see [`StableLoads`]); an absent tail
+/// means the partition's version slot proved the overflow pristine.
+fn materialize_sq_parallel(
+    directory: &Directory,
+    partitions: &[u32],
+    buffers: &[Vec<u8>],
+    threads: usize,
+) -> Result<Vec<Arc<LoadedCluster>>> {
+    run_indexed(partitions.len(), threads, |i| {
+        let p = partitions[i];
+        let (_, sq_len) = directory
+            .sq_span(p)?
+            .ok_or_else(|| Error::Corrupt(format!("partition {p} has no sq span")))?;
+        let sq_len = sq_len as usize;
+        let buf = &buffers[i];
+        if buf.len() < sq_len {
+            return Err(Error::Corrupt(format!(
+                "sq span buffer is {} bytes, expected at least {sq_len}",
+                buf.len()
+            )));
+        }
+        let (sq_bytes, rest) = buf.split_at(sq_len);
+        let overflow = if rest.is_empty() { None } else { Some(rest) };
+        Ok(Arc::new(LoadedCluster::from_remote_sq(sq_bytes, overflow)?))
+    })
+}
+
 /// Decodes one 8-byte version-slot read.
 fn read_version(buf: &[u8]) -> Result<u64> {
     let raw: [u8; 8] = buf
@@ -2367,6 +2762,91 @@ fn search_over(
             searched as f64 / total as f64
         };
         Ok((top.into_sorted_vec(), cov))
+    })
+}
+
+/// Quantized analogue of [`search_over`]: each query's routed clusters
+/// are scanned with asymmetric distances over the SQ8 codes and merged
+/// into a candidate pool of up to `pool_k` (deduplicated by global id,
+/// keeping the closest copy). Each candidate carries its rerank address
+/// and the worst-case quantization error of its distance; overflow
+/// inserts are already exact (error zero, no address). A full-precision
+/// cluster encountered in the cache still contributes — its hits enter
+/// the pool as exact candidates.
+fn search_over_sq(
+    routes: &[Vec<u32>],
+    queries: &Dataset,
+    base: usize,
+    resolved: &HashMap<u32, Arc<LoadedCluster>>,
+    pool_k: usize,
+    threads: usize,
+    allow_missing: bool,
+) -> Result<Vec<(Vec<SqCand>, f64)>> {
+    run_indexed(routes.len(), threads, |i| {
+        let q = queries.get(base + i);
+        let mut best: HashMap<u32, SqCand> = HashMap::new();
+        let upsert = |best: &mut HashMap<u32, SqCand>, cand: SqCand| {
+            best.entry(cand.id)
+                .and_modify(|c| {
+                    if cand.dist < c.dist {
+                        *c = cand;
+                    }
+                })
+                .or_insert(cand);
+        };
+        let mut searched = 0usize;
+        for p in &routes[i] {
+            let cluster = match resolved.get(p) {
+                Some(c) => c,
+                None if allow_missing => continue,
+                None => {
+                    return Err(Error::Corrupt(format!("cluster {p} missing after load")))
+                }
+            };
+            searched += 1;
+            if let Some(sq) = cluster.sq() {
+                for h in cluster.search_sq(q, pool_k) {
+                    let err = if h.local.is_some() {
+                        sq.params().l2_error_bound(h.dist)
+                    } else {
+                        0.0
+                    };
+                    upsert(
+                        &mut best,
+                        SqCand {
+                            id: h.id,
+                            dist: h.dist,
+                            partition: *p,
+                            local: h.local,
+                            err,
+                        },
+                    );
+                }
+            } else {
+                for n in cluster.search(q, pool_k, pool_k.max(16)) {
+                    upsert(
+                        &mut best,
+                        SqCand {
+                            id: n.id,
+                            dist: n.dist,
+                            partition: *p,
+                            local: None,
+                            err: 0.0,
+                        },
+                    );
+                }
+            }
+        }
+        let mut pool: Vec<SqCand> = best.into_values().collect();
+        pool.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        pool.truncate(pool_k);
+        let total = routes[i].len();
+        let cov = if total == 0 {
+            1.0
+        } else {
+            searched as f64 / total as f64
+        };
+        Ok((pool, cov))
     })
 }
 
@@ -2465,6 +2945,138 @@ mod tests {
             let (_, warm) = node.query_batch(&queries, 5, 32).unwrap();
             assert_eq!(warm.ledger.total_bytes(), warm.bytes_read, "{mode}");
         }
+    }
+
+    fn sq_setup(n: usize) -> (Dataset, VectorStore) {
+        let data = gen::sift_like(n, 77).unwrap();
+        let store = VectorStore::build(
+            data.clone(),
+            &DHnswConfig::small().with_quantize_mode(QuantizeMode::Sq8),
+        )
+        .unwrap();
+        (data, store)
+    }
+
+    #[test]
+    fn sq_mode_reranks_with_tagged_reads_and_tiles_bytes() {
+        let (data, store) = sq_setup(600);
+        let queries = gen::perturbed_queries(&data, 16, 0.02, 78).unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        assert!(node.is_quantized());
+        let (results, report) = node.query_batch(&queries, 10, 32).unwrap();
+        assert_eq!(results.len(), 16);
+        for r in &results {
+            assert_eq!(r.len(), 10);
+            for w in r.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+        // Rerank traffic carries its own cause, and the per-cause
+        // ledger still tiles bytes_read exactly.
+        assert!(report.ledger.bytes_for(ReadCause::Rerank) > 0);
+        assert_eq!(report.ledger.total_bytes(), report.bytes_read);
+        // A pristine store never pays for overflow bytes: version
+        // slots prove every overflow area empty.
+        assert_eq!(report.ledger.bytes_for(ReadCause::OverflowScan), 0);
+
+        // The compressed wire format moves far fewer bytes than the
+        // uncompressed store answering the same cold batch.
+        let full_store = VectorStore::build(data, &DHnswConfig::small()).unwrap();
+        let full = full_store.connect(SearchMode::Full).unwrap();
+        assert!(!full.is_quantized());
+        let (_, full_report) = full.query_batch(&queries, 10, 32).unwrap();
+        assert!(
+            report.bytes_read * 2 < full_report.bytes_read,
+            "sq bytes {} not well under full-precision bytes {}",
+            report.bytes_read,
+            full_report.bytes_read
+        );
+    }
+
+    #[test]
+    fn sq_rerank_recall_matches_full_precision() {
+        let data = gen::sift_like(1_500, 80).unwrap();
+        let queries = gen::perturbed_queries(&data, 40, 0.02, 81).unwrap();
+        let truth = ground_truth::exact_batch(&data, &queries, 10, Metric::L2);
+        let run = |mode: QuantizeMode| {
+            let store = VectorStore::build(
+                data.clone(),
+                &DHnswConfig::small().with_quantize_mode(mode),
+            )
+            .unwrap();
+            let node = store.connect(SearchMode::Full).unwrap();
+            let (results, _) = node.query_batch(&queries, 10, 48).unwrap();
+            let ids: Vec<Vec<u32>> = results
+                .iter()
+                .map(|r| r.iter().map(|n| n.id).collect())
+                .collect();
+            recall::mean_recall(&ids, &truth)
+        };
+        let full = run(QuantizeMode::Off);
+        let sq = run(QuantizeMode::Sq8);
+        assert!(
+            sq + 0.005 >= full,
+            "sq recall {sq} fell more than 0.005 below full-precision {full}"
+        );
+    }
+
+    #[test]
+    fn sq_mode_observes_overflow_inserts_and_tombstones() {
+        let (data, store) = sq_setup(400);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let mut v = data.get(3).to_vec();
+        v[0] += 0.75;
+        let gid = node.insert(&v).unwrap();
+
+        // The mutated partition's nonzero version forces the overflow
+        // follow-up read, and the insert is found exactly.
+        let batch = Dataset::from_rows(&[&v[..]]).unwrap();
+        let (hits, report) = node.query_batch(&batch, 1, 32).unwrap();
+        assert_eq!(hits[0][0].id, gid);
+        assert!(hits[0][0].dist < 1e-6);
+        assert!(report.ledger.bytes_for(ReadCause::OverflowScan) > 0);
+        assert_eq!(report.ledger.total_bytes(), report.bytes_read);
+
+        // A tombstone removes it from subsequent quantized answers.
+        node.delete(&v, gid).unwrap();
+        let hits = node.query(&v, 1, 32).unwrap();
+        assert_ne!(hits[0].id, gid);
+    }
+
+    #[test]
+    fn sq_warm_cache_answers_without_reloading_blobs() {
+        let data = gen::sift_like(500, 82).unwrap();
+        let store = VectorStore::build(
+            data.clone(),
+            &DHnswConfig::small()
+                .with_quantize_mode(QuantizeMode::Sq8)
+                .with_cache_fraction(1.0),
+        )
+        .unwrap();
+        let node = store.connect(SearchMode::Full).unwrap();
+        let queries = gen::perturbed_queries(&data, 12, 0.02, 83).unwrap();
+        let (cold_r, cold) = node.query_batch(&queries, 5, 32).unwrap();
+        let (warm_r, warm) = node.query_batch(&queries, 5, 32).unwrap();
+        assert_eq!(cold_r, warm_r, "cache residency must not change answers");
+        assert_eq!(warm.ledger.bytes_for(ReadCause::StageLoad), 0);
+        // Second pass still pays only for rerank reads it has not
+        // cached — never more than the first.
+        assert!(warm.ledger.bytes_for(ReadCause::Rerank) <= cold.ledger.bytes_for(ReadCause::Rerank));
+        assert_eq!(warm.ledger.total_bytes(), warm.bytes_read);
+    }
+
+    #[test]
+    fn health_report_folds_sq_tail_into_layout_accounting() {
+        let (_, store) = sq_setup(500);
+        let node = store.connect(SearchMode::Full).unwrap();
+        let report = node.health_report().unwrap();
+        assert!(report.layout.sq_bytes > 0);
+        assert!(
+            (report.layout.utilization + report.layout.fragmentation - 1.0).abs() < 1e-9,
+            "utilization {} + fragmentation {} must cover the quantized region",
+            report.layout.utilization,
+            report.layout.fragmentation
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct LayoutSummary {
     pub directory_bytes: u64,
     /// Serialized cluster bytes across all groups.
     pub cluster_bytes: u64,
-    /// Alignment padding (directory + clusters).
+    /// Compressed (SQ8) cluster bytes in the layout-v3 tail region;
+    /// zero on uncompressed layouts.
+    pub sq_bytes: u64,
+    /// Alignment padding (directory + clusters + SQ tail).
     pub padding_bytes: u64,
     /// Total overflow insert capacity across groups.
     pub overflow_capacity_bytes: u64,
@@ -204,10 +207,11 @@ impl HealthReport {
         out.push_str(&format!("  \"partitions\": {},\n", self.partitions));
         let l = &self.layout;
         out.push_str(&format!(
-            "  \"layout\": {{\"total_bytes\": {}, \"directory_bytes\": {}, \"cluster_bytes\": {}, \"padding_bytes\": {}, \"overflow_capacity_bytes\": {}, \"overflow_used_bytes\": {}, \"max_group_occupancy\": {}, \"mean_group_occupancy\": {}, \"utilization\": {}, \"fragmentation\": {}}},\n",
+            "  \"layout\": {{\"total_bytes\": {}, \"directory_bytes\": {}, \"cluster_bytes\": {}, \"sq_bytes\": {}, \"padding_bytes\": {}, \"overflow_capacity_bytes\": {}, \"overflow_used_bytes\": {}, \"max_group_occupancy\": {}, \"mean_group_occupancy\": {}, \"utilization\": {}, \"fragmentation\": {}}},\n",
             l.total_bytes,
             l.directory_bytes,
             l.cluster_bytes,
+            l.sq_bytes,
             l.padding_bytes,
             l.overflow_capacity_bytes,
             l.overflow_used_bytes,
@@ -492,6 +496,7 @@ mod tests {
                 total_bytes: 2048,
                 directory_bytes: 100,
                 cluster_bytes: 1000,
+                sq_bytes: 0,
                 padding_bytes: 8,
                 overflow_capacity_bytes: 512,
                 overflow_used_bytes: 128,

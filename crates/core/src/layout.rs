@@ -34,13 +34,19 @@ use crate::{Error, Result};
 
 /// Magic tag of a serialized directory.
 pub const DIRECTORY_MAGIC: u32 = 0x3144_4844; // "DHD1"
-/// Directory format version: v2 appends one aligned `u64` version slot
-/// per cluster after the location entries (and pairs with the v2
-/// overflow-record framing: length prefix, checksum, commit marker).
-pub const DIRECTORY_VERSION: u32 = 2;
-/// The previous directory format (no version slots, v1 overflow
-/// framing); still accepted by [`Directory::from_bytes`].
+/// The original directory format: no version slots, v1 overflow
+/// framing. Still accepted by [`Directory::from_bytes`].
 pub const DIRECTORY_VERSION_V1: u32 = 1;
+/// v2 appends one aligned `u64` version slot per cluster after the
+/// location entries (and pairs with the v2 overflow-record framing:
+/// length prefix, checksum, commit marker). This is what
+/// [`Directory::plan`] emits for uncompressed stores.
+pub const DIRECTORY_VERSION: u32 = 2;
+/// v3 appends a per-cluster SQ8 span table (`sq_off`/`sq_len` `u64`
+/// pairs) after the version slots; the spans point at scalar-quantized
+/// cluster blobs in a tail region after the groups. Emitted by
+/// [`Directory::plan_with_sq`] when quantization is on.
+pub const DIRECTORY_VERSION_V3: u32 = 3;
 
 const HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
 
@@ -49,6 +55,10 @@ const HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
 /// inserted vectors.
 pub const ID_COUNTER_OFFSET: u64 = 40;
 const ENTRY_BYTES: usize = 4 + 1 + 3 + 8 + 8 + 8 + 8;
+const SQ_SPAN_BYTES: usize = 8 + 8;
+/// Bytes a reader must fetch to learn a directory's version and
+/// partition count — enough for [`Directory::peek_size`].
+pub const DIRECTORY_PEEK_BYTES: usize = HEADER_BYTES;
 
 fn pad8(n: u64) -> u64 {
     (n + 7) & !7
@@ -200,6 +210,9 @@ pub struct Directory {
     record_size: u32,
     next_id: u64,
     locations: Vec<ClusterLocation>,
+    /// Per-partition `(offset, len)` of the SQ8 cluster blob in the
+    /// tail region; empty unless `format_version >= 3`.
+    sq_spans: Vec<(u64, u64)>,
 }
 
 impl Directory {
@@ -212,6 +225,40 @@ impl Directory {
     /// Returns [`Error::InvalidParameter`] when `cluster_sizes` is empty
     /// or `dim` is zero.
     pub fn plan(cluster_sizes: &[u64], dim: usize, overflow_slots: usize) -> Result<Self> {
+        Self::plan_inner(cluster_sizes, None, dim, overflow_slots)
+    }
+
+    /// Plans a v3 layout: the v2 group geometry, plus one SQ8 blob per
+    /// cluster (serialized sizes in `sq_sizes`, indexed by partition)
+    /// packed into an 8-aligned tail region after the last group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on the same degenerate
+    /// inputs as [`Directory::plan`], or when `sq_sizes` and
+    /// `cluster_sizes` disagree in length.
+    pub fn plan_with_sq(
+        cluster_sizes: &[u64],
+        sq_sizes: &[u64],
+        dim: usize,
+        overflow_slots: usize,
+    ) -> Result<Self> {
+        if sq_sizes.len() != cluster_sizes.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} sq blob sizes for {} clusters",
+                sq_sizes.len(),
+                cluster_sizes.len()
+            )));
+        }
+        Self::plan_inner(cluster_sizes, Some(sq_sizes), dim, overflow_slots)
+    }
+
+    fn plan_inner(
+        cluster_sizes: &[u64],
+        sq_sizes: Option<&[u64]>,
+        dim: usize,
+        overflow_slots: usize,
+    ) -> Result<Self> {
         if cluster_sizes.is_empty() {
             return Err(Error::InvalidParameter(
                 "layout needs at least one cluster".into(),
@@ -224,7 +271,11 @@ impl Directory {
         let overflow_len = 8 + record_size * overflow_slots as u64;
 
         let n = cluster_sizes.len();
-        let dir_len = pad8(Self::byte_size(n) as u64);
+        let dir_len = if sq_sizes.is_some() {
+            pad8(Self::byte_size_v3(n) as u64)
+        } else {
+            pad8(Self::byte_size(n) as u64)
+        };
         let mut cursor = dir_len;
         let mut locations = Vec::with_capacity(n);
 
@@ -262,14 +313,31 @@ impl Directory {
             group += 1;
         }
 
+        // SQ8 blobs live in one tail region after the last group, so
+        // the group geometry (and every v2 offset) is untouched by
+        // quantization being on or off.
+        let mut sq_spans = Vec::new();
+        if let Some(sq) = sq_sizes {
+            sq_spans.reserve(n);
+            for &len in sq {
+                sq_spans.push((cursor, len));
+                cursor += pad8(len);
+            }
+        }
+
         Ok(Directory {
-            format_version: DIRECTORY_VERSION,
+            format_version: if sq_sizes.is_some() {
+                DIRECTORY_VERSION_V3
+            } else {
+                DIRECTORY_VERSION
+            },
             dim: dim as u32,
             epoch: 0,
             total_len: cursor,
             record_size: record_size as u32,
             next_id: 0,
             locations,
+            sq_spans,
         })
     }
 
@@ -355,6 +423,39 @@ impl Directory {
         HEADER_BYTES + n * ENTRY_BYTES
     }
 
+    /// Serialized size under the v3 format: the v2 layout plus one
+    /// `(sq_off, sq_len)` pair per cluster.
+    pub fn byte_size_v3(n: usize) -> usize {
+        Self::byte_size(n) + n * SQ_SPAN_BYTES
+    }
+
+    /// Serialized directory size, computed from a header prefix of at
+    /// least [`DIRECTORY_PEEK_BYTES`] bytes — lets a reader size the
+    /// full directory fetch without knowing the format in advance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on a short prefix, a bad magic, or
+    /// an unknown format version.
+    pub fn peek_size(header: &[u8]) -> Result<usize> {
+        if header.len() < HEADER_BYTES {
+            return Err(Error::Corrupt("truncated directory header".into()));
+        }
+        let u32_at = |off: usize| {
+            u32::from_le_bytes(header[off..off + 4].try_into().expect("4"))
+        };
+        if u32_at(0) != DIRECTORY_MAGIC {
+            return Err(Error::Corrupt("bad directory magic".into()));
+        }
+        let n = u32_at(12) as usize;
+        match u32_at(4) {
+            DIRECTORY_VERSION_V1 => Ok(Self::byte_size_v1(n)),
+            DIRECTORY_VERSION => Ok(Self::byte_size(n)),
+            DIRECTORY_VERSION_V3 => Ok(Self::byte_size_v3(n)),
+            _ => Err(Error::Corrupt("unsupported directory version".into())),
+        }
+    }
+
     /// Byte offset of the first version slot, 8-aligned so every slot is
     /// a legal `FAA` target.
     fn version_slots_off(n: usize) -> usize {
@@ -382,7 +483,40 @@ impl Directory {
 
     /// Serialized size of *this* directory at the head of the region.
     pub fn directory_bytes(&self) -> u64 {
-        Self::byte_size(self.locations.len()) as u64
+        let n = self.locations.len();
+        (match self.format_version {
+            DIRECTORY_VERSION_V1 => Self::byte_size_v1(n),
+            DIRECTORY_VERSION => Self::byte_size(n),
+            _ => Self::byte_size_v3(n),
+        }) as u64
+    }
+
+    /// Whether the directory carries SQ8 blob spans (format v3).
+    pub fn has_sq_spans(&self) -> bool {
+        self.format_version >= DIRECTORY_VERSION_V3
+    }
+
+    /// The `(offset, len)` of partition `p`'s SQ8 blob, or `None` on a
+    /// pre-v3 directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for an out-of-range id.
+    pub fn sq_span(&self, p: u32) -> Result<Option<(u64, u64)>> {
+        if p as usize >= self.locations.len() {
+            return Err(Error::UnknownPartition(p));
+        }
+        Ok(self.sq_spans.get(p as usize).copied())
+    }
+
+    /// Live SQ8 blob bytes across the tail region (zero pre-v3).
+    pub fn sq_live_bytes(&self) -> u64 {
+        self.sq_spans.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Alignment padding spent between SQ8 blobs in the tail region.
+    pub fn sq_padding_bytes(&self) -> u64 {
+        self.sq_spans.iter().map(|&(_, len)| pad8(len) - len).sum()
     }
 
     /// Alignment padding between the directory and the first group.
@@ -447,6 +581,12 @@ impl Directory {
         if self.has_version_slots() {
             out.resize(Self::byte_size(self.locations.len()), 0);
         }
+        if self.has_sq_spans() {
+            for &(off, len) in &self.sq_spans {
+                out.extend_from_slice(&off.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
         out
     }
 
@@ -470,7 +610,7 @@ impl Directory {
             return Err(Error::Corrupt("bad directory magic".into()));
         }
         let format_version = u32_at(4)?;
-        if format_version != DIRECTORY_VERSION && format_version != DIRECTORY_VERSION_V1 {
+        if !(DIRECTORY_VERSION_V1..=DIRECTORY_VERSION_V3).contains(&format_version) {
             return Err(Error::Corrupt("unsupported directory version".into()));
         }
         let dim = u32_at(8)?;
@@ -500,6 +640,14 @@ impl Directory {
                 overflow_len: u64_at(base + 32)?,
             });
         }
+        let mut sq_spans = Vec::new();
+        if format_version >= DIRECTORY_VERSION_V3 {
+            sq_spans.reserve(n);
+            for i in 0..n {
+                let base = Self::byte_size(n) + i * SQ_SPAN_BYTES;
+                sq_spans.push((u64_at(base)?, u64_at(base + 8)?));
+            }
+        }
         Ok(Directory {
             format_version,
             dim,
@@ -508,6 +656,7 @@ impl Directory {
             record_size,
             next_id,
             locations,
+            sq_spans,
         })
     }
 }
@@ -690,6 +839,88 @@ mod tests {
         // v1 round-trips at the v1 size.
         assert_eq!(back.to_bytes().len(), Directory::byte_size_v1(2));
         assert_eq!(Directory::from_bytes(&back.to_bytes()).unwrap(), back);
+    }
+
+    #[test]
+    fn v3_plan_appends_sq_tail_after_the_groups() {
+        let plain = Directory::plan(&[100, 220, 60], 4, 8).unwrap();
+        let dir = Directory::plan_with_sq(&[100, 220, 60], &[40, 90, 25], 4, 8).unwrap();
+        assert!(dir.has_sq_spans());
+        assert!(dir.has_version_slots());
+        assert_eq!(dir.format_version(), DIRECTORY_VERSION_V3);
+        // The larger v3 directory shifts the groups, but the group
+        // *shape* (pairing, shared overflow, relative geometry) matches
+        // the v2 plan, and every sq span sits after every group span.
+        let group_end = dir
+            .locations()
+            .iter()
+            .map(|l| {
+                let (off, len) = l.read_span();
+                off + len
+            })
+            .max()
+            .unwrap();
+        for p in 0..3u32 {
+            let (off, len) = dir.sq_span(p).unwrap().unwrap();
+            assert_eq!(off % 8, 0);
+            assert!(off >= group_end);
+            assert!(off + len <= dir.total_len());
+            assert_eq!(len, [40, 90, 25][p as usize]);
+        }
+        // Spans are packed back to back (40 is already 8-aligned, 90
+        // pads to 96).
+        let (off0, _) = dir.sq_span(0).unwrap().unwrap();
+        assert_eq!(dir.sq_span(1).unwrap().unwrap().0, off0 + 40);
+        assert_eq!(dir.sq_span(2).unwrap().unwrap().0, off0 + 40 + 96);
+        assert!(dir.sq_span(3).is_err());
+        // v2 plans report no spans.
+        assert_eq!(plain.sq_span(0).unwrap(), None);
+        assert_eq!(plain.sq_live_bytes(), 0);
+        // Accounting: sq live + padding is exactly the tail.
+        assert_eq!(dir.sq_live_bytes(), 40 + 90 + 25);
+        assert_eq!(
+            dir.sq_span(0).unwrap().unwrap().0 + dir.sq_live_bytes() + dir.sq_padding_bytes(),
+            dir.total_len()
+        );
+    }
+
+    #[test]
+    fn v3_directory_round_trips_through_bytes() {
+        let mut dir = Directory::plan_with_sq(&[100, 200], &[30, 70], 4, 8).unwrap();
+        dir.set_next_id(77);
+        dir.set_epoch(3);
+        let blob = dir.to_bytes();
+        assert_eq!(blob.len(), Directory::byte_size_v3(2));
+        assert_eq!(blob.len() as u64, dir.directory_bytes());
+        let back = Directory::from_bytes(&blob).unwrap();
+        assert_eq!(back, dir);
+    }
+
+    #[test]
+    fn peek_size_reports_every_format() {
+        let v2 = Directory::plan(&[100, 200], 4, 8).unwrap();
+        let v3 = Directory::plan_with_sq(&[100, 200], &[30, 70], 4, 8).unwrap();
+        let v2_blob = v2.to_bytes();
+        let v3_blob = v3.to_bytes();
+        assert_eq!(Directory::peek_size(&v2_blob).unwrap(), v2_blob.len());
+        assert_eq!(Directory::peek_size(&v3_blob).unwrap(), v3_blob.len());
+        assert_eq!(
+            Directory::peek_size(&v3_blob[..DIRECTORY_PEEK_BYTES]).unwrap(),
+            v3_blob.len()
+        );
+        let mut v1_blob = v2_blob.clone();
+        v1_blob.truncate(Directory::byte_size_v1(2));
+        v1_blob[4..8].copy_from_slice(&DIRECTORY_VERSION_V1.to_le_bytes());
+        assert_eq!(Directory::peek_size(&v1_blob).unwrap(), v1_blob.len());
+        assert!(Directory::peek_size(&v2_blob[..10]).is_err());
+        let mut bad = v2_blob.clone();
+        bad[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(Directory::peek_size(&bad).is_err());
+    }
+
+    #[test]
+    fn plan_with_sq_rejects_mismatched_span_counts() {
+        assert!(Directory::plan_with_sq(&[100, 200], &[30], 4, 8).is_err());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use balancer::{DispatchPolicy, LoadBalancer};
 pub use breakdown::{BatchReport, CostLedger, LatencyBreakdown};
 pub use rdma_sim::{ReadCause, READ_CAUSES};
 pub use cache::CacheStats;
-pub use config::DHnswConfig;
+pub use config::{DHnswConfig, QuantizeMode};
 pub use engine::{ComputeNode, QueryOptions, SearchMode};
 pub use error::Error;
 pub use health::{

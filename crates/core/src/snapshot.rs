@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use rdma_sim::{MemoryNode, QueuePair};
 
-use crate::layout::Directory;
+use crate::layout::{Directory, DIRECTORY_PEEK_BYTES};
 use crate::meta::MetaIndex;
 use crate::store::VectorStore;
 use crate::{DHnswConfig, Error, Result};
@@ -110,9 +110,15 @@ pub fn read_snapshot<R: Read>(mut r: R, config: &DHnswConfig) -> Result<VectorSt
     r.read_exact(&mut region_bytes).map_err(io_err)?;
 
     // Validate the embedded directory before committing to a region.
+    // Size it via the header: a v3 region carries an SQ span table.
+    let dir_len = Directory::peek_size(
+        region_bytes
+            .get(..DIRECTORY_PEEK_BYTES)
+            .ok_or_else(|| Error::Corrupt("region shorter than its directory".into()))?,
+    )?;
     let directory = Directory::from_bytes(
         region_bytes
-            .get(..Directory::byte_size(parts))
+            .get(..dir_len)
             .ok_or_else(|| Error::Corrupt("region shorter than its directory".into()))?,
     )?;
     if directory.partitions() != parts {

@@ -8,7 +8,8 @@ use parking_lot::Mutex;
 use rdma_sim::{MemoryNode, QueuePair, RegionHandle, WriteReq};
 use vecsim::Dataset;
 
-use crate::cluster::SubCluster;
+use crate::cluster::{SqCluster, SubCluster};
+use crate::config::QuantizeMode;
 use crate::engine::{ComputeNode, SearchMode};
 use crate::layout::Directory;
 use crate::meta::MetaIndex;
@@ -76,6 +77,15 @@ impl VectorStore {
         config: &DHnswConfig,
         epoch: u64,
     ) -> Result<Self> {
+        // Same env knob `connect` honors: DHNSW_QUANTIZE_MODE flips the
+        // wire format for builds whose config the caller cannot reach
+        // (repro sweeps, the fault smoke). The resolved mode is stored
+        // on the result, so later connects see what was actually built.
+        let env_config = std::env::var("DHNSW_QUANTIZE_MODE")
+            .ok()
+            .and_then(|v| QuantizeMode::parse(&v).ok())
+            .map(|m| config.clone().with_quantize_mode(m));
+        let config = env_config.as_ref().unwrap_or(config);
         config.validate()?;
         if data.is_empty() {
             return Err(Error::InvalidParameter(
@@ -102,12 +112,22 @@ impl VectorStore {
             }
         }
 
-        // Build and serialize every sub-HNSW in parallel.
-        let blobs = build_clusters(&data, &global_ids, &members, config)?;
+        // Build and serialize every sub-HNSW in parallel (plus, when
+        // quantization is on, the SQ8 copy of every cluster).
+        let quantize = config.quantize_mode() != QuantizeMode::Off;
+        let blobs = build_clusters(&data, &global_ids, &members, config, quantize)?;
         let partition_sizes: Vec<usize> = members.iter().map(Vec::len).collect();
-        let sizes: Vec<u64> = blobs.iter().map(|b| b.len() as u64).collect();
+        let sizes: Vec<u64> = blobs.iter().map(|(b, _)| b.len() as u64).collect();
 
-        let mut directory = Directory::plan(&sizes, data.dim(), config.overflow_slots())?;
+        let mut directory = if quantize {
+            let sq_sizes: Vec<u64> = blobs
+                .iter()
+                .map(|(_, s)| s.as_ref().expect("quantized build emits sq blobs").len() as u64)
+                .collect();
+            Directory::plan_with_sq(&sizes, &sq_sizes, data.dim(), config.overflow_slots())?
+        } else {
+            Directory::plan(&sizes, data.dim(), config.overflow_slots())?
+        };
         directory.set_next_id(
             global_ids.iter().map(|&g| u64::from(g) + 1).max().unwrap_or(0),
         );
@@ -119,11 +139,17 @@ impl VectorStore {
         let node = MemoryNode::new("memory-pool");
         let region = node.register(directory.total_len() as usize)?;
         let setup_qp = QueuePair::connect(&node, config.network());
-        let mut writes = Vec::with_capacity(1 + blobs.len());
+        let mut writes = Vec::with_capacity(1 + 2 * blobs.len());
         writes.push(WriteReq::new(region.rkey(), 0, directory.to_bytes()));
-        for (p, blob) in blobs.into_iter().enumerate() {
+        for (p, (blob, sq_blob)) in blobs.into_iter().enumerate() {
             let loc = directory.location(p as u32)?;
             writes.push(WriteReq::new(region.rkey(), loc.cluster_off, blob));
+            if let Some(sq) = sq_blob {
+                let (sq_off, _) = directory
+                    .sq_span(p as u32)?
+                    .expect("v3 plan carries an sq span per cluster");
+                writes.push(WriteReq::new(region.rkey(), sq_off, sq));
+            }
         }
         setup_qp.write_doorbell(&writes)?;
 
@@ -331,17 +357,23 @@ fn classify_all(data: &Dataset, meta: &MetaIndex, beam: usize) -> Vec<u32> {
     out
 }
 
+/// A partition's serialized sub-HNSW blob plus, on quantized builds,
+/// its serialized SQ8 companion.
+type ClusterBlobs = (Vec<u8>, Option<Vec<u8>>);
+
 /// Builds and serializes one sub-HNSW per partition, in parallel over a
 /// shared work queue (partition sizes are skewed, so static chunking
-/// would straggle).
+/// would straggle). With `quantize` set, each slot also carries the
+/// partition's serialized SQ8 blob.
 fn build_clusters(
     data: &Dataset,
     global_ids: &[u32],
     members: &[Vec<u32>],
     config: &DHnswConfig,
-) -> Result<Vec<Vec<u8>>> {
+    quantize: bool,
+) -> Result<Vec<ClusterBlobs>> {
     let parts = members.len();
-    let slots: Vec<Mutex<Option<Result<Vec<u8>>>>> =
+    let slots: Vec<Mutex<Option<Result<ClusterBlobs>>>> =
         (0..parts).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let threads = std::thread::available_parallelism()
@@ -359,9 +391,18 @@ fn build_clusters(
                 let rows = &members[p];
                 let vectors = data.select(rows);
                 let gids: Vec<u32> = rows.iter().map(|&r| global_ids[r as usize]).collect();
+                let sq = if quantize {
+                    Some(SqCluster::build(p as u32, &vectors, gids.clone()).map(|c| c.to_bytes()))
+                } else {
+                    None
+                };
                 let built = SubCluster::build(p as u32, vectors, gids, &config.sub_params())
                     .map(|c| c.to_bytes());
-                *slots[p].lock() = Some(built);
+                *slots[p].lock() = Some(match (built, sq) {
+                    (Ok(blob), None) => Ok((blob, None)),
+                    (Ok(blob), Some(Ok(sq_blob))) => Ok((blob, Some(sq_blob))),
+                    (Err(e), _) | (_, Some(Err(e))) => Err(e),
+                });
             });
         }
     });
@@ -451,6 +492,45 @@ mod tests {
         let fetched = Directory::from_bytes(&bytes).unwrap();
         assert_eq!(&fetched, store.directory().as_ref());
         assert_eq!(fetched.next_id(), store.base_len() as u64);
+    }
+
+    #[test]
+    fn quantized_build_places_sq_blobs_in_the_tail() {
+        let data = gen::sift_like(400, 21).unwrap();
+        let cfg = DHnswConfig::small().with_quantize_mode(QuantizeMode::Sq8);
+        let store = VectorStore::build(data.clone(), &cfg).unwrap();
+        let dir = store.directory();
+        assert!(dir.has_sq_spans());
+        assert_eq!(
+            store.memory_node().region_len(store.region().rkey()).unwrap(),
+            dir.total_len()
+        );
+        let qp = QueuePair::connect(store.memory_node(), store.config().network());
+        for p in (0..store.partitions() as u32).step_by(7) {
+            let (off, len) = dir.sq_span(p).unwrap().unwrap();
+            let buf = qp.read(store.region().rkey(), off, len).unwrap();
+            let sq = SqCluster::from_bytes(&buf).unwrap();
+            assert_eq!(sq.partition(), p);
+            assert_eq!(sq.len(), store.partition_size(p).unwrap());
+            // A member vector finds itself via the quantized scan.
+            let gid = sq.global_ids()[0];
+            let loaded = crate::cluster::LoadedCluster::from_remote_sq(&buf, None).unwrap();
+            let hit = loaded.search_sq(data.get(gid as usize), 1);
+            assert_eq!(hit[0].id, gid);
+        }
+        // The compressed copies cost well under half of the f32 regions.
+        let sq_total = dir.sq_live_bytes();
+        let cluster_total: u64 = dir.locations().iter().map(|l| l.cluster_len).sum();
+        assert!(sq_total * 2 < cluster_total, "{sq_total} vs {cluster_total}");
+    }
+
+    #[test]
+    fn quantized_builds_are_deterministic() {
+        let data = gen::sift_like(300, 33).unwrap();
+        let cfg = DHnswConfig::small().with_quantize_mode(QuantizeMode::Sq8);
+        let a = VectorStore::build(data.clone(), &cfg).unwrap();
+        let b = VectorStore::build(data, &cfg).unwrap();
+        assert_eq!(a.directory().as_ref(), b.directory().as_ref());
     }
 
     #[test]

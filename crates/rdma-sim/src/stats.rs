@@ -29,13 +29,16 @@ pub enum ReadCause {
     OverflowScan,
     /// Naive per-query fetch (the no-batching baseline mode).
     Naive,
+    /// Targeted full-precision vector fetch for exact rerank after a
+    /// quantized (SQ8) cluster search.
+    Rerank,
     /// Untagged reads: directory bootstrap, snapshots, ad-hoc callers.
     #[default]
     Other,
 }
 
 /// Number of [`ReadCause`] variants (length of the per-cause arrays).
-pub const READ_CAUSES: usize = 8;
+pub const READ_CAUSES: usize = 9;
 
 impl ReadCause {
     /// Every cause, in per-cause array-index order.
@@ -47,6 +50,7 @@ impl ReadCause {
         ReadCause::HealthProbe,
         ReadCause::OverflowScan,
         ReadCause::Naive,
+        ReadCause::Rerank,
         ReadCause::Other,
     ];
 
@@ -60,7 +64,8 @@ impl ReadCause {
             ReadCause::HealthProbe => 4,
             ReadCause::OverflowScan => 5,
             ReadCause::Naive => 6,
-            ReadCause::Other => 7,
+            ReadCause::Rerank => 7,
+            ReadCause::Other => 8,
         }
     }
 
@@ -74,6 +79,7 @@ impl ReadCause {
             ReadCause::HealthProbe => "health_probe",
             ReadCause::OverflowScan => "overflow_scan",
             ReadCause::Naive => "naive",
+            ReadCause::Rerank => "rerank",
             ReadCause::Other => "other",
         }
     }

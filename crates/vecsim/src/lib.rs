@@ -11,6 +11,8 @@
 //!   paper's SIFT1M / GIST1M (see `DESIGN.md` §2 for the substitution
 //!   rationale).
 //! - [`ground_truth`]: exact brute-force top-k used to score recall.
+//! - [`quantize`]: SQ8 scalar quantization (train/encode/decode) and the
+//!   asymmetric L2 distance used to search over codes.
 //! - [`recall`]: recall@k computation.
 //! - [`stats`]: dataset statistics and clustering-tendency estimates.
 //! - [`io`]: readers and writers for the standard `fvecs`/`ivecs`/`bvecs`
@@ -51,6 +53,7 @@ mod error;
 pub mod gen;
 pub mod ground_truth;
 pub mod io;
+pub mod quantize;
 pub mod recall;
 pub mod stats;
 pub mod topk;

@@ -1,0 +1,271 @@
+//! Scalar quantization (SQ8) for compressed vector transport.
+//!
+//! d-HNSW's bottleneck currency is network bytes: a full-precision
+//! 128-d vector costs 512 B on the wire, its SQ8 codes cost 128 B. The
+//! quantizer here is the classic per-dimension affine scheme: for each
+//! dimension `d` of a training set, store `min[d]` and a `scale[d]`
+//! such that the value range maps onto the 256 code points, then
+//! encode every component as `round((x - min) / scale)` clamped to
+//! `[0, 255]`. Decoding is `min + code * scale`, so the round-trip
+//! error per component is bounded by `scale / 2`.
+//!
+//! Search over codes uses the *asymmetric* distance: the query stays
+//! in f32 and is compared against decoded code points, which loses far
+//! less recall than code-to-code (symmetric) comparison. The engine
+//! reranks the candidates whose approximate distances are too close to
+//! call with exact full-precision reads; [`SqParams::l2_error_bound`]
+//! provides the error scale those margin decisions are based on.
+//!
+//! # Example
+//!
+//! ```rust
+//! use vecsim::quantize::SqParams;
+//!
+//! let rows: Vec<Vec<f32>> = vec![vec![0.0, 10.0], vec![1.0, 20.0]];
+//! let params = SqParams::train(2, rows.iter().map(|r| r.as_slice())).unwrap();
+//! let codes = params.encode(&[0.5, 15.0]);
+//! let back = params.decode(&codes);
+//! assert!((back[0] - 0.5).abs() <= params.scale()[0] / 2.0);
+//! ```
+
+use crate::{Error, Result};
+
+/// Per-dimension affine quantization parameters: `code = round((x -
+/// min) / scale)`, `x̂ = min + code * scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqParams {
+    min: Vec<f32>,
+    scale: Vec<f32>,
+}
+
+impl SqParams {
+    /// Trains parameters over `rows`, each a `dim`-length slice: per
+    /// dimension, `min` is the smallest observed value and `scale`
+    /// spreads the observed range across the 256 code points. A
+    /// constant dimension gets `scale == 0` and round-trips exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `rows` is empty and
+    /// [`Error::DimensionMismatch`] when a row's length is not `dim`.
+    pub fn train<'a, I>(dim: usize, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        let mut seen = 0usize;
+        for row in rows {
+            if row.len() != dim {
+                return Err(Error::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
+            }
+            for d in 0..dim {
+                min[d] = min[d].min(row[d]);
+                max[d] = max[d].max(row[d]);
+            }
+            seen += 1;
+        }
+        if seen == 0 {
+            return Err(Error::InvalidParameter(
+                "quantizer training set is empty".into(),
+            ));
+        }
+        let scale = (0..dim).map(|d| (max[d] - min[d]) / 255.0).collect();
+        Ok(SqParams { min, scale })
+    }
+
+    /// Reassembles parameters from their serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the two vectors
+    /// disagree in length.
+    pub fn from_parts(min: Vec<f32>, scale: Vec<f32>) -> Result<Self> {
+        if min.len() != scale.len() {
+            return Err(Error::DimensionMismatch {
+                expected: min.len(),
+                got: scale.len(),
+            });
+        }
+        Ok(SqParams { min, scale })
+    }
+
+    /// Vector dimensionality these parameters quantize.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Per-dimension minima.
+    pub fn min(&self) -> &[f32] {
+        &self.min
+    }
+
+    /// Per-dimension code step sizes.
+    pub fn scale(&self) -> &[f32] {
+        &self.scale
+    }
+
+    /// Encodes one vector into `dim` u8 codes.
+    ///
+    /// Values outside the trained range clamp to the boundary codes,
+    /// so encoding never panics on unseen data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()` (debug builds; release builds
+    /// truncate via the zip).
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        debug_assert_eq!(v.len(), self.dim());
+        v.iter()
+            .zip(self.min.iter().zip(&self.scale))
+            .map(|(&x, (&m, &s))| {
+                if s <= 0.0 {
+                    0
+                } else {
+                    (((x - m) / s).round()).clamp(0.0, 255.0) as u8
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes `dim` codes back into an approximate f32 vector.
+    pub fn decode(&self, codes: &[u8]) -> Vec<f32> {
+        debug_assert_eq!(codes.len(), self.dim());
+        codes
+            .iter()
+            .zip(self.min.iter().zip(&self.scale))
+            .map(|(&c, (&m, &s))| m + f32::from(c) * s)
+            .collect()
+    }
+
+    /// Asymmetric squared-L2 distance: the f32 query against the
+    /// decoded code points, without materializing the decoded vector.
+    pub fn asymmetric_l2(&self, query: &[f32], codes: &[u8]) -> f32 {
+        debug_assert_eq!(query.len(), self.dim());
+        debug_assert_eq!(codes.len(), self.dim());
+        let mut acc = 0.0f32;
+        for d in 0..codes.len() {
+            let x = self.min[d] + f32::from(codes[d]) * self.scale[d];
+            let diff = query[d] - x;
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Scale of the error the quantization noise adds to a squared-L2
+    /// distance of (approximate) magnitude `d_hat`.
+    ///
+    /// Writing the true vector as `x = x̂ + e` with per-dimension noise
+    /// `e_d` uniform in `[-s_d/2, s_d/2]`, the exact distance is
+    /// `d = d̂ - 2⟨q - x̂, e⟩ + ‖e‖²`. The bound returned is one
+    /// standard deviation of the cross term, `2·√(d̂ · E[s²]/12)`,
+    /// plus the mean of the quadratic term, `dim · E[s²]/12` — the
+    /// natural unit for "these two approximate distances are too close
+    /// to order without exact rerank".
+    pub fn l2_error_bound(&self, d_hat: f32) -> f32 {
+        let dim = self.dim();
+        if dim == 0 {
+            return 0.0;
+        }
+        let mean_sq_scale =
+            self.scale.iter().map(|&s| s * s).sum::<f32>() / dim as f32;
+        let var_per_dim = mean_sq_scale / 12.0;
+        2.0 * (d_hat.max(0.0) * var_per_dim).sqrt() + dim as f32 * var_per_dim
+    }
+
+    /// The largest per-component round-trip error these parameters can
+    /// produce on in-range data: `max_d scale[d] / 2`.
+    pub fn max_component_error(&self) -> f32 {
+        self.scale.iter().fold(0.0f32, |a, &s| a.max(s / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, l2_sq};
+
+    fn trained(n: usize, seed: u64) -> (crate::Dataset, SqParams) {
+        let data = gen::sift_like(n, seed).unwrap();
+        let params = SqParams::train(data.dim(), data.iter()).unwrap();
+        (data, params)
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let (data, params) = trained(200, 11);
+        for row in data.iter() {
+            let back = params.decode(&params.encode(row));
+            for d in 0..row.len() {
+                assert!(
+                    (back[d] - row[d]).abs() <= params.scale()[d] / 2.0 + 1e-4,
+                    "dim {d}: {} vs {}",
+                    back[d],
+                    row[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dimension_round_trips_exactly() {
+        let rows = [[3.5f32, 1.0], [3.5, 2.0], [3.5, 3.0]];
+        let params =
+            SqParams::train(2, rows.iter().map(|r| r.as_slice())).unwrap();
+        assert_eq!(params.scale()[0], 0.0);
+        let back = params.decode(&params.encode(&rows[1]));
+        assert_eq!(back[0], 3.5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_boundary_codes() {
+        let rows = [[0.0f32], [10.0]];
+        let params =
+            SqParams::train(1, rows.iter().map(|r| r.as_slice())).unwrap();
+        assert_eq!(params.encode(&[-5.0]), vec![0]);
+        assert_eq!(params.encode(&[99.0]), vec![255]);
+    }
+
+    #[test]
+    fn asymmetric_distance_matches_decode_then_exact() {
+        let (data, params) = trained(50, 12);
+        let q = data.get(0);
+        for i in 1..10 {
+            let codes = params.encode(data.get(i));
+            let via_decode = l2_sq(q, &params.decode(&codes));
+            let direct = params.asymmetric_l2(q, &codes);
+            assert!((via_decode - direct).abs() <= 1e-2 * via_decode.max(1.0));
+        }
+    }
+
+    #[test]
+    fn train_rejects_degenerate_input() {
+        assert!(matches!(
+            SqParams::train(4, std::iter::empty()),
+            Err(Error::InvalidParameter(_))
+        ));
+        let row = [1.0f32, 2.0];
+        assert!(SqParams::train(3, [row.as_slice()]).is_err());
+        assert!(SqParams::from_parts(vec![0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_accessors() {
+        let p = SqParams::from_parts(vec![1.0, 2.0], vec![0.5, 0.25]).unwrap();
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.min(), &[1.0, 2.0]);
+        assert_eq!(p.scale(), &[0.5, 0.25]);
+        assert_eq!(p.max_component_error(), 0.25);
+    }
+
+    #[test]
+    fn error_bound_grows_with_distance_and_is_zero_for_exact_params() {
+        let p = SqParams::from_parts(vec![0.0; 4], vec![1.0; 4]).unwrap();
+        assert!(p.l2_error_bound(100.0) > p.l2_error_bound(1.0));
+        let exact = SqParams::from_parts(vec![0.0; 4], vec![0.0; 4]).unwrap();
+        assert_eq!(exact.l2_error_bound(100.0), 0.0);
+    }
+}

@@ -10,7 +10,13 @@ use crate::Neighbor;
 /// Recall of one result list against one ground-truth list.
 ///
 /// `got` is the approximate result (ids, any order); `truth` is the exact
-/// top-k. The score is `|got ∩ truth| / |truth|`. An empty ground truth
+/// top-k. The effective k is `got.len()`: a ground-truth list longer than
+/// the result list is truncated to the first `got.len()` entries (ground
+/// truth is sorted nearest-first), so handing in an over-long truth list
+/// cannot deflate the score below what a k-sized truth would give.
+/// Duplicate ids in `got` are collapsed before matching — a result list
+/// that pads itself with repeats only ever matches each truth id once.
+/// The score is `|unique(got) ∩ truth[..k]| / k`. An empty ground truth
 /// yields recall `1.0` (there was nothing to find).
 ///
 /// # Example
@@ -25,13 +31,10 @@ pub fn recall_at_k(got: &[u32], truth: &[Neighbor]) -> f64 {
     if truth.is_empty() {
         return 1.0;
     }
-    let mut hits = 0usize;
-    for t in truth {
-        if got.contains(&t.id) {
-            hits += 1;
-        }
-    }
-    hits as f64 / truth.len() as f64
+    let scored = &truth[..truth.len().min(got.len().max(1))];
+    let unique: std::collections::HashSet<u32> = got.iter().copied().collect();
+    let hits = scored.iter().filter(|t| unique.contains(&t.id)).count();
+    hits as f64 / scored.len() as f64
 }
 
 /// Mean recall across a batch of queries.
@@ -91,6 +94,26 @@ mod tests {
     fn extra_results_do_not_inflate_recall() {
         // got has many ids but only one matches the 2-element truth.
         assert_eq!(recall_at_k(&[1, 5, 6, 7, 8], &truth(&[1, 2])), 0.5);
+    }
+
+    #[test]
+    fn overlong_truth_is_truncated_to_result_length() {
+        // A 10-deep ground truth scored against a top-5 result list must
+        // only score the first 5 truth entries, not deflate by 10.
+        let t = truth(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(recall_at_k(&[5, 4, 3, 2, 1], &t), 1.0);
+        assert_eq!(recall_at_k(&[1, 2, 90, 91, 92], &t), 0.4);
+    }
+
+    #[test]
+    fn duplicate_result_ids_count_once() {
+        let t = truth(&[1, 2, 3]);
+        assert_eq!(recall_at_k(&[1, 1, 1], &t), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_results_against_nonempty_truth_score_zero() {
+        assert_eq!(recall_at_k(&[], &truth(&[1, 2])), 0.0);
     }
 
     #[test]

@@ -49,6 +49,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Bench-regression smoke gate: latency tolerances are already generous,
 # and the 4x scale keeps a loaded CI box from tripping the gate; the
 # deterministic byte/doorbell/recall bands stay meaningfully tight.
+# The run itself also hard-gates the sq8_* scenarios: compressed cold
+# bytes < 0.30x of single_cold, recall@10 after rerank within 0.005,
+# and nonzero rerank-cause bytes.
 echo "==> bench_regress --profile smoke (vs results/BENCH_baseline.json)"
 target/release/bench_regress --profile smoke --label check \
   --tolerance-scale 4.0
@@ -58,6 +61,13 @@ target/release/bench_regress --profile smoke --label check \
 # (it exits non-zero if any faulted row degrades or errors).
 echo "==> repro faults (fault-injection smoke gate)"
 DHNSW_ABLATION_N=4000 DHNSW_ABLATION_Q=100 target/release/repro faults
+
+# Same sweep over the compressed wire format: SQ8 stage loads, the
+# overflow follow-up reads, and the exact-rerank doorbells must survive
+# seeded verb drops just like the full-precision path does.
+echo "==> repro faults with DHNSW_QUANTIZE_MODE=sq8 (quantized fault smoke)"
+DHNSW_QUANTIZE_MODE=sq8 DHNSW_ABLATION_N=4000 DHNSW_ABLATION_Q=100 \
+  target/release/repro faults
 
 # Serving-plane smoke gate: build a tiny store, serve it on an
 # ephemeral port, scrape the live endpoints over bash's /dev/tcp (no
@@ -102,6 +112,8 @@ scrape /exemplars | grep -q '"occupancy"'
 scrape /metrics | grep -q 'Cache-Control: no-store'
 sleep 2.5
 scrape '/timeseries?window=60&step=1' | grep -q '"points"'
+# Explicitly-zero parameters are client errors, not empty results.
+scrape '/timeseries?step=0' | grep -q '400 Bad Request'
 scrape /anomalies | grep -q '"records"'
 target/release/dhnsw_cli top --once --url "$URL" > "$SMOKE_DIR/top.out"
 grep -q 'dhnsw top' "$SMOKE_DIR/top.out"
